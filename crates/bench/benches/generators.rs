@@ -1,0 +1,93 @@
+//! Generator benches: the ground-truth world against every baseline the
+//! paper discusses, plus `geogen` — and the ablation sweeps over the
+//! design knobs DESIGN.md calls out (distance-sensitive share, placement
+//! exponent α).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geotopo_geo::RegionSet;
+use geotopo_topology::generate::{
+    barabasi_albert, erdos_renyi, geogen, transit_stub, waxman, BarabasiAlbertConfig,
+    ErdosRenyiConfig, GeoGenConfig, GroundTruth, GroundTruthConfig, TransitStubConfig,
+    WaxmanConfig,
+};
+use std::hint::black_box;
+
+const N: usize = 600;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator_compare");
+    g.sample_size(10);
+    g.bench_function("waxman", |b| {
+        let cfg = WaxmanConfig {
+            n: N,
+            alpha: 0.1,
+            beta: 0.4,
+            region: RegionSet::us(),
+            seed: 1,
+        };
+        b.iter(|| waxman(black_box(&cfg)).unwrap())
+    });
+    g.bench_function("erdos_renyi", |b| {
+        let cfg = ErdosRenyiConfig {
+            n: N,
+            p: 3.0 / N as f64,
+            region: RegionSet::us(),
+            seed: 1,
+        };
+        b.iter(|| erdos_renyi(black_box(&cfg)).unwrap())
+    });
+    g.bench_function("barabasi_albert", |b| {
+        let cfg = BarabasiAlbertConfig {
+            n: N,
+            m: 2,
+            region: RegionSet::us(),
+            seed: 1,
+        };
+        b.iter(|| barabasi_albert(black_box(&cfg)).unwrap())
+    });
+    g.bench_function("transit_stub", |b| {
+        let cfg = TransitStubConfig::default();
+        b.iter(|| transit_stub(black_box(&cfg)).unwrap())
+    });
+    g.bench_function("geogen", |b| {
+        let cfg = GeoGenConfig::us_default(N, 1);
+        b.iter(|| geogen(black_box(&cfg)).unwrap())
+    });
+    g.finish();
+}
+
+/// Ablation: sweep the ground truth's distance-sensitive link share and
+/// report generation cost (the Table-V response is asserted in the
+/// integration suite; here the knob's performance impact is tracked).
+fn bench_ablate_mixture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mixture");
+    g.sample_size(10);
+    for share in [0.5, 0.7, 0.9] {
+        g.bench_with_input(BenchmarkId::from_parameter(share), &share, |b, &share| {
+            let mut cfg = GroundTruthConfig::tiny(2002);
+            cfg.frac_distance_sensitive = share;
+            cfg.frac_long_haul = (1.0 - share) / 2.0;
+            b.iter(|| GroundTruth::generate(black_box(cfg.clone())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: sweep the placement exponent α.
+fn bench_ablate_alpha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_alpha");
+    g.sample_size(10);
+    for alpha in [1.0, 1.5, 2.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let mut cfg = GroundTruthConfig::tiny(2002);
+            for r in cfg.regions.iter_mut() {
+                r.alpha = alpha;
+            }
+            b.iter(|| GroundTruth::generate(black_box(cfg.clone())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_ablate_mixture, bench_ablate_alpha);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Substrate micro-benches: the primitives every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geotopo_bgp::{AsId, Ipv4Prefix, PrefixTrie};
+use geotopo_geo::{
+    box_counting_dimension, boxcount::default_scales, convex_hull, haversine_miles,
+    AlbersProjection, GeoPoint, RegionSet,
+};
+use geotopo_geomap::{GeoMapper, Gazetteer, IxMapper, MapContext, OrgDb};
+use geotopo_population::SyntheticPopulation;
+use geotopo_stats::{fit_line, AliasTable, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn rand_points(n: usize, seed: u64) -> Vec<GeoPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            GeoPoint::new(rng.random_range(25.0..50.0), rng.random_range(-150.0..-45.0)).unwrap()
+        })
+        .collect()
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let pts = rand_points(10_000, 1);
+    c.bench_function("geo/haversine_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in pts.windows(2) {
+                acc += haversine_miles(&w[0], &w[1]);
+            }
+            black_box(acc)
+        })
+    });
+    let proj = AlbersProjection::world();
+    c.bench_function("geo/albers_project_10k", |b| {
+        b.iter(|| {
+            let planar: Vec<_> = pts.iter().map(|p| proj.project(p)).collect();
+            black_box(planar)
+        })
+    });
+    let planar: Vec<_> = pts.iter().map(|p| proj.project(p)).collect();
+    c.bench_function("geo/convex_hull_10k", |b| {
+        b.iter(|| convex_hull(black_box(&planar)))
+    });
+    c.bench_function("geo/box_counting_10k", |b| {
+        b.iter(|| box_counting_dimension(&RegionSet::us(), black_box(&pts), &default_scales()))
+    });
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    for i in 0..50_000u32 {
+        let bits: u32 = rng.random();
+        let len = rng.random_range(8..=24);
+        let p = Ipv4Prefix::containing(Ipv4Addr::from(bits), len).unwrap();
+        trie.insert(p, AsId(i));
+    }
+    let probes: Vec<Ipv4Addr> = (0..10_000).map(|_| Ipv4Addr::from(rng.random::<u32>())).collect();
+    c.bench_function("bgp/lpm_10k_lookups_50k_routes", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &ip in &probes {
+                if trie.lookup(ip).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x + 7.0).collect();
+    c.bench_function("stats/fit_line_100k", |b| {
+        b.iter(|| fit_line(black_box(&xs), black_box(&ys)).unwrap())
+    });
+    let zipf = Zipf::new(10_000, 1.2).unwrap();
+    c.bench_function("stats/zipf_sample_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += zipf.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    let weights: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+    let alias = AliasTable::new(&weights).unwrap();
+    c.bench_function("stats/alias_sample_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += alias.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_population_and_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("population");
+    g.sample_size(10);
+    g.bench_function("synthesize_us", |b| {
+        let cfg = SyntheticPopulation::developed(RegionSet::us(), 299e6);
+        b.iter(|| cfg.generate(black_box(5)).unwrap())
+    });
+    g.finish();
+
+    let pop = SyntheticPopulation::developed(RegionSet::us(), 299e6)
+        .generate(5)
+        .unwrap();
+    let mut gaz = Gazetteer::builtin();
+    gaz.extend_from_population(&pop, 8_000.0);
+    let mut orgs = OrgDb::new();
+    orgs.insert(AsId(1), "isp0001", GeoPoint::new(40.7, -74.0).unwrap());
+    let ix = IxMapper::with_gazetteer(9, orgs, gaz);
+    let ctx = MapContext {
+        true_location: GeoPoint::new(40.0, -100.0).unwrap(),
+        asn: AsId(1),
+    };
+    c.bench_function("geomap/ixmapper_map_1k", |b| {
+        b.iter(|| {
+            let mut located = 0;
+            for i in 0..1_000u32 {
+                if ix.map(Ipv4Addr::from(0x0A00_0000 + i), &ctx).is_some() {
+                    located += 1;
+                }
+            }
+            black_box(located)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_geo,
+    bench_bgp,
+    bench_stats,
+    bench_population_and_mapping
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: sweep the ground truth's distance-sensitive link share and
+//! observe the Table V "% links below the sensitivity limit" response.
+//!
+//! ```sh
+//! cargo run --release -p geotopo-bench --bin ablate_mixture [routers] [seed]
+//! ```
+//!
+//! If the Section V estimator works, the measured below-limit fraction
+//! must rise monotonically with the generator's distance-sensitive share.
+
+use geotopo_core::experiments;
+use geotopo_core::pipeline::{MapperKind, Pipeline, PipelineConfig};
+use geotopo_topology::generate::GroundTruthConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let routers: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(12_000);
+    let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
+
+    println!("share_ds  mean %<limit (IxMapper, all regions/datasets)");
+    for share in [0.4, 0.55, 0.7, 0.8, 0.9] {
+        let mut world = GroundTruthConfig::at_scale(routers, seed);
+        world.pop_resolution_arcmin = 30.0;
+        world.frac_distance_sensitive = share;
+        world.frac_long_haul = ((1.0 - share) * 0.4).min(0.2);
+        let cfg = PipelineConfig {
+            world,
+            ..PipelineConfig::tiny(seed)
+        };
+        let out = Pipeline::new(cfg).run()?;
+        let t5 = experiments::table5(&out, MapperKind::IxMapper);
+        let rows = t5.json["rows"].as_array().expect("rows array");
+        let fracs: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r["row"]["frac_below"].as_f64())
+            .collect();
+        let mean = if fracs.is_empty() {
+            f64::NAN
+        } else {
+            fracs.iter().sum::<f64>() / fracs.len() as f64
+        };
+        println!("{share:>8.2}  {:.1}%  ({} regions fitted)", mean * 100.0, fracs.len());
+    }
+    Ok(())
+}

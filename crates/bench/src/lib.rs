@@ -1,0 +1,35 @@
+//! Shared fixtures for the geotopo benchmark harness.
+//!
+//! Criterion benches share one lazily-built tiny pipeline output so that
+//! per-analysis benches measure the analysis, not world generation.
+
+use geotopo_core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+use std::sync::OnceLock;
+
+/// The shared tiny pipeline output (seed 2002).
+pub fn tiny_output() -> &'static PipelineOutput {
+    static OUT: OnceLock<PipelineOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        Pipeline::new(PipelineConfig::tiny(2002))
+            .run()
+            .expect("tiny pipeline runs")
+    })
+}
+
+/// A shared small pipeline output for heavier benches (seed 2002).
+pub fn small_output() -> &'static PipelineOutput {
+    static OUT: OnceLock<PipelineOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        Pipeline::new(PipelineConfig::small(2002))
+            .run()
+            .expect("small pipeline runs")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixtures_build() {
+        assert!(super::tiny_output().datasets.len() == 4);
+    }
+}

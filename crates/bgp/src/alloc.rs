@@ -1,0 +1,274 @@
+//! Address-space allocation.
+//!
+//! The ground-truth generator needs to hand every AS a realistic set of
+//! prefixes and then assign interface IPs from them, so that (a) the
+//! longest-prefix-match mapping recovers the true AS for most addresses,
+//! and (b) whois-style registry records (per-allocation organizations)
+//! can be synthesized by the geolocation substrate.
+
+use crate::prefix::{AsId, Ipv4Prefix, PrefixError};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Sequentially carves the public IPv4 space into prefix allocations.
+///
+/// Allocation starts at 1.0.0.0 and walks upward, skipping reserved
+/// ranges (0/8, 10/8, 127/8, 169.254/16, 172.16/12, 192.168/16, 224/3).
+/// Each call returns the next aligned block of the requested size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixAllocator {
+    cursor: u32,
+}
+
+/// Error from allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The IPv4 space below multicast is exhausted.
+    SpaceExhausted,
+    /// Invalid requested prefix length.
+    BadLength(u8),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::SpaceExhausted => write!(f, "IPv4 unicast space exhausted"),
+            AllocError::BadLength(l) => write!(f, "cannot allocate a /{l}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+const RESERVED: &[(&str, u8)] = &[
+    ("0.0.0.0", 8),
+    ("10.0.0.0", 8),
+    ("127.0.0.0", 8),
+    ("169.254.0.0", 16),
+    ("172.16.0.0", 12),
+    ("192.168.0.0", 16),
+];
+
+impl Default for PrefixAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixAllocator {
+    /// Creates an allocator starting at 1.0.0.0.
+    pub fn new() -> Self {
+        PrefixAllocator {
+            cursor: u32::from(Ipv4Addr::new(1, 0, 0, 0)),
+        }
+    }
+
+    /// Allocates the next aligned prefix of length `len` (8..=30).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::BadLength`] for lengths outside 8..=30 and
+    /// [`AllocError::SpaceExhausted`] when allocation would reach
+    /// multicast space (224.0.0.0).
+    pub fn allocate(&mut self, len: u8) -> Result<Ipv4Prefix, AllocError> {
+        if !(8..=30).contains(&len) {
+            return Err(AllocError::BadLength(len));
+        }
+        let size = 1u32 << (32 - len);
+        loop {
+            // Align cursor up to the block size.
+            let aligned = self.cursor.div_ceil(size) * size;
+            let end = aligned.checked_add(size).ok_or(AllocError::SpaceExhausted)?;
+            if aligned >= u32::from(Ipv4Addr::new(224, 0, 0, 0)) {
+                return Err(AllocError::SpaceExhausted);
+            }
+            let candidate = Ipv4Prefix::new(Ipv4Addr::from(aligned), len)
+                .map_err(|_: PrefixError| AllocError::BadLength(len))?;
+            if let Some(reserved) = overlapping_reserved(&candidate) {
+                // Jump past the reserved block.
+                let r_end = reserved.bits() + reserved.size() as u32;
+                self.cursor = r_end;
+                continue;
+            }
+            self.cursor = end;
+            return Ok(candidate);
+        }
+    }
+}
+
+fn overlapping_reserved(p: &Ipv4Prefix) -> Option<Ipv4Prefix> {
+    for (addr, len) in RESERVED {
+        let r = Ipv4Prefix::new(addr.parse().expect("const addr"), *len).expect("const prefix");
+        if r.covers(p) || p.covers(&r) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// An AS's allocated prefixes with a sequential host-address cursor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsAllocation {
+    /// The owning AS.
+    pub asn: AsId,
+    /// Allocated blocks, in allocation order.
+    pub prefixes: Vec<Ipv4Prefix>,
+    next: u64,
+}
+
+impl AsAllocation {
+    /// Creates an allocation for `asn` with enough address space for at
+    /// least `needed` host addresses, drawn from `alloc` as one or more
+    /// blocks no larger than `/16` (mirroring how real ASes hold several
+    /// mid-size allocations rather than one giant one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator exhaustion.
+    pub fn for_as(
+        alloc: &mut PrefixAllocator,
+        asn: AsId,
+        needed: u64,
+    ) -> Result<Self, AllocError> {
+        let mut prefixes = Vec::new();
+        let mut have = 0u64;
+        while have < needed {
+            let remaining = needed - have;
+            // Pick the smallest single block (>= /24 granularity, <= /16)
+            // that covers the remainder; large ASes thus get several /16s.
+            let mut len = 24u8;
+            while len > 16 && (1u64 << (32 - len)) < remaining {
+                len -= 1;
+            }
+            let p = alloc.allocate(len)?;
+            have += p.size();
+            prefixes.push(p);
+        }
+        Ok(AsAllocation {
+            asn,
+            prefixes,
+            next: 0,
+        })
+    }
+
+    /// Total address capacity.
+    pub fn capacity(&self) -> u64 {
+        self.prefixes.iter().map(|p| p.size()).sum()
+    }
+
+    /// Hands out the next unused host address, or `None` when exhausted.
+    /// Network (.0-offset) and broadcast-ish (last) addresses of each
+    /// block are skipped.
+    pub fn next_ip(&mut self) -> Option<Ipv4Addr> {
+        loop {
+            let mut idx = self.next;
+            let mut found = None;
+            for p in &self.prefixes {
+                if idx < p.size() {
+                    found = Some((p, idx));
+                    break;
+                }
+                idx -= p.size();
+            }
+            let (p, off) = found?;
+            self.next += 1;
+            // Skip first and last address of each block.
+            if off == 0 || off == p.size() - 1 {
+                continue;
+            }
+            return p.nth(off);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocation_is_disjoint() {
+        let mut a = PrefixAllocator::new();
+        let p1 = a.allocate(16).unwrap();
+        let p2 = a.allocate(16).unwrap();
+        let p3 = a.allocate(20).unwrap();
+        assert!(!p1.covers(&p2) && !p2.covers(&p1));
+        assert!(!p1.covers(&p3) && !p2.covers(&p3));
+    }
+
+    #[test]
+    fn allocations_skip_reserved_space() {
+        let mut a = PrefixAllocator::new();
+        // Burn through enough space to cross 10/8.
+        for _ in 0..300 {
+            let p = a.allocate(16).unwrap();
+            assert!(
+                overlapping_reserved(&p).is_none(),
+                "allocated reserved {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_lengths_rejected() {
+        let mut a = PrefixAllocator::new();
+        assert_eq!(a.allocate(4).unwrap_err(), AllocError::BadLength(4));
+        assert_eq!(a.allocate(31).unwrap_err(), AllocError::BadLength(31));
+    }
+
+    #[test]
+    fn as_allocation_covers_need() {
+        let mut a = PrefixAllocator::new();
+        let alloc = AsAllocation::for_as(&mut a, AsId(1), 5000).unwrap();
+        assert!(alloc.capacity() >= 5000);
+        // 5000 needs a /20 (4096 < 5000 <= 8192 -> /19).
+        assert!(alloc.prefixes.iter().all(|p| (16..=24).contains(&p.len())));
+    }
+
+    #[test]
+    fn big_as_gets_multiple_blocks() {
+        let mut a = PrefixAllocator::new();
+        let alloc = AsAllocation::for_as(&mut a, AsId(2), 200_000).unwrap();
+        assert!(alloc.prefixes.len() >= 3, "{:?}", alloc.prefixes);
+        assert!(alloc.capacity() >= 200_000);
+    }
+
+    #[test]
+    fn next_ip_yields_unique_in_prefix_addresses() {
+        let mut a = PrefixAllocator::new();
+        let mut alloc = AsAllocation::for_as(&mut a, AsId(3), 300).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..250 {
+            let ip = alloc.next_ip().expect("capacity");
+            assert!(seen.insert(ip), "duplicate {ip}");
+            assert!(
+                alloc.prefixes.iter().any(|p| p.contains(ip)),
+                "{ip} outside allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn next_ip_skips_network_and_last() {
+        let mut a = PrefixAllocator::new();
+        let mut alloc = AsAllocation::for_as(&mut a, AsId(4), 10).unwrap();
+        let p = alloc.prefixes[0];
+        let mut count = 0;
+        while let Some(ip) = alloc.next_ip() {
+            assert_ne!(ip, p.nth(0).unwrap());
+            assert_ne!(ip, p.nth(p.size() - 1).unwrap());
+            count += 1;
+        }
+        assert_eq!(count as u64, p.size() - 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = PrefixAllocator::new();
+        let mut alloc = AsAllocation::for_as(&mut a, AsId(5), 100).unwrap();
+        let cap = alloc.capacity();
+        for _ in 0..cap {
+            let _ = alloc.next_ip();
+        }
+        assert_eq!(alloc.next_ip(), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! IPv4 prefixes and AS numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An autonomous system number.
+///
+/// `AsId(0)` is reserved as the paper's "separate AS" for unmapped
+/// addresses ("We grouped these into a separate AS, which was omitted in
+/// our analysis").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// The sentinel AS holding unmapped addresses.
+    pub const UNMAPPED: AsId = AsId(0);
+
+    /// Whether this is the unmapped sentinel.
+    pub fn is_unmapped(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// A validated IPv4 CIDR prefix: host bits below the mask are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+/// Errors constructing or parsing prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// Prefix length above 32.
+    BadLength(u8),
+    /// Host bits set below the prefix length.
+    HostBitsSet,
+    /// Unparseable textual form.
+    Parse(String),
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::BadLength(l) => write!(f, "prefix length {l} exceeds 32"),
+            PrefixError::HostBitsSet => write!(f, "address has host bits set below the mask"),
+            PrefixError::Parse(s) => write!(f, "cannot parse prefix from {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+impl Ipv4Prefix {
+    /// Constructs a prefix from a network address and length.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `len > 32` or host bits are set.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 32 {
+            return Err(PrefixError::BadLength(len));
+        }
+        let a = u32::from(addr);
+        if len < 32 && a & (u32::MAX >> len) != 0 {
+            return Err(PrefixError::HostBitsSet);
+        }
+        Ok(Ipv4Prefix { addr: a, len })
+    }
+
+    /// Constructs a prefix from raw bits, masking host bits instead of
+    /// failing (useful when deriving the enclosing prefix of an address).
+    pub fn containing(addr: Ipv4Addr, len: u8) -> Result<Self, PrefixError> {
+        if len > 32 {
+            return Err(PrefixError::BadLength(len));
+        }
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Ok(Ipv4Prefix {
+            addr: u32::from(addr) & mask,
+            len,
+        })
+    }
+
+    /// Network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Always false (a prefix is never "empty"); present to satisfy the
+    /// `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Raw network bits.
+    pub fn bits(&self) -> u32 {
+        self.addr
+    }
+
+    /// Number of addresses covered (2^(32−len), saturating for /0).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u64)
+    }
+
+    /// Whether `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - self.len);
+        (u32::from(ip) & mask) == self.addr
+    }
+
+    /// Whether `other` is a subnet of (or equal to) this prefix.
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains(other.network())
+    }
+
+    /// The `i`-th address within the prefix, or `None` past the end.
+    pub fn nth(&self, i: u64) -> Option<Ipv4Addr> {
+        if i >= self.size() {
+            return None;
+        }
+        Some(Ipv4Addr::from(self.addr.wrapping_add(i as u32)))
+    }
+
+    /// Splits into the two child prefixes one bit longer, or `None` for /32.
+    pub fn split(&self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let child_len = self.len + 1;
+        let low = Ipv4Prefix {
+            addr: self.addr,
+            len: child_len,
+        };
+        let high = Ipv4Prefix {
+            addr: self.addr | (1u32 << (32 - child_len)),
+            len: child_len,
+        };
+        Some((low, high))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixError::Parse(s.to_string()))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| PrefixError::Parse(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixError::Parse(s.to_string()))?;
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn construction_and_display() {
+        let p = pfx("10.1.0.0/16");
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(p.len(), 16);
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+        assert_eq!(p.size(), 65536);
+    }
+
+    #[test]
+    fn rejects_host_bits() {
+        assert_eq!(
+            Ipv4Prefix::new(Ipv4Addr::new(10, 1, 0, 1), 16).unwrap_err(),
+            PrefixError::HostBitsSet
+        );
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert_eq!(
+            Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 33).unwrap_err(),
+            PrefixError::BadLength(33)
+        );
+    }
+
+    #[test]
+    fn containing_masks_host_bits() {
+        let p = Ipv4Prefix::containing(Ipv4Addr::new(10, 1, 2, 3), 24).unwrap();
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn contains_membership() {
+        let p = pfx("192.168.4.0/22");
+        assert!(p.contains(Ipv4Addr::new(192, 168, 4, 0)));
+        assert!(p.contains(Ipv4Addr::new(192, 168, 7, 255)));
+        assert!(!p.contains(Ipv4Addr::new(192, 168, 8, 0)));
+        assert!(!p.contains(Ipv4Addr::new(192, 168, 3, 255)));
+    }
+
+    #[test]
+    fn default_route_contains_all() {
+        let p = pfx("0.0.0.0/0");
+        assert!(p.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(p.contains(Ipv4Addr::new(0, 0, 0, 0)));
+    }
+
+    #[test]
+    fn covers_subnets() {
+        let p16 = pfx("10.1.0.0/16");
+        let p24 = pfx("10.1.5.0/24");
+        assert!(p16.covers(&p24));
+        assert!(!p24.covers(&p16));
+        assert!(p16.covers(&p16));
+        assert!(!p16.covers(&pfx("10.2.0.0/24")));
+    }
+
+    #[test]
+    fn nth_addresses() {
+        let p = pfx("10.0.0.0/30");
+        assert_eq!(p.nth(0), Some(Ipv4Addr::new(10, 0, 0, 0)));
+        assert_eq!(p.nth(3), Some(Ipv4Addr::new(10, 0, 0, 3)));
+        assert_eq!(p.nth(4), None);
+    }
+
+    #[test]
+    fn split_children() {
+        let p = pfx("10.0.0.0/8");
+        let (lo, hi) = p.split().unwrap();
+        assert_eq!(lo.to_string(), "10.0.0.0/9");
+        assert_eq!(hi.to_string(), "10.128.0.0/9");
+        assert!(p.covers(&lo) && p.covers(&hi));
+        assert!(pfx("1.2.3.4/32").split().is_none());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!("10.0.0.0".parse::<Ipv4Prefix>(), Err(PrefixError::Parse(_))));
+        assert!(matches!("banana/8".parse::<Ipv4Prefix>(), Err(PrefixError::Parse(_))));
+        assert!(matches!("10.0.0.0/99".parse::<Ipv4Prefix>(), Err(PrefixError::BadLength(99))));
+    }
+
+    #[test]
+    fn as_id_sentinel() {
+        assert!(AsId::UNMAPPED.is_unmapped());
+        assert!(!AsId(7018).is_unmapped());
+        assert_eq!(AsId(7018).to_string(), "AS7018");
+    }
+
+    #[test]
+    fn slash32_prefix() {
+        let p = pfx("1.2.3.4/32");
+        assert_eq!(p.size(), 1);
+        assert!(p.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!p.contains(Ipv4Addr::new(1, 2, 3, 5)));
+    }
+}

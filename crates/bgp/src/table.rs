@@ -1,0 +1,260 @@
+//! Simulated RouteViews tables.
+//!
+//! "We used the RouteViews data from the University of Oregon ... the
+//! union of many BGP backbone tables contributed by several dozen
+//! participating ASes" (Section III-C). We simulate such a snapshot from
+//! the ground truth's per-AS allocations: most allocations are advertised
+//! (sometimes as more-specifics), a small fraction is missing — which is
+//! exactly what produces the paper's 1.5–2.8% unmapped addresses.
+
+use crate::alloc::AsAllocation;
+use crate::prefix::{AsId, Ipv4Prefix};
+use crate::trie::PrefixTrie;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Configuration for synthesizing a route table from allocations.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RouteTableConfig {
+    /// Probability that an allocated prefix is advertised at all.
+    pub coverage: f64,
+    /// Probability an advertised prefix is announced as its two
+    /// more-specific halves instead of the aggregate (traffic
+    /// engineering; exercises genuine longest-prefix matching).
+    pub more_specific_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RouteTableConfig {
+    fn default() -> Self {
+        RouteTableConfig {
+            // Tuned so that 1.5–3% of assigned addresses end up unmapped,
+            // matching the paper's Mercator (2.8%) and Skitter (1.5%).
+            coverage: 0.98,
+            more_specific_prob: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// One advertised route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Advertised prefix.
+    pub prefix: Ipv4Prefix,
+    /// Originating AS.
+    pub origin: AsId,
+}
+
+/// A BGP routing-table snapshot supporting origin lookups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteTable {
+    entries: Vec<RouteEntry>,
+    trie: PrefixTrie<AsId>,
+}
+
+impl RouteTable {
+    /// Builds a table directly from explicit routes.
+    pub fn from_routes(routes: impl IntoIterator<Item = RouteEntry>) -> Self {
+        let mut entries = Vec::new();
+        let mut trie = PrefixTrie::new();
+        for r in routes {
+            trie.insert(r.prefix, r.origin);
+            entries.push(r);
+        }
+        RouteTable { entries, trie }
+    }
+
+    /// Synthesizes a RouteViews-like snapshot from per-AS allocations.
+    pub fn synthesize(allocations: &[AsAllocation], cfg: &RouteTableConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut routes = Vec::new();
+        for alloc in allocations {
+            for &prefix in &alloc.prefixes {
+                if rng.random::<f64>() >= cfg.coverage {
+                    continue; // not advertised: its addresses stay unmapped
+                }
+                if rng.random::<f64>() < cfg.more_specific_prob {
+                    if let Some((lo, hi)) = prefix.split() {
+                        routes.push(RouteEntry {
+                            prefix: lo,
+                            origin: alloc.asn,
+                        });
+                        routes.push(RouteEntry {
+                            prefix: hi,
+                            origin: alloc.asn,
+                        });
+                        continue;
+                    }
+                }
+                routes.push(RouteEntry {
+                    prefix,
+                    origin: alloc.asn,
+                });
+            }
+        }
+        Self::from_routes(routes)
+    }
+
+    /// Longest-prefix-match origin lookup. Returns the paper's sentinel
+    /// [`AsId::UNMAPPED`] when no advertised prefix covers `ip`.
+    pub fn origin(&self, ip: Ipv4Addr) -> AsId {
+        match self.trie.lookup(ip) {
+            Some((asn, _)) => *asn,
+            None => AsId::UNMAPPED,
+        }
+    }
+
+    /// Origin lookup with the matched prefix length.
+    pub fn origin_with_len(&self, ip: Ipv4Addr) -> Option<(AsId, u8)> {
+        self.trie.lookup(ip).map(|(a, l)| (*a, l))
+    }
+
+    /// All advertised routes.
+    pub fn entries(&self) -> &[RouteEntry] {
+        &self.entries
+    }
+
+    /// Number of advertised routes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::PrefixAllocator;
+
+    fn make_allocs(n: usize, per: u64) -> Vec<AsAllocation> {
+        let mut a = PrefixAllocator::new();
+        (0..n)
+            .map(|i| AsAllocation::for_as(&mut a, AsId(i as u32 + 1), per).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn full_coverage_maps_every_assigned_ip() {
+        let mut allocs = make_allocs(10, 500);
+        let table = RouteTable::synthesize(
+            &allocs,
+            &RouteTableConfig {
+                coverage: 1.0,
+                more_specific_prob: 0.3,
+                seed: 1,
+            },
+        );
+        for alloc in &mut allocs {
+            let asn = alloc.asn;
+            for _ in 0..50 {
+                let ip = alloc.next_ip().unwrap();
+                assert_eq!(table.origin(ip), asn, "ip {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coverage_maps_nothing() {
+        let allocs = make_allocs(5, 100);
+        let table = RouteTable::synthesize(
+            &allocs,
+            &RouteTableConfig {
+                coverage: 0.0,
+                more_specific_prob: 0.0,
+                seed: 2,
+            },
+        );
+        assert!(table.is_empty());
+        assert_eq!(table.origin("1.0.0.5".parse().unwrap()), AsId::UNMAPPED);
+    }
+
+    #[test]
+    fn partial_coverage_leaves_some_unmapped() {
+        let mut allocs = make_allocs(200, 200);
+        let table = RouteTable::synthesize(
+            &allocs,
+            &RouteTableConfig {
+                coverage: 0.9,
+                more_specific_prob: 0.2,
+                seed: 3,
+            },
+        );
+        let mut unmapped = 0;
+        let mut total = 0;
+        for alloc in &mut allocs {
+            for _ in 0..20 {
+                let ip = alloc.next_ip().unwrap();
+                total += 1;
+                if table.origin(ip).is_unmapped() {
+                    unmapped += 1;
+                }
+            }
+        }
+        let frac = unmapped as f64 / total as f64;
+        assert!(frac > 0.02 && frac < 0.25, "unmapped fraction {frac}");
+    }
+
+    #[test]
+    fn more_specifics_still_map_to_owner() {
+        let allocs = make_allocs(50, 1000);
+        let table = RouteTable::synthesize(
+            &allocs,
+            &RouteTableConfig {
+                coverage: 1.0,
+                more_specific_prob: 1.0,
+                seed: 4,
+            },
+        );
+        // Every advertised entry must be a /17..=/25 (split children).
+        for e in table.entries() {
+            assert!(e.prefix.len() >= 17, "{}", e.prefix);
+        }
+        let mut allocs = allocs;
+        for alloc in &mut allocs {
+            let asn = alloc.asn;
+            let ip = alloc.next_ip().unwrap();
+            assert_eq!(table.origin(ip), asn);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let allocs = make_allocs(20, 300);
+        let cfg = RouteTableConfig {
+            coverage: 0.9,
+            more_specific_prob: 0.5,
+            seed: 77,
+        };
+        let t1 = RouteTable::synthesize(&allocs, &cfg);
+        let t2 = RouteTable::synthesize(&allocs, &cfg);
+        assert_eq!(t1.entries(), t2.entries());
+    }
+
+    #[test]
+    fn from_routes_lookup() {
+        let table = RouteTable::from_routes([
+            RouteEntry {
+                prefix: "20.0.0.0/8".parse().unwrap(),
+                origin: AsId(10),
+            },
+            RouteEntry {
+                prefix: "20.5.0.0/16".parse().unwrap(),
+                origin: AsId(20),
+            },
+        ]);
+        assert_eq!(table.origin("20.5.1.1".parse().unwrap()), AsId(20));
+        assert_eq!(table.origin("20.6.1.1".parse().unwrap()), AsId(10));
+        assert_eq!(
+            table.origin_with_len("20.5.1.1".parse().unwrap()),
+            Some((AsId(20), 16))
+        );
+    }
+}

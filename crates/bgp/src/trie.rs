@@ -1,0 +1,209 @@
+//! Binary radix trie with longest-prefix matching.
+//!
+//! This is the lookup structure behind AS origination (Section III-C):
+//! for each interface IP we find the longest advertised prefix covering
+//! it. The trie stores one node per distinct bit-path; lookup walks at
+//! most 32 levels, remembering the deepest value seen.
+
+use crate::prefix::Ipv4Prefix;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Arena-allocated binary trie mapping [`Ipv4Prefix`] → `V`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node<V> {
+    children: [Option<u32>; 2],
+    value: Option<V>,
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            children: [None, None],
+            value: None,
+        }
+    }
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::default()],
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a prefix, returning the previous value if the prefix was
+    /// already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
+        let mut node = 0usize;
+        let bits = prefix.bits();
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(c) => c as usize,
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[node].children[bit] = Some(idx);
+                    idx as usize
+                }
+            };
+        }
+        let old = self.nodes[node].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the value of the most specific stored prefix
+    /// containing `ip`, with the matched prefix length.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<(&V, u8)> {
+        let bits = u32::from(ip);
+        let mut node = 0usize;
+        let mut best: Option<(&V, u8)> = self.nodes[0].value.as_ref().map(|v| (v, 0));
+        for depth in 0..32u8 {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(c) => {
+                    node = c as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some((v, depth + 1));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-match lookup of a stored prefix.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
+        let mut node = 0usize;
+        let bits = prefix.bits();
+        for depth in 0..prefix.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            node = self.nodes[node].children[bit]? as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("1.2.3.4")), None);
+    }
+
+    #[test]
+    fn basic_insert_and_lookup() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), 100u32);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip("10.200.3.4")), Some((&100, 8)));
+        assert_eq!(t.lookup(ip("11.0.0.0")), None);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), 1u32);
+        t.insert(pfx("10.1.0.0/16"), 2);
+        t.insert(pfx("10.1.2.0/24"), 3);
+        assert_eq!(t.lookup(ip("10.1.2.3")), Some((&3, 24)));
+        assert_eq!(t.lookup(ip("10.1.9.9")), Some((&2, 16)));
+        assert_eq!(t.lookup(ip("10.9.9.9")), Some((&1, 8)));
+    }
+
+    #[test]
+    fn insertion_order_irrelevant() {
+        let mut a = PrefixTrie::new();
+        a.insert(pfx("10.1.2.0/24"), 3u32);
+        a.insert(pfx("10.0.0.0/8"), 1);
+        a.insert(pfx("10.1.0.0/16"), 2);
+        assert_eq!(a.lookup(ip("10.1.2.200")), Some((&3, 24)));
+        assert_eq!(a.lookup(ip("10.2.0.1")), Some((&1, 8)));
+    }
+
+    #[test]
+    fn reinsert_replaces_value() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 1u32), None);
+        assert_eq!(t.insert(pfx("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip("10.0.0.1")), Some((&2, 8)));
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("0.0.0.0/0"), 99u32);
+        t.insert(pfx("8.8.0.0/16"), 1);
+        assert_eq!(t.lookup(ip("1.1.1.1")), Some((&99, 0)));
+        assert_eq!(t.lookup(ip("8.8.8.8")), Some((&1, 16)));
+    }
+
+    #[test]
+    fn host_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("1.2.3.4/32"), 7u32);
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some((&7, 32)));
+        assert_eq!(t.lookup(ip("1.2.3.5")), None);
+    }
+
+    #[test]
+    fn exact_get() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.1.0.0/16"), 5u32);
+        assert_eq!(t.get(&pfx("10.1.0.0/16")), Some(&5));
+        assert_eq!(t.get(&pfx("10.0.0.0/8")), None);
+        assert_eq!(t.get(&pfx("10.1.0.0/17")), None);
+    }
+
+    #[test]
+    fn adjacent_prefixes_do_not_leak() {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("192.168.0.0/24"), 1u32);
+        t.insert(pfx("192.168.1.0/24"), 2);
+        assert_eq!(t.lookup(ip("192.168.0.255")), Some((&1, 24)));
+        assert_eq!(t.lookup(ip("192.168.1.0")), Some((&2, 24)));
+        assert_eq!(t.lookup(ip("192.168.2.0")), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the radix trie must agree with a brute-force
+//! linear scan over prefixes, and allocation invariants must hold.
+
+use geotopo_bgp::{AsId, Ipv4Prefix, PrefixTrie};
+use geotopo_bgp::alloc::{AsAllocation, PrefixAllocator};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
+        Ipv4Prefix::containing(Ipv4Addr::from(bits), len).expect("len <= 32")
+    })
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_linear_scan(
+        prefixes in prop::collection::vec(arb_prefix(), 1..60),
+        probes in prop::collection::vec(any::<u32>(), 1..40)
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        for probe in probes {
+            let ip = Ipv4Addr::from(probe);
+            // Brute force: longest matching prefix; later insert wins ties
+            // (same prefix inserted twice keeps the last value).
+            let mut best: Option<(usize, u8)> = None;
+            for (i, p) in prefixes.iter().enumerate() {
+                if p.contains(ip) {
+                    match best {
+                        Some((_, l)) if l > p.len() => {}
+                        _ => best = Some((i, p.len())),
+                    }
+                }
+            }
+            let got = trie.lookup(ip).map(|(v, l)| (*v, l));
+            prop_assert_eq!(got, best, "ip {}", ip);
+        }
+    }
+
+    #[test]
+    fn prefix_contains_consistent_with_nth(p in arb_prefix(), i in any::<u64>()) {
+        if let Some(ip) = p.nth(i % p.size()) {
+            prop_assert!(p.contains(ip));
+        }
+    }
+
+    #[test]
+    fn prefix_roundtrip_display_parse(p in arb_prefix()) {
+        let s = p.to_string();
+        let q: Ipv4Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn split_children_partition(p in arb_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.covers(&lo) && p.covers(&hi));
+            prop_assert_eq!(lo.size() + hi.size(), p.size());
+            prop_assert!(!lo.covers(&hi) && !hi.covers(&lo));
+        }
+    }
+
+    #[test]
+    fn allocations_for_distinct_ases_are_disjoint(sizes in prop::collection::vec(10u64..5000, 2..15)) {
+        let mut a = PrefixAllocator::new();
+        let allocs: Vec<AsAllocation> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| AsAllocation::for_as(&mut a, AsId(i as u32 + 1), s).unwrap())
+            .collect();
+        for i in 0..allocs.len() {
+            for j in (i + 1)..allocs.len() {
+                for p in &allocs[i].prefixes {
+                    for q in &allocs[j].prefixes {
+                        prop_assert!(!p.covers(q) && !q.covers(p), "{p} overlaps {q}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 1: dot maps of mapped nodes, rendered as ASCII density.
+//!
+//! The paper's Figure 1 shows the IxMapper-mapped Skitter interfaces in
+//! the three study regions. We render each region as a character grid
+//! where darker glyphs mean more nodes per cell.
+
+use crate::pipeline::GeoDataset;
+use geotopo_geo::{PatchGrid, Region};
+
+/// Density glyph ramp, lightest to darkest.
+const RAMP: &[char] = &[' ', '.', ':', '+', '*', '#', '@'];
+
+/// Renders a region's node density as an ASCII map of roughly
+/// `width` × `width/2` characters.
+pub fn render_region(dataset: &GeoDataset, region: &Region, width: usize) -> String {
+    let width = width.clamp(10, 300);
+    let arcmin = region.lon_span() * 60.0 / width as f64;
+    let grid = match PatchGrid::new(region.clone(), arcmin) {
+        Ok(g) => g,
+        Err(_) => return String::from("(empty region)\n"),
+    };
+    let counts = grid.tally(
+        dataset
+            .nodes
+            .iter()
+            .map(|n| n.location)
+            .filter(|p| region.contains(p)),
+    );
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mut out = String::with_capacity((grid.cols() + 1) * grid.rows());
+    out.push_str(&format!(
+        "{} — {} nodes, {}x{} cells, max {} per cell\n",
+        region.name,
+        counts.iter().sum::<u64>(),
+        grid.cols(),
+        grid.rows(),
+        max
+    ));
+    // Render north at the top: iterate rows in reverse.
+    for row in (0..grid.rows()).rev() {
+        for col in 0..grid.cols() {
+            let c = counts[row * grid.cols() + col];
+            let glyph = if max == 0 || c == 0 {
+                RAMP[0]
+            } else {
+                // Log scaling keeps sparse cells visible.
+                let level = ((c as f64).ln_1p() / (max as f64).ln_1p()
+                    * (RAMP.len() - 1) as f64)
+                    .ceil() as usize;
+                RAMP[level.clamp(1, RAMP.len() - 1)]
+            };
+            out.push(glyph);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::GeoNode;
+    use geotopo_bgp::AsId;
+    use geotopo_geo::{GeoPoint, RegionSet};
+    use geotopo_measure::NodeKind;
+
+    fn dataset(locs: &[(f64, f64)]) -> GeoDataset {
+        GeoDataset {
+            kind: NodeKind::Interface,
+            nodes: locs
+                .iter()
+                .enumerate()
+                .map(|(i, &(lat, lon))| GeoNode {
+                    ip: std::net::Ipv4Addr::from(i as u32),
+                    location: GeoPoint::new(lat, lon).unwrap(),
+                    asn: AsId(1),
+                })
+                .collect(),
+            links: vec![],
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let d = dataset(&[(40.0, -100.0), (40.0, -100.0), (34.0, -118.0)]);
+        let map = render_region(&d, &RegionSet::us(), 80);
+        let lines: Vec<&str> = map.lines().collect();
+        assert!(lines.len() > 5);
+        assert!(lines[1].len() <= 82);
+        assert!(map.contains("3 nodes"));
+    }
+
+    #[test]
+    fn empty_dataset_renders_blank_map() {
+        let d = dataset(&[]);
+        let map = render_region(&d, &RegionSet::japan(), 40);
+        assert!(map.contains("0 nodes"));
+        // Only spaces in the body.
+        for line in map.lines().skip(1) {
+            assert!(line.chars().all(|c| c == ' '));
+        }
+    }
+
+    #[test]
+    fn denser_cells_get_darker_glyphs() {
+        let mut locs = vec![(34.0, -118.0)];
+        for _ in 0..500 {
+            locs.push((40.0, -100.0));
+        }
+        let d = dataset(&locs);
+        let map = render_region(&d, &RegionSet::us(), 60);
+        assert!(map.contains('@'), "no dark glyph: {map}");
+        assert!(map.contains('.') || map.contains(':'), "no light glyph");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let d = dataset(&[(40.0, -100.0)]);
+        let map = render_region(&d, &RegionSet::us(), 5);
+        assert!(map.lines().nth(1).unwrap().len() >= 10);
+    }
+}

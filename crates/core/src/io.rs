@@ -1,0 +1,165 @@
+//! Dataset persistence.
+//!
+//! Processed datasets (the geolocated, AS-labelled graphs of Table I)
+//! serialize to JSON, so an expensive pipeline run can be archived and
+//! re-analysed without regenerating the world — the synthetic analogue
+//! of keeping the paper's "snapshots".
+
+use crate::pipeline::{GeoDataset, ProcessedDataset};
+use std::path::Path;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Fs(std::io::Error),
+    /// (De)serialization failure.
+    Serde(serde_json::Error),
+    /// The loaded dataset fails validation (e.g. link endpoints out of
+    /// range).
+    Invalid(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "filesystem: {e}"),
+            IoError::Serde(e) => write!(f, "serialization: {e}"),
+            IoError::Invalid(m) => write!(f, "invalid dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Serde(e)
+    }
+}
+
+/// Saves a processed dataset as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_dataset(ds: &ProcessedDataset, path: &Path) -> Result<(), IoError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(ds)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads and validates a processed dataset.
+///
+/// # Errors
+///
+/// Fails on filesystem/serde errors or if any link references a missing
+/// node.
+pub fn load_dataset(path: &Path) -> Result<ProcessedDataset, IoError> {
+    let text = std::fs::read_to_string(path)?;
+    let ds: ProcessedDataset = serde_json::from_str(&text)?;
+    validate(&ds.dataset)?;
+    Ok(ds)
+}
+
+fn validate(ds: &GeoDataset) -> Result<(), IoError> {
+    let n = ds.nodes.len() as u32;
+    for &(a, b) in &ds.links {
+        if a >= n || b >= n {
+            return Err(IoError::Invalid(format!(
+                "link ({a}, {b}) out of range for {n} nodes"
+            )));
+        }
+        if a == b {
+            return Err(IoError::Invalid(format!("self-loop at node {a}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Collector, GeoNode, MapperKind};
+    use geotopo_bgp::AsId;
+    use geotopo_geo::GeoPoint;
+    use geotopo_measure::NodeKind;
+
+    fn sample() -> ProcessedDataset {
+        ProcessedDataset {
+            collector: Collector::Skitter,
+            mapper: MapperKind::IxMapper,
+            dataset: GeoDataset {
+                kind: NodeKind::Interface,
+                nodes: vec![
+                    GeoNode {
+                        ip: "1.0.0.1".parse().unwrap(),
+                        location: GeoPoint::new(40.0, -100.0).unwrap(),
+                        asn: AsId(7),
+                    },
+                    GeoNode {
+                        ip: "1.0.0.2".parse().unwrap(),
+                        location: GeoPoint::new(41.0, -101.0).unwrap(),
+                        asn: AsId(7),
+                    },
+                ],
+                links: vec![(0, 1)],
+                stats: Default::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("geotopo_io_test");
+        let path = dir.join("ds.json");
+        let ds = sample();
+        save_dataset(&ds, &path).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.collector, Collector::Skitter);
+        assert_eq!(loaded.mapper, MapperKind::IxMapper);
+        assert_eq!(loaded.dataset.num_nodes(), 2);
+        assert_eq!(loaded.dataset.num_links(), 1);
+        assert_eq!(loaded.dataset.nodes[0].ip, ds.dataset.nodes[0].ip);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = load_dataset(Path::new("/nonexistent/geotopo.json")).unwrap_err();
+        assert!(matches!(err, IoError::Fs(_)));
+    }
+
+    #[test]
+    fn corrupt_json_errors() {
+        let dir = std::env::temp_dir().join("geotopo_io_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(load_dataset(&path).unwrap_err(), IoError::Serde(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_range_link_rejected() {
+        let dir = std::env::temp_dir().join("geotopo_io_test3");
+        let path = dir.join("ds.json");
+        let mut ds = sample();
+        ds.dataset.links.push((0, 99));
+        save_dataset(&ds, &path).unwrap();
+        assert!(matches!(
+            load_dataset(&path).unwrap_err(),
+            IoError::Invalid(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

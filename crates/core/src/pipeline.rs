@@ -1,0 +1,519 @@
+//! End-to-end dataset production.
+//!
+//! Section III in code: two topology snapshots (Skitter interfaces,
+//! Mercator routers), two geographic mappings (IxMapper, EdgeScape), and
+//! BGP-table AS origination, yielding the four processed datasets of
+//! Table I. Processing mirrors the paper's discard rules:
+//!
+//! - nodes the mapping tool cannot locate are discarded;
+//! - for Mercator routers, the location is the one "most commonly
+//!   reported across all its interfaces", and routers with ties are
+//!   discarded (paper: 2.9% IxMapper / 2.5% EdgeScape);
+//! - unmapped-AS nodes are kept but grouped under [`AsId::UNMAPPED`],
+//!   which Section VI omits.
+
+use geotopo_bgp::{AsId, RouteTable, RouteTableConfig};
+use geotopo_geo::GeoPoint;
+use geotopo_geomap::{EdgeScape, GeoMapper, IxMapper, MapContext, OrgDb};
+use geotopo_measure::{
+    Mercator, MercatorConfig, MeasuredDataset, NodeKind, Skitter, SkitterConfig,
+};
+use geotopo_topology::generate::{GroundTruth, GroundTruthConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Which collector produced a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collector {
+    /// Single-source router-level map (1999-style snapshot).
+    Mercator,
+    /// Multi-monitor interface-level map (2001/2002-style snapshot).
+    Skitter,
+}
+
+impl std::fmt::Display for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Collector::Mercator => write!(f, "Mercator"),
+            Collector::Skitter => write!(f, "Skitter"),
+        }
+    }
+}
+
+/// Which mapping tool located a dataset's nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapperKind {
+    /// Hostname/LOC/whois tool.
+    IxMapper,
+    /// ISP-feed tool.
+    EdgeScape,
+}
+
+impl std::fmt::Display for MapperKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapperKind::IxMapper => write!(f, "IxMapper"),
+            MapperKind::EdgeScape => write!(f, "EdgeScape"),
+        }
+    }
+}
+
+/// A geolocated, AS-labelled node.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GeoNode {
+    /// Canonical address.
+    pub ip: Ipv4Addr,
+    /// Mapped location.
+    pub location: GeoPoint,
+    /// Origin AS ([`AsId::UNMAPPED`] when no advertised prefix matched).
+    pub asn: AsId,
+}
+
+/// Per-dataset processing counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ProcessingStats {
+    /// Nodes the mapper could not locate (discarded).
+    pub unmapped_location: usize,
+    /// Mercator routers with location ties (discarded).
+    pub location_ties: usize,
+    /// Nodes with no matching BGP prefix (kept, AS 0).
+    pub unmapped_as: usize,
+    /// Links dropped because an endpoint was discarded.
+    pub dropped_links: usize,
+}
+
+/// A processed (geolocated, AS-labelled) measured graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeoDataset {
+    /// Node semantics (interfaces vs routers).
+    pub kind: NodeKind,
+    /// Nodes with locations and AS labels.
+    pub nodes: Vec<GeoNode>,
+    /// Undirected links between node indices.
+    pub links: Vec<(u32, u32)>,
+    /// Processing counters.
+    pub stats: ProcessingStats,
+}
+
+impl GeoDataset {
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Link count.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of distinct mapped locations (Table I's "No. of
+    /// Locations").
+    pub fn num_locations(&self) -> usize {
+        let mut set: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+        for n in &self.nodes {
+            set.insert(location_key(&n.location));
+        }
+        set.len()
+    }
+
+    /// Length of a link in miles.
+    pub fn link_length_miles(&self, link: (u32, u32)) -> f64 {
+        geotopo_geo::haversine_miles(
+            &self.nodes[link.0 as usize].location,
+            &self.nodes[link.1 as usize].location,
+        )
+    }
+}
+
+/// Quantizes a location for distinct-location counting (1e-4 degrees,
+/// ~11 m — far below city granularity).
+pub(crate) fn location_key(p: &GeoPoint) -> (u64, u64) {
+    (
+        ((p.lat() + 90.0) * 1e4).round() as u64,
+        ((p.lon() + 180.0) * 1e4).round() as u64,
+    )
+}
+
+/// One processed dataset with its provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessedDataset {
+    /// The collector that measured it.
+    pub collector: Collector,
+    /// The tool that mapped it.
+    pub mapper: MapperKind,
+    /// The processed graph.
+    pub dataset: GeoDataset,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Ground-truth world configuration.
+    pub world: GroundTruthConfig,
+    /// Skitter collection parameters (`None` = scaled defaults).
+    pub skitter: Option<SkitterConfig>,
+    /// Mercator collection parameters (`None` = scaled defaults).
+    pub mercator: Option<MercatorConfig>,
+    /// BGP table synthesis parameters.
+    pub route_table: RouteTableConfig,
+    /// Mapper tool seeds.
+    pub mapper_seed: u64,
+}
+
+impl PipelineConfig {
+    /// A tiny, seconds-fast configuration for tests and doctests.
+    pub fn tiny(seed: u64) -> Self {
+        PipelineConfig {
+            world: GroundTruthConfig::tiny(seed),
+            skitter: None,
+            mercator: None,
+            route_table: RouteTableConfig {
+                seed,
+                ..RouteTableConfig::default()
+            },
+            mapper_seed: seed ^ 0xFEED,
+        }
+    }
+
+    /// A small configuration for integration tests and quick examples.
+    pub fn small(seed: u64) -> Self {
+        PipelineConfig {
+            world: GroundTruthConfig::small(seed),
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// The default experiment scale (~25k routers; the full paper run).
+    pub fn default_scale(seed: u64) -> Self {
+        PipelineConfig {
+            world: GroundTruthConfig::default_scale(seed),
+            ..Self::tiny(seed)
+        }
+    }
+}
+
+/// Pipeline errors.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// World generation failed.
+    GroundTruth(geotopo_topology::generate::ground_truth::GroundTruthError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::GroundTruth(e) => write!(f, "ground truth generation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The full pipeline output.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The ground-truth world (available for validation experiments; the
+    /// paper's analyses only look at `datasets`).
+    pub ground_truth: GroundTruth,
+    /// The synthesized RouteViews snapshot.
+    pub route_table: RouteTable,
+    /// The four processed datasets, ordered as Table I:
+    /// (IxMapper, Mercator), (IxMapper, Skitter), (EdgeScape, Mercator),
+    /// (EdgeScape, Skitter).
+    pub datasets: Vec<ProcessedDataset>,
+}
+
+impl PipelineOutput {
+    /// Fetches a processed dataset by provenance.
+    pub fn dataset(&self, mapper: MapperKind, collector: Collector) -> &ProcessedDataset {
+        self.datasets
+            .iter()
+            .find(|d| d.mapper == mapper && d.collector == collector)
+            .expect("all four combinations are always produced")
+    }
+}
+
+/// The end-to-end pipeline.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// Runs everything: world → collection → mapping → AS origination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates world-generation failures.
+    pub fn run(self) -> Result<PipelineOutput, PipelineError> {
+        let cfg = self.config;
+        let gt = GroundTruth::generate(cfg.world.clone()).map_err(PipelineError::GroundTruth)?;
+
+        // BGP snapshot.
+        let route_table = RouteTable::synthesize(&gt.allocations, &cfg.route_table);
+
+        // Whois registry from ground-truth AS records.
+        let mut orgs = OrgDb::new();
+        for rec in &gt.as_records {
+            let name = gt
+                .as_names
+                .get(&rec.asn)
+                .cloned()
+                .unwrap_or_else(|| format!("as{}", rec.asn.0));
+            orgs.insert(rec.asn, name, rec.home);
+        }
+
+        // Collections.
+        let skitter_cfg = cfg
+            .skitter
+            .unwrap_or_else(|| SkitterConfig::scaled(&gt, cfg.world.seed ^ 0x51));
+        let mercator_cfg = cfg
+            .mercator
+            .unwrap_or_else(|| MercatorConfig::scaled(&gt, cfg.world.seed ^ 0x3E));
+        let skitter = Skitter::collect(&gt, &skitter_cfg);
+        let mercator = Mercator::collect(&gt, &mercator_cfg);
+
+        // Mapping tools over a population-densified gazetteer: real
+        // hostname conventions name thousands of towns, so the curated
+        // hub-city core is extended with one synthetic town per populated
+        // raster cell — giving the city-granularity mapping error the
+        // paper's tools exhibit.
+        let mut gazetteer = geotopo_geomap::Gazetteer::builtin();
+        for i in 0..gt.config.regions.len() {
+            let grid = gt.population_grid(i).map_err(PipelineError::GroundTruth)?;
+            gazetteer.extend_from_population(&grid, 8_000.0);
+        }
+        let ixmapper = IxMapper::with_gazetteer(cfg.mapper_seed, orgs.clone(), gazetteer.clone());
+        let edgescape = EdgeScape::with_gazetteer(cfg.mapper_seed ^ 0x77, orgs, gazetteer);
+
+        let mut datasets = Vec::with_capacity(4);
+        for (mapper_kind, mapper) in [
+            (MapperKind::IxMapper, &ixmapper as &dyn GeoMapper),
+            (MapperKind::EdgeScape, &edgescape as &dyn GeoMapper),
+        ] {
+            for (collector, measured) in [
+                (Collector::Mercator, &mercator.dataset),
+                (Collector::Skitter, &skitter.dataset),
+            ] {
+                let dataset = process(measured, mapper, &route_table, &gt);
+                datasets.push(ProcessedDataset {
+                    collector,
+                    mapper: mapper_kind,
+                    dataset,
+                });
+            }
+        }
+
+        Ok(PipelineOutput {
+            ground_truth: gt,
+            route_table,
+            datasets,
+        })
+    }
+}
+
+/// Applies geographic mapping and AS origination to a measured dataset.
+pub fn process(
+    measured: &MeasuredDataset,
+    mapper: &dyn GeoMapper,
+    route_table: &RouteTable,
+    gt: &GroundTruth,
+) -> GeoDataset {
+    let mut stats = ProcessingStats::default();
+    let mut nodes: Vec<Option<GeoNode>> = Vec::with_capacity(measured.num_nodes());
+
+    for node in measured.nodes() {
+        let addrs: &[Ipv4Addr] = if node.aliases.is_empty() {
+            std::slice::from_ref(&node.ip)
+        } else {
+            &node.aliases
+        };
+
+        // Geographic mapping: per-interface, then majority for routers.
+        let mut votes: HashMap<(u64, u64), (GeoPoint, usize)> = HashMap::new();
+        for &ip in addrs {
+            let Some(truth) = interface_truth(gt, ip) else {
+                continue;
+            };
+            if let Some(loc) = mapper.map(ip, &truth) {
+                votes
+                    .entry(location_key(&loc))
+                    .and_modify(|e| e.1 += 1)
+                    .or_insert((loc, 1));
+            }
+        }
+        let location = match majority(&votes) {
+            MajorityResult::Winner(loc) => Some(loc),
+            MajorityResult::Tie => {
+                stats.location_ties += 1;
+                None
+            }
+            MajorityResult::Empty => {
+                stats.unmapped_location += 1;
+                None
+            }
+        };
+
+        // AS origination: longest-prefix match, majority across aliases.
+        let mut as_votes: HashMap<AsId, usize> = HashMap::new();
+        for &ip in addrs {
+            let asn = route_table.origin(ip);
+            if !asn.is_unmapped() {
+                *as_votes.entry(asn).or_insert(0) += 1;
+            }
+        }
+        let asn = as_votes
+            .iter()
+            .max_by_key(|(asid, &c)| (c, std::cmp::Reverse(asid.0)))
+            .map(|(&a, _)| a)
+            .unwrap_or(AsId::UNMAPPED);
+        if asn.is_unmapped() {
+            stats.unmapped_as += 1;
+        }
+
+        nodes.push(location.map(|location| GeoNode {
+            ip: node.ip,
+            location,
+            asn,
+        }));
+    }
+
+    // Compact: drop unlocated nodes and their links.
+    let mut remap: Vec<Option<u32>> = vec![None; nodes.len()];
+    let mut kept: Vec<GeoNode> = Vec::with_capacity(nodes.len());
+    for (i, n) in nodes.into_iter().enumerate() {
+        if let Some(n) = n {
+            remap[i] = Some(kept.len() as u32);
+            kept.push(n);
+        }
+    }
+    let mut links = Vec::with_capacity(measured.num_links());
+    for &(a, b) in measured.links() {
+        match (remap[a as usize], remap[b as usize]) {
+            (Some(na), Some(nb)) => links.push((na, nb)),
+            _ => stats.dropped_links += 1,
+        }
+    }
+
+    GeoDataset {
+        kind: measured.kind,
+        nodes: kept,
+        links,
+        stats,
+    }
+}
+
+/// The ground-truth context a mapper needs for one address.
+fn interface_truth(gt: &GroundTruth, ip: Ipv4Addr) -> Option<MapContext> {
+    let router = gt.topology.router_by_ip(ip)?;
+    let r = gt.topology.router(router);
+    Some(MapContext {
+        true_location: r.location,
+        asn: r.asn,
+    })
+}
+
+enum MajorityResult {
+    Winner(GeoPoint),
+    Tie,
+    Empty,
+}
+
+fn majority(votes: &HashMap<(u64, u64), (GeoPoint, usize)>) -> MajorityResult {
+    if votes.is_empty() {
+        return MajorityResult::Empty;
+    }
+    let max = votes.values().map(|(_, c)| *c).max().expect("non-empty");
+    let mut leaders: Vec<&(GeoPoint, usize)> = votes.values().filter(|(_, c)| *c == max).collect();
+    if leaders.len() > 1 {
+        return MajorityResult::Tie;
+    }
+    MajorityResult::Winner(leaders.pop().expect("exactly one").0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output() -> PipelineOutput {
+        Pipeline::new(PipelineConfig::tiny(5)).run().unwrap()
+    }
+
+    #[test]
+    fn produces_all_four_datasets() {
+        let out = output();
+        assert_eq!(out.datasets.len(), 4);
+        for mapper in [MapperKind::IxMapper, MapperKind::EdgeScape] {
+            for collector in [Collector::Mercator, Collector::Skitter] {
+                let d = out.dataset(mapper, collector);
+                assert!(d.dataset.num_nodes() > 50, "{mapper} {collector} empty");
+                assert!(d.dataset.num_links() > 50);
+            }
+        }
+    }
+
+    #[test]
+    fn skitter_is_interface_level_and_larger() {
+        let out = output();
+        let sk = out.dataset(MapperKind::IxMapper, Collector::Skitter);
+        let me = out.dataset(MapperKind::IxMapper, Collector::Mercator);
+        assert_eq!(sk.dataset.kind, NodeKind::Interface);
+        assert_eq!(me.dataset.kind, NodeKind::Router);
+        assert!(
+            sk.dataset.num_nodes() > me.dataset.num_nodes(),
+            "skitter {} <= mercator {}",
+            sk.dataset.num_nodes(),
+            me.dataset.num_nodes()
+        );
+    }
+
+    #[test]
+    fn discard_rates_are_small() {
+        let out = output();
+        for d in &out.datasets {
+            let total = d.dataset.num_nodes()
+                + d.dataset.stats.unmapped_location
+                + d.dataset.stats.location_ties;
+            let unmapped_frac = d.dataset.stats.unmapped_location as f64 / total as f64;
+            assert!(
+                unmapped_frac < 0.06,
+                "{} {}: unmapped {unmapped_frac}",
+                d.mapper,
+                d.collector
+            );
+            let as_unmapped_frac = d.dataset.stats.unmapped_as as f64 / total as f64;
+            assert!(as_unmapped_frac < 0.10, "AS-unmapped {as_unmapped_frac}");
+        }
+    }
+
+    #[test]
+    fn mercator_has_location_ties_skitter_does_not() {
+        let out = output();
+        let sk = out.dataset(MapperKind::IxMapper, Collector::Skitter);
+        // Interfaces have exactly one address: no ties possible.
+        assert_eq!(sk.dataset.stats.location_ties, 0);
+    }
+
+    #[test]
+    fn locations_count_is_plausible() {
+        let out = output();
+        for d in &out.datasets {
+            let locs = d.dataset.num_locations();
+            assert!(locs >= 10, "{} {}: only {locs} locations", d.mapper, d.collector);
+            assert!(locs < d.dataset.num_nodes());
+        }
+    }
+
+    #[test]
+    fn most_nodes_get_an_as_label() {
+        let out = output();
+        let d = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+        let labelled = d.nodes.iter().filter(|n| !n.asn.is_unmapped()).count();
+        assert!(labelled as f64 / d.num_nodes() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,247 @@
+//! Report rendering: text tables and figure data.
+//!
+//! Every experiment produces (a) a human-readable text block that mirrors
+//! the paper's table/figure and (b) a JSON value with the raw series, so
+//! external tooling can re-plot the figures.
+
+use geotopo_stats::LinearFit;
+use serde::{Deserialize, Serialize};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextTable {
+    /// Table title.
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON form: `{title, headers, rows}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+        })
+    }
+}
+
+/// One data series of a figure panel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One panel of a figure (the paper's figures are grids of panels).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel label, e.g. "US, Mercator".
+    pub label: String,
+    /// Data series.
+    pub series: Vec<Series>,
+    /// Optional fitted line (annotated like the paper's `y = 1.20x-4.82`).
+    pub fit: Option<LinearFit>,
+    /// Axis description, e.g. "log10(pop) vs log10(count)".
+    pub axes: String,
+}
+
+/// A figure: panels plus identification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Paper figure id, e.g. "Figure 2".
+    pub id: String,
+    /// Title.
+    pub title: String,
+    /// Panels.
+    pub panels: Vec<Panel>,
+}
+
+impl FigureData {
+    /// Renders a text summary: per panel, the point count, x/y ranges and
+    /// the fit annotation.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} — {}\n", self.id, self.title);
+        for p in &self.panels {
+            out.push_str(&format!("  [{}] ({})\n", p.label, p.axes));
+            for s in &p.series {
+                let (mut xmin, mut xmax, mut ymin, mut ymax) =
+                    (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+                for &(x, y) in &s.points {
+                    xmin = xmin.min(x);
+                    xmax = xmax.max(x);
+                    ymin = ymin.min(y);
+                    ymax = ymax.max(y);
+                }
+                if s.points.is_empty() {
+                    out.push_str(&format!("    {}: (no points)\n", s.label));
+                } else {
+                    out.push_str(&format!(
+                        "    {}: {} pts, x ∈ [{:.3}, {:.3}], y ∈ [{:.3e}, {:.3e}]\n",
+                        s.label,
+                        s.points.len(),
+                        xmin,
+                        xmax,
+                        ymin,
+                        ymax
+                    ));
+                }
+            }
+            if let Some(fit) = &p.fit {
+                out.push_str(&format!(
+                    "    fit: {} (r² = {:.3}, n = {})\n",
+                    fit.equation(),
+                    fit.r2,
+                    fit.n
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON form with full point data.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("figure data serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["Region", "Count"]);
+        t.row(&["US".into(), "1234".into()]);
+        t.row(&["Europe".into(), "56".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("Region") && lines[1].contains("Count"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("T", &["A", "B", "C"]);
+        t.row(&["x".into()]);
+        let s = t.render();
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn table_json_shape() {
+        let mut t = TextTable::new("T", &["A"]);
+        t.row(&["1".into()]);
+        let j = t.to_json();
+        assert_eq!(j["headers"][0], "A");
+        assert_eq!(j["rows"][0][0], "1");
+    }
+
+    #[test]
+    fn figure_renders_fit_and_ranges() {
+        let fig = FigureData {
+            id: "Figure 2".into(),
+            title: "Density vs density".into(),
+            panels: vec![Panel {
+                label: "US".into(),
+                series: vec![Series {
+                    label: "patches".into(),
+                    points: vec![(1.0, 2.0), (3.0, 4.0)],
+                }],
+                fit: Some(LinearFit {
+                    slope: 1.2,
+                    intercept: -4.8,
+                    r2: 0.9,
+                    slope_stderr: 0.05,
+                    n: 2,
+                }),
+                axes: "log-log".into(),
+            }],
+        };
+        let s = fig.render();
+        assert!(s.contains("Figure 2"));
+        assert!(s.contains("y = 1.200x-4.800"));
+        assert!(s.contains("2 pts"));
+        let j = fig.to_json();
+        assert_eq!(j["panels"][0]["series"][0]["points"][0][0], 1.0);
+    }
+
+    #[test]
+    fn empty_series_reported() {
+        let fig = FigureData {
+            id: "F".into(),
+            title: "t".into(),
+            panels: vec![Panel {
+                label: "p".into(),
+                series: vec![Series {
+                    label: "s".into(),
+                    points: vec![],
+                }],
+                fit: None,
+                axes: "".into(),
+            }],
+        };
+        assert!(fig.render().contains("no points"));
+    }
+}

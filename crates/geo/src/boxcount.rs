@@ -1,0 +1,161 @@
+//! Box-counting fractal dimension.
+//!
+//! Section II: the paper confirms (via the box-counting method) the
+//! ~1.5 fractal dimension of router locations reported by Yook, Jeong
+//! and Barabási. The box-counting dimension of a point set is the slope
+//! of log N(ε) vs log(1/ε), where N(ε) is the number of ε-sized boxes
+//! occupied by at least one point.
+
+use crate::coords::GeoPoint;
+use crate::grid::PatchGrid;
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Result of a box-counting dimension estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoxCountResult {
+    /// Box edge sizes used, in arc-minutes.
+    pub scales_arcmin: Vec<f64>,
+    /// Occupied-box counts N(ε) per scale.
+    pub occupied: Vec<usize>,
+    /// Estimated dimension: slope of log N vs log(1/ε).
+    pub dimension: f64,
+}
+
+/// Estimates the box-counting dimension of `points` within `region`.
+///
+/// `scales_arcmin` lists the box edge lengths (arc-minutes) to test, e.g.
+/// a dyadic ladder `[600, 300, 150, 75, 37.5]`. At least two scales with
+/// a non-zero occupied count are required to fit a slope.
+///
+/// Returns `None` if fewer than two usable scales remain (e.g. no points
+/// fall inside the region).
+pub fn box_counting_dimension(
+    region: &Region,
+    points: &[GeoPoint],
+    scales_arcmin: &[f64],
+) -> Option<BoxCountResult> {
+    let mut scales = Vec::new();
+    let mut occupied = Vec::new();
+    for &scale in scales_arcmin {
+        let grid = PatchGrid::new(region.clone(), scale).ok()?;
+        let mut seen = HashSet::new();
+        for p in points {
+            if let Some(cell) = grid.cell_of(p) {
+                seen.insert(grid.flat_index(cell));
+            }
+        }
+        if !seen.is_empty() {
+            scales.push(scale);
+            occupied.push(seen.len());
+        }
+    }
+    if scales.len() < 2 {
+        return None;
+    }
+    // Fit log N = D log(1/eps) + c by least squares.
+    let xs: Vec<f64> = scales.iter().map(|s| (1.0 / s).ln()).collect();
+    let ys: Vec<f64> = occupied.iter().map(|&n| (n as f64).ln()).collect();
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    Some(BoxCountResult {
+        scales_arcmin: scales,
+        occupied,
+        dimension: sxy / sxx,
+    })
+}
+
+/// The dyadic ladder of box sizes we use by default (arc-minutes).
+pub fn default_scales() -> Vec<f64> {
+    vec![600.0, 300.0, 150.0, 75.0, 37.5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionSet;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn empty_points_returns_none() {
+        let r = RegionSet::us();
+        assert!(box_counting_dimension(&r, &[], &default_scales()).is_none());
+    }
+
+    #[test]
+    fn single_point_has_dimension_zero() {
+        let r = RegionSet::us();
+        let res = box_counting_dimension(&r, &[p(40.0, -100.0)], &default_scales()).unwrap();
+        assert!(res.dimension.abs() < 1e-9, "dim {}", res.dimension);
+        assert!(res.occupied.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn space_filling_set_has_dimension_near_two() {
+        // A dense uniform lattice over the region is 2-dimensional.
+        let r = RegionSet::us();
+        let mut pts = Vec::new();
+        let mut lat = 25.05;
+        while lat < 50.0 {
+            let mut lon = -149.95;
+            while lon < -45.0 {
+                pts.push(p(lat, lon));
+                lon += 0.2;
+            }
+            lat += 0.2;
+        }
+        let res = box_counting_dimension(&r, &pts, &default_scales()).unwrap();
+        assert!(
+            (res.dimension - 2.0).abs() < 0.15,
+            "dim {} counts {:?}",
+            res.dimension,
+            res.occupied
+        );
+    }
+
+    #[test]
+    fn line_set_has_dimension_near_one() {
+        // Points along a diagonal line are 1-dimensional.
+        let r = RegionSet::us();
+        let pts: Vec<_> = (0..8000)
+            .map(|i| {
+                let t = i as f64 / 8000.0;
+                p(25.0 + 24.9 * t, -150.0 + 104.0 * t)
+            })
+            .collect();
+        let res = box_counting_dimension(&r, &pts, &default_scales()).unwrap();
+        assert!(
+            (res.dimension - 1.0).abs() < 0.2,
+            "dim {} counts {:?}",
+            res.dimension,
+            res.occupied
+        );
+    }
+
+    #[test]
+    fn occupied_counts_monotone_in_scale() {
+        // Smaller boxes can only split occupancy, never merge it.
+        let r = RegionSet::us();
+        let pts: Vec<_> = (0..500)
+            .map(|i| p(25.5 + (i % 23) as f64, -149.0 + (i % 97) as f64))
+            .collect();
+        let res = box_counting_dimension(&r, &pts, &default_scales()).unwrap();
+        for w in res.occupied.windows(2) {
+            assert!(w[0] <= w[1], "counts not monotone: {:?}", res.occupied);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Geographic coordinates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the Earth's surface, in degrees.
+///
+/// Latitude is in `[-90, +90]` (positive north), longitude in
+/// `(-180, +180]` (positive east). Constructors validate and normalize;
+/// a `GeoPoint` that exists is always in canonical range, so downstream
+/// code (projection, distance, gridding) never has to re-check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat: f64,
+    lon: f64,
+}
+
+/// Error returned when constructing a [`GeoPoint`] from invalid input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// Latitude outside `[-90, +90]` or not finite.
+    BadLatitude,
+    /// Longitude not finite.
+    BadLongitude,
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::BadLatitude => write!(f, "latitude must be finite and in [-90, 90]"),
+            CoordError::BadLongitude => write!(f, "longitude must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl GeoPoint {
+    /// Creates a point, validating latitude and wrapping longitude into
+    /// `(-180, 180]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoordError`] if either component is non-finite or the
+    /// latitude is out of range.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, CoordError> {
+        if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
+            return Err(CoordError::BadLatitude);
+        }
+        if !lon.is_finite() {
+            return Err(CoordError::BadLongitude);
+        }
+        Ok(GeoPoint {
+            lat,
+            lon: wrap_longitude(lon),
+        })
+    }
+
+    /// Creates a point without validation in debug-checked fashion.
+    ///
+    /// Intended for literals known to be valid (gazetteer entries, region
+    /// corners). Panics in debug builds on invalid input; in release
+    /// builds the value is clamped/wrapped instead of panicking.
+    pub fn new_unchecked(lat: f64, lon: f64) -> Self {
+        debug_assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat), "bad lat {lat}");
+        debug_assert!(lon.is_finite(), "bad lon {lon}");
+        GeoPoint {
+            lat: lat.clamp(-90.0, 90.0),
+            lon: wrap_longitude(lon),
+        }
+    }
+
+    /// Latitude in degrees, positive north.
+    pub fn lat(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in degrees, positive east, in `(-180, 180]`.
+    pub fn lon(&self) -> f64 {
+        self.lon
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+
+    /// Great-circle distance to `other` in statute miles.
+    pub fn distance_miles(&self, other: &GeoPoint) -> f64 {
+        crate::distance::haversine_miles(self, other)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
+        let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
+        write!(f, "{:.4}\u{00B0}{ns} {:.4}\u{00B0}{ew}", self.lat.abs(), self.lon.abs())
+    }
+}
+
+/// Wraps a finite longitude into `(-180, 180]`.
+fn wrap_longitude(lon: f64) -> f64 {
+    let mut l = (lon + 180.0).rem_euclid(360.0) - 180.0;
+    if l == -180.0 {
+        l = 180.0;
+    }
+    // rem_euclid can return -0.0; normalize for equality checks.
+    if l == 0.0 {
+        l = 0.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_valid() {
+        let p = GeoPoint::new(42.36, -71.06).unwrap();
+        assert_eq!(p.lat(), 42.36);
+        assert_eq!(p.lon(), -71.06);
+    }
+
+    #[test]
+    fn new_rejects_bad_latitude() {
+        assert_eq!(GeoPoint::new(90.01, 0.0), Err(CoordError::BadLatitude));
+        assert_eq!(GeoPoint::new(-90.01, 0.0), Err(CoordError::BadLatitude));
+        assert_eq!(GeoPoint::new(f64::NAN, 0.0), Err(CoordError::BadLatitude));
+        assert_eq!(GeoPoint::new(f64::INFINITY, 0.0), Err(CoordError::BadLatitude));
+    }
+
+    #[test]
+    fn new_rejects_bad_longitude() {
+        assert_eq!(GeoPoint::new(0.0, f64::NAN), Err(CoordError::BadLongitude));
+    }
+
+    #[test]
+    fn poles_are_valid() {
+        assert!(GeoPoint::new(90.0, 0.0).is_ok());
+        assert!(GeoPoint::new(-90.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn longitude_wraps() {
+        assert_eq!(GeoPoint::new(0.0, 190.0).unwrap().lon(), -170.0);
+        assert_eq!(GeoPoint::new(0.0, -190.0).unwrap().lon(), 170.0);
+        assert_eq!(GeoPoint::new(0.0, 360.0).unwrap().lon(), 0.0);
+        assert_eq!(GeoPoint::new(0.0, 540.0).unwrap().lon(), 180.0);
+        assert_eq!(GeoPoint::new(0.0, -180.0).unwrap().lon(), 180.0);
+    }
+
+    #[test]
+    fn display_formats_hemispheres() {
+        let p = GeoPoint::new(40.7, -74.0).unwrap();
+        let s = format!("{p}");
+        assert!(s.contains('N') && s.contains('W'), "{s}");
+    }
+
+    #[test]
+    fn unchecked_clamps_in_release_paths() {
+        // Valid input round-trips exactly.
+        let p = GeoPoint::new_unchecked(10.0, 20.0);
+        assert_eq!((p.lat(), p.lon()), (10.0, 20.0));
+    }
+
+    #[test]
+    fn radian_conversions() {
+        let p = GeoPoint::new(180.0 / std::f64::consts::PI, 0.0).unwrap();
+        assert!((p.lat_rad() - 1.0).abs() < 1e-12);
+    }
+}

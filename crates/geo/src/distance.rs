@@ -1,0 +1,122 @@
+//! Great-circle distance.
+//!
+//! The paper measures every link length and router separation as a
+//! great-circle distance in statute miles; we use the haversine formula,
+//! which is numerically stable for the short distances that dominate the
+//! distance-preference analysis (Section V).
+
+use crate::coords::GeoPoint;
+
+/// Mean Earth radius in kilometers (IUGG mean radius R1).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Mean Earth radius in statute miles.
+pub const EARTH_RADIUS_MILES: f64 = EARTH_RADIUS_KM / 1.609_344;
+
+/// Great-circle distance between two points in kilometers (haversine).
+pub fn haversine_km(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    EARTH_RADIUS_KM * central_angle(a, b)
+}
+
+/// Great-circle distance between two points in statute miles (haversine).
+pub fn haversine_miles(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    EARTH_RADIUS_MILES * central_angle(a, b)
+}
+
+/// Central angle between two points in radians, via the haversine formula.
+pub fn central_angle(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
+    let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    // Clamp guards against FP drift pushing h infinitesimally above 1.
+    2.0 * h.sqrt().clamp(0.0, 1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = p(42.0, -71.0);
+        assert_eq!(haversine_miles(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_distance_boston_to_la() {
+        // Boston (42.3601, -71.0589) to Los Angeles (34.0522, -118.2437)
+        // city centers are ~2,591 statute miles apart great-circle.
+        let bos = p(42.3601, -71.0589);
+        let la = p(34.0522, -118.2437);
+        let d = haversine_miles(&bos, &la);
+        assert!((d - 2591.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn known_distance_london_to_paris() {
+        // ~213 statute miles.
+        let lon = p(51.5074, -0.1278);
+        let par = p(48.8566, 2.3522);
+        let d = haversine_miles(&lon, &par);
+        assert!((d - 213.0).abs() < 5.0, "got {d}");
+    }
+
+    #[test]
+    fn quarter_circumference_pole_to_equator() {
+        let pole = p(90.0, 0.0);
+        let eq = p(0.0, 0.0);
+        let d = haversine_km(&pole, &eq);
+        let quarter = std::f64::consts::PI * EARTH_RADIUS_KM / 2.0;
+        assert!((d - quarter).abs() < 1e-6, "got {d} want {quarter}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = p(10.0, 20.0);
+        let b = p(-35.0, 150.0);
+        assert_eq!(haversine_miles(&a, &b), haversine_miles(&b, &a));
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = p(0.0, 0.0);
+        let b = p(0.0, 180.0);
+        let d = haversine_km(&a, &b);
+        let half = std::f64::consts::PI * EARTH_RADIUS_KM;
+        assert!((d - half).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crosses_date_line_short_way() {
+        // 170E to 170W is 20 degrees of longitude at the equator, not 340.
+        let a = p(0.0, 170.0);
+        let b = p(0.0, -170.0);
+        let d = haversine_km(&a, &b);
+        let twenty_deg = 20.0_f64.to_radians() * EARTH_RADIUS_KM;
+        assert!((d - twenty_deg).abs() < 1e-6, "got {d} want {twenty_deg}");
+    }
+
+    #[test]
+    fn miles_km_ratio_consistent() {
+        let a = p(42.0, -71.0);
+        let b = p(47.0, -122.0);
+        let km = haversine_km(&a, &b);
+        let mi = haversine_miles(&a, &b);
+        assert!((km / mi - 1.609_344).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_distances_are_stable() {
+        // Two points ~1.11 m apart: haversine must not collapse to zero.
+        let a = p(42.0, -71.0);
+        let b = p(42.00001, -71.0);
+        let d = haversine_km(&a, &b);
+        assert!(d > 0.001 && d < 0.002, "got {d}");
+    }
+}

@@ -1,0 +1,277 @@
+//! Patch grids over regions.
+//!
+//! Section IV-B: "we subdivided each region into patches of size
+//! 75 arc-minutes × 75 arc-minutes ... Within each patch, we tally the
+//! population and the number of routers or interfaces." The same gridding
+//! machinery also backs the grid-convolution estimator for the
+//! distance-preference denominator (Section V) and box counting.
+
+use crate::coords::GeoPoint;
+use crate::region::Region;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular grid of equal-angle cells covering a [`Region`].
+///
+/// The grid always covers the region completely: the last row/column may
+/// extend past the region's north/east edge. Points outside the region
+/// are rejected by [`PatchGrid::cell_of`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatchGrid {
+    region: Region,
+    /// Cell size in degrees of latitude/longitude.
+    cell_deg: f64,
+    rows: usize,
+    cols: usize,
+}
+
+/// Identifies one cell of a [`PatchGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatchCell {
+    /// Row index from the south edge.
+    pub row: usize,
+    /// Column index from the west edge.
+    pub col: usize,
+}
+
+/// Error constructing a [`PatchGrid`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// Cell size must be positive and finite.
+    BadCellSize(f64),
+    /// The region has zero latitude or longitude span.
+    EmptyRegion,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::BadCellSize(s) => write!(f, "cell size must be positive, got {s}"),
+            GridError::EmptyRegion => write!(f, "region has empty extent"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl PatchGrid {
+    /// The paper's patch size: 75 arc-minutes (1.25°).
+    pub const PAPER_PATCH_ARCMIN: f64 = 75.0;
+
+    /// Builds a grid over `region` with cells of `arcmin` arc-minutes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `arcmin` is not positive/finite or the region is empty.
+    pub fn new(region: Region, arcmin: f64) -> Result<Self, GridError> {
+        if !arcmin.is_finite() || arcmin <= 0.0 {
+            return Err(GridError::BadCellSize(arcmin));
+        }
+        let cell_deg = arcmin / 60.0;
+        let lat_span = region.lat_span();
+        let lon_span = region.lon_span();
+        if lat_span <= 0.0 || lon_span <= 0.0 {
+            return Err(GridError::EmptyRegion);
+        }
+        let rows = (lat_span / cell_deg).ceil() as usize;
+        let cols = (lon_span / cell_deg).ceil() as usize;
+        Ok(PatchGrid {
+            region,
+            cell_deg,
+            rows: rows.max(1),
+            cols: cols.max(1),
+        })
+    }
+
+    /// Builds the paper's 75-arcmin grid over `region`.
+    pub fn paper_grid(region: Region) -> Result<Self, GridError> {
+        Self::new(region, Self::PAPER_PATCH_ARCMIN)
+    }
+
+    /// Number of rows (south → north).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (west → east).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the grid has no cells (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell edge length in degrees.
+    pub fn cell_deg(&self) -> f64 {
+        self.cell_deg
+    }
+
+    /// The region this grid covers.
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// Returns the cell containing `p`, or `None` if `p` lies outside the
+    /// grid's region.
+    pub fn cell_of(&self, p: &GeoPoint) -> Option<PatchCell> {
+        if !self.region.contains(p) {
+            return None;
+        }
+        let row = ((p.lat() - self.region.south) / self.cell_deg) as usize;
+        let dlon = if self.region.wraps_date_line() {
+            let mut d = p.lon() - self.region.west;
+            if d < 0.0 {
+                d += 360.0;
+            }
+            d
+        } else {
+            p.lon() - self.region.west
+        };
+        let col = (dlon / self.cell_deg) as usize;
+        Some(PatchCell {
+            row: row.min(self.rows - 1),
+            col: col.min(self.cols - 1),
+        })
+    }
+
+    /// Flat index of a cell (row-major).
+    pub fn flat_index(&self, cell: PatchCell) -> usize {
+        cell.row * self.cols + cell.col
+    }
+
+    /// Centre of a cell.
+    pub fn cell_center(&self, cell: PatchCell) -> GeoPoint {
+        let lat = self.region.south + (cell.row as f64 + 0.5) * self.cell_deg;
+        let mut lon = self.region.west + (cell.col as f64 + 0.5) * self.cell_deg;
+        if lon > 180.0 {
+            lon -= 360.0;
+        }
+        GeoPoint::new_unchecked(lat.min(90.0), lon)
+    }
+
+    /// Tallies points per cell; points outside the region are ignored.
+    /// Returns a row-major vector of counts of length [`PatchGrid::len`].
+    pub fn tally(&self, points: impl IntoIterator<Item = GeoPoint>) -> Vec<u64> {
+        let mut counts = vec![0u64; self.len()];
+        for p in points {
+            if let Some(cell) = self.cell_of(&p) {
+                counts[self.flat_index(cell)] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Iterates over all cells.
+    pub fn cells(&self) -> impl Iterator<Item = PatchCell> + '_ {
+        (0..self.rows).flat_map(move |row| (0..self.cols).map(move |col| PatchCell { row, col }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionSet;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn paper_grid_over_us_dimensions() {
+        let g = PatchGrid::paper_grid(RegionSet::us()).unwrap();
+        // US box: 25 degrees of latitude, 105 of longitude; 1.25° cells.
+        assert_eq!(g.rows(), 20);
+        assert_eq!(g.cols(), 84);
+        assert_eq!(g.len(), 20 * 84);
+    }
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        assert!(matches!(
+            PatchGrid::new(RegionSet::us(), 0.0),
+            Err(GridError::BadCellSize(_))
+        ));
+        assert!(matches!(
+            PatchGrid::new(RegionSet::us(), -5.0),
+            Err(GridError::BadCellSize(_))
+        ));
+        assert!(matches!(
+            PatchGrid::new(RegionSet::us(), f64::NAN),
+            Err(GridError::BadCellSize(_))
+        ));
+    }
+
+    #[test]
+    fn cell_of_corner_points() {
+        let g = PatchGrid::paper_grid(RegionSet::us()).unwrap();
+        // Southwest corner goes to (0, 0).
+        let sw = g.cell_of(&p(25.0, -150.0)).unwrap();
+        assert_eq!(sw, PatchCell { row: 0, col: 0 });
+        // Northeast corner clamps to the last cell.
+        let ne = g.cell_of(&p(50.0, -45.0)).unwrap();
+        assert_eq!(ne, PatchCell { row: 19, col: 83 });
+    }
+
+    #[test]
+    fn outside_points_rejected() {
+        let g = PatchGrid::paper_grid(RegionSet::us()).unwrap();
+        assert!(g.cell_of(&p(51.0, -100.0)).is_none());
+        assert!(g.cell_of(&p(40.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn tally_counts_and_ignores_outsiders() {
+        let g = PatchGrid::paper_grid(RegionSet::us()).unwrap();
+        let pts = vec![p(40.1, -100.1), p(40.2, -100.2), p(40.3, -100.3), p(0.0, 0.0)];
+        let counts = g.tally(pts);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, 3);
+        // The first three all land in the same 1.25° cell.
+        assert_eq!(counts.iter().copied().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn cell_center_round_trips() {
+        let g = PatchGrid::paper_grid(RegionSet::europe()).unwrap();
+        for cell in g.cells() {
+            let c = g.cell_center(cell);
+            if g.region().contains(&c) {
+                assert_eq!(g.cell_of(&c), Some(cell), "cell {cell:?} center {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_grid() {
+        let pacific = Region::named("Pacific", 10.0, 0.0, 170.0, -170.0);
+        let g = PatchGrid::new(pacific, 60.0).unwrap();
+        assert_eq!(g.cols(), 20);
+        let west_side = g.cell_of(&p(5.0, 171.0)).unwrap();
+        let east_side = g.cell_of(&p(5.0, -171.0)).unwrap();
+        assert_eq!(west_side.col, 1);
+        assert_eq!(east_side.col, 19);
+    }
+
+    #[test]
+    fn cells_iterator_covers_grid() {
+        let g = PatchGrid::new(RegionSet::japan(), 300.0).unwrap();
+        assert_eq!(g.cells().count(), g.len());
+    }
+
+    #[test]
+    fn patch_is_about_90_miles_at_study_latitudes() {
+        // The paper says the 75-arcmin patch is "about 90 miles on a side".
+        let g = PatchGrid::paper_grid(RegionSet::us()).unwrap();
+        let c = PatchCell { row: 10, col: 40 };
+        let center = g.cell_center(c);
+        let north = GeoPoint::new(center.lat() + g.cell_deg(), center.lon()).unwrap();
+        let d = crate::distance::haversine_miles(&center, &north);
+        assert!(d > 80.0 && d < 95.0, "patch height {d} miles");
+    }
+}

@@ -1,0 +1,248 @@
+//! Map projections.
+//!
+//! Section VI-B of the paper computes convex hulls of AS interface sets
+//! after projecting the globe onto the plane with an **Albers equal-area
+//! conic projection**, "unfolded at the poles and the International Date
+//! Line". We implement the spherical Albers projection (Snyder, *Map
+//! Projections — A Working Manual*, USGS PP 1395, eqs. 14-1..14-6) plus a
+//! simple equirectangular projection used by the patch grid.
+
+use crate::coords::GeoPoint;
+use crate::distance::EARTH_RADIUS_MILES;
+use crate::hull::PlanarPoint;
+use serde::{Deserialize, Serialize};
+
+/// Spherical Albers equal-area conic projection.
+///
+/// Parameterized by two standard parallels and a reference origin. Areas
+/// computed from projected coordinates are true to scale (in the square of
+/// the radius unit used — we use statute miles so hull areas come out in
+/// square miles, matching the paper's Figure 9 axes).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AlbersProjection {
+    /// n = (sin φ1 + sin φ2) / 2
+    n: f64,
+    /// C = cos²φ1 + 2 n sin φ1
+    c: f64,
+    /// ρ0 = R √(C − 2 n sin φ0) / n
+    rho0: f64,
+    /// Reference longitude (radians).
+    lon0: f64,
+    /// Sphere radius (statute miles).
+    radius: f64,
+}
+
+/// Error constructing an [`AlbersProjection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjectionError {
+    /// The standard parallels are symmetric about the equator (n = 0),
+    /// which degenerates the cone into a cylinder.
+    DegenerateParallels,
+}
+
+impl std::fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProjectionError::DegenerateParallels => {
+                write!(f, "standard parallels must not be symmetric about the equator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProjectionError {}
+
+impl AlbersProjection {
+    /// Builds a projection with standard parallels `sp1`, `sp2` (degrees),
+    /// reference latitude `lat0` and reference longitude `lon0` (degrees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectionError::DegenerateParallels`] if
+    /// `sin(sp1) + sin(sp2)` is (numerically) zero.
+    pub fn new(sp1: f64, sp2: f64, lat0: f64, lon0: f64) -> Result<Self, ProjectionError> {
+        let phi1 = sp1.to_radians();
+        let phi2 = sp2.to_radians();
+        let n = (phi1.sin() + phi2.sin()) / 2.0;
+        if n.abs() < 1e-12 {
+            return Err(ProjectionError::DegenerateParallels);
+        }
+        let c = phi1.cos().powi(2) + 2.0 * n * phi1.sin();
+        let radius = EARTH_RADIUS_MILES;
+        let rho0 = radius * (c - 2.0 * n * lat0.to_radians().sin()).max(0.0).sqrt() / n;
+        Ok(AlbersProjection {
+            n,
+            c,
+            rho0,
+            lon0: lon0.to_radians(),
+            radius,
+        })
+    }
+
+    /// The projection the paper uses for world-scale hulls: standard
+    /// parallels 20°N and 50°N, origin (0°, 0°). The globe is "unfolded at
+    /// the International Date Line", i.e. longitudes are taken relative to
+    /// lon0 = 0 with the seam at ±180°.
+    pub fn world() -> Self {
+        // Parallels chosen well apart and in the northern hemisphere where
+        // most of the dataset lies; cannot be degenerate.
+        Self::new(20.0, 50.0, 0.0, 0.0).expect("non-degenerate constants")
+    }
+
+    /// A projection centred on a region's bounding box, with standard
+    /// parallels at 1/6 and 5/6 of the latitude span (the usual rule of
+    /// thumb for minimizing distortion over the box).
+    pub fn for_bounds(south: f64, north: f64, west: f64, east: f64) -> Self {
+        let span = north - south;
+        let sp1 = south + span / 6.0;
+        let sp2 = north - span / 6.0;
+        let lat0 = (south + north) / 2.0;
+        let lon0 = (west + east) / 2.0;
+        Self::new(sp1, sp2, lat0, lon0).unwrap_or_else(|_| {
+            // Degenerate only if box straddles the equator symmetrically:
+            // nudge one parallel.
+            Self::new(sp1 + 1.0, sp2, lat0, lon0).expect("nudged parallels")
+        })
+    }
+
+    /// Projects a point to planar coordinates in statute miles.
+    pub fn project(&self, p: &GeoPoint) -> PlanarPoint {
+        let phi = p.lat_rad();
+        let mut dlon = p.lon_rad() - self.lon0;
+        // Unfold at the date line relative to the central meridian.
+        while dlon > std::f64::consts::PI {
+            dlon -= 2.0 * std::f64::consts::PI;
+        }
+        while dlon <= -std::f64::consts::PI {
+            dlon += 2.0 * std::f64::consts::PI;
+        }
+        let theta = self.n * dlon;
+        let rho = self.radius * (self.c - 2.0 * self.n * phi.sin()).max(0.0).sqrt() / self.n;
+        PlanarPoint {
+            x: rho * theta.sin(),
+            y: self.rho0 - rho * theta.cos(),
+        }
+    }
+}
+
+/// Equirectangular ("plate carrée") projection scaled so that distances
+/// are approximately in miles near `ref_lat`. Used for fast local gridding
+/// where conformality does not matter.
+#[derive(Debug, Clone, Copy)]
+pub struct Equirectangular {
+    ref_lat_cos: f64,
+    radius: f64,
+}
+
+impl Equirectangular {
+    /// Builds a projection whose x-scale is true at `ref_lat` degrees.
+    pub fn new(ref_lat: f64) -> Self {
+        Equirectangular {
+            ref_lat_cos: ref_lat.to_radians().cos(),
+            radius: EARTH_RADIUS_MILES,
+        }
+    }
+
+    /// Projects to (x, y) miles.
+    pub fn project(&self, p: &GeoPoint) -> PlanarPoint {
+        PlanarPoint {
+            x: self.radius * p.lon_rad() * self.ref_lat_cos,
+            y: self.radius * p.lat_rad(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::{convex_hull, polygon_area};
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn degenerate_parallels_rejected() {
+        assert_eq!(
+            AlbersProjection::new(-30.0, 30.0, 0.0, 0.0).unwrap_err(),
+            ProjectionError::DegenerateParallels
+        );
+    }
+
+    #[test]
+    fn origin_projects_near_zero() {
+        let proj = AlbersProjection::new(20.0, 50.0, 35.0, -95.0).unwrap();
+        let o = proj.project(&p(35.0, -95.0));
+        assert!(o.x.abs() < 1e-6, "{o:?}");
+        assert!(o.y.abs() < 1e-6, "{o:?}");
+    }
+
+    #[test]
+    fn standard_parallel_scale_is_true() {
+        // Along a standard parallel, 1 degree of longitude should project
+        // to ~cos(lat) * 69.1 miles of arc length.
+        let proj = AlbersProjection::new(30.0, 45.0, 37.0, -100.0).unwrap();
+        let a = proj.project(&p(30.0, -100.0));
+        let b = proj.project(&p(30.0, -99.0));
+        let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
+        let expected = EARTH_RADIUS_MILES * 1.0_f64.to_radians() * 30.0_f64.to_radians().cos();
+        assert!((d - expected).abs() / expected < 1e-3, "d={d} want~{expected}");
+    }
+
+    #[test]
+    fn equal_area_property() {
+        // A 4°x4° quad at two different latitudes inside the cone keeps
+        // its area ratio equal to the ratio of true spherical areas
+        // (proportional to cos(lat_mid)): the defining property of an
+        // equal-area projection.
+        let proj = AlbersProjection::new(25.0, 55.0, 40.0, 0.0).unwrap();
+        let quad_area = |lat0: f64| {
+            let pts = vec![
+                proj.project(&p(lat0, 0.0)),
+                proj.project(&p(lat0, 4.0)),
+                proj.project(&p(lat0 + 4.0, 4.0)),
+                proj.project(&p(lat0 + 4.0, 0.0)),
+            ];
+            polygon_area(&convex_hull(&pts))
+        };
+        let a30 = quad_area(30.0);
+        let a50 = quad_area(50.0);
+        // True spherical area of a lat/lon quad ∝ sin(lat+4) − sin(lat).
+        let s30 = 34.0_f64.to_radians().sin() - 30.0_f64.to_radians().sin();
+        let s50 = 54.0_f64.to_radians().sin() - 50.0_f64.to_radians().sin();
+        let got = a30 / a50;
+        let want = s30 / s50;
+        assert!((got - want).abs() / want < 0.01, "got {got} want {want}");
+    }
+
+    #[test]
+    fn area_of_one_degree_cell_is_plausible() {
+        // Near 40N a 1°×1° cell is ~ 69.1 * 52.9 ≈ 3,660 sq mi.
+        let proj = AlbersProjection::world();
+        let pts = vec![
+            proj.project(&p(40.0, -100.0)),
+            proj.project(&p(40.0, -99.0)),
+            proj.project(&p(41.0, -99.0)),
+            proj.project(&p(41.0, -100.0)),
+        ];
+        let area = polygon_area(&convex_hull(&pts));
+        assert!(area > 3000.0 && area < 4500.0, "area {area}");
+    }
+
+    #[test]
+    fn equirectangular_scale() {
+        let proj = Equirectangular::new(0.0);
+        let a = proj.project(&p(0.0, 0.0));
+        let b = proj.project(&p(0.0, 1.0));
+        let one_deg = EARTH_RADIUS_MILES * 1.0_f64.to_radians();
+        assert!(((b.x - a.x) - one_deg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn world_projection_separates_hemispheres() {
+        let proj = AlbersProjection::world();
+        let east = proj.project(&p(40.0, 100.0));
+        let west = proj.project(&p(40.0, -100.0));
+        assert!(east.x > 0.0 && west.x < 0.0);
+    }
+}

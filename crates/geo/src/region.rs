@@ -1,0 +1,275 @@
+//! Latitude/longitude regions.
+//!
+//! All regions in the paper are "delineated by simple latitude/longitude
+//! boundaries" (Table II footnote). This module defines the region type
+//! and the specific boxes the paper studies:
+//!
+//! - Table II: the three homogeneous study regions (US, Europe, Japan).
+//! - Table III: the eight economic regions of the world.
+//! - Table IV / Figure 3: the homogeneity-test subregions.
+
+use crate::coords::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A rectangular region in latitude/longitude space.
+///
+/// Longitude bounds may wrap across the date line (`west > east` means the
+/// region spans the seam, e.g. a Pacific box from 150°E to 150°W).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable name (approximate — these are not political borders).
+    pub name: String,
+    /// Northern latitude bound (degrees).
+    pub north: f64,
+    /// Southern latitude bound (degrees).
+    pub south: f64,
+    /// Western longitude bound (degrees, positive east).
+    pub west: f64,
+    /// Eastern longitude bound (degrees, positive east).
+    pub east: f64,
+}
+
+impl Region {
+    /// Constructs a region with a name, validating latitude bounds.
+    pub fn named(name: &str, north: f64, south: f64, west: f64, east: f64) -> Self {
+        assert!(
+            north >= south && (-90.0..=90.0).contains(&south) && (-90.0..=90.0).contains(&north),
+            "invalid latitude bounds for region {name}"
+        );
+        Region {
+            name: name.to_string(),
+            north,
+            south,
+            west,
+            east,
+        }
+    }
+
+    /// Whether the region's longitude span crosses the date line.
+    pub fn wraps_date_line(&self) -> bool {
+        self.west > self.east
+    }
+
+    /// Tests whether a point falls inside the region (inclusive bounds).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        if p.lat() < self.south || p.lat() > self.north {
+            return false;
+        }
+        if self.wraps_date_line() {
+            p.lon() >= self.west || p.lon() <= self.east
+        } else {
+            p.lon() >= self.west && p.lon() <= self.east
+        }
+    }
+
+    /// Longitude span in degrees (accounting for date-line wrap).
+    pub fn lon_span(&self) -> f64 {
+        if self.wraps_date_line() {
+            360.0 - (self.west - self.east)
+        } else {
+            self.east - self.west
+        }
+    }
+
+    /// Latitude span in degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.north - self.south
+    }
+
+    /// Clamps a point into the region (component-wise for latitude; for
+    /// longitude the point is pulled to the nearest bound, accounting for
+    /// date-line wrap). Points already inside are returned unchanged.
+    pub fn clamp(&self, p: &GeoPoint) -> GeoPoint {
+        let lat = p.lat().clamp(self.south, self.north);
+        let lon = if self.contains(&GeoPoint::new_unchecked(lat, p.lon())) {
+            p.lon()
+        } else if self.wraps_date_line() {
+            // Distance to each bound around the circle; snap to nearer.
+            let to_west = angular_gap(p.lon(), self.west);
+            let to_east = angular_gap(p.lon(), self.east);
+            if to_west <= to_east {
+                self.west
+            } else {
+                self.east
+            }
+        } else {
+            p.lon().clamp(self.west, self.east)
+        };
+        GeoPoint::new_unchecked(lat, lon)
+    }
+
+    /// Geometric centre of the region.
+    pub fn center(&self) -> GeoPoint {
+        let lat = (self.north + self.south) / 2.0;
+        let lon = if self.wraps_date_line() {
+            let mid = self.west + self.lon_span() / 2.0;
+            if mid > 180.0 {
+                mid - 360.0
+            } else {
+                mid
+            }
+        } else {
+            (self.west + self.east) / 2.0
+        };
+        GeoPoint::new_unchecked(lat, lon)
+    }
+}
+
+/// Smallest absolute angular difference between two longitudes (degrees).
+fn angular_gap(a: f64, b: f64) -> f64 {
+    let d = (a - b).abs() % 360.0;
+    d.min(360.0 - d)
+}
+
+/// The paper's region definitions, grouped by the table they appear in.
+#[derive(Debug, Clone)]
+pub struct RegionSet;
+
+impl RegionSet {
+    /// Table II: "US" — 50°N to 25°N, 150°W to 45°W.
+    pub fn us() -> Region {
+        Region::named("US", 50.0, 25.0, -150.0, -45.0)
+    }
+
+    /// Table II: "Europe" — 58°N to 42°N, 5°W to 22°E.
+    pub fn europe() -> Region {
+        Region::named("Europe", 58.0, 42.0, -5.0, 22.0)
+    }
+
+    /// Table II: "Japan" — 60°N to 30°N, 130°E to 150°E.
+    pub fn japan() -> Region {
+        Region::named("Japan", 60.0, 30.0, 130.0, 150.0)
+    }
+
+    /// The three homogeneous study regions of Table II, in paper order.
+    pub fn study_regions() -> Vec<Region> {
+        vec![Self::us(), Self::europe(), Self::japan()]
+    }
+
+    /// Table III economic regions (approximate lat/lon boxes; the paper
+    /// itself uses "simple latitude/longitude boundaries" with approximate
+    /// names).
+    pub fn economic_regions() -> Vec<Region> {
+        vec![
+            Region::named("Africa", 37.0, -35.0, -18.0, 52.0),
+            Region::named("South America", 13.0, -56.0, -82.0, -34.0),
+            Region::named("Mexico", 25.0, 14.0, -118.0, -86.0),
+            Region::named("W. Europe", 58.0, 42.0, -5.0, 22.0),
+            Region::named("Japan", 60.0, 30.0, 130.0, 150.0),
+            Region::named("Australia", -10.0, -44.0, 112.0, 154.0),
+            Region::named("USA", 50.0, 25.0, -150.0, -45.0),
+        ]
+    }
+
+    /// Figure 3 / Table IV: Northern US subregion (used for the
+    /// homogeneity test). Split the US box at 37.5°N.
+    pub fn northern_us() -> Region {
+        Region::named("Northern US", 50.0, 37.5, -150.0, -45.0)
+    }
+
+    /// Figure 3 / Table IV: Southern US subregion.
+    pub fn southern_us() -> Region {
+        Region::named("Southern US", 37.5, 25.0, -150.0, -45.0)
+    }
+
+    /// Figure 3 / Table IV: Central America comparison region.
+    pub fn central_america() -> Region {
+        Region::named("Central Am.", 25.0, 7.0, -118.0, -77.0)
+    }
+
+    /// The whole world.
+    pub fn world() -> Region {
+        Region::named("World", 90.0, -90.0, -180.0, 180.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn us_contains_boston_not_london() {
+        let us = RegionSet::us();
+        assert!(us.contains(&p(42.36, -71.06)));
+        assert!(!us.contains(&p(51.5, -0.13)));
+    }
+
+    #[test]
+    fn europe_contains_paris_not_tokyo() {
+        let eu = RegionSet::europe();
+        assert!(eu.contains(&p(48.86, 2.35)));
+        assert!(!eu.contains(&p(35.68, 139.69)));
+    }
+
+    #[test]
+    fn japan_contains_tokyo() {
+        assert!(RegionSet::japan().contains(&p(35.68, 139.69)));
+    }
+
+    #[test]
+    fn boundaries_match_table_ii() {
+        let us = RegionSet::us();
+        assert_eq!((us.north, us.south, us.west, us.east), (50.0, 25.0, -150.0, -45.0));
+        let eu = RegionSet::europe();
+        assert_eq!((eu.north, eu.south, eu.west, eu.east), (58.0, 42.0, -5.0, 22.0));
+        let jp = RegionSet::japan();
+        assert_eq!((jp.north, jp.south, jp.west, jp.east), (60.0, 30.0, 130.0, 150.0));
+    }
+
+    #[test]
+    fn date_line_wrapping_region() {
+        let pacific = Region::named("Pacific", 30.0, -30.0, 150.0, -150.0);
+        assert!(pacific.wraps_date_line());
+        assert!(pacific.contains(&p(0.0, 180.0)));
+        assert!(pacific.contains(&p(0.0, 160.0)));
+        assert!(pacific.contains(&p(0.0, -160.0)));
+        assert!(!pacific.contains(&p(0.0, 0.0)));
+        assert!((pacific.lon_span() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subregions_partition_us_latitudes() {
+        let n = RegionSet::northern_us();
+        let s = RegionSet::southern_us();
+        assert_eq!(n.south, s.north);
+        assert_eq!(n.north, RegionSet::us().north);
+        assert_eq!(s.south, RegionSet::us().south);
+    }
+
+    #[test]
+    fn center_of_simple_region() {
+        let us = RegionSet::us();
+        let c = us.center();
+        assert!((c.lat() - 37.5).abs() < 1e-12);
+        assert!((c.lon() - (-97.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_of_wrapping_region() {
+        let pacific = Region::named("Pacific", 10.0, -10.0, 170.0, -170.0);
+        let c = pacific.center();
+        assert!((c.lon().abs() - 180.0).abs() < 1e-9, "center lon {}", c.lon());
+    }
+
+    #[test]
+    fn world_contains_everything() {
+        let w = RegionSet::world();
+        assert!(w.contains(&p(89.9, 179.9)));
+        assert!(w.contains(&p(-89.9, -179.9)));
+        assert!(w.contains(&p(0.0, 0.0)));
+    }
+
+    #[test]
+    fn economic_regions_are_disjoint_study_points() {
+        // A point in the USA box must not land in Africa/Mexico boxes.
+        let regions = RegionSet::economic_regions();
+        let boston = p(42.36, -71.06);
+        let containing: Vec<_> = regions.iter().filter(|r| r.contains(&boston)).collect();
+        assert_eq!(containing.len(), 1);
+        assert_eq!(containing[0].name, "USA");
+    }
+}

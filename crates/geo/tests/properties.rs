@@ -1,0 +1,116 @@
+//! Property-based tests for geodesy invariants.
+
+use geotopo_geo::{
+    convex_hull, haversine_km, haversine_miles, hull::hull_area, polygon_area, AlbersProjection,
+    GeoPoint, PlanarPoint, Region,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-89.9f64..89.9, -179.9f64..179.9).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+}
+
+fn arb_planar() -> impl Strategy<Value = PlanarPoint> {
+    (-1e4f64..1e4, -1e4f64..1e4).prop_map(|(x, y)| PlanarPoint::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in arb_point(), b in arb_point()) {
+        let ab = haversine_miles(&a, &b);
+        let ba = haversine_miles(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+        let d = haversine_km(&a, &b);
+        prop_assert!(d >= 0.0);
+        // No two points are farther apart than half the circumference.
+        prop_assert!(d <= std::f64::consts::PI * geotopo_geo::EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn distance_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = haversine_km(&a, &b);
+        let bc = haversine_km(&b, &c);
+        let ac = haversine_km(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn hull_contains_all_points(pts in prop::collection::vec(arb_planar(), 3..60)) {
+        let hull = convex_hull(&pts);
+        // Every input point must be inside or on the hull: check via the
+        // cross-product sign against every hull edge (CCW hull).
+        if hull.len() >= 3 {
+            for p in &pts {
+                for i in 0..hull.len() {
+                    let a = &hull[i];
+                    let b = &hull[(i + 1) % hull.len()];
+                    let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+                    prop_assert!(cross >= -1e-6 * (1.0 + a.dist(b)), "point outside hull edge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hull_of_hull_is_fixed_point(pts in prop::collection::vec(arb_planar(), 1..50)) {
+        let h1 = convex_hull(&pts);
+        let h2 = convex_hull(&h1);
+        prop_assert_eq!(h1.len(), h2.len());
+        prop_assert!((polygon_area(&h1) - polygon_area(&h2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hull_area_not_larger_than_bounding_box(pts in prop::collection::vec(arb_planar(), 1..80)) {
+        let area = hull_area(&pts);
+        let (mut xmin, mut xmax, mut ymin, mut ymax) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for p in &pts {
+            xmin = xmin.min(p.x); xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y); ymax = ymax.max(p.y);
+        }
+        let bbox = (xmax - xmin) * (ymax - ymin);
+        prop_assert!(area <= bbox + 1e-6, "hull {area} bbox {bbox}");
+    }
+
+    #[test]
+    fn adding_points_never_shrinks_hull(
+        pts in prop::collection::vec(arb_planar(), 3..40),
+        extra in arb_planar()
+    ) {
+        let a1 = hull_area(&pts);
+        let mut pts2 = pts.clone();
+        pts2.push(extra);
+        let a2 = hull_area(&pts2);
+        prop_assert!(a2 + 1e-6 >= a1, "a1={a1} a2={a2}");
+    }
+
+    #[test]
+    fn projection_preserves_locality(a in arb_point(), dl in -0.01f64..0.01, dm in -0.01f64..0.01) {
+        // Nearby geographic points project to nearby planar points with a
+        // distance close to the great-circle distance (small-scale fidelity).
+        prop_assume!(a.lat() + dl < 89.0 && a.lat() + dl > -89.0);
+        prop_assume!(a.lat().abs() < 70.0);
+        let b = GeoPoint::new(a.lat() + dl, a.lon() + dm).unwrap();
+        let proj = AlbersProjection::for_bounds(a.lat() - 5.0, a.lat() + 5.0, a.lon() - 5.0, a.lon() + 5.0);
+        let pa = proj.project(&a);
+        let pb = proj.project(&b);
+        let planar = pa.dist(&pb);
+        let sphere = haversine_miles(&a, &b);
+        if sphere > 1e-3 {
+            prop_assert!((planar - sphere).abs() / sphere < 0.05,
+                "planar {planar} sphere {sphere}");
+        }
+    }
+
+    #[test]
+    fn region_contains_its_center(
+        south in -80f64..70.0, dlat in 1.0f64..20.0,
+        west in -170f64..150.0, dlon in 1.0f64..20.0
+    ) {
+        let r = Region::named("t", (south + dlat).min(90.0), south, west, (west + dlon).min(180.0));
+        prop_assert!(r.contains(&r.center()));
+    }
+}

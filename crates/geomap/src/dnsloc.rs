@@ -1,0 +1,88 @@
+//! DNS LOC records (RFC 1876).
+//!
+//! "DNS LOC records, while accurate, are not required and are therefore
+//! not always available" (Section III-B). We model a sparse database:
+//! a small fraction of interfaces publish a LOC record, and when present
+//! it is accurate to well under a mile.
+
+use crate::MapContext;
+use geotopo_geo::GeoPoint;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// A sparse, accurate LOC-record database.
+#[derive(Debug, Clone)]
+pub struct DnsLocDb {
+    /// Probability an interface publishes a LOC record.
+    pub availability: f64,
+    /// Seed of this synthetic zone.
+    pub seed: u64,
+}
+
+impl DnsLocDb {
+    /// Creates a database with the default (5%) availability.
+    pub fn new(seed: u64) -> Self {
+        DnsLocDb {
+            availability: 0.05,
+            seed,
+        }
+    }
+
+    /// The LOC record for `ip`, if one is published.
+    pub fn lookup(&self, ip: Ipv4Addr, ctx: &MapContext) -> Option<GeoPoint> {
+        let mut rng = crate::ip_rng(self.seed ^ 0xD5, ip);
+        if rng.random::<f64>() >= self.availability {
+            return None;
+        }
+        // Sub-mile accuracy: jitter ~0.005 degrees.
+        let lat = (ctx.true_location.lat() + rng.random_range(-0.005..0.005)).clamp(-90.0, 90.0);
+        let lon = ctx.true_location.lon() + rng.random_range(-0.005..0.005);
+        Some(GeoPoint::new_unchecked(lat, lon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotopo_bgp::AsId;
+
+    fn ctx() -> MapContext {
+        MapContext {
+            true_location: GeoPoint::new(48.86, 2.35).unwrap(),
+            asn: AsId(1),
+        }
+    }
+
+    #[test]
+    fn availability_fraction_respected() {
+        let db = DnsLocDb::new(3);
+        let mut found = 0;
+        let n = 20_000u32;
+        for i in 0..n {
+            if db.lookup(Ipv4Addr::from(0x01000000 + i), &ctx()).is_some() {
+                found += 1;
+            }
+        }
+        let frac = found as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.01, "availability {frac}");
+    }
+
+    #[test]
+    fn records_are_accurate() {
+        let db = DnsLocDb::new(4);
+        for i in 0..5000u32 {
+            let ip = Ipv4Addr::from(0x02000000 + i);
+            if let Some(p) = db.lookup(ip, &ctx()) {
+                let d = geotopo_geo::haversine_miles(&p, &ctx().true_location);
+                assert!(d < 1.0, "LOC error {d} miles");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_ip() {
+        let db = DnsLocDb::new(5);
+        let ip = "7.7.7.7".parse().unwrap();
+        assert_eq!(db.lookup(ip, &ctx()), db.lookup(ip, &ctx()));
+    }
+}

@@ -1,0 +1,193 @@
+//! Router hostname conventions: synthesis and parsing.
+//!
+//! "ISPs usually adhere to a strict naming convention for each of their
+//! routers in which some sense of geographical location (such as city
+//! name or airport codes) is specified. For instance,
+//! `0.so-5-2-0.XL1.NYC8.ALTER.NET` maps to New York City."
+//! (Section III-B.)
+//!
+//! The [`HostnameOracle`] stands in for the DNS PTR zone of our synthetic
+//! Internet: given an interface's true location and AS it deterministically
+//! produces the hostname that AS would assign. A fraction of ASes do not
+//! use geographic naming (parsers then fall through to other sources).
+
+use crate::gazetteer::Gazetteer;
+use crate::orgdb::OrgDb;
+use crate::MapContext;
+use geotopo_geo::GeoPoint;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Synthesizes and parses hostname conventions.
+#[derive(Debug, Clone)]
+pub struct HostnameOracle {
+    gazetteer: Gazetteer,
+    /// Probability an interface's hostname embeds a geographic code.
+    pub geo_naming_prob: f64,
+    /// Seed distinguishing this synthetic DNS zone.
+    pub seed: u64,
+}
+
+impl HostnameOracle {
+    /// Creates an oracle over the built-in gazetteer with the paper-tuned
+    /// geographic-naming share.
+    pub fn new(seed: u64) -> Self {
+        Self::with_gazetteer(seed, Gazetteer::builtin())
+    }
+
+    /// Creates an oracle over an explicit (e.g. population-densified)
+    /// gazetteer.
+    pub fn with_gazetteer(seed: u64, gazetteer: Gazetteer) -> Self {
+        HostnameOracle {
+            gazetteer,
+            geo_naming_prob: 0.90,
+            seed,
+        }
+    }
+
+    /// The gazetteer in use.
+    pub fn gazetteer(&self) -> &Gazetteer {
+        &self.gazetteer
+    }
+
+    /// The hostname the owning AS assigns to this interface, or `None`
+    /// when no reverse DNS exists (small probability).
+    ///
+    /// Geographic form: `so-X-Y-0.crZ.<CODE><n>.<org>.net`
+    /// Non-geographic form: `coreN.<org>.net`
+    pub fn hostname(&self, ip: Ipv4Addr, ctx: &MapContext, orgs: &OrgDb) -> Option<String> {
+        let mut rng = crate::ip_rng(self.seed, ip);
+        // 2% of interfaces have no PTR record at all.
+        if rng.random::<f64>() < 0.02 {
+            return None;
+        }
+        let org = orgs
+            .get(ctx.asn)
+            .map(|r| r.name.clone())
+            .unwrap_or_else(|| format!("as{}", ctx.asn.0));
+        let slot: u8 = rng.random_range(0..8);
+        let port: u8 = rng.random_range(0..4);
+        let unit: u8 = rng.random_range(1..5);
+        if rng.random::<f64>() < self.geo_naming_prob {
+            let (city, _) = self.gazetteer.nearest(&ctx.true_location)?;
+            let pop: u8 = rng.random_range(1..10);
+            Some(format!(
+                "so-{slot}-{port}-0.cr{unit}.{}{pop}.{org}.net",
+                city.code
+            ))
+        } else {
+            Some(format!("core{unit}.{org}.net"))
+        }
+    }
+
+    /// Parses a hostname back to coordinates by locating a gazetteer code
+    /// token — the primary technique of IxMapper. City-granularity: the
+    /// answer is the city centre.
+    pub fn parse(&self, hostname: &str) -> Option<GeoPoint> {
+        for label in hostname.split('.') {
+            // Codes appear as `<CODE><digit>` or bare `<CODE>`; curated
+            // codes are 3 letters, synthetic ones 5.
+            let trimmed = label.trim_end_matches(|c: char| c.is_ascii_digit());
+            if (3..=5).contains(&trimmed.len()) && trimmed.chars().all(|c| c.is_ascii_alphabetic())
+            {
+                if let Some(city) = self.gazetteer.by_code(trimmed) {
+                    return Some(city.location);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotopo_bgp::AsId;
+
+    fn ctx(lat: f64, lon: f64) -> MapContext {
+        MapContext {
+            true_location: GeoPoint::new(lat, lon).unwrap(),
+            asn: AsId(42),
+        }
+    }
+
+    fn orgs() -> OrgDb {
+        let mut db = OrgDb::new();
+        db.insert(AsId(42), "isp0042", GeoPoint::new(40.0, -74.0).unwrap());
+        db
+    }
+
+    #[test]
+    fn geographic_hostnames_roundtrip_to_city() {
+        let oracle = HostnameOracle::new(1);
+        let orgs = orgs();
+        let near_boston = ctx(42.4, -71.1);
+        let mut resolved = 0;
+        let mut total = 0;
+        for i in 0..200u32 {
+            let ip = Ipv4Addr::from(0x0A000000 + i);
+            if let Some(h) = oracle.hostname(ip, &near_boston, &orgs) {
+                total += 1;
+                if let Some(p) = oracle.parse(&h) {
+                    resolved += 1;
+                    // Must resolve to Boston's centre.
+                    let d = geotopo_geo::haversine_miles(&p, &near_boston.true_location);
+                    assert!(d < 40.0, "resolved {d} miles away via {h}");
+                }
+            }
+        }
+        // ~90% geographic naming.
+        let frac = resolved as f64 / total as f64;
+        assert!((frac - 0.9).abs() < 0.08, "geo fraction {frac}");
+    }
+
+    #[test]
+    fn hostname_is_deterministic_per_ip() {
+        let oracle = HostnameOracle::new(9);
+        let orgs = orgs();
+        let c = ctx(35.68, 139.69);
+        let ip = "1.2.3.4".parse().unwrap();
+        assert_eq!(oracle.hostname(ip, &c, &orgs), oracle.hostname(ip, &c, &orgs));
+    }
+
+    #[test]
+    fn hostname_embeds_org_name() {
+        let oracle = HostnameOracle::new(2);
+        let orgs = orgs();
+        let c = ctx(40.7, -74.0);
+        let h = oracle
+            .hostname("9.9.9.9".parse().unwrap(), &c, &orgs)
+            .unwrap();
+        assert!(h.contains("isp0042"), "{h}");
+        assert!(h.ends_with(".net"));
+    }
+
+    #[test]
+    fn unknown_as_gets_fallback_name() {
+        let oracle = HostnameOracle::new(3);
+        let db = OrgDb::new();
+        let c = MapContext {
+            true_location: GeoPoint::new(40.7, -74.0).unwrap(),
+            asn: AsId(777),
+        };
+        let h = oracle.hostname("8.8.8.8".parse().unwrap(), &c, &db).unwrap();
+        assert!(h.contains("as777"), "{h}");
+    }
+
+    #[test]
+    fn parse_real_world_style_name() {
+        let oracle = HostnameOracle::new(4);
+        // The paper's example convention, adapted to our codes.
+        let p = oracle.parse("0.so-5-2-0.XL1.NYC8.alter.net").unwrap();
+        let nyc = GeoPoint::new(40.71, -74.01).unwrap();
+        assert!(geotopo_geo::haversine_miles(&p, &nyc) < 1.0);
+    }
+
+    #[test]
+    fn parse_rejects_nongeographic() {
+        let oracle = HostnameOracle::new(5);
+        assert!(oracle.parse("core3.isp0042.net").is_none());
+        assert!(oracle.parse("").is_none());
+        assert!(oracle.parse("www.example.com").is_none());
+    }
+}

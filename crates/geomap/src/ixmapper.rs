@@ -1,0 +1,171 @@
+//! The IxMapper-like geolocation service.
+//!
+//! "IxMapper always tries to use hostname based mapping, defaulting to
+//! DNS LOC records if available and finally to whois records"
+//! (Section III-B). The paper reports ~1–1.5% of nodes unmappable by
+//! IxMapper; the default parameters land in that band.
+
+use crate::dnsloc::DnsLocDb;
+use crate::hostname::HostnameOracle;
+use crate::orgdb::OrgDb;
+use crate::{GeoMapper, MapContext};
+use geotopo_geo::GeoPoint;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Simulated IxMapper.
+#[derive(Debug, Clone)]
+pub struct IxMapper {
+    hostnames: HostnameOracle,
+    loc_db: DnsLocDb,
+    orgs: OrgDb,
+    /// Probability the whois fallback succeeds for a given address.
+    pub whois_success: f64,
+    /// Probability a successfully parsed hostname is nonetheless wrong
+    /// (stale naming after router moves): maps to a random other city.
+    pub stale_hostname_prob: f64,
+    seed: u64,
+}
+
+impl IxMapper {
+    /// Creates the service over a whois registry and the built-in
+    /// gazetteer.
+    pub fn new(seed: u64, orgs: OrgDb) -> Self {
+        Self::with_gazetteer(seed, orgs, crate::Gazetteer::builtin())
+    }
+
+    /// Creates the service over an explicit gazetteer (the pipeline
+    /// passes a population-densified one).
+    pub fn with_gazetteer(seed: u64, orgs: OrgDb, gazetteer: crate::Gazetteer) -> Self {
+        IxMapper {
+            hostnames: HostnameOracle::with_gazetteer(seed ^ 0x1A, gazetteer),
+            loc_db: DnsLocDb::new(seed ^ 0x2B),
+            orgs,
+            whois_success: 0.90,
+            stale_hostname_prob: 0.01,
+            seed,
+        }
+    }
+
+    /// The hostname oracle (shared with tests and the pipeline).
+    pub fn hostnames(&self) -> &HostnameOracle {
+        &self.hostnames
+    }
+}
+
+impl GeoMapper for IxMapper {
+    fn name(&self) -> &'static str {
+        "IxMapper"
+    }
+
+    fn map(&self, ip: Ipv4Addr, ctx: &MapContext) -> Option<GeoPoint> {
+        let mut rng = crate::ip_rng(self.seed ^ 0x3C, ip);
+        // 1. Hostname-based mapping.
+        if let Some(hostname) = self.hostnames.hostname(ip, ctx, &self.orgs) {
+            if let Some(city_loc) = self.hostnames.parse(&hostname) {
+                if rng.random::<f64>() < self.stale_hostname_prob {
+                    // Stale record: a different city entirely.
+                    let idx = rng.random_range(0..self.hostnames.gazetteer().len());
+                    return Some(self.hostnames.gazetteer().cities()[idx].location);
+                }
+                return Some(city_loc);
+            }
+        }
+        // 2. DNS LOC.
+        if let Some(loc) = self.loc_db.lookup(ip, ctx) {
+            return Some(loc);
+        }
+        // 3. Whois: the organization's registered headquarters.
+        if rng.random::<f64>() < self.whois_success {
+            if let Some(rec) = self.orgs.get(ctx.asn) {
+                return Some(rec.headquarters);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotopo_bgp::AsId;
+
+    fn service() -> IxMapper {
+        let mut orgs = OrgDb::new();
+        orgs.insert(AsId(42), "isp0042", GeoPoint::new(40.71, -74.01).unwrap());
+        IxMapper::new(11, orgs)
+    }
+
+    fn ctx() -> MapContext {
+        MapContext {
+            true_location: GeoPoint::new(42.3, -71.1).unwrap(), // near Boston
+            asn: AsId(42),
+        }
+    }
+
+    #[test]
+    fn unmapped_rate_in_paper_band() {
+        let svc = service();
+        let n = 30_000u32;
+        let mut unmapped = 0;
+        for i in 0..n {
+            if svc.map(Ipv4Addr::from(0x0B000000 + i), &ctx()).is_none() {
+                unmapped += 1;
+            }
+        }
+        let frac = unmapped as f64 / n as f64;
+        // Paper: 1% (Mercator) to 1.5% (Skitter) unmapped.
+        assert!(frac > 0.002 && frac < 0.03, "unmapped {frac}");
+    }
+
+    #[test]
+    fn city_granularity_dominates() {
+        let svc = service();
+        let mut within_city = 0;
+        let mut total = 0;
+        for i in 0..5000u32 {
+            if let Some(p) = svc.map(Ipv4Addr::from(0x0C000000 + i), &ctx()) {
+                total += 1;
+                let err = geotopo_geo::haversine_miles(&p, &ctx().true_location);
+                if err < 50.0 {
+                    within_city += 1;
+                }
+            }
+        }
+        let frac = within_city as f64 / total as f64;
+        assert!(frac > 0.8, "city-accurate fraction {frac}");
+    }
+
+    #[test]
+    fn whois_fallback_maps_to_headquarters() {
+        // An AS with no geographic naming at all: raise the
+        // non-geographic share by constructing an oracle-less context —
+        // here we simply verify that when hostname parsing fails and no
+        // LOC record exists, HQ is returned. Find such an IP by search.
+        let svc = service();
+        let hq = GeoPoint::new(40.71, -74.01).unwrap();
+        let mut found_hq = false;
+        for i in 0..50_000u32 {
+            let ip = Ipv4Addr::from(0x0D000000 + i);
+            if let Some(p) = svc.map(ip, &ctx()) {
+                if geotopo_geo::haversine_miles(&p, &hq) < 0.5 {
+                    found_hq = true;
+                    break;
+                }
+            }
+        }
+        assert!(found_hq, "no address ever fell through to whois HQ");
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let svc = service();
+        let ip = "99.1.2.3".parse().unwrap();
+        assert_eq!(svc.map(ip, &ctx()), svc.map(ip, &ctx()));
+    }
+
+    #[test]
+    fn name_reported() {
+        assert_eq!(service().name(), "IxMapper");
+    }
+}

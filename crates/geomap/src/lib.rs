@@ -1,0 +1,99 @@
+//! Simulated IP-geolocation services.
+//!
+//! Section III-B of the paper maps every interface to coordinates with
+//! two commercial tools: Ixia's IxMapper and Akamai's EdgeScape. Neither
+//! exists to us, so this crate simulates both *mechanistically* — the
+//! same data sources, the same fallback order, the same failure modes:
+//!
+//! - [`gazetteer`]: a built-in city/airport-code gazetteer (the location
+//!   vocabulary hostname conventions draw from).
+//! - [`hostname`]: synthesis *and parsing* of ISP router naming
+//!   conventions (`so-5-2-0.cr1.NYC2.isp0042.net` → New York). Accuracy
+//!   is city-granularity, as Padmanabhan & Subramanian measured.
+//! - [`orgdb`]: per-AS organization records (whois): names and registered
+//!   headquarters. Whois mapping is HQ-biased — "may fail in cases where
+//!   geographically dispersed hosts are mapped to an organization's
+//!   registered headquarters".
+//! - [`dnsloc`]: sparse DNS LOC records — "while accurate, are not
+//!   required and are therefore not always available".
+//! - [`ixmapper`] / [`edgescape`]: the two mapping services, with tuned
+//!   unmapped rates (paper: 1–1.5% IxMapper, 0.3–0.6% EdgeScape).
+//!
+//! Every mapper is deterministic per (tool seed, IP): remapping the same
+//! interface always yields the same answer, as with the real services.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dnsloc;
+pub mod edgescape;
+pub mod gazetteer;
+pub mod hostname;
+pub mod ixmapper;
+pub mod netgeo;
+pub mod orgdb;
+
+pub use dnsloc::DnsLocDb;
+pub use edgescape::EdgeScape;
+pub use gazetteer::{City, Gazetteer};
+pub use hostname::HostnameOracle;
+pub use ixmapper::IxMapper;
+pub use netgeo::NetGeo;
+pub use orgdb::{OrgDb, OrgRecord};
+
+use geotopo_bgp::AsId;
+use geotopo_geo::GeoPoint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+/// Ground-truth context a mapper consults (stands in for the hidden
+/// databases the real services query).
+#[derive(Debug, Clone, Copy)]
+pub struct MapContext {
+    /// The interface's true location.
+    pub true_location: GeoPoint,
+    /// The interface's true origin AS.
+    pub asn: AsId,
+}
+
+/// A geolocation service: maps an IP to estimated coordinates, or `None`
+/// when the service cannot locate the address.
+pub trait GeoMapper {
+    /// Tool name for reports ("IxMapper" / "EdgeScape").
+    fn name(&self) -> &'static str;
+
+    /// Maps one address. Deterministic per `(self, ip)`.
+    fn map(&self, ip: Ipv4Addr, ctx: &MapContext) -> Option<GeoPoint>;
+}
+
+/// Derives a deterministic per-IP RNG from a tool seed (splitmix64 over
+/// the address bits, then seeding a `StdRng`).
+pub(crate) fn ip_rng(tool_seed: u64, ip: Ipv4Addr) -> StdRng {
+    let mut z = tool_seed
+        .wrapping_add(u64::from(u32::from(ip)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x632B_E59B_D9B4_E019);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn ip_rng_is_deterministic_and_ip_sensitive() {
+        let ip1: Ipv4Addr = "1.2.3.4".parse().unwrap();
+        let ip2: Ipv4Addr = "1.2.3.5".parse().unwrap();
+        let a: f64 = ip_rng(1, ip1).random();
+        let b: f64 = ip_rng(1, ip1).random();
+        let c: f64 = ip_rng(1, ip2).random();
+        let d: f64 = ip_rng(2, ip1).random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

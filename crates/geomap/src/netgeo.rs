@@ -1,0 +1,123 @@
+//! A NetGeo-like geolocation service.
+//!
+//! "CAIDA's NetGeo is a database that contains mappings from IP
+//! addresses, domain names and AS numbers to latitude/longitude values.
+//! NetGeo's database is built using whois lookups" (Section II). It is
+//! the ancestor IxMapper extends; having it in the toolbox lets the
+//! accuracy study show *why* hostname-based mapping was worth building:
+//! whois-only mapping collapses each organization onto its registered
+//! headquarters, so geographically dispersed ASes are mapped miles —
+//! often continents — off.
+
+use crate::orgdb::OrgDb;
+use crate::{GeoMapper, MapContext};
+use geotopo_geo::GeoPoint;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Simulated NetGeo: whois lookups only.
+#[derive(Debug, Clone)]
+pub struct NetGeo {
+    orgs: OrgDb,
+    /// Probability the whois record exists and parses.
+    pub lookup_success: f64,
+    seed: u64,
+}
+
+impl NetGeo {
+    /// Creates the service over a whois registry.
+    pub fn new(seed: u64, orgs: OrgDb) -> Self {
+        NetGeo {
+            orgs,
+            lookup_success: 0.93,
+            seed,
+        }
+    }
+}
+
+impl GeoMapper for NetGeo {
+    fn name(&self) -> &'static str {
+        "NetGeo"
+    }
+
+    fn map(&self, ip: Ipv4Addr, ctx: &MapContext) -> Option<GeoPoint> {
+        let mut rng = crate::ip_rng(self.seed ^ 0x6F, ip);
+        if rng.random::<f64>() >= self.lookup_success {
+            return None;
+        }
+        self.orgs.get(ctx.asn).map(|rec| rec.headquarters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotopo_bgp::AsId;
+
+    fn service() -> NetGeo {
+        let mut orgs = OrgDb::new();
+        orgs.insert(AsId(42), "isp0042", GeoPoint::new(40.71, -74.01).unwrap());
+        NetGeo::new(5, orgs)
+    }
+
+    #[test]
+    fn maps_to_headquarters_regardless_of_true_location() {
+        let svc = service();
+        let hq = GeoPoint::new(40.71, -74.01).unwrap();
+        for (lat, lon) in [(40.7, -74.0), (34.0, -118.0), (35.68, 139.69)] {
+            let ctx = MapContext {
+                true_location: GeoPoint::new(lat, lon).unwrap(),
+                asn: AsId(42),
+            };
+            let mut mapped_any = false;
+            for i in 0..50u32 {
+                if let Some(p) = svc.map(Ipv4Addr::from(0x21000000 + i), &ctx) {
+                    assert_eq!(p, hq);
+                    mapped_any = true;
+                }
+            }
+            assert!(mapped_any);
+        }
+    }
+
+    #[test]
+    fn unknown_as_is_unmapped() {
+        let svc = service();
+        let ctx = MapContext {
+            true_location: GeoPoint::new(0.0, 0.0).unwrap(),
+            asn: AsId(999),
+        };
+        assert_eq!(svc.map("1.2.3.4".parse().unwrap(), &ctx), None);
+    }
+
+    #[test]
+    fn lookup_failure_rate() {
+        let svc = service();
+        let ctx = MapContext {
+            true_location: GeoPoint::new(40.7, -74.0).unwrap(),
+            asn: AsId(42),
+        };
+        let n = 20_000u32;
+        let unmapped = (0..n)
+            .filter(|&i| svc.map(Ipv4Addr::from(0x22000000 + i), &ctx).is_none())
+            .count();
+        let frac = unmapped as f64 / n as f64;
+        assert!((frac - 0.07).abs() < 0.02, "unmapped {frac}");
+    }
+
+    #[test]
+    fn hq_bias_error_grows_with_dispersal() {
+        // The defining failure mode: a router in Tokyo owned by a
+        // New-York-registered org maps ~6,700 miles off.
+        let svc = service();
+        let ctx = MapContext {
+            true_location: GeoPoint::new(35.68, 139.69).unwrap(),
+            asn: AsId(42),
+        };
+        let p = (0..100u32)
+            .find_map(|i| svc.map(Ipv4Addr::from(0x23000000 + i), &ctx))
+            .expect("some lookup succeeds");
+        let err = geotopo_geo::haversine_miles(&p, &ctx.true_location);
+        assert!(err > 5000.0, "error only {err} miles");
+    }
+}

@@ -1,0 +1,89 @@
+//! Organization (whois) records.
+//!
+//! "The whois lookup method is generally accurate for small organizations
+//! but may fail in cases where geographically dispersed hosts are mapped
+//! to an organization's registered headquarters" (Section III-B). This
+//! database holds each AS's registered name and headquarters; whois-based
+//! mapping returns the HQ regardless of where the queried host actually
+//! sits — reproducing exactly that bias.
+
+use geotopo_bgp::AsId;
+use geotopo_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One organization's registry record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgRecord {
+    /// Registered organization name (also the hostname domain label).
+    pub name: String,
+    /// Registered headquarters location.
+    pub headquarters: GeoPoint,
+}
+
+/// The whois registry: AS number → organization record.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OrgDb {
+    records: HashMap<AsId, OrgRecord>,
+}
+
+impl OrgDb {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a record.
+    pub fn insert(&mut self, asn: AsId, name: impl Into<String>, headquarters: GeoPoint) {
+        self.records.insert(
+            asn,
+            OrgRecord {
+                name: name.into(),
+                headquarters,
+            },
+        );
+    }
+
+    /// Looks up a record.
+    pub fn get(&self, asn: AsId) -> Option<&OrgRecord> {
+        self.records.get(&asn)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = OrgDb::new();
+        let hq = GeoPoint::new(42.36, -71.06).unwrap();
+        db.insert(AsId(111), "isp0111", hq);
+        let rec = db.get(AsId(111)).unwrap();
+        assert_eq!(rec.name, "isp0111");
+        assert_eq!(rec.headquarters, hq);
+        assert!(db.get(AsId(222)).is_none());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn replace_updates() {
+        let mut db = OrgDb::new();
+        let a = GeoPoint::new(0.0, 0.0).unwrap();
+        let b = GeoPoint::new(1.0, 1.0).unwrap();
+        db.insert(AsId(1), "old", a);
+        db.insert(AsId(1), "new", b);
+        assert_eq!(db.get(AsId(1)).unwrap().name, "new");
+        assert_eq!(db.len(), 1);
+    }
+}

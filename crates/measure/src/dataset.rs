@@ -1,0 +1,251 @@
+//! Measured-graph representation.
+//!
+//! Both collectors emit a [`MeasuredDataset`]: nodes identified by IP
+//! address and undirected links between node indices. Skitter's nodes
+//! are interfaces ("we treat interfaces as virtual nodes, and define a
+//! link to mean a connection between two adjacent interfaces"); Mercator's
+//! nodes are routers (canonical IP plus resolved aliases).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What a dataset's nodes represent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Interface-level map (Skitter).
+    Interface,
+    /// Router-level map after alias resolution (Mercator).
+    Router,
+}
+
+/// One measured node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredNode {
+    /// Canonical address (for routers: the lowest resolved alias).
+    pub ip: Ipv4Addr,
+    /// All addresses resolved to this node (empty for interface-level
+    /// datasets; includes the canonical address for router-level ones).
+    pub aliases: Vec<Ipv4Addr>,
+}
+
+/// Collection anomaly counters (the paper "discarded anomalies such as
+/// self-loops").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnomalyStats {
+    /// Self-loop link observations discarded.
+    pub self_loops: u64,
+    /// Duplicate link observations collapsed.
+    pub duplicate_links: u64,
+}
+
+/// An undirected measured graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredDataset {
+    /// Node semantics.
+    pub kind: NodeKind,
+    nodes: Vec<MeasuredNode>,
+    links: Vec<(u32, u32)>,
+    #[serde(skip)]
+    node_index: HashMap<Ipv4Addr, u32>,
+    #[serde(skip)]
+    link_set: std::collections::HashSet<(u32, u32)>,
+    /// Anomalies encountered during collection.
+    pub anomalies: AnomalyStats,
+}
+
+impl MeasuredDataset {
+    /// Creates an empty dataset.
+    pub fn new(kind: NodeKind) -> Self {
+        MeasuredDataset {
+            kind,
+            nodes: Vec::new(),
+            links: Vec::new(),
+            node_index: HashMap::new(),
+            link_set: std::collections::HashSet::new(),
+            anomalies: AnomalyStats::default(),
+        }
+    }
+
+    /// Interns a node by canonical IP, returning its index.
+    pub fn intern(&mut self, ip: Ipv4Addr) -> u32 {
+        if let Some(&i) = self.node_index.get(&ip) {
+            return i;
+        }
+        let i = self.nodes.len() as u32;
+        self.nodes.push(MeasuredNode {
+            ip,
+            aliases: Vec::new(),
+        });
+        self.node_index.insert(ip, i);
+        i
+    }
+
+    /// Registers an alias for a router-level node.
+    pub fn add_alias(&mut self, node: u32, alias: Ipv4Addr) {
+        let entry = &mut self.nodes[node as usize];
+        if !entry.aliases.contains(&alias) {
+            entry.aliases.push(alias);
+        }
+        self.node_index.insert(alias, node);
+    }
+
+    /// Records an observed adjacency between two nodes. Self-loops and
+    /// duplicates are counted as anomalies and dropped, as in the paper.
+    pub fn observe_link(&mut self, a: u32, b: u32) {
+        if a == b {
+            self.anomalies.self_loops += 1;
+            return;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if self.link_set.insert(key) {
+            self.links.push(key);
+        } else {
+            self.anomalies.duplicate_links += 1;
+        }
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Link count.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Nodes slice.
+    pub fn nodes(&self) -> &[MeasuredNode] {
+        &self.nodes
+    }
+
+    /// Links slice (indices into `nodes`).
+    pub fn links(&self) -> &[(u32, u32)] {
+        &self.links
+    }
+
+    /// Looks a node up by any of its addresses.
+    pub fn node_by_ip(&self, ip: Ipv4Addr) -> Option<u32> {
+        self.node_index.get(&ip).copied()
+    }
+
+    /// Removes the given node indices (e.g. destination-list interfaces),
+    /// dropping their incident links and compacting indices. Returns the
+    /// number of links removed.
+    pub fn remove_nodes(&mut self, remove: &std::collections::HashSet<u32>) -> usize {
+        let mut remap: Vec<Option<u32>> = vec![None; self.nodes.len()];
+        let mut kept_nodes = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.drain(..).enumerate() {
+            if !remove.contains(&(i as u32)) {
+                remap[i] = Some(kept_nodes.len() as u32);
+                kept_nodes.push(node);
+            }
+        }
+        self.nodes = kept_nodes;
+        let before = self.links.len();
+        let mut kept_links = Vec::with_capacity(self.links.len());
+        for (a, b) in self.links.drain(..) {
+            if let (Some(na), Some(nb)) = (remap[a as usize], remap[b as usize]) {
+                kept_links.push((na, nb));
+            }
+        }
+        self.links = kept_links;
+        // Rebuild indices.
+        self.node_index.clear();
+        self.link_set.clear();
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.node_index.insert(node.ip, i as u32);
+            for &a in &node.aliases {
+                self.node_index.insert(a, i as u32);
+            }
+        }
+        for &(a, b) in &self.links {
+            self.link_set.insert((a, b));
+        }
+        before - self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let a = d.intern(ip("1.1.1.1"));
+        let b = d.intern(ip("1.1.1.1"));
+        assert_eq!(a, b);
+        assert_eq!(d.num_nodes(), 1);
+    }
+
+    #[test]
+    fn self_loops_counted_and_dropped() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let a = d.intern(ip("1.1.1.1"));
+        d.observe_link(a, a);
+        assert_eq!(d.num_links(), 0);
+        assert_eq!(d.anomalies.self_loops, 1);
+    }
+
+    #[test]
+    fn duplicate_links_collapsed() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let a = d.intern(ip("1.1.1.1"));
+        let b = d.intern(ip("2.2.2.2"));
+        d.observe_link(a, b);
+        d.observe_link(b, a);
+        d.observe_link(a, b);
+        assert_eq!(d.num_links(), 1);
+        assert_eq!(d.anomalies.duplicate_links, 2);
+    }
+
+    #[test]
+    fn alias_lookup() {
+        let mut d = MeasuredDataset::new(NodeKind::Router);
+        let r = d.intern(ip("3.3.3.3"));
+        d.add_alias(r, ip("3.3.3.3"));
+        d.add_alias(r, ip("4.4.4.4"));
+        assert_eq!(d.node_by_ip(ip("4.4.4.4")), Some(r));
+        assert_eq!(d.nodes()[r as usize].aliases.len(), 2);
+    }
+
+    #[test]
+    fn remove_nodes_compacts_and_drops_links() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let a = d.intern(ip("1.0.0.1"));
+        let b = d.intern(ip("1.0.0.2"));
+        let c = d.intern(ip("1.0.0.3"));
+        d.observe_link(a, b);
+        d.observe_link(b, c);
+        d.observe_link(a, c);
+        let mut rm = std::collections::HashSet::new();
+        rm.insert(b);
+        let dropped = d.remove_nodes(&rm);
+        assert_eq!(dropped, 2);
+        assert_eq!(d.num_nodes(), 2);
+        assert_eq!(d.num_links(), 1);
+        assert!(d.node_by_ip(ip("1.0.0.2")).is_none());
+        // Remaining link connects the surviving nodes.
+        let (x, y) = d.links()[0];
+        let ips: Vec<_> = vec![d.nodes()[x as usize].ip, d.nodes()[y as usize].ip];
+        assert!(ips.contains(&ip("1.0.0.1")) && ips.contains(&ip("1.0.0.3")));
+    }
+
+    #[test]
+    fn remove_nothing_is_noop() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let a = d.intern(ip("1.0.0.1"));
+        let b = d.intern(ip("1.0.0.2"));
+        d.observe_link(a, b);
+        let dropped = d.remove_nodes(&std::collections::HashSet::new());
+        assert_eq!(dropped, 0);
+        assert_eq!(d.num_nodes(), 2);
+        assert_eq!(d.num_links(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Simulated topology measurement.
+//!
+//! The paper's two datasets come from two very different collectors, and
+//! the differences matter for every downstream number:
+//!
+//! - **Skitter** (Section III-A): ~19 monitors worldwide send hop-limited
+//!   probes to large destination lists. It observes *interfaces* (it
+//!   cannot tell which interfaces share a router), its view is biased
+//!   toward the union of shortest-path trees, and destination-list
+//!   entries (mostly end hosts) are discarded before analysis.
+//! - **Mercator**: a *single* source exploring a heuristically chosen
+//!   address space, using loose source routing to find lateral links,
+//!   and UDP-probe alias resolution to collapse interfaces into
+//!   *routers* — imperfectly ("this technique suffers from numerous
+//!   limitations").
+//!
+//! This crate reproduces both collection processes over a
+//! [`geotopo_topology::generate::GroundTruth`] world:
+//!
+//! - [`routing`]: policy-aware shortest paths (interdomain hops cost
+//!   extra, modelling BGP path inflation).
+//! - [`probe`]: TTL-style forward-path tracing that records the
+//!   *incoming interface* of each responding hop.
+//! - [`skitter`] / [`mercator`]: the two collectors.
+//! - [`dataset`]: the measured-graph representation both emit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod mercator;
+pub mod policy;
+pub mod probe;
+pub mod routing;
+pub mod skitter;
+
+pub use dataset::{MeasuredDataset, NodeKind};
+pub use policy::PolicyOracle;
+
+/// Deterministic per-router RNG used by alias resolution (success is a
+/// property of the router, stable across probes).
+pub(crate) fn alias_rng(seed: u64, router: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut z = seed
+        .wrapping_add(u64::from(router).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0xA076_1D64_78BD_642F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    rand::rngs::StdRng::seed_from_u64(z ^ (z >> 31))
+}
+pub use mercator::{Mercator, MercatorConfig};
+pub use probe::TracerouteSim;
+pub use routing::RoutingOracle;
+pub use skitter::{Skitter, SkitterConfig};

@@ -1,0 +1,336 @@
+//! Mercator-like single-source collection with alias resolution.
+//!
+//! "Mercator is run from a single host to a heuristically determined
+//! destination address space. Further, Mercator employs loose source
+//! routing to discover lateral connectivity ... Mercator employs
+//! published techniques to collapse interface IP addresses belonging to
+//! the same router to a canonical IP address for that router.
+//! Unfortunately, this technique suffers from numerous limitations."
+//!
+//! Reproduced artifacts:
+//!
+//! - single primary vantage point → strongly tree-biased raw view;
+//! - **lateral vantage points** stand in for loose source routing (the
+//!   real trick bounces probes off intermediate routers; the effect —
+//!   paths not rooted at the primary source — is the same);
+//! - **imperfect alias resolution**: each router's interfaces collapse
+//!   only with a given success probability; failures leave multiple nodes
+//!   for one router, so the router count overestimates slightly — and
+//!   alias-induced self-loops are discarded as anomalies.
+
+use crate::dataset::{MeasuredDataset, NodeKind};
+use crate::probe::TracerouteSim;
+use crate::routing::RoutingOracle;
+use geotopo_bgp::trie::PrefixTrie;
+use geotopo_bgp::AsId;
+use geotopo_topology::generate::GroundTruth;
+use geotopo_topology::RouterId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Mercator collection parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MercatorConfig {
+    /// Destination addresses probed from the primary source.
+    pub destinations: usize,
+    /// Lateral vantage routers (loose-source-routing stand-in).
+    pub lateral_sources: usize,
+    /// Fraction of destinations each lateral vantage traces.
+    pub lateral_coverage: f64,
+    /// Per-router probe-response probability.
+    pub response_prob: f64,
+    /// Per-router alias-resolution success probability.
+    pub alias_success: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MercatorConfig {
+    /// Paper-like defaults: Mercator's snapshot is considerably smaller
+    /// than Skitter's (268k vs 704k interfaces), so the destination list
+    /// is scaled down accordingly.
+    pub fn scaled(gt: &GroundTruth, seed: u64) -> Self {
+        MercatorConfig {
+            destinations: (gt.topology.num_routers() as f64 * 0.8) as usize,
+            lateral_sources: 8,
+            lateral_coverage: 0.25,
+            response_prob: 0.96,
+            alias_success: 0.85,
+            seed,
+        }
+    }
+}
+
+/// Mercator collection result.
+#[derive(Debug)]
+pub struct MercatorOutput {
+    /// The router-level dataset after alias resolution.
+    pub dataset: MeasuredDataset,
+    /// Interfaces observed before alias resolution (paper: 268,382).
+    pub raw_interfaces: usize,
+    /// The primary source router.
+    pub source: RouterId,
+}
+
+/// The Mercator collector.
+pub struct Mercator;
+
+impl Mercator {
+    /// Runs a collection over the ground-truth world.
+    pub fn collect(gt: &GroundTruth, cfg: &MercatorConfig) -> MercatorOutput {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let t = &gt.topology;
+
+        let mut truth = PrefixTrie::new();
+        for alloc in &gt.allocations {
+            for &p in &alloc.prefixes {
+                truth.insert(p, alloc.asn);
+            }
+        }
+        let mut routers_by_as: HashMap<AsId, Vec<RouterId>> = HashMap::new();
+        for (id, r) in t.routers() {
+            routers_by_as.entry(r.asn).or_default().push(id);
+        }
+
+        // Primary source: a well-connected router (Mercator ran from a
+        // single university host behind a big provider).
+        let source = t
+            .routers()
+            .max_by_key(|(id, _)| t.degree(*id))
+            .map(|(id, _)| id)
+            .expect("non-empty topology");
+
+        // Heuristic destination space: addresses inside allocations,
+        // weighted by capacity.
+        let alloc_weights: Vec<f64> = gt
+            .allocations
+            .iter()
+            .map(|a| a.capacity() as f64)
+            .collect();
+        let alloc_pick =
+            geotopo_stats::AliasTable::new(&alloc_weights).expect("non-empty allocations");
+        let mut destinations: Vec<Ipv4Addr> = Vec::with_capacity(cfg.destinations);
+        let mut seen_dst: HashSet<Ipv4Addr> = HashSet::new();
+        let mut guard = 0usize;
+        while destinations.len() < cfg.destinations && guard < cfg.destinations * 10 {
+            guard += 1;
+            let alloc = &gt.allocations[alloc_pick.sample(&mut rng)];
+            let prefix = alloc.prefixes[rng.random_range(0..alloc.prefixes.len())];
+            let Some(ip) = prefix.nth(rng.random_range(0..prefix.size())) else {
+                continue;
+            };
+            if seen_dst.insert(ip) {
+                destinations.push(ip);
+            }
+        }
+
+        let sim = TracerouteSim::new(t, cfg.response_prob, &mut rng);
+
+        // Raw interface-level adjacency observations.
+        let mut raw = MeasuredDataset::new(NodeKind::Interface);
+        let mut seen_routers: HashSet<u32> = HashSet::new();
+        let trace_into = |oracle: &RoutingOracle,
+                              dst_ip: Ipv4Addr,
+                              raw: &mut MeasuredDataset,
+                              seen_routers: &mut HashSet<u32>| {
+            let asn = match truth.lookup(dst_ip) {
+                Some((asn, _)) => *asn,
+                None => return,
+            };
+            let Some(members) = routers_by_as.get(&asn) else {
+                return;
+            };
+            let attach = members[(u32::from(dst_ip) as usize) % members.len()];
+            let Some(hops) = sim.trace(oracle, attach) else {
+                return;
+            };
+            let mut prev: Option<u32> = None;
+            for hop in &hops {
+                seen_routers.insert(hop.router.0);
+                match hop.interface {
+                    Some(iface) => {
+                        let node = raw.intern(t.interface(iface).ip);
+                        if let Some(p) = prev {
+                            raw.observe_link(p, node);
+                        }
+                        prev = Some(node);
+                    }
+                    None => prev = None,
+                }
+            }
+        };
+
+        // Primary sweep.
+        let primary = RoutingOracle::new(t, source);
+        for &dst in &destinations {
+            trace_into(&primary, dst, &mut raw, &mut seen_routers);
+        }
+
+        // Lateral vantage sweeps (loose-source-routing effect): re-probe
+        // a subset of the space from routers discovered by the primary.
+        let mut discovered: Vec<u32> = seen_routers.iter().copied().collect();
+        // HashSet iteration order is process-random; sort so vantage
+        // choice is a pure function of the seed.
+        discovered.sort_unstable();
+        if !discovered.is_empty() {
+            for _ in 0..cfg.lateral_sources {
+                let vantage = RouterId(discovered[rng.random_range(0..discovered.len())]);
+                let oracle = RoutingOracle::new(t, vantage);
+                for &dst in &destinations {
+                    if rng.random::<f64>() < cfg.lateral_coverage {
+                        trace_into(&oracle, dst, &mut raw, &mut seen_routers);
+                    }
+                }
+            }
+        }
+
+        // Alias resolution: collapse interfaces of a router into one node
+        // when the UDP-probe technique succeeds for that router.
+        let mut resolvable: HashMap<u32, bool> = HashMap::new();
+        let mut canonical: HashMap<u32, Ipv4Addr> = HashMap::new(); // router -> canonical ip
+        let mut node_target: Vec<Ipv4Addr> = Vec::with_capacity(raw.num_nodes());
+        for node in raw.nodes() {
+            let router = t
+                .router_by_ip(node.ip)
+                .expect("observed interfaces exist in ground truth");
+            let ok = *resolvable.entry(router.0).or_insert_with(|| {
+                let mut r = crate::alias_rng(cfg.seed, router.0);
+                r.random::<f64>() < cfg.alias_success
+            });
+            if ok {
+                let canon = canonical.entry(router.0).or_insert(node.ip);
+                if node.ip < *canon {
+                    *canon = node.ip;
+                }
+            }
+            node_target.push(node.ip); // placeholder, resolved below
+        }
+        // Second pass now that canonical IPs are final.
+        for (i, node) in raw.nodes().iter().enumerate() {
+            let router = t.router_by_ip(node.ip).expect("checked above");
+            if resolvable[&router.0] {
+                node_target[i] = canonical[&router.0];
+            }
+        }
+
+        let mut dataset = MeasuredDataset::new(NodeKind::Router);
+        let mut merged: HashMap<Ipv4Addr, u32> = HashMap::new();
+        let mut raw_to_new: Vec<u32> = Vec::with_capacity(raw.num_nodes());
+        for (i, node) in raw.nodes().iter().enumerate() {
+            let canon = node_target[i];
+            let new = *merged.entry(canon).or_insert_with(|| dataset.intern(canon));
+            dataset.add_alias(new, node.ip);
+            raw_to_new.push(new);
+        }
+        for &(a, b) in raw.links() {
+            dataset.observe_link(raw_to_new[a as usize], raw_to_new[b as usize]);
+        }
+
+        MercatorOutput {
+            raw_interfaces: raw.num_nodes(),
+            dataset,
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotopo_topology::generate::GroundTruthConfig;
+
+    fn world() -> GroundTruth {
+        GroundTruth::generate(GroundTruthConfig::tiny(99)).unwrap()
+    }
+
+    fn cfg(seed: u64) -> MercatorConfig {
+        MercatorConfig {
+            destinations: 800,
+            lateral_sources: 4,
+            lateral_coverage: 0.3,
+            response_prob: 0.97,
+            alias_success: 0.85,
+            seed,
+        }
+    }
+
+    #[test]
+    fn collects_router_level_dataset() {
+        let gt = world();
+        let out = Mercator::collect(&gt, &cfg(1));
+        assert_eq!(out.dataset.kind, NodeKind::Router);
+        assert!(out.dataset.num_nodes() > 50);
+        assert!(out.dataset.num_links() > 50);
+    }
+
+    #[test]
+    fn alias_resolution_shrinks_the_node_set() {
+        let gt = world();
+        let out = Mercator::collect(&gt, &cfg(2));
+        assert!(
+            out.dataset.num_nodes() < out.raw_interfaces,
+            "{} !< {}",
+            out.dataset.num_nodes(),
+            out.raw_interfaces
+        );
+    }
+
+    #[test]
+    fn perfect_aliasing_yields_true_router_count_upper_bound() {
+        let gt = world();
+        let mut c = cfg(3);
+        c.alias_success = 1.0;
+        let out = Mercator::collect(&gt, &c);
+        // With perfect resolution every node is a distinct true router.
+        assert!(out.dataset.num_nodes() <= gt.topology.num_routers());
+        let mut routers = HashSet::new();
+        for node in out.dataset.nodes() {
+            let r = gt.topology.router_by_ip(node.ip).unwrap();
+            assert!(routers.insert(r), "two nodes map to router {r:?}");
+        }
+    }
+
+    #[test]
+    fn failed_aliasing_inflates_node_count() {
+        let gt = world();
+        let mut perfect = cfg(4);
+        perfect.alias_success = 1.0;
+        let mut broken = cfg(4);
+        broken.alias_success = 0.0;
+        let p = Mercator::collect(&gt, &perfect);
+        let b = Mercator::collect(&gt, &broken);
+        assert!(b.dataset.num_nodes() > p.dataset.num_nodes());
+        // With no aliasing the node count equals raw interfaces.
+        assert_eq!(b.dataset.num_nodes(), b.raw_interfaces);
+    }
+
+    #[test]
+    fn lateral_vantages_add_links() {
+        let gt = world();
+        let mut no_lateral = cfg(5);
+        no_lateral.lateral_sources = 0;
+        let mut with_lateral = cfg(5);
+        with_lateral.lateral_sources = 8;
+        with_lateral.lateral_coverage = 0.5;
+        let a = Mercator::collect(&gt, &no_lateral);
+        let b = Mercator::collect(&gt, &with_lateral);
+        assert!(
+            b.dataset.num_links() > a.dataset.num_links(),
+            "{} !> {}",
+            b.dataset.num_links(),
+            a.dataset.num_links()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gt = world();
+        let a = Mercator::collect(&gt, &cfg(6));
+        let b = Mercator::collect(&gt, &cfg(6));
+        assert_eq!(a.dataset.num_nodes(), b.dataset.num_nodes());
+        assert_eq!(a.dataset.num_links(), b.dataset.num_links());
+    }
+}

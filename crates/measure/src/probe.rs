@@ -1,0 +1,156 @@
+//! Forward-path (traceroute) probing.
+//!
+//! "Intermediate routers which respond to packets with expired TTL values
+//! transmit an ICMP message back to the source. Contained within this
+//! packet is the IP address of an interface on the router" — the
+//! *incoming* interface, in real traceroute and here.
+//!
+//! Routers that do not respond (rate-limiting, ICMP disabled) leave gaps;
+//! a gap breaks the adjacent-interface chain so no false link spans it.
+
+use crate::routing::RoutingOracle;
+use geotopo_topology::{InterfaceId, RouterId, Topology};
+use rand::Rng;
+
+/// A traced hop: the responding router and the interface it reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The router at this hop.
+    pub router: RouterId,
+    /// The reported (incoming) interface, `None` if the router stayed
+    /// silent.
+    pub interface: Option<InterfaceId>,
+}
+
+/// Traceroute simulation over a topology.
+#[derive(Debug)]
+pub struct TracerouteSim<'a> {
+    topology: &'a Topology,
+    /// Per-router responsiveness (drawn once; silent routers are silent
+    /// for every probe, like ICMP-disabled boxes).
+    responsive: Vec<bool>,
+}
+
+impl<'a> TracerouteSim<'a> {
+    /// Creates a simulator where each router responds with probability
+    /// `response_prob`, drawn once per router from `rng`.
+    pub fn new<R: Rng + ?Sized>(topology: &'a Topology, response_prob: f64, rng: &mut R) -> Self {
+        let responsive = (0..topology.num_routers())
+            .map(|_| rng.random::<f64>() < response_prob)
+            .collect();
+        TracerouteSim {
+            topology,
+            responsive,
+        }
+    }
+
+    /// Whether a router answers probes.
+    pub fn is_responsive(&self, r: RouterId) -> bool {
+        self.responsive[r.0 as usize]
+    }
+
+    /// Traces from the oracle's source to `dst`, returning the hop list
+    /// *after* the source (the source itself emits, it does not report).
+    /// Returns `None` if the destination is unreachable.
+    pub fn trace(&self, oracle: &RoutingOracle, dst: RouterId) -> Option<Vec<Hop>> {
+        let path = oracle.path(dst)?;
+        let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
+        for w in path.windows(2) {
+            let (prev, cur) = (w[0], w[1]);
+            let interface = if self.responsive[cur.0 as usize] {
+                // The ICMP source address is the interface the probe
+                // arrived on: the one facing `prev`.
+                self.topology.interface_between(cur, prev)
+            } else {
+                None
+            };
+            hops.push(Hop {
+                router: cur,
+                interface,
+            });
+        }
+        Some(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotopo_bgp::AsId;
+    use geotopo_geo::GeoPoint;
+    use geotopo_topology::TopologyBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_topology(n: usize) -> (geotopo_topology::Topology, Vec<RouterId>) {
+        let mut b = TopologyBuilder::new();
+        let r: Vec<_> = (0..n)
+            .map(|i| b.add_router(GeoPoint::new(10.0 + i as f64 * 0.1, 10.0).unwrap(), AsId(1)))
+            .collect();
+        for w in r.windows(2) {
+            b.add_link_auto(w[0], w[1]).unwrap();
+        }
+        (b.build(), r)
+    }
+
+    #[test]
+    fn trace_reports_incoming_interfaces() {
+        let (t, r) = line_topology(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sim = TracerouteSim::new(&t, 1.0, &mut rng);
+        let oracle = RoutingOracle::new(&t, r[0]);
+        let hops = sim.trace(&oracle, r[3]).unwrap();
+        assert_eq!(hops.len(), 3);
+        for (i, hop) in hops.iter().enumerate() {
+            assert_eq!(hop.router, r[i + 1]);
+            let iface = hop.interface.unwrap();
+            // The reported interface belongs to the hop router and faces
+            // the previous router.
+            assert_eq!(t.interface(iface).router, r[i + 1]);
+            assert_eq!(t.interface_between(r[i + 1], r[i]), Some(iface));
+        }
+    }
+
+    #[test]
+    fn unresponsive_routers_leave_gaps() {
+        let (t, r) = line_topology(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sim = TracerouteSim::new(&t, 0.0, &mut rng);
+        let oracle = RoutingOracle::new(&t, r[0]);
+        let hops = sim.trace(&oracle, r[4]).unwrap();
+        assert_eq!(hops.len(), 4);
+        assert!(hops.iter().all(|h| h.interface.is_none()));
+    }
+
+    #[test]
+    fn unreachable_destination_is_none() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_router(GeoPoint::new(0.0, 0.0).unwrap(), AsId(1));
+        let z = b.add_router(GeoPoint::new(1.0, 1.0).unwrap(), AsId(1));
+        let t = b.build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sim = TracerouteSim::new(&t, 1.0, &mut rng);
+        let oracle = RoutingOracle::new(&t, a);
+        assert!(sim.trace(&oracle, z).is_none());
+    }
+
+    #[test]
+    fn silence_is_stable_across_probes() {
+        let (t, r) = line_topology(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sim = TracerouteSim::new(&t, 0.5, &mut rng);
+        let oracle = RoutingOracle::new(&t, r[0]);
+        let h1 = sim.trace(&oracle, r[9]).unwrap();
+        let h2 = sim.trace(&oracle, r[9]).unwrap();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn trace_to_source_is_empty() {
+        let (t, r) = line_topology(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sim = TracerouteSim::new(&t, 1.0, &mut rng);
+        let oracle = RoutingOracle::new(&t, r[0]);
+        assert_eq!(sim.trace(&oracle, r[0]).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Policy-aware shortest-path routing.
+//!
+//! Probe packets follow the network's actual forwarding paths, which are
+//! not geographic shortest paths: interdomain hops are comparatively
+//! expensive (BGP prefers staying inside a domain — a coarse model of
+//! policy path inflation). We run Dijkstra per source with integer costs:
+//! intradomain hop = 10, interdomain hop = 30.
+
+use geotopo_topology::{RouterId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-hop cost of an intradomain link.
+pub const INTRA_COST: u64 = 10;
+/// Per-hop cost of an interdomain link.
+pub const INTER_COST: u64 = 30;
+
+/// A shortest-path forest from one source over a topology.
+#[derive(Debug, Clone)]
+pub struct RoutingOracle {
+    source: RouterId,
+    /// Parent of each router on its path from the source (`None` for the
+    /// source itself and for unreachable routers).
+    parent: Vec<Option<RouterId>>,
+    /// Distance in cost units (`u64::MAX` = unreachable).
+    dist: Vec<u64>,
+}
+
+impl RoutingOracle {
+    /// Runs Dijkstra from `source`.
+    pub fn new(topology: &Topology, source: RouterId) -> Self {
+        let n = topology.num_routers();
+        let mut dist = vec![u64::MAX; n];
+        let mut parent: Vec<Option<RouterId>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[source.0 as usize] = 0;
+        heap.push(Reverse((0, source.0)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, link) in topology.neighbors(RouterId(u)) {
+                let w = if topology.is_interdomain(link) {
+                    INTER_COST
+                } else {
+                    INTRA_COST
+                };
+                let nd = d + w;
+                if nd < dist[v.0 as usize] {
+                    dist[v.0 as usize] = nd;
+                    parent[v.0 as usize] = Some(RouterId(u));
+                    heap.push(Reverse((nd, v.0)));
+                }
+            }
+        }
+        RoutingOracle {
+            source,
+            parent,
+            dist,
+        }
+    }
+
+    /// The source router.
+    pub fn source(&self) -> RouterId {
+        self.source
+    }
+
+    /// Whether `dst` is reachable from the source.
+    pub fn reachable(&self, dst: RouterId) -> bool {
+        self.dist[dst.0 as usize] != u64::MAX
+    }
+
+    /// Path cost to `dst`, if reachable.
+    pub fn cost(&self, dst: RouterId) -> Option<u64> {
+        match self.dist[dst.0 as usize] {
+            u64::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// The router path source → `dst` inclusive, or `None` if
+    /// unreachable.
+    pub fn path(&self, dst: RouterId) -> Option<Vec<RouterId>> {
+        if !self.reachable(dst) {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = self.parent[cur.0 as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotopo_bgp::AsId;
+    use geotopo_geo::GeoPoint;
+    use geotopo_topology::TopologyBuilder;
+
+    fn loc(i: usize) -> GeoPoint {
+        GeoPoint::new(10.0 + i as f64 * 0.1, 10.0).unwrap()
+    }
+
+    #[test]
+    fn path_on_a_line() {
+        let mut b = TopologyBuilder::new();
+        let r: Vec<_> = (0..5).map(|i| b.add_router(loc(i), AsId(1))).collect();
+        for w in r.windows(2) {
+            b.add_link_auto(w[0], w[1]).unwrap();
+        }
+        let t = b.build();
+        let oracle = RoutingOracle::new(&t, r[0]);
+        assert_eq!(oracle.path(r[4]).unwrap(), r);
+        assert_eq!(oracle.cost(r[4]), Some(4 * INTRA_COST));
+        assert_eq!(oracle.path(r[0]).unwrap(), vec![r[0]]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_router(loc(0), AsId(1));
+        let c = b.add_router(loc(1), AsId(1));
+        let t = b.build();
+        let oracle = RoutingOracle::new(&t, a);
+        assert!(!oracle.reachable(c));
+        assert_eq!(oracle.path(c), None);
+        assert_eq!(oracle.cost(c), None);
+    }
+
+    #[test]
+    fn avoids_interdomain_detour() {
+        // a -(intra)- b -(intra)- d   versus   a -(inter)- c -(inter)- d:
+        // the intra path has cost 20, the inter path 60.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_router(loc(0), AsId(1));
+        let bb = b.add_router(loc(1), AsId(1));
+        let c = b.add_router(loc(2), AsId(2));
+        let d = b.add_router(loc(3), AsId(1));
+        b.add_link_auto(a, bb).unwrap();
+        b.add_link_auto(bb, d).unwrap();
+        b.add_link_auto(a, c).unwrap();
+        b.add_link_auto(c, d).unwrap();
+        let t = b.build();
+        let oracle = RoutingOracle::new(&t, a);
+        assert_eq!(oracle.path(d).unwrap(), vec![a, bb, d]);
+    }
+
+    #[test]
+    fn interdomain_taken_when_shorter_overall() {
+        // Direct interdomain link (cost 30) vs 5-hop intra detour (50).
+        let mut b = TopologyBuilder::new();
+        let a = b.add_router(loc(0), AsId(1));
+        let z = b.add_router(loc(9), AsId(2));
+        b.add_link_auto(a, z).unwrap();
+        let mut chain = vec![a];
+        for i in 1..5 {
+            let r = b.add_router(loc(i), AsId(1));
+            b.add_link_auto(*chain.last().unwrap(), r).unwrap();
+            chain.push(r);
+        }
+        // Chain tail links interdomain to z as well (longer).
+        b.add_link_auto(*chain.last().unwrap(), z).unwrap();
+        let t = b.build();
+        let oracle = RoutingOracle::new(&t, a);
+        assert_eq!(oracle.path(z).unwrap(), vec![a, z]);
+        assert_eq!(oracle.cost(z), Some(INTER_COST));
+    }
+
+    #[test]
+    fn paths_form_a_tree() {
+        // Every path is a prefix-consistent tree walk: parent pointers
+        // never cycle.
+        let mut b = TopologyBuilder::new();
+        let r: Vec<_> = (0..30).map(|i| b.add_router(loc(i), AsId(1))).collect();
+        for i in 1..30 {
+            b.add_link_auto(r[i], r[i / 2]).unwrap();
+        }
+        let t = b.build();
+        let oracle = RoutingOracle::new(&t, r[0]);
+        for &dst in &r {
+            let p = oracle.path(dst).unwrap();
+            assert_eq!(p[0], r[0]);
+            assert_eq!(*p.last().unwrap(), dst);
+            assert!(p.len() <= 30);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for measurement invariants.
+
+use geotopo_bgp::AsId;
+use geotopo_geo::GeoPoint;
+use geotopo_measure::dataset::{MeasuredDataset, NodeKind};
+use geotopo_measure::routing::RoutingOracle;
+use geotopo_topology::{RouterId, TopologyBuilder};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn build(n: usize, edges: &[(u32, u32)]) -> geotopo_topology::Topology {
+    let mut b = TopologyBuilder::new();
+    for i in 0..n {
+        b.add_router(
+            GeoPoint::new(10.0 + (i % 50) as f64, 20.0 + (i / 50) as f64).unwrap(),
+            AsId((i % 4) as u32 + 1),
+        );
+    }
+    for &(a, bb) in edges {
+        let _ = b.add_link_auto(RouterId(a), RouterId(bb));
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn routing_paths_are_simple_and_anchored(
+        edges in prop::collection::vec((0u32..20, 0u32..20), 1..60),
+        src in 0u32..20,
+        dst in 0u32..20,
+    ) {
+        let t = build(20, &edges);
+        let oracle = RoutingOracle::new(&t, RouterId(src));
+        if let Some(path) = oracle.path(RouterId(dst)) {
+            prop_assert_eq!(path[0], RouterId(src));
+            prop_assert_eq!(*path.last().unwrap(), RouterId(dst));
+            // No repeated routers (shortest paths are simple).
+            let set: std::collections::HashSet<_> = path.iter().collect();
+            prop_assert_eq!(set.len(), path.len());
+            // Consecutive hops are adjacent.
+            for w in path.windows(2) {
+                prop_assert!(
+                    t.neighbors(w[0]).iter().any(|(r, _)| *r == w[1]),
+                    "non-adjacent hop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routing_cost_is_monotone_along_path(
+        edges in prop::collection::vec((0u32..15, 0u32..15), 1..40),
+        src in 0u32..15,
+    ) {
+        let t = build(15, &edges);
+        let oracle = RoutingOracle::new(&t, RouterId(src));
+        for dst in 0..15u32 {
+            if let Some(path) = oracle.path(RouterId(dst)) {
+                let mut prev = 0;
+                for &hop in &path {
+                    let c = oracle.cost(hop).expect("on-path hops are reachable");
+                    prop_assert!(c >= prev);
+                    prev = c;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_links_reference_valid_nodes(
+        ips in prop::collection::vec(any::<u32>(), 2..40),
+        pairs in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let nodes: Vec<u32> = ips.iter().map(|&b| d.intern(Ipv4Addr::from(b))).collect();
+        for (a, b) in pairs {
+            d.observe_link(nodes[a % nodes.len()], nodes[b % nodes.len()]);
+        }
+        let n = d.num_nodes() as u32;
+        for &(a, b) in d.links() {
+            prop_assert!(a < n && b < n);
+            prop_assert!(a != b);
+        }
+        // Interning is injective on distinct IPs.
+        let distinct: std::collections::HashSet<_> = ips.iter().collect();
+        prop_assert_eq!(d.num_nodes(), distinct.len());
+    }
+
+    #[test]
+    fn remove_nodes_preserves_remaining_structure(
+        ips in prop::collection::vec(any::<u32>(), 3..30),
+        pairs in prop::collection::vec((0usize..30, 0usize..30), 0..60),
+        victim in 0usize..30,
+    ) {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let nodes: Vec<u32> = ips.iter().map(|&b| d.intern(Ipv4Addr::from(b))).collect();
+        for (a, b) in pairs {
+            d.observe_link(nodes[a % nodes.len()], nodes[b % nodes.len()]);
+        }
+        let before_nodes = d.num_nodes();
+        let surviving_ips: Vec<Ipv4Addr> = d
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim % before_nodes)
+            .map(|(_, n)| n.ip)
+            .collect();
+        let mut rm = std::collections::HashSet::new();
+        rm.insert((victim % before_nodes) as u32);
+        d.remove_nodes(&rm);
+        prop_assert_eq!(d.num_nodes(), before_nodes - 1);
+        // Every surviving IP still resolves, to a valid index.
+        for ip in surviving_ips {
+            let idx = d.node_by_ip(ip).expect("survivor resolvable");
+            prop_assert_eq!(d.nodes()[idx as usize].ip, ip);
+        }
+        let n = d.num_nodes() as u32;
+        for &(a, b) in d.links() {
+            prop_assert!(a < n && b < n && a != b);
+        }
+    }
+}

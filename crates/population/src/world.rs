@@ -1,0 +1,186 @@
+//! The paper's world economic model.
+//!
+//! Table III tabulates, per economic region: population (CIESIN), number
+//! of Skitter interfaces mapped into the region, and online users (Nua
+//! surveys). The table's headline observation: people-per-interface
+//! varies by a factor >100 across regions, while online-users-per-
+//! interface varies only ~4×. Our synthetic world is calibrated against
+//! these constants so the reproduced Table III exhibits the same two
+//! spreads.
+
+use crate::synth::SyntheticPopulation;
+use geotopo_geo::{Region, RegionSet};
+use serde::{Deserialize, Serialize};
+
+/// Economic calibration for one world region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EconomicProfile {
+    /// The region box.
+    pub region: Region,
+    /// Total population, persons (paper's Table III, CIESIN).
+    pub population: f64,
+    /// Online users, persons (paper's Table III, Nua).
+    pub online_users: f64,
+    /// Whether the region is economically developed (drives the synthetic
+    /// population profile and infrastructure density).
+    pub developed: bool,
+}
+
+impl EconomicProfile {
+    /// Online penetration: fraction of the population that is online.
+    pub fn online_fraction(&self) -> f64 {
+        if self.population > 0.0 {
+            self.online_users / self.population
+        } else {
+            0.0
+        }
+    }
+
+    /// The synthetic-population generator configuration for this region.
+    pub fn population_config(&self) -> SyntheticPopulation {
+        if self.developed {
+            SyntheticPopulation::developed(self.region.clone(), self.population)
+        } else {
+            SyntheticPopulation::developing(self.region.clone(), self.population)
+        }
+    }
+}
+
+/// The world: all economic regions of the paper's Table III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldModel {
+    /// Per-region profiles, in Table III row order.
+    pub regions: Vec<EconomicProfile>,
+}
+
+impl WorldModel {
+    /// Builds the world model with the paper's Table III constants.
+    ///
+    /// Population and online-user counts are the paper's values
+    /// (millions): Africa 837/4.15, South America 341/21.9, Mexico
+    /// 154/3.42, W. Europe 366/143, Japan 136/47.1, Australia 18/10.1,
+    /// USA 299/166.
+    pub fn paper() -> Self {
+        let m = 1e6;
+        let regions = RegionSet::economic_regions();
+        let by_name = |name: &str| -> Region {
+            regions
+                .iter()
+                .find(|r| r.name == name)
+                .cloned()
+                .unwrap_or_else(|| panic!("region {name} missing"))
+        };
+        WorldModel {
+            regions: vec![
+                EconomicProfile {
+                    region: by_name("Africa"),
+                    population: 837.0 * m,
+                    online_users: 4.15 * m,
+                    developed: false,
+                },
+                EconomicProfile {
+                    region: by_name("South America"),
+                    population: 341.0 * m,
+                    online_users: 21.9 * m,
+                    developed: false,
+                },
+                EconomicProfile {
+                    region: by_name("Mexico"),
+                    population: 154.0 * m,
+                    online_users: 3.42 * m,
+                    developed: false,
+                },
+                EconomicProfile {
+                    region: by_name("W. Europe"),
+                    population: 366.0 * m,
+                    online_users: 143.0 * m,
+                    developed: true,
+                },
+                EconomicProfile {
+                    region: by_name("Japan"),
+                    population: 136.0 * m,
+                    online_users: 47.1 * m,
+                    developed: true,
+                },
+                EconomicProfile {
+                    region: by_name("Australia"),
+                    population: 18.0 * m,
+                    online_users: 10.1 * m,
+                    developed: true,
+                },
+                EconomicProfile {
+                    region: by_name("USA"),
+                    population: 299.0 * m,
+                    online_users: 166.0 * m,
+                    developed: true,
+                },
+            ],
+        }
+    }
+
+    /// World totals (paper: 5,653M people, 513M online). Our totals are
+    /// the sums over modelled regions, which cover less than the globe.
+    pub fn total_population(&self) -> f64 {
+        self.regions.iter().map(|r| r.population).sum()
+    }
+
+    /// Total online users over modelled regions.
+    pub fn total_online(&self) -> f64 {
+        self.regions.iter().map(|r| r.online_users).sum()
+    }
+
+    /// Looks up a profile by region name.
+    pub fn profile(&self, name: &str) -> Option<&EconomicProfile> {
+        self.regions.iter().find(|r| r.region.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_present() {
+        let w = WorldModel::paper();
+        assert_eq!(w.regions.len(), 7);
+        let usa = w.profile("USA").unwrap();
+        assert_eq!(usa.population, 299e6);
+        assert_eq!(usa.online_users, 166e6);
+        assert!(usa.developed);
+        let africa = w.profile("Africa").unwrap();
+        assert!(!africa.developed);
+    }
+
+    #[test]
+    fn online_fraction_sane() {
+        let w = WorldModel::paper();
+        for r in &w.regions {
+            let f = r.online_fraction();
+            assert!((0.0..=1.0).contains(&f), "{}: {f}", r.region.name);
+        }
+        // USA penetration (~55%) far exceeds Africa (~0.5%).
+        assert!(w.profile("USA").unwrap().online_fraction() > 0.5);
+        assert!(w.profile("Africa").unwrap().online_fraction() < 0.01);
+    }
+
+    #[test]
+    fn totals_sum_regions() {
+        let w = WorldModel::paper();
+        assert!((w.total_population() - 2151e6).abs() < 1e6);
+        assert!((w.total_online() - 395.67e6).abs() < 1e6);
+    }
+
+    #[test]
+    fn unknown_region_is_none() {
+        assert!(WorldModel::paper().profile("Atlantis").is_none());
+    }
+
+    #[test]
+    fn population_config_matches_development() {
+        let w = WorldModel::paper();
+        let us_cfg = w.profile("USA").unwrap().population_config();
+        let af_cfg = w.profile("Africa").unwrap().population_config();
+        assert!(us_cfg.rural_fraction < af_cfg.rural_fraction);
+        assert!(us_cfg.n_cities > af_cfg.n_cities);
+    }
+}

@@ -1,0 +1,123 @@
+//! Bootstrap confidence intervals for regression slopes.
+//!
+//! The paper annotates fitted slopes (Figure 2's α, Figure 5's decay)
+//! without error bars; reproducing responsibly means knowing how tight
+//! those estimates are. Pair-resampling bootstrap gives percentile
+//! intervals without distributional assumptions.
+
+use crate::regression::{fit_line, LinearFit};
+use rand::Rng;
+
+/// A bootstrap percentile confidence interval for a fitted slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlopeCi {
+    /// Point estimate (fit on the full sample).
+    pub slope: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Resamples that produced a valid fit.
+    pub resamples: usize,
+}
+
+/// Pair-resampling bootstrap CI for the slope of `y ~ x`.
+///
+/// `level` is the two-sided confidence level (e.g. 0.95). Returns `None`
+/// if the full-sample fit fails or fewer than 10 resamples fit.
+pub fn bootstrap_slope_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    ys: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<SlopeCi> {
+    let full: LinearFit = fit_line(xs, ys).ok()?;
+    let n = xs.len().min(ys.len());
+    if n < 3 || !(0.0..1.0).contains(&level) {
+        return None;
+    }
+    let mut slopes = Vec::with_capacity(resamples);
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let k = rng.random_range(0..n);
+            bx[i] = xs[k];
+            by[i] = ys[k];
+        }
+        if let Ok(fit) = fit_line(&bx, &by) {
+            slopes.push(fit.slope);
+        }
+    }
+    if slopes.len() < 10 {
+        return None;
+    }
+    slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite slopes"));
+    let tail = (1.0 - level) / 2.0;
+    let lo_idx = ((slopes.len() as f64) * tail).floor() as usize;
+    let hi_idx = (((slopes.len() as f64) * (1.0 - tail)).ceil() as usize)
+        .min(slopes.len())
+        .saturating_sub(1);
+    Some(SlopeCi {
+        slope: full.slope,
+        lo: slopes[lo_idx],
+        hi: slopes[hi_idx],
+        resamples: slopes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_line_has_tight_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ci = bootstrap_slope_ci(&xs, &ys, 200, 0.95, &mut rng).unwrap();
+        assert!((ci.slope - 2.0).abs() < 1e-9);
+        assert!((ci.hi - ci.lo) < 1e-6, "interval [{}, {}]", ci.lo, ci.hi);
+    }
+
+    #[test]
+    fn noisy_line_interval_contains_truth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..300).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.5 * x + rng.random_range(-3.0..3.0))
+            .collect();
+        let ci = bootstrap_slope_ci(&xs, &ys, 400, 0.95, &mut rng).unwrap();
+        assert!(ci.lo < 1.5 && 1.5 < ci.hi, "[{}, {}]", ci.lo, ci.hi);
+        assert!(ci.hi - ci.lo < 0.2, "interval too wide");
+    }
+
+    #[test]
+    fn interval_widens_with_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let mk = |noise: f64, rng: &mut StdRng| -> Vec<f64> {
+            xs.iter()
+                .map(|x| x + rng.random_range(-noise..noise))
+                .collect()
+        };
+        let quiet = mk(0.5, &mut rng);
+        let loud = mk(8.0, &mut rng);
+        let ci_q = bootstrap_slope_ci(&xs, &quiet, 300, 0.95, &mut rng).unwrap();
+        let ci_l = bootstrap_slope_ci(&xs, &loud, 300, 0.95, &mut rng).unwrap();
+        assert!(ci_l.hi - ci_l.lo > ci_q.hi - ci_q.lo);
+    }
+
+    #[test]
+    fn degenerate_inputs_none() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(bootstrap_slope_ci(&[1.0, 2.0], &[1.0, 2.0], 100, 0.95, &mut rng).is_none());
+        assert!(bootstrap_slope_ci(&[], &[], 100, 0.95, &mut rng).is_none());
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(bootstrap_slope_ci(&xs, &xs, 100, 1.5, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Correlation coefficients.
+//!
+//! Figure 8 compares three measures of AS size pairwise ("each pair of
+//! measures shows correlation ... the strongest correlation (tightest
+//! scatterplot) appears to be that between number of interfaces and number
+//! of locations"). We quantify the scatterplots with Pearson correlation
+//! (on log-transformed measures, matching the log-log axes) and Spearman
+//! rank correlation (robust to the heavy tails).
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` if lengths differ, fewer than two finite pairs exist,
+/// or either marginal has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() {
+        return None;
+    }
+    let pairs: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in &pairs {
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation of mid-ranks
+/// (ties receive the average of the ranks they span).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() {
+        return None;
+    }
+    let keep: Vec<usize> = (0..xs.len())
+        .filter(|&i| xs[i].is_finite() && ys[i].is_finite())
+        .collect();
+    if keep.len() < 2 {
+        return None;
+    }
+    let fx: Vec<f64> = keep.iter().map(|&i| xs[i]).collect();
+    let fy: Vec<f64> = keep.iter().map(|&i| ys[i]).collect();
+    let rx = midranks(&fx);
+    let ry = midranks(&fy);
+    pearson(&rx, &ry)
+}
+
+/// Assigns mid-ranks (1-based; ties share the average rank).
+fn midranks(vals: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..vals.len()).collect();
+    idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).expect("finite values"));
+    let mut ranks = vec![0.0; vals.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && vals[idx[j + 1]] == vals[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_near_zero() {
+        // Symmetric pattern with zero linear association.
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let ys = [4.0, 1.0, 0.0, 1.0, 4.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        // Pearson is dragged below 1 by the curvature; Spearman is exactly 1.
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys).unwrap() < 0.99);
+    }
+
+    #[test]
+    fn handles_ties_in_ranks() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let s = spearman(&xs, &ys).unwrap();
+        assert!(s > 0.9 && s <= 1.0, "s = {s}");
+    }
+
+    #[test]
+    fn degenerate_cases_none() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None); // zero x-variance
+        assert_eq!(pearson(&[1.0], &[1.0]), None); // too few
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None); // mismatch
+        assert_eq!(spearman(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn nonfinite_pairs_dropped() {
+        let xs = [1.0, 2.0, f64::NAN, 3.0];
+        let ys = [2.0, 4.0, 5.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midranks_with_ties() {
+        let r = midranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        assert!((pearson(&xs, &ys).unwrap() - pearson(&ys, &xs).unwrap()).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - spearman(&ys, &xs).unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper argues its "principle results are consistent across both
+//! mapping tools" by re-plotting everything under EdgeScape. The KS
+//! statistic lets us make that robustness check quantitative: compare
+//! the link-length (or hull-area, or AS-size) distributions produced
+//! under the two mappers and test whether they could come from the same
+//! underlying distribution.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic: the supremum distance between the two ECDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+    /// Effective sample size `n·m/(n+m)`.
+    pub effective_n: f64,
+}
+
+/// Two-sample KS test. Non-finite values are dropped. Returns `None`
+/// if either sample is empty after filtering.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
+    let mut xa: Vec<f64> = a.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut xb: Vec<f64> = b.iter().copied().filter(|v| v.is_finite()).collect();
+    if xa.is_empty() || xb.is_empty() {
+        return None;
+    }
+    xa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    xb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (n, m) = (xa.len(), xb.len());
+    // Walk both sorted samples, tracking the ECDF gap.
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d = 0.0f64;
+    while i < n && j < m {
+        let x = xa[i].min(xb[j]);
+        while i < n && xa[i] <= x {
+            i += 1;
+        }
+        while j < m && xb[j] <= x {
+            j += 1;
+        }
+        let gap = (i as f64 / n as f64 - j as f64 / m as f64).abs();
+        if gap > d {
+            d = gap;
+        }
+    }
+    let effective_n = (n as f64 * m as f64) / (n + m) as f64;
+    let lambda = (effective_n.sqrt() + 0.12 + 0.11 / effective_n.sqrt()) * d;
+    Some(KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        effective_n,
+    })
+}
+
+/// Kolmogorov survival function Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let r = ks_two_sample(&a, &a).unwrap();
+        assert!(r.statistic < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| 1000.0 + i as f64).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn same_distribution_high_p() {
+        // Two deterministic interleaved samples of the same uniform grid.
+        let a: Vec<f64> = (0..1000).map(|i| (2 * i) as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| (2 * i + 1) as f64).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.p_value > 0.5, "p {} stat {}", r.p_value, r.statistic);
+    }
+
+    #[test]
+    fn shifted_distribution_low_p() {
+        let a: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| i as f64 + 200.0).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.p_value < 0.01, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn empty_or_nonfinite_is_none() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn kolmogorov_q_bounds() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > kolmogorov_q(1.0));
+        assert!(kolmogorov_q(3.0) < 1e-6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistics for the `geotopo` workspace.
+//!
+//! Every quantitative method the paper applies lives here:
+//!
+//! - [`regression`]: least-squares line fits, including the log-log fits of
+//!   Figure 2 (router density vs population density) and the semi-log fits
+//!   of Figure 5 (exponential distance decay, Waxman form).
+//! - [`dist`]: empirical CDFs (Figure 9), complementary CDFs on log-log
+//!   axes (Figure 7), and histograms.
+//! - [`corr`]: Pearson and Spearman correlation (Figure 8 scatterplots).
+//! - [`summary`]: means, medians, quantiles (Table VI link lengths).
+//! - [`sampling`]: the heavy-tail samplers the synthetic substrates need —
+//!   bounded Zipf, Pareto, exponential, Poisson, and a Walker alias table
+//!   for weighted discrete sampling (population-proportional placement).
+//! - [`binned`]: the binned ratio estimator behind the empirical distance
+//!   preference function `f(d)` of Section V, and its cumulation `F(d)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binned;
+pub mod bootstrap;
+pub mod corr;
+pub mod dist;
+pub mod ks;
+pub mod regression;
+pub mod sampling;
+pub mod summary;
+
+pub use binned::{BinnedRatio, CumulatedSeries};
+pub use bootstrap::{bootstrap_slope_ci, SlopeCi};
+pub use corr::{pearson, spearman};
+pub use dist::{ccdf_points, Ecdf, Histogram};
+pub use ks::{ks_two_sample, KsResult};
+pub use regression::{fit_line, fit_loglog, fit_semilog, LinearFit};
+pub use sampling::{AliasTable, Exponential, Pareto, Poisson, Zipf};
+pub use summary::Summary;

@@ -1,0 +1,260 @@
+//! Least-squares line fitting.
+//!
+//! The paper's figures annotate fitted lines of three kinds:
+//!
+//! - Figure 2: `log10(count)` vs `log10(population)` — a log-log fit whose
+//!   slope is the superlinearity exponent α (1.2–1.75 in the paper).
+//! - Figure 5: `ln(f(d))` vs `d` — a semi-log fit whose slope is the
+//!   exponential decay rate of the Waxman form `β exp(−d/(αL))`.
+//! - Figure 6: `F(d)` vs `d` — a plain linear fit testing
+//!   distance-independence of the large-`d` regime.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of an ordinary least-squares line fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+    /// Standard error of the slope estimate.
+    pub slope_stderr: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Formats the fit like the paper's figure annotations, e.g.
+    /// `y = 1.20x-4.82`.
+    pub fn equation(&self) -> String {
+        if self.intercept < 0.0 {
+            format!("y = {:.3}x{:.3}", self.slope, self.intercept)
+        } else {
+            format!("y = {:.3}x+{:.3}", self.slope, self.intercept)
+        }
+    }
+}
+
+/// Error from a regression routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two usable points.
+    TooFewPoints,
+    /// All x-values identical (vertical line).
+    DegenerateX,
+    /// Input lengths differ.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewPoints => write!(f, "need at least 2 points to fit a line"),
+            FitError::DegenerateX => write!(f, "all x values identical"),
+            FitError::LengthMismatch => write!(f, "x and y slices have different lengths"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Ordinary least-squares fit of `y` on `x`.
+///
+/// Non-finite pairs are skipped (log transforms upstream may produce
+/// `-inf` for zero counts; the paper's plots likewise drop empty patches).
+///
+/// # Errors
+///
+/// [`FitError::LengthMismatch`] if slices differ in length,
+/// [`FitError::TooFewPoints`] if fewer than two finite pairs remain,
+/// [`FitError::DegenerateX`] if all x are equal.
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let pairs: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return Err(FitError::TooFewPoints);
+    }
+    let nf = n as f64;
+    let mean_x = pairs.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = pairs.iter().map(|p| p.1).sum::<f64>() / nf;
+    let sxx: f64 = pairs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let sxy: f64 = pairs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let syy: f64 = pairs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_res: f64 = pairs
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+    let slope_stderr = if n > 2 {
+        (ss_res / (nf - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r2,
+        slope_stderr,
+        n,
+    })
+}
+
+/// Log-log fit: regresses `log10(y)` on `log10(x)`, skipping non-positive
+/// values. The slope is the power-law exponent (Figure 2's α).
+pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let (lx, ly): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.log10(), y.log10()))
+        .unzip();
+    fit_line(&lx, &ly)
+}
+
+/// Semi-log fit: regresses `ln(y)` on `x`, skipping non-positive `y`.
+/// A linear result on these axes means `y = exp(intercept)·exp(slope·x)`
+/// (Figure 5's exponential distance decay).
+pub fn fit_semilog(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let (fx, fy): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x.is_finite() && y > 0.0)
+        .map(|(&x, &y)| (x, y.ln()))
+        .unzip();
+    fit_line(&fx, &fy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 2.0).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.5).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-10);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!(fit.slope_stderr < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 1.0 + ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.02, "slope {}", fit.slope);
+        assert!(fit.r2 > 0.99);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert_eq!(fit_line(&[1.0], &[2.0]).unwrap_err(), FitError::TooFewPoints);
+        assert_eq!(fit_line(&[], &[]).unwrap_err(), FitError::TooFewPoints);
+    }
+
+    #[test]
+    fn degenerate_x_detected() {
+        assert_eq!(
+            fit_line(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            FitError::DegenerateX
+        );
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        assert_eq!(
+            fit_line(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            FitError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn nonfinite_pairs_skipped() {
+        let xs = [1.0, 2.0, f64::NAN, 3.0];
+        let ys = [2.0, 4.0, 100.0, 6.0];
+        let fit = fit_line(&xs, &ys).unwrap();
+        assert_eq!(fit.n, 3);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        // y = 5 x^1.6
+        let xs: Vec<f64> = (1..100).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x.powf(1.6)).collect();
+        let fit = fit_loglog(&xs, &ys).unwrap();
+        assert!((fit.slope - 1.6).abs() < 1e-9, "slope {}", fit.slope);
+        assert!((fit.intercept - 5f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_skips_zeros() {
+        let xs = [0.0, 10.0, 100.0, 1000.0];
+        let ys = [5.0, 10.0, 100.0, 1000.0];
+        let fit = fit_loglog(&xs, &ys).unwrap();
+        assert_eq!(fit.n, 3);
+        assert!((fit.slope - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semilog_recovers_exponential_decay() {
+        // f(d) = 0.006 exp(-0.0069 d) — the paper's US Mercator fit shape.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 2.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.006 * (-0.0069 * x).exp()).collect();
+        let fit = fit_semilog(&xs, &ys).unwrap();
+        assert!((fit.slope + 0.0069).abs() < 1e-9, "slope {}", fit.slope);
+        assert!((fit.intercept - 0.006f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation_formatting_matches_paper_style() {
+        let fit = LinearFit {
+            slope: 1.2,
+            intercept: -4.82,
+            r2: 0.9,
+            slope_stderr: 0.01,
+            n: 100,
+        };
+        assert_eq!(fit.equation(), "y = 1.200x-4.820");
+    }
+
+    #[test]
+    fn predict_evaluates_line() {
+        let fit = fit_line(&[0.0, 1.0], &[1.0, 3.0]).unwrap();
+        assert!((fit.predict(2.0) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,391 @@
+//! Random samplers for the synthetic substrates.
+//!
+//! The ground-truth Internet generator needs heavy-tailed building blocks:
+//! Zipf-ranked city and AS sizes (the long-tail AS size distributions of
+//! Figure 7), exponential link-length preference (the Waxman form of
+//! Figure 5), Poisson router counts per patch, and weighted discrete
+//! sampling (placing routers proportional to population). All samplers
+//! take a caller-provided `Rng`, so every simulation is seedable and
+//! reproducible.
+
+use rand::Rng;
+
+/// Bounded Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P[k] ∝ k^(−s)`. Sampling is `O(log n)` via binary search on a
+/// precomputed cumulative table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a bounded Zipf sampler.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Option<Self> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Some(Zipf { cumulative })
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cumulative.partition_point(|&c| c < u) + 1
+    }
+
+    /// Probability of rank `k` (1-based). Zero outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cumulative.len() {
+            return 0.0;
+        }
+        if k == 1 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k - 1] - self.cumulative[k - 2]
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+/// Pareto (power-law tail) distribution with scale `xm > 0` and shape
+/// `alpha > 0`: `P[X > x] = (xm/x)^alpha` for `x ≥ xm`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto sampler; `None` on invalid parameters.
+    pub fn new(xm: f64, alpha: f64) -> Option<Self> {
+        if xm <= 0.0 || alpha <= 0.0 || !xm.is_finite() || !alpha.is_finite() {
+            return None;
+        }
+        Some(Pareto { xm, alpha })
+    }
+
+    /// Draws a value ≥ xm by inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1-U in (0,1] avoids division by zero.
+        let u: f64 = 1.0 - rng.random::<f64>();
+        self.xm / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential distribution with rate `λ > 0` (mean `1/λ`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler; `None` if `rate` is not positive.
+    pub fn new(rate: f64) -> Option<Self> {
+        if rate <= 0.0 || !rate.is_finite() {
+            return None;
+        }
+        Some(Exponential { rate })
+    }
+
+    /// Draws a value by inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Poisson distribution. Uses Knuth's product method for small means and
+/// a rounded-normal approximation for large means (fine for the count
+/// fields the generators need).
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson sampler; `None` if `lambda` is negative/non-finite.
+    pub fn new(lambda: f64) -> Option<Self> {
+        if lambda < 0.0 || !lambda.is_finite() {
+            return None;
+        }
+        Some(Poisson { lambda })
+    }
+
+    /// Draws a count.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until below e^{-λ}.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.random::<f64>();
+                if p <= limit {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation N(λ, λ), rounded, clamped at zero.
+            let (u1, u2): (f64, f64) = (rng.random(), rng.random());
+            let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = self.lambda + self.lambda.sqrt() * z;
+            v.max(0.0).round() as u64
+        }
+    }
+}
+
+/// Walker alias table for O(1) weighted discrete sampling.
+///
+/// Given non-negative weights `w_i`, draws index `i` with probability
+/// `w_i / Σw`. Used to place routers proportional to patch population.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table. Returns `None` if `weights` is empty, any
+    /// weight is negative/non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return None;
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        let scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = work[s];
+            alias[s] = l;
+            work[l] = (work[l] + work[s]) - 1.0;
+            if work[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn zipf_rank_one_most_likely() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut rng = rng();
+        let mut counts = vec![0u64; 101];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        // Rank 1 should get ~1/H_100 ≈ 19.3% of the mass at s=1.
+        let frac = counts[1] as f64 / 50_000.0;
+        assert!((frac - 0.193).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.5).unwrap();
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(51), 0.0);
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0).unwrap();
+        for k in 1..=10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_invalid_params() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(10, -1.0).is_none());
+        assert!(Zipf::new(10, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let p = Pareto::new(2.0, 1.5).unwrap();
+        let mut rng = rng();
+        let mut above_4 = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            let v = p.sample(&mut rng);
+            assert!(v >= 2.0);
+            if v > 4.0 {
+                above_4 += 1;
+            }
+        }
+        // P[X > 4] = (2/4)^1.5 ≈ 0.3536
+        let frac = above_4 as f64 / n as f64;
+        assert!((frac - 0.3536).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let e = Exponential::new(0.5).unwrap();
+        let mut rng = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean_and_variance() {
+        let p = Poisson::new(3.0).unwrap();
+        let mut rng = rng();
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let p = Poisson::new(400.0).unwrap();
+        let mut rng = rng();
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 400.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let p = Poisson::new(0.0).unwrap();
+        let mut rng = rng();
+        assert_eq!(p.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = rng();
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let want = w / 10.0;
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - want).abs() < 0.01, "i={i} got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut rng = rng();
+        for _ in 0..10_000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_table_invalid() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[-1.0, 2.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let z = Zipf::new(1000, 1.2).unwrap();
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..20).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

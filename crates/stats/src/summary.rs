@@ -1,0 +1,106 @@
+//! Scalar summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a finite sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of (finite) observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (lower of the two middle values for even n).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; non-finite values are ignored.
+    /// Returns `None` for an effectively empty sample.
+    pub fn of(sample: &[f64]) -> Option<Summary> {
+        let mut vals: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = vals.len();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: vals[0],
+            median: vals[(n - 1) / 2],
+            max: vals[n - 1],
+        })
+    }
+}
+
+/// Mean of a sample, ignoring non-finite values. `None` if empty.
+pub fn mean(sample: &[f64]) -> Option<f64> {
+    let vals: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn nonfinite_ignored() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn even_length_median_is_lower_middle() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for statistical invariants.
+
+use geotopo_stats::{ccdf_points, fit_line, pearson, spearman, BinnedRatio, Ecdf, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone(sample in prop::collection::vec(-1e6f64..1e6, 1..200), probe in -1e6f64..1e6) {
+        let e = Ecdf::new(sample);
+        let a = e.cdf(probe);
+        let b = e.cdf(probe + 1.0);
+        prop_assert!(a <= b);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((e.cdf(f64::MAX) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_ccdf_complement(sample in prop::collection::vec(0f64..1e3, 1..100), x in 0f64..1e3) {
+        let e = Ecdf::new(sample);
+        prop_assert!((e.cdf(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(sample in prop::collection::vec(0f64..1e3, 1..100), q in 0.01f64..1.0) {
+        let e = Ecdf::new(sample);
+        let v = e.quantile(q).unwrap();
+        // At least a q-fraction of the sample is <= v.
+        prop_assert!(e.cdf(v) + 1e-12 >= q);
+    }
+
+    #[test]
+    fn ccdf_points_are_valid_probabilities(sample in prop::collection::vec(1f64..1e6, 1..150)) {
+        for (_, p) in ccdf_points(&sample) {
+            prop_assert!(p > 0.0 && p < 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_recovers_any_line(slope in -100f64..100.0, intercept in -1e3f64..1e3) {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = fit_line(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn pearson_in_unit_interval(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..50),
+        noise in prop::collection::vec(-1e3f64..1e3, 3..50)
+    ) {
+        let n = xs.len().min(noise.len());
+        if let Some(r) = pearson(&xs[..n], &noise[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform(
+        xs in prop::collection::vec(-50f64..50.0, 5..40),
+        ys in prop::collection::vec(-50f64..50.0, 5..40)
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let s1 = spearman(xs, ys);
+        // exp() is strictly monotone, so ranks are unchanged.
+        let ys_t: Vec<f64> = ys.iter().map(|y| y.exp()).collect();
+        let s2 = spearman(xs, &ys_t);
+        match (s1, s2) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}"),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_bounds(sample in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::of(&sample).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn binned_ratio_values_bounded_by_counts(
+        events in prop::collection::vec((0f64..100.0, 1u64..50, 0u64..50), 1..50)
+    ) {
+        let mut br = BinnedRatio::new(10.0, 10);
+        for (d, den, num) in events {
+            // Never more links than pairs in a bin.
+            let num = num.min(den);
+            br.add_den_n(d, den);
+            br.add_num_n(d, num);
+        }
+        for bin in br.ratios() {
+            if let Some(v) = bin.value {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        let c = br.cumulated();
+        for w in c.points.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+}

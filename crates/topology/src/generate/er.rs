@@ -1,0 +1,118 @@
+//! The Erdős–Rényi random graph baseline.
+//!
+//! G(n, p): every pair connected independently with probability `p`,
+//! nodes placed uniformly in a region. The paper notes this model
+//! "typically yields a graph which is not connected when p is chosen so
+//! that the resulting graph is sparse" — a property the tests verify.
+
+use super::waxman::GenError;
+use crate::graph::{RouterId, Topology, TopologyBuilder};
+use geotopo_bgp::AsId;
+use geotopo_geo::Region;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Erdős–Rényi parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErdosRenyiConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Independent edge probability.
+    pub p: f64,
+    /// Region nodes are scattered over (placement is decorative: the
+    /// model itself is geometry-free).
+    pub region: Region,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a G(n, p) topology.
+///
+/// # Errors
+///
+/// Rejects `n == 0` and `p` outside `[0, 1]`.
+pub fn erdos_renyi(cfg: &ErdosRenyiConfig) -> Result<Topology, GenError> {
+    if cfg.n == 0 {
+        return Err(GenError::BadParameter("n"));
+    }
+    if !(0.0..=1.0).contains(&cfg.p) {
+        return Err(GenError::BadParameter("p"));
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = TopologyBuilder::new();
+    let ids: Vec<RouterId> = (0..cfg.n)
+        .map(|_| b.add_router(super::uniform_in_region(&mut rng, &cfg.region), AsId(1)))
+        .collect();
+    for i in 0..cfg.n {
+        for j in (i + 1)..cfg.n {
+            if rng.random::<f64>() < cfg.p {
+                b.add_link_auto(ids[i], ids[j]).expect("valid pair");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use geotopo_geo::RegionSet;
+
+    fn cfg(n: usize, p: f64) -> ErdosRenyiConfig {
+        ErdosRenyiConfig {
+            n,
+            p,
+            region: RegionSet::europe(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(erdos_renyi(&cfg(0, 0.5)).is_err());
+        assert!(erdos_renyi(&cfg(10, 1.5)).is_err());
+        assert!(erdos_renyi(&cfg(10, -0.1)).is_err());
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 300;
+        let p = 0.02;
+        let t = erdos_renyi(&cfg(n, p)).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = t.num_links() as f64;
+        assert!((got - expected).abs() < 4.0 * expected.sqrt() + 10.0, "got {got} want ~{expected}");
+    }
+
+    #[test]
+    fn p_zero_yields_no_links() {
+        let t = erdos_renyi(&cfg(50, 0.0)).unwrap();
+        assert_eq!(t.num_links(), 0);
+    }
+
+    #[test]
+    fn sparse_graph_usually_disconnected() {
+        // With p just above 1/n but below ln(n)/n, G(n,p) has a giant
+        // component yet is almost surely not fully connected.
+        let n = 400;
+        let t = erdos_renyi(&cfg(n, 1.5 / n as f64)).unwrap();
+        let sizes = metrics::component_sizes(&t);
+        assert!(sizes.len() > 1, "unexpectedly connected");
+        assert!(metrics::giant_component_fraction(&t) > 0.2);
+    }
+
+    #[test]
+    fn link_lengths_are_distance_blind() {
+        // Mean link length should be close to the mean pairwise distance
+        // (no distance preference at all).
+        let t = erdos_renyi(&cfg(300, 0.02)).unwrap();
+        let lengths = metrics::link_lengths_miles(&t);
+        let mean: f64 = lengths.iter().sum::<f64>() / lengths.len() as f64;
+        // Europe box spans ~1,400 miles diagonally; uniform pairs average
+        // several hundred miles. Distance-sensitive models come out far
+        // shorter than 300; ER must not.
+        assert!(mean > 300.0, "mean length {mean}");
+    }
+}

@@ -1,0 +1,506 @@
+//! The router-level topology data structure.
+//!
+//! Terminology follows the paper strictly: a **router** is a device at a
+//! geographic location belonging to one AS; an **interface** is an IP
+//! address on a router (one per incident link — this is why Skitter,
+//! which cannot resolve aliases, sees more nodes than Mercator); a
+//! **link** connects two interfaces on different routers.
+
+use geotopo_bgp::AsId;
+use geotopo_geo::{haversine_miles, GeoPoint};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Index of a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+/// Index of an interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InterfaceId(pub u32);
+
+/// Index of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// A router: a located, AS-labelled node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Router {
+    /// Geographic location.
+    pub location: GeoPoint,
+    /// Parent autonomous system.
+    pub asn: AsId,
+}
+
+/// An interface: an IP address on a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interface {
+    /// The interface's IP address (unique network-wide).
+    pub ip: Ipv4Addr,
+    /// The router the interface belongs to.
+    pub router: RouterId,
+}
+
+/// A link between two interfaces (and hence two routers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Interface on the first router.
+    pub a: InterfaceId,
+    /// Interface on the second router.
+    pub b: InterfaceId,
+}
+
+/// Errors from topology construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Link endpoints are the same router.
+    SelfLink(RouterId),
+    /// The router pair is already linked.
+    DuplicateLink(RouterId, RouterId),
+    /// The IP address is already assigned to another interface.
+    DuplicateIp(Ipv4Addr),
+    /// Referenced router does not exist.
+    UnknownRouter(RouterId),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::SelfLink(r) => write!(f, "self-link at router {}", r.0),
+            TopologyError::DuplicateLink(a, b) => {
+                write!(f, "routers {} and {} already linked", a.0, b.0)
+            }
+            TopologyError::DuplicateIp(ip) => write!(f, "IP {ip} already assigned"),
+            TopologyError::UnknownRouter(r) => write!(f, "unknown router {}", r.0),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Incrementally builds a [`Topology`] with validation.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    routers: Vec<Router>,
+    interfaces: Vec<Interface>,
+    links: Vec<Link>,
+    ip_index: HashMap<Ipv4Addr, InterfaceId>,
+    link_set: std::collections::HashSet<(u32, u32)>,
+    auto_ip: u32,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder {
+            // Auto-assigned IPs come from 240.0.0.0/4 (reserved space) so
+            // they can never collide with allocator-assigned addresses.
+            auto_ip: u32::from(Ipv4Addr::new(240, 0, 0, 1)),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a router; returns its id.
+    pub fn add_router(&mut self, location: GeoPoint, asn: AsId) -> RouterId {
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router { location, asn });
+        id
+    }
+
+    /// Number of routers added so far.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of links added so far.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether routers `a` and `b` are already linked.
+    pub fn has_link(&self, a: RouterId, b: RouterId) -> bool {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.link_set.contains(&key)
+    }
+
+    /// Router accessor (for generators that need positions mid-build).
+    pub fn router(&self, id: RouterId) -> Option<&Router> {
+        self.routers.get(id.0 as usize)
+    }
+
+    /// Adds a link between two routers, creating one interface on each
+    /// with the given IPs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects self-links, duplicate router pairs, unknown routers and
+    /// duplicate IPs.
+    pub fn add_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        ip_a: Ipv4Addr,
+        ip_b: Ipv4Addr,
+    ) -> Result<LinkId, TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLink(a));
+        }
+        if a.0 as usize >= self.routers.len() {
+            return Err(TopologyError::UnknownRouter(a));
+        }
+        if b.0 as usize >= self.routers.len() {
+            return Err(TopologyError::UnknownRouter(b));
+        }
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if self.link_set.contains(&key) {
+            return Err(TopologyError::DuplicateLink(a, b));
+        }
+        if self.ip_index.contains_key(&ip_a) {
+            return Err(TopologyError::DuplicateIp(ip_a));
+        }
+        if ip_a == ip_b || self.ip_index.contains_key(&ip_b) {
+            return Err(TopologyError::DuplicateIp(ip_b));
+        }
+        let if_a = InterfaceId(self.interfaces.len() as u32);
+        self.interfaces.push(Interface { ip: ip_a, router: a });
+        self.ip_index.insert(ip_a, if_a);
+        let if_b = InterfaceId(self.interfaces.len() as u32);
+        self.interfaces.push(Interface { ip: ip_b, router: b });
+        self.ip_index.insert(ip_b, if_b);
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { a: if_a, b: if_b });
+        self.link_set.insert(key);
+        Ok(id)
+    }
+
+    /// Adds a link with automatically assigned IPs from reserved space
+    /// (for baseline generators that do not model addressing).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TopologyBuilder::add_link`] except IP collisions, which
+    /// cannot occur.
+    pub fn add_link_auto(&mut self, a: RouterId, b: RouterId) -> Result<LinkId, TopologyError> {
+        let ip_a = Ipv4Addr::from(self.auto_ip);
+        let ip_b = Ipv4Addr::from(self.auto_ip + 1);
+        self.auto_ip += 2;
+        self.add_link(a, b, ip_a, ip_b)
+    }
+
+    /// Finalizes the topology, computing adjacency and per-router
+    /// interface lists.
+    pub fn build(self) -> Topology {
+        let mut adj: Vec<Vec<(RouterId, LinkId)>> = vec![Vec::new(); self.routers.len()];
+        for (i, link) in self.links.iter().enumerate() {
+            let ra = self.interfaces[link.a.0 as usize].router;
+            let rb = self.interfaces[link.b.0 as usize].router;
+            adj[ra.0 as usize].push((rb, LinkId(i as u32)));
+            adj[rb.0 as usize].push((ra, LinkId(i as u32)));
+        }
+        let mut router_ifaces: Vec<Vec<InterfaceId>> = vec![Vec::new(); self.routers.len()];
+        for (i, iface) in self.interfaces.iter().enumerate() {
+            router_ifaces[iface.router.0 as usize].push(InterfaceId(i as u32));
+        }
+        Topology {
+            routers: self.routers,
+            interfaces: self.interfaces,
+            links: self.links,
+            adj,
+            router_ifaces,
+            ip_index: self.ip_index,
+        }
+    }
+}
+
+/// An immutable router-level topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    routers: Vec<Router>,
+    interfaces: Vec<Interface>,
+    links: Vec<Link>,
+    adj: Vec<Vec<(RouterId, LinkId)>>,
+    router_ifaces: Vec<Vec<InterfaceId>>,
+    ip_index: HashMap<Ipv4Addr, InterfaceId>,
+}
+
+impl Topology {
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of interfaces.
+    pub fn num_interfaces(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Router by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not produced by the owning builder.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0 as usize]
+    }
+
+    /// Interface by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn interface(&self, id: InterfaceId) -> &Interface {
+        &self.interfaces[id.0 as usize]
+    }
+
+    /// Link by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// All routers with ids.
+    pub fn routers(&self) -> impl Iterator<Item = (RouterId, &Router)> {
+        self.routers
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RouterId(i as u32), r))
+    }
+
+    /// All interfaces with ids.
+    pub fn interfaces(&self) -> impl Iterator<Item = (InterfaceId, &Interface)> {
+        self.interfaces
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (InterfaceId(i as u32), f))
+    }
+
+    /// All links with ids.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// Neighbours of a router with the connecting link.
+    pub fn neighbors(&self, r: RouterId) -> &[(RouterId, LinkId)] {
+        &self.adj[r.0 as usize]
+    }
+
+    /// Router degree (number of incident links).
+    pub fn degree(&self, r: RouterId) -> usize {
+        self.adj[r.0 as usize].len()
+    }
+
+    /// Interfaces on a router.
+    pub fn interfaces_of(&self, r: RouterId) -> &[InterfaceId] {
+        &self.router_ifaces[r.0 as usize]
+    }
+
+    /// The interface holding `ip`, if any.
+    pub fn interface_by_ip(&self, ip: Ipv4Addr) -> Option<InterfaceId> {
+        self.ip_index.get(&ip).copied()
+    }
+
+    /// The router owning `ip`, if any.
+    pub fn router_by_ip(&self, ip: Ipv4Addr) -> Option<RouterId> {
+        self.interface_by_ip(ip)
+            .map(|i| self.interfaces[i.0 as usize].router)
+    }
+
+    /// Router endpoints of a link.
+    pub fn link_routers(&self, id: LinkId) -> (RouterId, RouterId) {
+        let l = &self.links[id.0 as usize];
+        (
+            self.interfaces[l.a.0 as usize].router,
+            self.interfaces[l.b.0 as usize].router,
+        )
+    }
+
+    /// Great-circle length of a link in statute miles.
+    pub fn link_length_miles(&self, id: LinkId) -> f64 {
+        let (a, b) = self.link_routers(id);
+        haversine_miles(&self.routers[a.0 as usize].location, &self.routers[b.0 as usize].location)
+    }
+
+    /// Whether a link crosses AS boundaries (the paper's
+    /// interdomain/intradomain distinction, Section VI-C).
+    pub fn is_interdomain(&self, id: LinkId) -> bool {
+        let (a, b) = self.link_routers(id);
+        self.routers[a.0 as usize].asn != self.routers[b.0 as usize].asn
+    }
+
+    /// The outgoing interface on router `from` for the link to `to`
+    /// (used by the traceroute simulator to report hop addresses).
+    pub fn interface_between(&self, from: RouterId, to: RouterId) -> Option<InterfaceId> {
+        let (_, lid) = self
+            .adj[from.0 as usize]
+            .iter()
+            .find(|(nbr, _)| *nbr == to)?;
+        let l = &self.links[lid.0 as usize];
+        let ia = l.a;
+        if self.interfaces[ia.0 as usize].router == from {
+            Some(ia)
+        } else {
+            Some(l.b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn build_small_topology() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(40.0, -100.0), AsId(1));
+        let r1 = b.add_router(loc(41.0, -101.0), AsId(1));
+        let r2 = b.add_router(loc(42.0, -102.0), AsId(2));
+        b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
+        b.add_link(r1, r2, ip("1.0.0.3"), ip("2.0.0.1")).unwrap();
+        let t = b.build();
+        assert_eq!(t.num_routers(), 3);
+        assert_eq!(t.num_interfaces(), 4);
+        assert_eq!(t.num_links(), 2);
+        assert_eq!(t.degree(r1), 2);
+        assert_eq!(t.degree(r0), 1);
+        assert_eq!(t.interfaces_of(r1).len(), 2);
+    }
+
+    #[test]
+    fn rejects_self_link() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        assert_eq!(
+            b.add_link(r0, r0, ip("1.0.0.1"), ip("1.0.0.2")).unwrap_err(),
+            TopologyError::SelfLink(r0)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_link_both_orders() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(1));
+        b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
+        assert!(b.has_link(r0, r1) && b.has_link(r1, r0));
+        assert_eq!(
+            b.add_link(r1, r0, ip("1.0.0.3"), ip("1.0.0.4")).unwrap_err(),
+            TopologyError::DuplicateLink(r1, r0)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_ip() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(1));
+        let r2 = b.add_router(loc(2.0, 2.0), AsId(1));
+        b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
+        assert_eq!(
+            b.add_link(r0, r2, ip("1.0.0.1"), ip("1.0.0.9")).unwrap_err(),
+            TopologyError::DuplicateIp(ip("1.0.0.1"))
+        );
+        assert_eq!(
+            b.add_link(r0, r2, ip("1.0.0.8"), ip("1.0.0.8")).unwrap_err(),
+            TopologyError::DuplicateIp(ip("1.0.0.8"))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_router() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        assert_eq!(
+            b.add_link(r0, RouterId(99), ip("1.0.0.1"), ip("1.0.0.2"))
+                .unwrap_err(),
+            TopologyError::UnknownRouter(RouterId(99))
+        );
+    }
+
+    #[test]
+    fn ip_lookup_roundtrip() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(2));
+        b.add_link(r0, r1, ip("9.0.0.1"), ip("9.0.0.2")).unwrap();
+        let t = b.build();
+        assert_eq!(t.router_by_ip(ip("9.0.0.1")), Some(r0));
+        assert_eq!(t.router_by_ip(ip("9.0.0.2")), Some(r1));
+        assert_eq!(t.router_by_ip(ip("9.9.9.9")), None);
+    }
+
+    #[test]
+    fn link_length_and_domain() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(40.0, -100.0), AsId(1));
+        let r1 = b.add_router(loc(40.0, -99.0), AsId(1));
+        let r2 = b.add_router(loc(40.0, -98.0), AsId(2));
+        let l01 = b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
+        let l12 = b.add_link(r1, r2, ip("1.0.0.3"), ip("2.0.0.1")).unwrap();
+        let t = b.build();
+        assert!(!t.is_interdomain(l01));
+        assert!(t.is_interdomain(l12));
+        // One degree of longitude at 40N is ~53 miles.
+        let len = t.link_length_miles(l01);
+        assert!((len - 53.0).abs() < 2.0, "len {len}");
+    }
+
+    #[test]
+    fn interface_between_reports_correct_side() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(1));
+        b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
+        let t = b.build();
+        let i01 = t.interface_between(r0, r1).unwrap();
+        assert_eq!(t.interface(i01).ip, ip("1.0.0.1"));
+        let i10 = t.interface_between(r1, r0).unwrap();
+        assert_eq!(t.interface(i10).ip, ip("1.0.0.2"));
+        assert_eq!(t.interface_between(r0, RouterId(0)), None);
+    }
+
+    #[test]
+    fn auto_ip_links_use_reserved_space() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(1));
+        b.add_link_auto(r0, r1).unwrap();
+        let t = b.build();
+        for (_, iface) in t.interfaces() {
+            assert!(u32::from(iface.ip) >= u32::from(Ipv4Addr::new(240, 0, 0, 0)));
+        }
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(1));
+        let r2 = b.add_router(loc(2.0, 2.0), AsId(1));
+        b.add_link_auto(r0, r1).unwrap();
+        b.add_link_auto(r1, r2).unwrap();
+        let t = b.build();
+        assert_eq!(t.routers().count(), 3);
+        assert_eq!(t.interfaces().count(), 4);
+        assert_eq!(t.links().count(), 2);
+    }
+}

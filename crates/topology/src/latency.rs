@@ -1,0 +1,95 @@
+//! Geographic latency labelling.
+//!
+//! The paper's conclusion motivates geography-aware generation precisely
+//! because "link latencies ... can be approximated in a straightforward
+//! manner when nodes have geographical location". This module performs
+//! that labelling: propagation delay at the speed of light in fiber plus
+//! a fixed per-hop forwarding overhead.
+
+use crate::graph::{LinkId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum, miles per millisecond.
+const C_MILES_PER_MS: f64 = 186.282;
+
+/// Latency model parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Velocity factor of the medium relative to c (fiber ≈ 0.66).
+    pub velocity_factor: f64,
+    /// Fixed per-link overhead in milliseconds (serialization, switching).
+    pub overhead_ms: f64,
+    /// Route indirectness factor: fiber rarely follows the great circle
+    /// (typical path stretch ≈ 1.2–1.5).
+    pub path_stretch: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            velocity_factor: 0.66,
+            overhead_ms: 0.25,
+            path_stretch: 1.3,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// One-way latency of a link of geographic length `miles`.
+    pub fn latency_ms(&self, miles: f64) -> f64 {
+        self.overhead_ms + self.path_stretch * miles / (C_MILES_PER_MS * self.velocity_factor)
+    }
+
+    /// Labels every link of a topology, returning latencies indexed by
+    /// [`LinkId`] position.
+    pub fn label(&self, t: &Topology) -> Vec<f64> {
+        (0..t.num_links())
+            .map(|i| self.latency_ms(t.link_length_miles(LinkId(i as u32))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TopologyBuilder;
+    use geotopo_bgp::AsId;
+    use geotopo_geo::GeoPoint;
+
+    #[test]
+    fn zero_length_is_overhead_only() {
+        let m = LatencyModel::default();
+        assert!((m.latency_ms(0.0) - m.overhead_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transcontinental_latency_plausible() {
+        // ~2,600 miles coast to coast: one-way fiber latency should be
+        // roughly 20–35 ms with stretch.
+        let m = LatencyModel::default();
+        let l = m.latency_ms(2600.0);
+        assert!(l > 20.0 && l < 35.0, "latency {l}");
+    }
+
+    #[test]
+    fn latency_is_monotone_in_distance() {
+        let m = LatencyModel::default();
+        assert!(m.latency_ms(100.0) < m.latency_ms(200.0));
+    }
+
+    #[test]
+    fn labels_every_link() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(GeoPoint::new(40.0, -74.0).unwrap(), AsId(1));
+        let r1 = b.add_router(GeoPoint::new(34.0, -118.0).unwrap(), AsId(1));
+        let r2 = b.add_router(GeoPoint::new(41.9, -87.6).unwrap(), AsId(1));
+        b.add_link_auto(r0, r1).unwrap();
+        b.add_link_auto(r1, r2).unwrap();
+        let t = b.build();
+        let lat = LatencyModel::default().label(&t);
+        assert_eq!(lat.len(), 2);
+        assert!(lat.iter().all(|&l| l > 0.0));
+        // NY–LA is longer than LA–Chicago.
+        assert!(lat[0] > lat[1]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Spatial index over router locations.
+//!
+//! Link generation needs "which routers lie within r miles of p" queries
+//! millions of times; a simple equal-angle grid bucket index answers them
+//! in time proportional to the local density.
+
+use geotopo_geo::{haversine_miles, GeoPoint};
+use std::collections::HashMap;
+
+/// Grid-bucket spatial index over indexed points.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    cell_deg: f64,
+    buckets: HashMap<(i32, i32), Vec<u32>>,
+    points: Vec<GeoPoint>,
+}
+
+impl SpatialIndex {
+    /// Builds an index with buckets of `cell_deg` degrees (1.0 is a good
+    /// default: ~69 miles of latitude per bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_deg` is not positive/finite (programming error).
+    pub fn new(points: Vec<GeoPoint>, cell_deg: f64) -> Self {
+        assert!(cell_deg.is_finite() && cell_deg > 0.0, "bad cell size");
+        let mut buckets: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            buckets.entry(Self::key(p, cell_deg)).or_default().push(i as u32);
+        }
+        SpatialIndex {
+            cell_deg,
+            buckets,
+            points,
+        }
+    }
+
+    fn key(p: &GeoPoint, cell_deg: f64) -> (i32, i32) {
+        (
+            (p.lat() / cell_deg).floor() as i32,
+            (p.lon() / cell_deg).floor() as i32,
+        )
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The location of point `i`.
+    pub fn point(&self, i: u32) -> &GeoPoint {
+        &self.points[i as usize]
+    }
+
+    /// Indices of all points within `radius_miles` of `center`
+    /// (inclusive), excluding `exclude` if given.
+    pub fn within(&self, center: &GeoPoint, radius_miles: f64, exclude: Option<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius_miles, |i, _| {
+            if Some(i) != exclude {
+                out.push(i);
+            }
+        });
+        out
+    }
+
+    /// Calls `f(index, distance_miles)` for each point within the radius.
+    pub fn for_each_within<F: FnMut(u32, f64)>(
+        &self,
+        center: &GeoPoint,
+        radius_miles: f64,
+        mut f: F,
+    ) {
+        // Bucket reach: radius in degrees of latitude, padded; longitude
+        // reach grows with latitude (cos shrinkage), capped to the globe.
+        let lat_reach = (radius_miles / 69.0 / self.cell_deg).ceil() as i32 + 1;
+        let cos_lat = center.lat().to_radians().cos().max(0.05);
+        let lon_reach = (radius_miles / (69.0 * cos_lat) / self.cell_deg).ceil() as i32 + 1;
+        let lon_cells = (360.0 / self.cell_deg).ceil() as i32;
+        let lon_reach = lon_reach.min(lon_cells / 2);
+        let (kr, kc) = Self::key(center, self.cell_deg);
+        for dr in -lat_reach..=lat_reach {
+            for dc in -lon_reach..=lon_reach {
+                // Wrap longitude buckets around the globe.
+                let mut col = kc + dc;
+                let half = lon_cells / 2;
+                if col < -half {
+                    col += lon_cells;
+                } else if col >= half {
+                    col -= lon_cells;
+                }
+                if let Some(bucket) = self.buckets.get(&(kr + dr, col)) {
+                    for &i in bucket {
+                        let d = haversine_miles(center, &self.points[i as usize]);
+                        if d <= radius_miles {
+                            f(i, d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The nearest point to `center` (linear in the local neighbourhood;
+    /// falls back to a full scan if nothing is within `hint_radius`).
+    pub fn nearest(&self, center: &GeoPoint, hint_radius_miles: f64) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        self.for_each_within(center, hint_radius_miles, |i, d| match best {
+            Some((_, bd)) if bd <= d => {}
+            _ => best = Some((i, d)),
+        });
+        if best.is_some() {
+            return best;
+        }
+        // Full scan fallback.
+        for (i, p) in self.points.iter().enumerate() {
+            let d = haversine_miles(center, p);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((i as u32, d)),
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let pts: Vec<GeoPoint> = (0..500)
+            .map(|i| {
+                let lat = 30.0 + (i % 25) as f64 * 0.8;
+                let lon = -120.0 + (i / 25) as f64 * 2.0;
+                p(lat, lon)
+            })
+            .collect();
+        let idx = SpatialIndex::new(pts.clone(), 1.0);
+        let center = p(38.0, -100.0);
+        for radius in [50.0, 200.0, 800.0] {
+            let mut got = idx.within(&center, radius, None);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| haversine_miles(&center, q) <= radius)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn exclude_is_honored() {
+        let pts = vec![p(10.0, 10.0), p(10.1, 10.1)];
+        let idx = SpatialIndex::new(pts, 1.0);
+        let center = p(10.0, 10.0);
+        let got = idx.within(&center, 100.0, Some(0));
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let pts = vec![p(0.0, 0.0), p(5.0, 5.0), p(0.2, 0.2)];
+        let idx = SpatialIndex::new(pts, 1.0);
+        let (i, d) = idx.nearest(&p(0.05, 0.05), 100.0).unwrap();
+        assert_eq!(i, 0);
+        assert!(d < 10.0);
+    }
+
+    #[test]
+    fn nearest_falls_back_to_full_scan() {
+        let pts = vec![p(80.0, 170.0)];
+        let idx = SpatialIndex::new(pts, 1.0);
+        // Nothing within 10 miles of the antipode-ish probe; fallback
+        // still finds the single point.
+        let (i, _) = idx.nearest(&p(-80.0, -10.0), 10.0).unwrap();
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = SpatialIndex::new(vec![], 1.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(&p(0.0, 0.0), 10.0), None);
+        assert!(idx.within(&p(0.0, 0.0), 1000.0, None).is_empty());
+    }
+
+    #[test]
+    fn date_line_neighbors_found() {
+        let pts = vec![p(0.0, 179.9), p(0.0, -179.9)];
+        let idx = SpatialIndex::new(pts, 1.0);
+        let got = idx.within(&p(0.0, 179.95), 50.0, None);
+        assert_eq!(got.len(), 2, "date-line wrap missed: {got:?}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for topology invariants.
+
+use geotopo_bgp::AsId;
+use geotopo_geo::GeoPoint;
+use geotopo_topology::{metrics, RouterId, TopologyBuilder};
+use proptest::prelude::*;
+
+fn arb_edges(n_routers: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec(
+        (0..n_routers as u32, 0..n_routers as u32),
+        0..(n_routers * 3),
+    )
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> geotopo_topology::Topology {
+    let mut b = TopologyBuilder::new();
+    for i in 0..n {
+        b.add_router(
+            GeoPoint::new(
+                -80.0 + (i % 160) as f64,
+                -170.0 + ((i * 7) % 340) as f64,
+            )
+            .unwrap(),
+            AsId((i % 5) as u32 + 1),
+        );
+    }
+    for &(a, bb) in edges {
+        // Builder rejects self-links and duplicates; that's the point.
+        let _ = b.add_link_auto(RouterId(a), RouterId(bb));
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(edges in arb_edges(30)) {
+        let t = build(30, &edges);
+        let degree_sum: usize = (0..30).map(|i| t.degree(RouterId(i as u32))).sum();
+        prop_assert_eq!(degree_sum, 2 * t.num_links());
+        // One interface per link endpoint.
+        prop_assert_eq!(t.num_interfaces(), 2 * t.num_links());
+    }
+
+    #[test]
+    fn no_self_links_or_duplicates(edges in arb_edges(20)) {
+        let t = build(20, &edges);
+        let mut seen = std::collections::HashSet::new();
+        for (id, _) in t.links() {
+            let (a, b) = t.link_routers(id);
+            prop_assert_ne!(a, b, "self link survived");
+            let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+            prop_assert!(seen.insert(key), "duplicate link survived");
+        }
+    }
+
+    #[test]
+    fn ip_index_is_total_and_injective(edges in arb_edges(25)) {
+        let t = build(25, &edges);
+        let mut ips = std::collections::HashSet::new();
+        for (iid, iface) in t.interfaces() {
+            prop_assert!(ips.insert(iface.ip), "duplicate IP");
+            prop_assert_eq!(t.interface_by_ip(iface.ip), Some(iid));
+            prop_assert_eq!(t.router_by_ip(iface.ip), Some(iface.router));
+        }
+    }
+
+    #[test]
+    fn component_sizes_partition_routers(edges in arb_edges(40)) {
+        let t = build(40, &edges);
+        let sizes = metrics::component_sizes(&t);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), t.num_routers());
+        // Sorted descending.
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn interface_between_is_symmetric_on_routers(edges in arb_edges(20)) {
+        let t = build(20, &edges);
+        for (id, _) in t.links() {
+            let (a, b) = t.link_routers(id);
+            let ia = t.interface_between(a, b).expect("link exists");
+            let ib = t.interface_between(b, a).expect("link exists");
+            prop_assert_eq!(t.interface(ia).router, a);
+            prop_assert_eq!(t.interface(ib).router, b);
+            prop_assert_ne!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn clustering_is_a_probability(edges in arb_edges(25)) {
+        let t = build(25, &edges);
+        let c = metrics::clustering_coefficient(&t);
+        prop_assert!((0.0..=1.0).contains(&c), "clustering {c}");
+    }
+
+    #[test]
+    fn link_lengths_nonnegative_and_finite(edges in arb_edges(25)) {
+        let t = build(25, &edges);
+        for d in metrics::link_lengths_miles(&t) {
+            prop_assert!(d.is_finite() && d >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Geolocation-tool accuracy study: IxMapper vs EdgeScape against the
+//! ground truth.
+//!
+//! ```sh
+//! cargo run --release --example mapping_accuracy [routers] [seed]
+//! ```
+//!
+//! The paper leans on Padmanabhan & Subramanian's result that
+//! hostname-based mapping "is accurate up to the granularity of a city",
+//! and checks robustness by running both tools. This example measures
+//! the error distributions our simulated tools actually produce.
+
+use geotopo::geomap::{EdgeScape, GeoMapper, Gazetteer, IxMapper, MapContext, NetGeo, OrgDb};
+use geotopo::stats::Ecdf;
+use geotopo::topology::generate::{GroundTruth, GroundTruthConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let routers: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(4000);
+    let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(9);
+
+    let mut cfg = GroundTruthConfig::at_scale(routers, seed);
+    cfg.pop_resolution_arcmin = 30.0;
+    let gt = GroundTruth::generate(cfg)?;
+
+    // Whois registry and population-densified gazetteer, exactly as the
+    // pipeline builds them.
+    let mut orgs = OrgDb::new();
+    for rec in &gt.as_records {
+        orgs.insert(rec.asn, gt.as_names[&rec.asn].clone(), rec.home);
+    }
+    // Threshold scales with cell area: this example runs the raster at
+    // 30 arcmin (4x the default cell area), so 4x the per-cell cutoff.
+    let mut gazetteer = Gazetteer::builtin();
+    for i in 0..gt.config.regions.len() {
+        gazetteer.extend_from_population(&gt.population_grid(i)?, 32_000.0);
+    }
+    println!(
+        "gazetteer: {} cities ({} curated + synthetic towns)\n",
+        gazetteer.len(),
+        Gazetteer::builtin().len()
+    );
+
+    let ix = IxMapper::with_gazetteer(seed, orgs.clone(), gazetteer.clone());
+    let es = EdgeScape::with_gazetteer(seed ^ 0x77, orgs.clone(), gazetteer);
+    let ng = NetGeo::new(seed ^ 0x99, orgs);
+
+    for (name, mapper) in [
+        ("IxMapper", &ix as &dyn GeoMapper),
+        ("EdgeScape", &es),
+        ("NetGeo (whois-only ancestor)", &ng),
+    ] {
+        let mut errors = Vec::new();
+        let mut unmapped = 0usize;
+        for (_, iface) in gt.topology.interfaces() {
+            let router = gt.topology.router(iface.router);
+            let ctx = MapContext {
+                true_location: router.location,
+                asn: router.asn,
+            };
+            match mapper.map(iface.ip, &ctx) {
+                Some(est) => {
+                    errors.push(geotopo::geo::haversine_miles(&est, &router.location))
+                }
+                None => unmapped += 1,
+            }
+        }
+        let e = Ecdf::new(errors);
+        println!("{name}:");
+        println!(
+            "  unmapped: {:.2}% of {} interfaces",
+            100.0 * unmapped as f64 / gt.topology.num_interfaces() as f64,
+            gt.topology.num_interfaces()
+        );
+        println!(
+            "  error miles: median {:.1}, p90 {:.1}, p99 {:.0}, max {:.0}",
+            e.quantile(0.5).unwrap_or(0.0),
+            e.quantile(0.9).unwrap_or(0.0),
+            e.quantile(0.99).unwrap_or(0.0),
+            e.max().unwrap_or(0.0)
+        );
+        println!(
+            "  within a city (50 mi): {:.1}%, within a patch (90 mi): {:.1}%\n",
+            100.0 * e.cdf(50.0),
+            100.0 * e.cdf(90.0)
+        );
+    }
+
+    println!(
+        "IxMapper and EdgeScape are city-accurate for the vast majority of interfaces — \
+         which is why the paper's 75-arcmin patches (~90 miles) are safely above the \
+         mapping error. NetGeo (whois-only) shows why hostname-based mapping was built: \
+         dispersed ASes map to their registered headquarters, often thousands of miles off."
+    );
+    Ok(())
+}

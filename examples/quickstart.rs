@@ -1,0 +1,31 @@
+//! Quickstart: run the full pipeline at tiny scale and print Table I.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use geotopo::core::experiments;
+use geotopo::core::pipeline::{Pipeline, PipelineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a synthetic Internet, measure it with Skitter and
+    //    Mercator, geolocate with IxMapper and EdgeScape, and map ASes
+    //    via a simulated RouteViews table. One seed = one reproducible
+    //    world.
+    let out = Pipeline::new(PipelineConfig::tiny(2002)).run()?;
+
+    // 2. Table I: the four processed datasets.
+    println!("{}", experiments::table1(&out).text);
+
+    // 3. One headline result: the distance-sensitivity limits (Table V).
+    println!(
+        "{}",
+        experiments::table5(&out, geotopo::core::pipeline::MapperKind::IxMapper).text
+    );
+
+    // 4. And the AS-size story (Figure 7 summary).
+    println!("{}", experiments::fig7(&out).text);
+
+    println!("Run `cargo run --release --example reproduce_paper` for every table and figure.");
+    Ok(())
+}

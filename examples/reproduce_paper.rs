@@ -1,0 +1,79 @@
+//! Reproduce every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release --example reproduce_paper [scale] [seed] [out_dir]
+//! ```
+//!
+//! `scale` ∈ {tiny, small, default, paper}; default `small`.
+//! When `out_dir` is given, each experiment's raw data is written as
+//! JSON (one file per table/figure) alongside a combined `results.md`.
+
+use geotopo::core::experiments;
+use geotopo::core::pipeline::{Pipeline, PipelineConfig};
+use std::io::Write;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args.get(1).map(String::as_str).unwrap_or("small");
+    let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
+    let out_dir = args.get(3).cloned();
+
+    let config = match scale {
+        "tiny" => PipelineConfig::tiny(seed),
+        "small" => PipelineConfig::small(seed),
+        "default" => PipelineConfig::default_scale(seed),
+        "paper" => {
+            // Paper-magnitude run: ~90k routers. Expect minutes.
+            let mut c = PipelineConfig::default_scale(seed);
+            c.world = geotopo::topology::generate::GroundTruthConfig::at_scale(90_000, seed);
+            c
+        }
+        other => return Err(format!("unknown scale {other:?} (tiny|small|default|paper)").into()),
+    };
+
+    eprintln!("[geotopo] generating world and collecting datasets (scale = {scale}, seed = {seed})...");
+    let t0 = std::time::Instant::now();
+    let out = Pipeline::new(config).run()?;
+    eprintln!(
+        "[geotopo] pipeline done in {:.1}s; ground truth: {} routers, {} interfaces, {} links",
+        t0.elapsed().as_secs_f64(),
+        out.ground_truth.topology.num_routers(),
+        out.ground_truth.topology.num_interfaces(),
+        out.ground_truth.topology.num_links(),
+    );
+
+    let results = experiments::run_all(&out);
+    for r in &results {
+        println!("=== {} ===\n{}", r.title, r.text);
+    }
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir)?;
+        let mut md = String::from("# geotopo reproduction results\n\n");
+        for r in &results {
+            let path = format!("{dir}/{}.json", r.id);
+            std::fs::write(&path, serde_json::to_string_pretty(&r.json)?)?;
+            md.push_str(&format!("## {}\n\n```\n{}\n```\n\n", r.title, r.text));
+        }
+        let mut f = std::fs::File::create(format!("{dir}/results.md"))?;
+        f.write_all(md.as_bytes())?;
+
+        // Gnuplot scripts for the figure-shaped experiments: running
+        // `gnuplot figure_N.gp` in `dir/plots` regenerates each figure.
+        let plots = std::path::Path::new(&dir).join("plots");
+        let mut n_figs = 0;
+        for r in &results {
+            if let Ok(fig) =
+                serde_json::from_value::<geotopo::core::report::FigureData>(r.json.clone())
+            {
+                geotopo::core::gnuplot::export_figure(&fig, &plots)?;
+                n_figs += 1;
+            }
+        }
+        eprintln!(
+            "[geotopo] wrote {} experiments to {dir}/ ({n_figs} gnuplot figures in {dir}/plots/)",
+            results.len()
+        );
+    }
+    Ok(())
+}

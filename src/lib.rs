@@ -1,0 +1,43 @@
+//! # geotopo — the geography of Internet resources
+//!
+//! A faithful reproduction of Lakhina, Byers, Crovella and Matta,
+//! *On the Geographic Location of Internet Resources* (IMC 2002), built
+//! entirely in Rust over simulated measurement substrates.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`geo`] — geodesy: coordinates, great-circle distance, the Albers
+//!   equal-area projection, convex hulls, patch grids, regions.
+//! - [`stats`] — regression, CDFs/CCDFs, correlation, heavy-tail samplers.
+//! - [`population`] — synthetic gridded world population (CIESIN substitute).
+//! - [`topology`] — the router-level topology model and generators
+//!   (ground-truth geographic Internet, Waxman, Erdős–Rényi,
+//!   Barabási–Albert, transit-stub, and the geography-aware `geogen`).
+//! - [`bgp`] — prefixes, radix-trie longest-prefix matching, simulated
+//!   RouteViews tables.
+//! - [`geomap`] — simulated IxMapper and EdgeScape geolocation services.
+//! - [`measure`] — simulated Skitter and Mercator topology collectors.
+//! - [`core`] — the paper's analysis pipeline and every table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use geotopo::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! // A tiny, fast pipeline run: build a synthetic Internet, measure it
+//! // with Skitter, geolocate with IxMapper, and map ASes via BGP.
+//! let cfg = PipelineConfig::tiny(42);
+//! let out = Pipeline::new(cfg).run().expect("pipeline");
+//! let ds = &out.datasets[0];
+//! assert!(ds.dataset.num_nodes() > 0);
+//! assert!(ds.dataset.num_links() > 0);
+//! ```
+
+pub use geotopo_bgp as bgp;
+pub use geotopo_core as core;
+pub use geotopo_geo as geo;
+pub use geotopo_geomap as geomap;
+pub use geotopo_measure as measure;
+pub use geotopo_population as population;
+pub use geotopo_stats as stats;
+pub use geotopo_topology as topology;

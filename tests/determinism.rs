@@ -1,0 +1,40 @@
+//! Reproducibility: the entire pipeline is a pure function of its seeds.
+
+use geotopo::core::experiments;
+use geotopo::core::pipeline::{Pipeline, PipelineConfig};
+
+#[test]
+fn identical_seeds_identical_results() {
+    let a = Pipeline::new(PipelineConfig::tiny(77)).run().unwrap();
+    let b = Pipeline::new(PipelineConfig::tiny(77)).run().unwrap();
+    let ta = experiments::table1(&a);
+    let tb = experiments::table1(&b);
+    assert_eq!(ta.json, tb.json);
+    // Deep check: every figure's data series must match bit-for-bit.
+    let fa = experiments::fig4(&a, geotopo::core::pipeline::MapperKind::IxMapper);
+    let fb = experiments::fig4(&b, geotopo::core::pipeline::MapperKind::IxMapper);
+    assert_eq!(fa.json, fb.json);
+}
+
+#[test]
+fn different_seeds_different_worlds() {
+    let a = Pipeline::new(PipelineConfig::tiny(1)).run().unwrap();
+    let b = Pipeline::new(PipelineConfig::tiny(2)).run().unwrap();
+    assert_ne!(
+        experiments::table1(&a).json,
+        experiments::table1(&b).json,
+        "seeds 1 and 2 produced identical Table I"
+    );
+}
+
+#[test]
+fn run_all_is_stable() {
+    let a = Pipeline::new(PipelineConfig::tiny(9)).run().unwrap();
+    let results = experiments::run_all(&a);
+    assert_eq!(results.len(), 25);
+    let again = experiments::run_all(&a);
+    for (x, y) in results.iter().zip(&again) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.json, y.json, "experiment {} not stable", x.id);
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-generator contrasts: the structural differences the paper's
+//! Section II narrative relies on must be visible between our generator
+//! implementations.
+
+use geotopo::geo::RegionSet;
+use geotopo::topology::generate::{
+    barabasi_albert, erdos_renyi, geogen, waxman, BarabasiAlbertConfig, ErdosRenyiConfig,
+    GeoGenConfig, WaxmanConfig,
+};
+use geotopo::topology::metrics;
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+#[test]
+fn distance_sensitive_generators_make_shorter_links() {
+    let n = 800;
+    let region = RegionSet::us();
+    let wax = waxman(&WaxmanConfig {
+        n,
+        alpha: 0.1,
+        beta: 0.5,
+        region: region.clone(),
+        seed: 3,
+    })
+    .unwrap();
+    let er = erdos_renyi(&ErdosRenyiConfig {
+        n,
+        p: 4.0 / n as f64,
+        region: region.clone(),
+        seed: 3,
+    })
+    .unwrap();
+    let geo = geogen(&GeoGenConfig::us_default(n, 3)).unwrap();
+
+    let wax_mean = mean(&metrics::link_lengths_miles(&wax));
+    let er_mean = mean(&metrics::link_lengths_miles(&er));
+    let geo_mean = mean(&metrics::link_lengths_miles(&geo.topology));
+
+    // ER is distance-blind: its links average near the mean pairwise
+    // distance (>1000 miles over the US box). Waxman and geogen links
+    // are several times shorter.
+    assert!(er_mean > 800.0, "ER mean {er_mean}");
+    assert!(wax_mean < 0.6 * er_mean, "Waxman {wax_mean} vs ER {er_mean}");
+    assert!(geo_mean < 0.6 * er_mean, "geogen {geo_mean} vs ER {er_mean}");
+}
+
+#[test]
+fn ba_degree_tail_beats_waxman() {
+    let n = 1500;
+    let region = RegionSet::us();
+    let ba = barabasi_albert(&BarabasiAlbertConfig {
+        n,
+        m: 2,
+        region: region.clone(),
+        seed: 4,
+    })
+    .unwrap();
+    // Compare at similar mean degree (≈4): Waxman's degrees are
+    // Poisson-like (light tail), BA's are power-law (heavy tail).
+    let wax = waxman(&WaxmanConfig {
+        n,
+        alpha: 0.15,
+        beta: 0.0146,
+        region,
+        seed: 4,
+    })
+    .unwrap();
+    let ba_mean = metrics::average_degree(&ba);
+    let wax_mean = metrics::average_degree(&wax);
+    assert!(
+        (ba_mean - wax_mean).abs() < 3.0,
+        "mean degrees not comparable: BA {ba_mean} Waxman {wax_mean}"
+    );
+    let ba_max = metrics::degree_distribution(&ba).len() - 1;
+    let wax_max = metrics::degree_distribution(&wax).len() - 1;
+    assert!(
+        ba_max > 2 * wax_max,
+        "BA max degree {ba_max} vs Waxman {wax_max}"
+    );
+}
+
+#[test]
+fn geogen_is_connected_and_annotated_where_waxman_is_not() {
+    // Waxman at sparse β leaves isolated nodes (the paper's Erdős–Rényi
+    // criticism applies to it too); geogen guarantees connectivity and
+    // carries AS labels and latencies.
+    let n = 600;
+    let geo = geogen(&GeoGenConfig::us_default(n, 5)).unwrap();
+    assert!((metrics::giant_component_fraction(&geo.topology) - 1.0).abs() < 1e-9);
+    assert_eq!(geo.latencies_ms.len(), geo.topology.num_links());
+    let distinct_as: std::collections::HashSet<_> =
+        geo.topology.routers().map(|(_, r)| r.asn).collect();
+    assert!(distinct_as.len() > 3);
+
+    let wax = waxman(&WaxmanConfig {
+        n,
+        alpha: 0.1,
+        beta: 0.05,
+        region: RegionSet::us(),
+        seed: 5,
+    })
+    .unwrap();
+    assert!(metrics::giant_component_fraction(&wax) < 1.0);
+}
+
+#[test]
+fn geogen_population_placement_is_clustered() {
+    // geogen places routers where people are; Waxman scatters uniformly.
+    // Compare occupancy of the paper's 75-arcmin patches: geogen must
+    // concentrate into fewer patches.
+    use geotopo::geo::PatchGrid;
+    let n = 2000;
+    let region = RegionSet::us();
+    let geo = geogen(&GeoGenConfig::us_default(n, 6)).unwrap();
+    let wax = waxman(&WaxmanConfig {
+        n,
+        alpha: 0.1,
+        beta: 0.2,
+        region: region.clone(),
+        seed: 6,
+    })
+    .unwrap();
+    let grid = PatchGrid::paper_grid(region).unwrap();
+    let occupied = |t: &geotopo::topology::Topology| {
+        grid.tally(t.routers().map(|(_, r)| r.location))
+            .iter()
+            .filter(|&&c| c > 0)
+            .count()
+    };
+    let geo_occ = occupied(&geo.topology);
+    let wax_occ = occupied(&wax);
+    assert!(
+        (geo_occ as f64) < 0.8 * wax_occ as f64,
+        "geogen occupies {geo_occ} patches, waxman {wax_occ}"
+    );
+}
