@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use geotopo_bench::tiny_output;
 use geotopo_core::experiments;
 use geotopo_core::pipeline::{Collector, MapperKind};
-use geotopo_core::section5::{
-    distance_preference, distance_preference_with_threshold, RegionBins,
-};
+use geotopo_core::section5::{distance_preference, distance_preference_with_threshold, RegionBins};
 use geotopo_core::section6;
 use std::hint::black_box;
 
@@ -67,7 +65,9 @@ fn bench_figures(c: &mut Criterion) {
 
 fn bench_as_measures(c: &mut Criterion) {
     let out = tiny_output();
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     c.bench_function("section6/as_measures", |b| {
         b.iter(|| section6::as_measures(black_box(ds)))
     });
@@ -78,7 +78,9 @@ fn bench_as_measures(c: &mut Criterion) {
 /// the speed tradeoff).
 fn bench_pairs_estimator(c: &mut Criterion) {
     let out = tiny_output();
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     let bins = &RegionBins::paper()[0]; // US
     let mut g = c.benchmark_group("ablate_pairs_estimator");
     g.sample_size(10);

@@ -3,6 +3,9 @@
 //! design knobs DESIGN.md calls out (distance-sensitive share, placement
 //! exponent α).
 
+// Bench setup code: aborting on malformed fixtures is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geotopo_geo::RegionSet;
 use geotopo_topology::generate::{
@@ -89,5 +92,10 @@ fn bench_ablate_alpha(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_baselines, bench_ablate_mixture, bench_ablate_alpha);
+criterion_group!(
+    benches,
+    bench_baselines,
+    bench_ablate_mixture,
+    bench_ablate_alpha
+);
 criterion_main!(benches);

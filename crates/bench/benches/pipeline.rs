@@ -1,6 +1,9 @@
 //! End-to-end pipeline benches: the cost of producing Table I's four
 //! processed datasets, stage by stage.
 
+// Bench setup code: aborting on malformed fixtures is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use geotopo_bgp::{RouteTable, RouteTableConfig};
 use geotopo_core::experiments;
@@ -43,5 +46,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ground_truth, bench_collectors, bench_full_pipeline);
+criterion_group!(
+    benches,
+    bench_ground_truth,
+    bench_collectors,
+    bench_full_pipeline
+);
 criterion_main!(benches);

@@ -1,12 +1,15 @@
 //! Substrate micro-benches: the primitives every experiment leans on.
 
+// Bench setup code: aborting on malformed fixtures is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use geotopo_bgp::{AsId, Ipv4Prefix, PrefixTrie};
 use geotopo_geo::{
     box_counting_dimension, boxcount::default_scales, convex_hull, haversine_miles,
     AlbersProjection, GeoPoint, RegionSet,
 };
-use geotopo_geomap::{GeoMapper, Gazetteer, IxMapper, MapContext, OrgDb};
+use geotopo_geomap::{Gazetteer, GeoMapper, IxMapper, MapContext, OrgDb};
 use geotopo_population::SyntheticPopulation;
 use geotopo_stats::{fit_line, AliasTable, Zipf};
 use rand::rngs::StdRng;
@@ -18,7 +21,11 @@ fn rand_points(n: usize, seed: u64) -> Vec<GeoPoint> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            GeoPoint::new(rng.random_range(25.0..50.0), rng.random_range(-150.0..-45.0)).unwrap()
+            GeoPoint::new(
+                rng.random_range(25.0..50.0),
+                rng.random_range(-150.0..-45.0),
+            )
+            .unwrap()
         })
         .collect()
 }
@@ -59,7 +66,9 @@ fn bench_bgp(c: &mut Criterion) {
         let p = Ipv4Prefix::containing(Ipv4Addr::from(bits), len).unwrap();
         trie.insert(p, AsId(i));
     }
-    let probes: Vec<Ipv4Addr> = (0..10_000).map(|_| Ipv4Addr::from(rng.random::<u32>())).collect();
+    let probes: Vec<Ipv4Addr> = (0..10_000)
+        .map(|_| Ipv4Addr::from(rng.random::<u32>()))
+        .collect();
     c.bench_function("bgp/lpm_10k_lookups_50k_routes", |b| {
         b.iter(|| {
             let mut hits = 0;

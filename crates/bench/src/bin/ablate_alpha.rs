@@ -13,7 +13,11 @@ use geotopo_topology::generate::GroundTruthConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let routers: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(12_000);
+    let routers: usize = args
+        .get(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(12_000);
     let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
 
     println!("generator α (all regions)  measured Fig-2 slope (US, Skitter)");

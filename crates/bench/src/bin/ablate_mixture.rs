@@ -14,7 +14,11 @@ use geotopo_topology::generate::GroundTruthConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let routers: usize = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(12_000);
+    let routers: usize = args
+        .get(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(12_000);
     let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
 
     println!("share_ds  mean %<limit (IxMapper, all regions/datasets)");
@@ -39,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             fracs.iter().sum::<f64>() / fracs.len() as f64
         };
-        println!("{share:>8.2}  {:.1}%  ({} regions fitted)", mean * 100.0, fracs.len());
+        println!(
+            "{share:>8.2}  {:.1}%  ({} regions fitted)",
+            mean * 100.0,
+            fracs.len()
+        );
     }
     Ok(())
 }

@@ -78,7 +78,9 @@ impl PrefixAllocator {
         loop {
             // Align cursor up to the block size.
             let aligned = self.cursor.div_ceil(size) * size;
-            let end = aligned.checked_add(size).ok_or(AllocError::SpaceExhausted)?;
+            let end = aligned
+                .checked_add(size)
+                .ok_or(AllocError::SpaceExhausted)?;
             if aligned >= u32::from(Ipv4Addr::new(224, 0, 0, 0)) {
                 return Err(AllocError::SpaceExhausted);
             }
@@ -98,7 +100,7 @@ impl PrefixAllocator {
 
 fn overlapping_reserved(p: &Ipv4Prefix) -> Option<Ipv4Prefix> {
     for (addr, len) in RESERVED {
-        let r = Ipv4Prefix::new(addr.parse().expect("const addr"), *len).expect("const prefix");
+        let r = Ipv4Prefix::new(addr.parse().expect("const addr"), *len).expect("const prefix"); // lint: allow(unwrap): RESERVED entries are compile-time constants
         if r.covers(p) || p.covers(&r) {
             return Some(r);
         }
@@ -125,11 +127,7 @@ impl AsAllocation {
     /// # Errors
     ///
     /// Propagates allocator exhaustion.
-    pub fn for_as(
-        alloc: &mut PrefixAllocator,
-        asn: AsId,
-        needed: u64,
-    ) -> Result<Self, AllocError> {
+    pub fn for_as(alloc: &mut PrefixAllocator, asn: AsId, needed: u64) -> Result<Self, AllocError> {
         let mut prefixes = Vec::new();
         let mut have = 0u64;
         while have < needed {
@@ -201,10 +199,7 @@ mod tests {
         // Burn through enough space to cross 10/8.
         for _ in 0..300 {
             let p = a.allocate(16).unwrap();
-            assert!(
-                overlapping_reserved(&p).is_none(),
-                "allocated reserved {p}"
-            );
+            assert!(overlapping_reserved(&p).is_none(), "allocated reserved {p}");
         }
     }
 

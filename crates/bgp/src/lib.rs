@@ -27,4 +27,4 @@ pub use alloc::PrefixAllocator;
 pub use prefix::{AsId, Ipv4Prefix, PrefixError};
 pub use relations::{AsRelations, Relationship};
 pub use table::{RouteTable, RouteTableConfig};
-pub use trie::PrefixTrie;
+pub use trie::{PrefixTrie, TrieInvariant};

@@ -168,7 +168,9 @@ impl FromStr for Ipv4Prefix {
         let (addr, len) = s
             .split_once('/')
             .ok_or_else(|| PrefixError::Parse(s.to_string()))?;
-        let addr: Ipv4Addr = addr.parse().map_err(|_| PrefixError::Parse(s.to_string()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| PrefixError::Parse(s.to_string()))?;
         let len: u8 = len.parse().map_err(|_| PrefixError::Parse(s.to_string()))?;
         Ipv4Prefix::new(addr, len)
     }
@@ -259,9 +261,18 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert!(matches!("10.0.0.0".parse::<Ipv4Prefix>(), Err(PrefixError::Parse(_))));
-        assert!(matches!("banana/8".parse::<Ipv4Prefix>(), Err(PrefixError::Parse(_))));
-        assert!(matches!("10.0.0.0/99".parse::<Ipv4Prefix>(), Err(PrefixError::BadLength(99))));
+        assert!(matches!(
+            "10.0.0.0".parse::<Ipv4Prefix>(),
+            Err(PrefixError::Parse(_))
+        ));
+        assert!(matches!(
+            "banana/8".parse::<Ipv4Prefix>(),
+            Err(PrefixError::Parse(_))
+        ));
+        assert!(matches!(
+            "10.0.0.0/99".parse::<Ipv4Prefix>(),
+            Err(PrefixError::BadLength(99))
+        ));
     }
 
     #[test]

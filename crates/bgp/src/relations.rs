@@ -161,11 +161,20 @@ mod tests {
     #[test]
     fn inference_by_size() {
         let g = rel_graph();
-        assert_eq!(g.get(AsId(1), AsId(2)), Some(Relationship::ProviderToCustomer));
-        assert_eq!(g.get(AsId(2), AsId(1)), Some(Relationship::CustomerToProvider));
+        assert_eq!(
+            g.get(AsId(1), AsId(2)),
+            Some(Relationship::ProviderToCustomer)
+        );
+        assert_eq!(
+            g.get(AsId(2), AsId(1)),
+            Some(Relationship::CustomerToProvider)
+        );
         assert_eq!(g.get(AsId(2), AsId(3)), Some(Relationship::PeerToPeer));
         assert_eq!(g.get(AsId(3), AsId(2)), Some(Relationship::PeerToPeer));
-        assert_eq!(g.get(AsId(2), AsId(4)), Some(Relationship::ProviderToCustomer));
+        assert_eq!(
+            g.get(AsId(2), AsId(4)),
+            Some(Relationship::ProviderToCustomer)
+        );
         assert_eq!(g.get(AsId(1), AsId(4)), None);
         assert_eq!(g.len(), 4);
     }

@@ -9,7 +9,7 @@
 
 use crate::alloc::AsAllocation;
 use crate::prefix::{AsId, Ipv4Prefix};
-use crate::trie::PrefixTrie;
+use crate::trie::{PrefixTrie, TrieInvariant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -127,6 +127,22 @@ impl RouteTable {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Checks that the lookup trie is structurally sound and faithful to
+    /// the advertised route list: the trie's contents are exactly
+    /// `entries()` (last-wins on duplicate prefixes) and longest-prefix
+    /// matching agrees with a brute-force linear scan at the extremes of
+    /// every advertised prefix. The pipeline runs this between stages in
+    /// validating mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), TrieInvariant> {
+        let reference: Vec<(Ipv4Prefix, AsId)> =
+            self.entries.iter().map(|e| (e.prefix, e.origin)).collect();
+        self.trie.validate_against(&reference)
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +252,46 @@ mod tests {
         let t1 = RouteTable::synthesize(&allocs, &cfg);
         let t2 = RouteTable::synthesize(&allocs, &cfg);
         assert_eq!(t1.entries(), t2.entries());
+    }
+
+    #[test]
+    fn validate_accepts_synthesized_tables() {
+        let allocs = make_allocs(30, 400);
+        let table = RouteTable::synthesize(&allocs, &RouteTableConfig::default());
+        assert_eq!(table.validate(), Ok(()));
+        assert_eq!(RouteTable::from_routes([]).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_trie_desync() {
+        // An entry recorded in the route list but missing from the trie:
+        // lookups silently return the wrong origin for that prefix. The
+        // fields are private, so only in-module corruption can produce
+        // this state — which is exactly what validate() guards against.
+        let mut table = RouteTable::from_routes([
+            RouteEntry {
+                prefix: "20.0.0.0/8".parse().unwrap(),
+                origin: AsId(10),
+            },
+            RouteEntry {
+                prefix: "20.5.0.0/16".parse().unwrap(),
+                origin: AsId(20),
+            },
+        ]);
+        assert_eq!(table.validate(), Ok(()));
+        table.entries.push(RouteEntry {
+            prefix: "30.0.0.0/8".parse().unwrap(),
+            origin: AsId(30),
+        });
+        assert!(table.validate().is_err());
+
+        // A trie value that contradicts the recorded origin.
+        let mut table = RouteTable::from_routes([RouteEntry {
+            prefix: "20.0.0.0/8".parse().unwrap(),
+            origin: AsId(10),
+        }]);
+        table.trie.insert("20.0.0.0/8".parse().unwrap(), AsId(99));
+        assert!(table.validate().is_err());
     }
 
     #[test]

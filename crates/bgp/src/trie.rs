@@ -101,6 +101,36 @@ impl<V> PrefixTrie<V> {
         best
     }
 
+    /// Enumerates the stored `(prefix, value)` pairs in bit-path order.
+    ///
+    /// Walks the node arena from the root; only structurally reachable
+    /// entries are reported, which is what [`PrefixTrie::validate`]
+    /// compares the arena contents against.
+    pub fn entries(&self) -> Vec<(Ipv4Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        // (node, path bits, depth)
+        let mut stack: Vec<(usize, u32, u8)> = vec![(0, 0, 0)];
+        while let Some((node, bits, depth)) = stack.pop() {
+            if node >= self.nodes.len() || depth > 32 {
+                continue; // structural damage; validate() reports it
+            }
+            if let Some(v) = self.nodes[node].value.as_ref() {
+                // lint: allow(unwrap): depth <= 32 and path bits are masked to depth
+                let prefix = Ipv4Prefix::new(Ipv4Addr::from(bits), depth).expect("valid by walk");
+                out.push((prefix, v));
+            }
+            if depth < 32 {
+                for (bit, child) in self.nodes[node].children.iter().enumerate() {
+                    if let Some(c) = child {
+                        let child_bits = bits | ((bit as u32) << (31 - depth));
+                        stack.push((*c as usize, child_bits, depth + 1));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Exact-match lookup of a stored prefix.
     pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
         let mut node = 0usize;
@@ -110,6 +140,200 @@ impl<V> PrefixTrie<V> {
             node = self.nodes[node].children[bit]? as usize;
         }
         self.nodes[node].value.as_ref()
+    }
+}
+
+/// A structural invariant broken in a [`PrefixTrie`].
+///
+/// Insertion cannot produce any of these; they surface corruption from
+/// deserialized snapshots or future mutating code paths. Checked by
+/// [`PrefixTrie::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrieInvariant {
+    /// A child pointer references a node outside the arena.
+    ChildOutOfRange {
+        /// Arena index of the node holding the bad pointer.
+        node: u32,
+    },
+    /// The arena is not a tree rooted at node 0 (a node is shared,
+    /// cyclic, or unreachable).
+    NotATree {
+        /// Arena index of the offending node.
+        node: u32,
+    },
+    /// A path descends below 32 bits.
+    DepthExceeded,
+    /// `len` disagrees with the number of stored values.
+    LenMismatch {
+        /// The cached count.
+        stored: usize,
+        /// The count found by walking the arena.
+        counted: usize,
+    },
+    /// The stored entries disagree with an external reference list.
+    ContentMismatch {
+        /// The prefix that is missing, extra, or carries the wrong value.
+        prefix: Ipv4Prefix,
+    },
+    /// Longest-prefix matching disagrees with a linear scan over the
+    /// reference list.
+    LpmMismatch {
+        /// The probe address where the two methods diverge.
+        ip: Ipv4Addr,
+    },
+}
+
+impl std::fmt::Display for TrieInvariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrieInvariant::ChildOutOfRange { node } => {
+                write!(f, "trie node {node} has an out-of-range child pointer")
+            }
+            TrieInvariant::NotATree { node } => {
+                write!(f, "trie node {node} is shared, cyclic, or unreachable")
+            }
+            TrieInvariant::DepthExceeded => write!(f, "trie path exceeds 32 bits"),
+            TrieInvariant::LenMismatch { stored, counted } => {
+                write!(f, "trie len {stored} but {counted} values reachable")
+            }
+            TrieInvariant::ContentMismatch { prefix } => {
+                write!(
+                    f,
+                    "trie contents disagree with the reference list at {}/{}",
+                    prefix.network(),
+                    prefix.len()
+                )
+            }
+            TrieInvariant::LpmMismatch { ip } => {
+                write!(f, "LPM and linear scan disagree at {ip}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrieInvariant {}
+
+impl<V> PrefixTrie<V> {
+    /// Checks the structural invariants of the trie: child pointers stay
+    /// inside the arena, every node is reachable from the root exactly
+    /// once (the arena is a tree), no path descends below 32 bits, and
+    /// the cached `len` equals the number of reachable values.
+    ///
+    /// Content checks against the original insertions need an external
+    /// reference — see [`PrefixTrie::validate_against`]; on a tree-shaped
+    /// arena, `lookup` and a scan of [`PrefixTrie::entries`] provably
+    /// agree, so a self-referential LPM check would be vacuous.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), TrieInvariant> {
+        // 1. Tree shape, bounds, depth.
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<(usize, u8)> = vec![(0, 0)];
+        while let Some((node, depth)) = stack.pop() {
+            if visited[node] {
+                return Err(TrieInvariant::NotATree { node: node as u32 });
+            }
+            visited[node] = true;
+            for child in self.nodes[node].children.iter().flatten() {
+                let c = *child as usize;
+                if c >= self.nodes.len() {
+                    return Err(TrieInvariant::ChildOutOfRange { node: node as u32 });
+                }
+                if depth >= 32 {
+                    return Err(TrieInvariant::DepthExceeded);
+                }
+                stack.push((c, depth + 1));
+            }
+        }
+        if let Some(unreachable) = visited.iter().position(|v| !v) {
+            return Err(TrieInvariant::NotATree {
+                node: unreachable as u32,
+            });
+        }
+
+        // 2. Cached length.
+        let counted = self.entries().len();
+        if counted != self.len {
+            return Err(TrieInvariant::LenMismatch {
+                stored: self.len,
+                counted,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<V: PartialEq> PrefixTrie<V> {
+    /// Checks the trie against an independent reference list of the
+    /// `(prefix, value)` pairs that should be stored (later duplicates
+    /// win, matching [`PrefixTrie::insert`] semantics):
+    ///
+    /// 1. the structural invariants of [`PrefixTrie::validate`] hold;
+    /// 2. [`PrefixTrie::lookup`] agrees with a brute-force linear scan of
+    ///    the reference list at the first and last address of every
+    ///    reference prefix — the extremes of each match range, where
+    ///    off-by-one bit errors surface;
+    /// 3. the reachable entries are exactly the reference pairs (this
+    ///    catches corruption the probe set cannot see, e.g. a value whose
+    ///    prefix is shadowed by more-specifics at both extremes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate_against(&self, reference: &[(Ipv4Prefix, V)]) -> Result<(), TrieInvariant> {
+        self.validate()?;
+
+        // Later duplicates win, as with repeated insert().
+        let mut canonical: Vec<(Ipv4Prefix, &V)> = Vec::new();
+        for (p, v) in reference {
+            if let Some(slot) = canonical.iter_mut().find(|(q, _)| q == p) {
+                slot.1 = v;
+            } else {
+                canonical.push((*p, v));
+            }
+        }
+
+        // 2. LPM vs linear scan at every match-range extreme.
+        for (prefix, _) in &canonical {
+            let lo = prefix.network();
+            let hi = Ipv4Addr::from(u32::from(lo) | (prefix.size() - 1) as u32);
+            for probe in [lo, hi] {
+                let linear = canonical
+                    .iter()
+                    .filter(|(p, _)| p.contains(probe))
+                    .max_by_key(|(p, _)| p.len());
+                let fast = self.lookup(probe);
+                let agree = match (linear, fast) {
+                    (None, None) => true,
+                    (Some((p, v)), Some((fv, flen))) => p.len() == flen && **v == *fv,
+                    _ => false,
+                };
+                if !agree {
+                    return Err(TrieInvariant::LpmMismatch { ip: probe });
+                }
+            }
+        }
+
+        // 3. Exact content match.
+        let entries = self.entries();
+        if entries.len() != canonical.len() {
+            let missing = canonical
+                .iter()
+                .find(|(p, _)| !entries.iter().any(|(q, _)| q == p))
+                .map(|(p, _)| *p)
+                .or_else(|| entries.first().map(|(p, _)| *p))
+                .unwrap_or(Ipv4Prefix::new(Ipv4Addr::UNSPECIFIED, 0).expect("/0 is valid")); // lint: allow(unwrap): /0 always constructs
+            return Err(TrieInvariant::ContentMismatch { prefix: missing });
+        }
+        for (p, v) in &canonical {
+            match entries.iter().find(|(q, _)| q == p) {
+                Some((_, stored)) if *stored == *v => {}
+                _ => return Err(TrieInvariant::ContentMismatch { prefix: *p }),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -195,6 +419,165 @@ mod tests {
         assert_eq!(t.get(&pfx("10.1.0.0/16")), Some(&5));
         assert_eq!(t.get(&pfx("10.0.0.0/8")), None);
         assert_eq!(t.get(&pfx("10.1.0.0/17")), None);
+    }
+
+    fn sample_trie() -> PrefixTrie<u32> {
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("10.0.0.0/8"), 1u32);
+        t.insert(pfx("10.1.0.0/16"), 2);
+        t.insert(pfx("10.1.2.0/24"), 3);
+        t.insert(pfx("192.168.0.0/24"), 4);
+        t
+    }
+
+    #[test]
+    fn entries_roundtrip_inserted_prefixes() {
+        let t = sample_trie();
+        let mut got: Vec<(String, u32)> = t
+            .entries()
+            .into_iter()
+            .map(|(p, v)| (format!("{}/{}", p.network(), p.len()), *v))
+            .collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                ("10.0.0.0/8".to_string(), 1),
+                ("10.1.0.0/16".to_string(), 2),
+                ("10.1.2.0/24".to_string(), 3),
+                ("192.168.0.0/24".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_tries() {
+        assert_eq!(PrefixTrie::<u32>::new().validate(), Ok(()));
+        assert_eq!(sample_trie().validate(), Ok(()));
+        let mut with_default = sample_trie();
+        with_default.insert(pfx("0.0.0.0/0"), 99);
+        assert_eq!(with_default.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_child() {
+        let mut t = sample_trie();
+        let n = t.nodes.len() as u32;
+        t.nodes[0].children[1] = Some(n + 10);
+        assert!(matches!(
+            t.validate(),
+            Err(TrieInvariant::ChildOutOfRange { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_cycle_and_shared_node() {
+        // Cycle back to the root.
+        let mut t = sample_trie();
+        let leaf = t.nodes.len() - 1;
+        t.nodes[leaf].children[0] = Some(0);
+        assert!(matches!(t.validate(), Err(TrieInvariant::NotATree { .. })));
+        // A node with two parents.
+        let mut t = sample_trie();
+        let shared = t.nodes[0].children[0];
+        t.nodes[0].children[1] = shared;
+        assert!(matches!(t.validate(), Err(TrieInvariant::NotATree { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_node() {
+        let mut t = sample_trie();
+        t.nodes.push(Node::default());
+        assert!(matches!(t.validate(), Err(TrieInvariant::NotATree { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_len_mismatch() {
+        let mut t = sample_trie();
+        t.len += 1;
+        assert_eq!(
+            t.validate(),
+            Err(TrieInvariant::LenMismatch {
+                stored: 5,
+                counted: 4
+            })
+        );
+    }
+
+    /// Walk the arena to the node a prefix was inserted at, returning
+    /// `(parent, node)` indices. Test-only surgery helper.
+    fn path_to(t: &PrefixTrie<u32>, p: &Ipv4Prefix) -> (usize, usize) {
+        let bits = p.bits();
+        let mut node = 0usize;
+        let mut parent = 0usize;
+        for depth in 0..p.len() {
+            let bit = ((bits >> (31 - depth)) & 1) as usize;
+            parent = node;
+            node = t.nodes[node].children[bit].unwrap() as usize;
+        }
+        (parent, node)
+    }
+
+    fn sample_reference() -> Vec<(Ipv4Prefix, u32)> {
+        vec![
+            (pfx("10.0.0.0/8"), 1),
+            (pfx("10.1.0.0/16"), 2),
+            (pfx("10.1.2.0/24"), 3),
+            (pfx("192.168.0.0/24"), 4),
+        ]
+    }
+
+    #[test]
+    fn validate_against_accepts_faithful_trie() {
+        assert_eq!(sample_trie().validate_against(&sample_reference()), Ok(()));
+        assert_eq!(PrefixTrie::<u32>::new().validate_against(&[]), Ok(()));
+        // Later duplicates in the reference win, mirroring insert().
+        let mut dup = sample_reference();
+        dup.insert(0, (pfx("10.1.2.0/24"), 42));
+        assert_eq!(sample_trie().validate_against(&dup), Ok(()));
+    }
+
+    #[test]
+    fn validate_against_rejects_moved_value() {
+        // Move the /24 value one node up (to the /23 position). The tree
+        // is still structurally valid and self-consistent — plain
+        // validate() accepts it — but lookup() now disagrees with a
+        // linear scan of the reference at the /24's extremes.
+        let mut t = sample_trie();
+        let (parent, node) = path_to(&t, &pfx("10.1.2.0/24"));
+        let v = t.nodes[node].value.take().unwrap();
+        t.nodes[parent].value = Some(v);
+        assert_eq!(t.validate(), Ok(()));
+        assert!(matches!(
+            t.validate_against(&sample_reference()),
+            Err(TrieInvariant::LpmMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_against_rejects_shadowed_value_corruption() {
+        // Corrupt a value whose prefix is shadowed by more-specifics at
+        // both extremes of its match range: the LPM probes never compare
+        // it, so only the exact-content check can catch the corruption.
+        let reference = vec![
+            (pfx("10.0.0.0/8"), 1u32),
+            (pfx("10.1.0.0/16"), 2),
+            (pfx("10.1.0.0/17"), 5),
+            (pfx("10.1.128.0/17"), 6),
+        ];
+        let mut t = PrefixTrie::new();
+        for (p, v) in &reference {
+            t.insert(*p, *v);
+        }
+        assert_eq!(t.validate_against(&reference), Ok(()));
+        let (_, node) = path_to(&t, &pfx("10.1.0.0/16"));
+        t.nodes[node].value = Some(99);
+        assert_eq!(
+            t.validate_against(&reference),
+            Err(TrieInvariant::ContentMismatch {
+                prefix: pfx("10.1.0.0/16")
+            })
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property tests: the radix trie must agree with a brute-force
 //! linear scan over prefixes, and allocation invariants must hold.
 
-use geotopo_bgp::{AsId, Ipv4Prefix, PrefixTrie};
 use geotopo_bgp::alloc::{AsAllocation, PrefixAllocator};
+use geotopo_bgp::{AsId, Ipv4Prefix, PrefixTrie};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -38,6 +38,41 @@ proptest! {
             let got = trie.lookup(ip).map(|(v, l)| (*v, l));
             prop_assert_eq!(got, best, "ip {}", ip);
         }
+    }
+
+    #[test]
+    fn trie_validates_and_matches_reference(
+        prefixes in prop::collection::vec(arb_prefix(), 0..60)
+    ) {
+        // Any insert sequence must leave the trie structurally valid and
+        // faithful to its own insertion record (last-wins on duplicates).
+        let reference: Vec<(Ipv4Prefix, usize)> =
+            prefixes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let mut trie = PrefixTrie::new();
+        for (p, v) in &reference {
+            trie.insert(*p, *v);
+        }
+        prop_assert_eq!(trie.validate(), Ok(()));
+        prop_assert_eq!(trie.validate_against(&reference), Ok(()));
+    }
+
+    #[test]
+    fn synthesized_route_table_validates(
+        sizes in prop::collection::vec(10u64..2000, 1..10),
+        seed in any::<u64>()
+    ) {
+        use geotopo_bgp::{RouteTable, RouteTableConfig};
+        let mut a = PrefixAllocator::new();
+        let allocs: Vec<AsAllocation> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| AsAllocation::for_as(&mut a, AsId(i as u32 + 1), s).unwrap())
+            .collect();
+        let table = RouteTable::synthesize(
+            &allocs,
+            &RouteTableConfig { coverage: 0.9, more_specific_prob: 0.3, seed },
+        );
+        prop_assert_eq!(table.validate(), Ok(()));
     }
 
     #[test]

@@ -44,8 +44,7 @@ pub fn render_region(dataset: &GeoDataset, region: &Region, width: usize) -> Str
                 RAMP[0]
             } else {
                 // Log scaling keeps sparse cells visible.
-                let level = ((c as f64).ln_1p() / (max as f64).ln_1p()
-                    * (RAMP.len() - 1) as f64)
+                let level = ((c as f64).ln_1p() / (max as f64).ln_1p() * (RAMP.len() - 1) as f64)
                     .ceil() as usize;
                 RAMP[level.clamp(1, RAMP.len() - 1)]
             };

@@ -58,14 +58,36 @@ pub fn run_all(out: &PipelineOutput) -> Vec<ExperimentResult> {
 /// Table V (Figures 11–14 in the paper) and the AS figures (15–17).
 pub fn appendix(out: &PipelineOutput) -> Vec<ExperimentResult> {
     let mut v = vec![
-        relabel(fig2(out, MapperKind::EdgeScape), "fig11", "Figure 11 (EdgeScape)"),
-        relabel(fig4(out, MapperKind::EdgeScape), "fig12", "Figure 12 (EdgeScape)"),
-        relabel(fig5(out, MapperKind::EdgeScape), "fig13", "Figure 13 (EdgeScape)"),
-        relabel(fig6(out, MapperKind::EdgeScape), "fig14", "Figure 14 (EdgeScape)"),
-        relabel(table5(out, MapperKind::EdgeScape), "table5es", "Table V (EdgeScape)"),
+        relabel(
+            fig2(out, MapperKind::EdgeScape),
+            "fig11",
+            "Figure 11 (EdgeScape)",
+        ),
+        relabel(
+            fig4(out, MapperKind::EdgeScape),
+            "fig12",
+            "Figure 12 (EdgeScape)",
+        ),
+        relabel(
+            fig5(out, MapperKind::EdgeScape),
+            "fig13",
+            "Figure 13 (EdgeScape)",
+        ),
+        relabel(
+            fig6(out, MapperKind::EdgeScape),
+            "fig14",
+            "Figure 14 (EdgeScape)",
+        ),
+        relabel(
+            table5(out, MapperKind::EdgeScape),
+            "table5es",
+            "Table V (EdgeScape)",
+        ),
     ];
     // Figures 15–17: AS analyses under EdgeScape.
-    let ds = &out.dataset(MapperKind::EdgeScape, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::EdgeScape, Collector::Skitter)
+        .dataset;
     let m = section6::as_measures(ds);
     let f15 = section6::fig7(&m);
     v.push(ExperimentResult {
@@ -101,7 +123,12 @@ fn relabel(mut r: ExperimentResult, id: &str, title: &str) -> ExperimentResult {
 pub fn table1(out: &PipelineOutput) -> ExperimentResult {
     let mut t = TextTable::new(
         "Table I — Sizes of processed datasets",
-        &["Dataset", "No. of Nodes", "No. of Links", "No. of Locations"],
+        &[
+            "Dataset",
+            "No. of Nodes",
+            "No. of Links",
+            "No. of Locations",
+        ],
     );
     for d in &out.datasets {
         t.row(&[
@@ -146,7 +173,9 @@ pub fn table2() -> ExperimentResult {
 /// (Skitter + IxMapper, as in the paper).
 pub fn table3(out: &PipelineOutput) -> ExperimentResult {
     let world = WorldModel::paper();
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     let rows = section4::table3(ds, &world);
     let (people_spread, online_spread) = section4::table3_spreads(&rows);
     let mut text = section4::table3_text(&rows).render();
@@ -168,8 +197,10 @@ pub fn table3(out: &PipelineOutput) -> ExperimentResult {
 /// Table IV: the homogeneity test.
 pub fn table4(out: &PipelineOutput) -> ExperimentResult {
     let world = WorldModel::paper();
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
-    let rows = section4::table4(ds, &world);
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
+    let rows = section4::table4(ds, &world, us_north_share(out));
     ExperimentResult {
         id: "table4".into(),
         title: "Table IV — Testing for homogeneity".into(),
@@ -178,10 +209,35 @@ pub fn table4(out: &PipelineOutput) -> ExperimentResult {
     }
 }
 
+/// Measures the realized northern share of the US box population from the
+/// world that actually generated `out`. Table IV tests *placement*
+/// homogeneity, so the population denominator must come from the realized
+/// synthetic grid, not the nominal census split — the city draw moves the
+/// north/south split around from seed to seed.
+fn us_north_share(out: &PipelineOutput) -> f64 {
+    let gt = &out.ground_truth;
+    gt.config
+        .regions
+        .iter()
+        .position(|rp| rp.economic.region.name == "USA")
+        .and_then(|i| gt.population_grid(i).ok())
+        .map(|grid| {
+            let total = grid.total();
+            if total > 0.0 {
+                grid.total_within(&RegionSet::northern_us()) / total
+            } else {
+                section4::NOMINAL_US_NORTH_SHARE
+            }
+        })
+        .unwrap_or(section4::NOMINAL_US_NORTH_SHARE)
+}
+
 /// Figure 1: ASCII density maps of the three study regions
 /// (Skitter + IxMapper).
 pub fn fig1(out: &PipelineOutput) -> ExperimentResult {
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     let mut text = String::from("Figure 1 — Regions studied (node density)\n\n");
     for region in RegionSet::study_regions() {
         text.push_str(&ascii_map::render_region(ds, &region, 100));
@@ -230,11 +286,8 @@ pub fn fig2(out: &PipelineOutput, mapper: MapperKind) -> ExperimentResult {
         let ds = &out.dataset(mapper, collector).dataset;
         let fig = section4::fig2(ds, &pops, &collector.to_string());
         for panel in &fig.panels {
-            let (xs, ys): (Vec<f64>, Vec<f64>) =
-                panel.series[0].points.iter().cloned().unzip();
-            if let Some(ci) =
-                geotopo_stats::bootstrap_slope_ci(&xs, &ys, 300, 0.95, &mut rng)
-            {
+            let (xs, ys): (Vec<f64>, Vec<f64>) = panel.series[0].points.iter().cloned().unzip();
+            if let Some(ci) = geotopo_stats::bootstrap_slope_ci(&xs, &ys, 300, 0.95, &mut rng) {
                 ci_lines.push_str(&format!(
                     "  {}: slope {:.3} (95% CI [{:.3}, {:.3}])\n",
                     panel.label, ci.slope, ci.lo, ci.hi
@@ -352,7 +405,13 @@ pub fn fig6(out: &PipelineOutput, mapper: MapperKind) -> ExperimentResult {
 pub fn table5(out: &PipelineOutput, mapper: MapperKind) -> ExperimentResult {
     let mut t = TextTable::new(
         "Table V — Limits of distance sensitivity",
-        &["Dataset", "Region", "Limit (mi)", "% links < limit", "decay αL (mi)"],
+        &[
+            "Dataset",
+            "Region",
+            "Limit (mi)",
+            "% links < limit",
+            "decay αL (mi)",
+        ],
     );
     let mut rows_json = Vec::new();
     for collector in [Collector::Mercator, Collector::Skitter] {
@@ -382,7 +441,9 @@ pub fn table5(out: &PipelineOutput, mapper: MapperKind) -> ExperimentResult {
 }
 
 fn skitter_measures(out: &PipelineOutput) -> Vec<section6::AsMeasures> {
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     section6::as_measures(ds)
 }
 
@@ -417,14 +478,20 @@ pub fn fig8(out: &PipelineOutput) -> ExperimentResult {
 
 /// Figure 9: CDFs of AS convex-hull areas.
 pub fn fig9(out: &PipelineOutput) -> ExperimentResult {
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     let measures = section6::as_measures(ds);
     let fig = section6::fig9(ds, &measures);
     let zero = section6::zero_hull_fraction(&measures);
     ExperimentResult {
         id: "fig9".into(),
         title: fig.title.clone(),
-        text: format!("{}\nzero-area AS fraction: {:.1}%\n", fig.render(), zero * 100.0),
+        text: format!(
+            "{}\nzero-area AS fraction: {:.1}%\n",
+            fig.render(),
+            zero * 100.0
+        ),
         json: serde_json::json!({ "figure": fig.to_json(), "zero_hull_fraction": zero }),
     }
 }
@@ -447,7 +514,9 @@ pub fn fig10(out: &PipelineOutput) -> ExperimentResult {
 
 /// Table VI: inter- vs intradomain links.
 pub fn table6(out: &PipelineOutput) -> ExperimentResult {
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     let rows = section6::domain_links(ds, &section6::table6_regions());
     ExperimentResult {
         id: "table6".into(),
@@ -468,8 +537,12 @@ pub fn robustness(out: &PipelineOutput) -> ExperimentResult {
         "Appendix robustness — KS distance between mapper views (Skitter)",
         &["Quantity", "KS statistic", "p-value", "n_eff"],
     );
-    let ds_ix = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
-    let ds_es = &out.dataset(MapperKind::EdgeScape, Collector::Skitter).dataset;
+    let ds_ix = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
+    let ds_es = &out
+        .dataset(MapperKind::EdgeScape, Collector::Skitter)
+        .dataset;
 
     let lengths = |ds: &crate::pipeline::GeoDataset| -> Vec<f64> {
         ds.links.iter().map(|&l| ds.link_length_miles(l)).collect()
@@ -517,7 +590,9 @@ pub fn robustness(out: &PipelineOutput) -> ExperimentResult {
 
 /// The Section II fractal-dimension confirmation.
 pub fn fractal_dimension(out: &PipelineOutput) -> ExperimentResult {
-    let ds = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+    let ds = &out
+        .dataset(MapperKind::IxMapper, Collector::Skitter)
+        .dataset;
     let rows = fractal::fractal_dimensions(ds, &RegionSet::study_regions());
     let mut t = TextTable::new(
         "Fractal dimension of mapped nodes (box counting)",
@@ -556,9 +631,31 @@ mod tests {
         let results = run_all(&out);
         let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
         for want in [
-            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig4", "fig5", "fig6",
-            "table5", "fig7", "fig8", "fig9", "fig10", "table6", "fractal", "robustness", "fig11", "fig12",
-            "fig13", "fig14", "table5es", "fig15", "fig16", "fig17",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig1",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "table5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table6",
+            "fractal",
+            "robustness",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "table5es",
+            "fig15",
+            "fig16",
+            "fig17",
         ] {
             assert!(ids.contains(&want), "missing {want}: {ids:?}");
         }

@@ -50,18 +50,20 @@ mod tests {
     fn clustered_nodes_have_fractional_dimension() {
         // A clustered point set: several dense blobs.
         let mut nodes = Vec::new();
-        let centers = [(40.0, -100.0), (34.0, -118.0), (41.0, -74.0), (47.0, -122.0)];
+        let centers = [
+            (40.0, -100.0),
+            (34.0, -118.0),
+            (41.0, -74.0),
+            (47.0, -122.0),
+        ];
         let mut i = 0u32;
         for &(clat, clon) in &centers {
             for a in 0..12 {
                 for b in 0..12 {
                     nodes.push(GeoNode {
                         ip: std::net::Ipv4Addr::from(i),
-                        location: GeoPoint::new(
-                            clat + a as f64 * 0.08,
-                            clon + b as f64 * 0.08,
-                        )
-                        .unwrap(),
+                        location: GeoPoint::new(clat + a as f64 * 0.08, clon + b as f64 * 0.08)
+                            .unwrap(),
                         asn: AsId(1),
                     });
                     i += 1;

@@ -43,7 +43,12 @@ pub fn export_figure(fig: &FigureData, dir: &Path) -> std::io::Result<Vec<PathBu
     let cols = fig.panels.len().clamp(1, 3);
     let rows = fig.panels.len().div_ceil(cols).max(1);
     writeln!(f, "# Regenerates {} — {}", fig.id, fig.title)?;
-    writeln!(f, "set terminal pngcairo size {},{}", cols * 480, rows * 360)?;
+    writeln!(
+        f,
+        "set terminal pngcairo size {},{}",
+        cols * 480,
+        rows * 360
+    )?;
     writeln!(f, "set output '{stem}.png'")?;
     writeln!(
         f,
@@ -139,7 +144,8 @@ mod tests {
         for p in &written {
             let name = p.file_name().unwrap().to_string_lossy().into_owned();
             assert!(
-                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'),
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'),
                 "bad path {name}"
             );
         }

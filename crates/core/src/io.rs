@@ -5,7 +5,7 @@
 //! re-analysed without regenerating the world — the synthetic analogue
 //! of keeping the paper's "snapshots".
 
-use crate::pipeline::{GeoDataset, ProcessedDataset};
+use crate::pipeline::ProcessedDataset;
 use std::path::Path;
 
 /// Errors from dataset persistence.
@@ -60,36 +60,29 @@ pub fn save_dataset(ds: &ProcessedDataset, path: &Path) -> Result<(), IoError> {
 
 /// Loads and validates a processed dataset.
 ///
+/// Runs the structural half of
+/// [`GeoDataset::validate`](crate::pipeline::GeoDataset::validate) (link sanity and
+/// coordinate ranges — deserialization bypasses `GeoPoint::new`, so bad
+/// coordinates are reachable here); the generating regions are not
+/// recorded in the file, so the region check is skipped.
+///
 /// # Errors
 ///
-/// Fails on filesystem/serde errors or if any link references a missing
-/// node.
+/// Fails on filesystem/serde errors or if the dataset violates an
+/// invariant.
 pub fn load_dataset(path: &Path) -> Result<ProcessedDataset, IoError> {
     let text = std::fs::read_to_string(path)?;
     let ds: ProcessedDataset = serde_json::from_str(&text)?;
-    validate(&ds.dataset)?;
+    ds.dataset
+        .validate(&[])
+        .map_err(|e| IoError::Invalid(e.to_string()))?;
     Ok(ds)
-}
-
-fn validate(ds: &GeoDataset) -> Result<(), IoError> {
-    let n = ds.nodes.len() as u32;
-    for &(a, b) in &ds.links {
-        if a >= n || b >= n {
-            return Err(IoError::Invalid(format!(
-                "link ({a}, {b}) out of range for {n} nodes"
-            )));
-        }
-        if a == b {
-            return Err(IoError::Invalid(format!("self-loop at node {a}")));
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{Collector, GeoNode, MapperKind};
+    use crate::pipeline::{Collector, GeoDataset, GeoNode, MapperKind};
     use geotopo_bgp::AsId;
     use geotopo_geo::GeoPoint;
     use geotopo_measure::NodeKind;
@@ -145,7 +138,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
         std::fs::write(&path, "{ not json").unwrap();
-        assert!(matches!(load_dataset(&path).unwrap_err(), IoError::Serde(_)));
+        assert!(matches!(
+            load_dataset(&path).unwrap_err(),
+            IoError::Serde(_)
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

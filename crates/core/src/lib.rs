@@ -34,6 +34,6 @@ pub mod section5;
 pub mod section6;
 
 pub use pipeline::{
-    Collector, GeoDataset, GeoNode, MapperKind, Pipeline, PipelineConfig, PipelineOutput,
-    ProcessedDataset,
+    Collector, GeoDataset, GeoInvariant, GeoNode, MapperKind, Pipeline, PipelineConfig,
+    PipelineOutput, PipelineStage, ProcessedDataset, ValidationMode,
 };

@@ -13,10 +13,10 @@
 //!   which Section VI omits.
 
 use geotopo_bgp::{AsId, RouteTable, RouteTableConfig};
-use geotopo_geo::GeoPoint;
+use geotopo_geo::{GeoPoint, Region};
 use geotopo_geomap::{EdgeScape, GeoMapper, IxMapper, MapContext, OrgDb};
 use geotopo_measure::{
-    Mercator, MercatorConfig, MeasuredDataset, NodeKind, Skitter, SkitterConfig,
+    MeasuredDataset, Mercator, MercatorConfig, NodeKind, Skitter, SkitterConfig,
 };
 use geotopo_topology::generate::{GroundTruth, GroundTruthConfig};
 use serde::{Deserialize, Serialize};
@@ -96,7 +96,92 @@ pub struct GeoDataset {
     pub stats: ProcessingStats,
 }
 
+/// A violated [`GeoDataset`] invariant, found by [`GeoDataset::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeoInvariant {
+    /// A link references a node index past the end of the node list.
+    LinkOutOfRange {
+        /// The offending link, as stored.
+        link: (u32, u32),
+    },
+    /// A self-loop survived processing (the paper discards them during
+    /// collection).
+    SelfLoopLink {
+        /// The node linked to itself.
+        node: u32,
+    },
+    /// A node coordinate is non-finite or outside valid lat/lon ranges
+    /// (possible via deserialization, which bypasses `GeoPoint::new`).
+    BadCoordinate {
+        /// The node's canonical address.
+        ip: Ipv4Addr,
+    },
+    /// A node was mapped outside every region the world was generated
+    /// from (plus the city-granularity error margin).
+    OutOfRegion {
+        /// The node's canonical address.
+        ip: Ipv4Addr,
+    },
+}
+
+impl std::fmt::Display for GeoInvariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeoInvariant::LinkOutOfRange { link } => {
+                write!(f, "link ({}, {}) references a missing node", link.0, link.1)
+            }
+            GeoInvariant::SelfLoopLink { node } => {
+                write!(f, "self-loop link on node {node}")
+            }
+            GeoInvariant::BadCoordinate { ip } => {
+                write!(f, "node {ip} has a non-finite or out-of-range coordinate")
+            }
+            GeoInvariant::OutOfRegion { ip } => {
+                write!(f, "node {ip} was mapped outside every generation region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoInvariant {}
+
 impl GeoDataset {
+    /// Checks structural and geographic invariants: every link joins two
+    /// distinct in-range nodes, every coordinate is a finite, in-range
+    /// lat/lon pair, and — when `regions` is non-empty — every node lies
+    /// inside at least one of the given regions. Callers that only want
+    /// the structural checks (e.g. deserialization, where the generating
+    /// regions are unknown) pass `&[]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self, regions: &[Region]) -> Result<(), GeoInvariant> {
+        let n = self.nodes.len() as u32;
+        for &(a, b) in &self.links {
+            if a >= n || b >= n {
+                return Err(GeoInvariant::LinkOutOfRange { link: (a, b) });
+            }
+            if a == b {
+                return Err(GeoInvariant::SelfLoopLink { node: a });
+            }
+        }
+        for node in &self.nodes {
+            let (lat, lon) = (node.location.lat(), node.location.lon());
+            if !lat.is_finite()
+                || !lon.is_finite()
+                || !(-90.0..=90.0).contains(&lat)
+                || !(-180.0..=180.0).contains(&lon)
+            {
+                return Err(GeoInvariant::BadCoordinate { ip: node.ip });
+            }
+            if !regions.is_empty() && !regions.iter().any(|r| r.contains(&node.location)) {
+                return Err(GeoInvariant::OutOfRegion { ip: node.ip });
+            }
+        }
+        Ok(())
+    }
+
     /// Node count.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -193,17 +278,77 @@ impl PipelineConfig {
     }
 }
 
+/// The pipeline's stages, in execution order. Used to label which stage
+/// an invariant violation was detected after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineStage {
+    /// Ground-truth world generation.
+    GroundTruth,
+    /// RouteViews snapshot synthesis.
+    RouteTable,
+    /// Skitter/Mercator measurement.
+    Collection,
+    /// Geographic mapping and AS origination.
+    Mapping,
+}
+
+impl std::fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineStage::GroundTruth => write!(f, "ground-truth"),
+            PipelineStage::RouteTable => write!(f, "route-table"),
+            PipelineStage::Collection => write!(f, "collection"),
+            PipelineStage::Mapping => write!(f, "mapping"),
+        }
+    }
+}
+
+/// When the pipeline runs its cross-layer invariant validators between
+/// stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ValidationMode {
+    /// Never validate.
+    Off,
+    /// Validate in debug builds only (`cfg!(debug_assertions)`) — free in
+    /// release runs, always-on under `cargo test`.
+    #[default]
+    DebugOnly,
+    /// Validate in every build (release runs opt in with `--validate`).
+    Always,
+}
+
+impl ValidationMode {
+    /// Whether this mode validates in the current build.
+    pub fn is_active(self) -> bool {
+        match self {
+            ValidationMode::Off => false,
+            ValidationMode::DebugOnly => cfg!(debug_assertions),
+            ValidationMode::Always => true,
+        }
+    }
+}
+
 /// Pipeline errors.
 #[derive(Debug)]
 pub enum PipelineError {
     /// World generation failed.
     GroundTruth(geotopo_topology::generate::ground_truth::GroundTruthError),
+    /// A between-stage invariant validator found a corrupt structure.
+    Invariant {
+        /// The stage whose output failed validation.
+        stage: PipelineStage,
+        /// The violated invariant.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PipelineError::GroundTruth(e) => write!(f, "ground truth generation: {e}"),
+            PipelineError::Invariant { stage, detail } => {
+                write!(f, "invariant violated after {stage} stage: {detail}")
+            }
         }
     }
 }
@@ -235,27 +380,63 @@ impl PipelineOutput {
 }
 
 /// The end-to-end pipeline.
+#[derive(Debug)]
 pub struct Pipeline {
     config: PipelineConfig,
+    validation: ValidationMode,
+}
+
+/// Wraps a validator result into a stage-labelled [`PipelineError`].
+fn check_stage<E: std::fmt::Display>(
+    stage: PipelineStage,
+    result: Result<(), E>,
+) -> Result<(), PipelineError> {
+    result.map_err(|e| PipelineError::Invariant {
+        stage,
+        detail: e.to_string(),
+    })
 }
 
 impl Pipeline {
-    /// Creates a pipeline.
+    /// Creates a pipeline with the default [`ValidationMode::DebugOnly`].
     pub fn new(config: PipelineConfig) -> Self {
-        Pipeline { config }
+        Pipeline {
+            config,
+            validation: ValidationMode::default(),
+        }
+    }
+
+    /// Sets when between-stage invariant validators run.
+    #[must_use]
+    pub fn with_validation(mut self, mode: ValidationMode) -> Self {
+        self.validation = mode;
+        self
     }
 
     /// Runs everything: world → collection → mapping → AS origination.
     ///
+    /// Depending on the configured [`ValidationMode`], each stage's output
+    /// is checked against its layer's invariants before the next stage
+    /// consumes it: topology well-formedness, route-table/trie fidelity,
+    /// measured-dataset provenance, and processed-dataset geography.
+    ///
     /// # Errors
     ///
-    /// Propagates world-generation failures.
+    /// Propagates world-generation failures and reports the first
+    /// invariant violation as [`PipelineError::Invariant`].
     pub fn run(self) -> Result<PipelineOutput, PipelineError> {
+        let validate = self.validation.is_active();
         let cfg = self.config;
         let gt = GroundTruth::generate(cfg.world.clone()).map_err(PipelineError::GroundTruth)?;
+        if validate {
+            check_stage(PipelineStage::GroundTruth, gt.topology.validate())?;
+        }
 
         // BGP snapshot.
         let route_table = RouteTable::synthesize(&gt.allocations, &cfg.route_table);
+        if validate {
+            check_stage(PipelineStage::RouteTable, route_table.validate())?;
+        }
 
         // Whois registry from ground-truth AS records.
         let mut orgs = OrgDb::new();
@@ -277,6 +458,16 @@ impl Pipeline {
             .unwrap_or_else(|| MercatorConfig::scaled(&gt, cfg.world.seed ^ 0x3E));
         let skitter = Skitter::collect(&gt, &skitter_cfg);
         let mercator = Mercator::collect(&gt, &mercator_cfg);
+        if validate {
+            check_stage(
+                PipelineStage::Collection,
+                skitter.dataset.validate_against(&gt.topology),
+            )?;
+            check_stage(
+                PipelineStage::Collection,
+                mercator.dataset.validate_against(&gt.topology),
+            )?;
+        }
 
         // Mapping tools over a population-densified gazetteer: real
         // hostname conventions name thousands of towns, so the curated
@@ -301,6 +492,12 @@ impl Pipeline {
                 (Collector::Skitter, &skitter.dataset),
             ] {
                 let dataset = process(measured, mapper, &route_table, &gt);
+                if validate {
+                    check_stage(
+                        PipelineStage::Mapping,
+                        dataset.validate(&generation_regions(&gt)),
+                    )?;
+                }
                 datasets.push(ProcessedDataset {
                     collector,
                     mapper: mapper_kind,
@@ -408,6 +605,28 @@ pub fn process(
     }
 }
 
+/// The region boxes the world was generated from, padded by the
+/// city-granularity mapping error: routers sit inside their region, but
+/// the gazetteer city a mapper reports for an edge router can lie a few
+/// degrees outside the box.
+fn generation_regions(gt: &GroundTruth) -> Vec<Region> {
+    const MAPPING_SLOP_DEG: f64 = 5.0;
+    gt.config
+        .regions
+        .iter()
+        .map(|p| {
+            let r = &p.economic.region;
+            Region::named(
+                &r.name,
+                (r.north + MAPPING_SLOP_DEG).min(90.0),
+                (r.south - MAPPING_SLOP_DEG).max(-90.0),
+                r.west - MAPPING_SLOP_DEG,
+                r.east + MAPPING_SLOP_DEG,
+            )
+        })
+        .collect()
+}
+
 /// The ground-truth context a mapper needs for one address.
 fn interface_truth(gt: &GroundTruth, ip: Ipv4Addr) -> Option<MapContext> {
     let router = gt.topology.router_by_ip(ip)?;
@@ -504,15 +723,105 @@ mod tests {
         let out = output();
         for d in &out.datasets {
             let locs = d.dataset.num_locations();
-            assert!(locs >= 10, "{} {}: only {locs} locations", d.mapper, d.collector);
+            assert!(
+                locs >= 10,
+                "{} {}: only {locs} locations",
+                d.mapper,
+                d.collector
+            );
             assert!(locs < d.dataset.num_nodes());
         }
     }
 
     #[test]
+    fn validation_always_mode_passes_on_honest_run() {
+        let out = Pipeline::new(PipelineConfig::tiny(9))
+            .with_validation(ValidationMode::Always)
+            .run()
+            .unwrap();
+        assert_eq!(out.datasets.len(), 4);
+        // Off mode also succeeds (validators simply skipped).
+        Pipeline::new(PipelineConfig::tiny(9))
+            .with_validation(ValidationMode::Off)
+            .run()
+            .unwrap();
+    }
+
+    #[test]
+    fn validation_mode_activation_matrix() {
+        assert!(!ValidationMode::Off.is_active());
+        assert!(ValidationMode::Always.is_active());
+        assert_eq!(
+            ValidationMode::DebugOnly.is_active(),
+            cfg!(debug_assertions)
+        );
+    }
+
+    #[test]
+    fn processed_datasets_pass_geo_validation() {
+        let out = output();
+        let regions = generation_regions(&out.ground_truth);
+        assert!(!regions.is_empty());
+        for d in &out.datasets {
+            assert_eq!(d.dataset.validate(&regions), Ok(()));
+        }
+    }
+
+    #[test]
+    fn geo_validate_rejects_corruption() {
+        let out = output();
+        let good = &out
+            .dataset(MapperKind::IxMapper, Collector::Skitter)
+            .dataset;
+
+        // Link referencing a missing node.
+        let mut bad = good.clone();
+        let n = bad.nodes.len() as u32;
+        bad.links.push((0, n));
+        assert_eq!(
+            bad.validate(&[]),
+            Err(GeoInvariant::LinkOutOfRange { link: (0, n) })
+        );
+
+        // Self-loop.
+        let mut bad = good.clone();
+        bad.links.push((3, 3));
+        assert_eq!(
+            bad.validate(&[]),
+            Err(GeoInvariant::SelfLoopLink { node: 3 })
+        );
+
+        // Out-of-range coordinate: reachable via deserialization, which
+        // bypasses GeoPoint::new (JSON happily carries lat 200).
+        let mut bad = good.clone();
+        bad.nodes[0].location =
+            serde_json::from_str::<GeoPoint>(r#"{"lat":200.0,"lon":0.0}"#).unwrap();
+        assert_eq!(
+            bad.validate(&[]),
+            Err(GeoInvariant::BadCoordinate {
+                ip: bad.nodes[0].ip
+            })
+        );
+
+        // A node teleported outside every generation region.
+        let mut bad = good.clone();
+        bad.nodes[0].location = GeoPoint::new(-80.0, 10.0).unwrap();
+        assert_eq!(
+            bad.validate(&generation_regions(&out.ground_truth)),
+            Err(GeoInvariant::OutOfRegion {
+                ip: bad.nodes[0].ip
+            })
+        );
+        // ...but with no regions given, only structure is checked.
+        assert_eq!(bad.validate(&[]), Ok(()));
+    }
+
+    #[test]
     fn most_nodes_get_an_as_label() {
         let out = output();
-        let d = &out.dataset(MapperKind::IxMapper, Collector::Skitter).dataset;
+        let d = &out
+            .dataset(MapperKind::IxMapper, Collector::Skitter)
+            .dataset;
         let labelled = d.nodes.iter().filter(|n| !n.asn.is_unmapped()).count();
         assert!(labelled as f64 / d.num_nodes() as f64 > 0.9);
     }

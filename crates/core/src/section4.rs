@@ -82,10 +82,7 @@ pub fn table3_spreads(rows: &[Table3Row]) -> (f64, f64) {
             f64::INFINITY
         }
     };
-    (
-        spread(|r| r.people_per_node),
-        spread(|r| r.online_per_node),
-    )
+    (spread(|r| r.people_per_node), spread(|r| r.online_per_node))
 }
 
 /// Renders Table III.
@@ -114,17 +111,40 @@ pub fn table3_text(rows: &[Table3Row]) -> TextTable {
     t
 }
 
+/// The northern share of the US population when no realized grid is
+/// available (the real-world census split of the box at 37.5°N).
+pub const NOMINAL_US_NORTH_SHARE: f64 = 0.56;
+
 /// Table IV: the homogeneity test over US subregions vs Central America.
-pub fn table4(dataset: &GeoDataset, world: &WorldModel) -> Vec<Table3Row> {
-    // Population shares: the US box population splits roughly 56/44
-    // between the northern and southern subregions (they split the box at
-    // 37.5°N); Central America uses the Mexico profile.
+///
+/// `us_north_share` is the fraction of the US box population in the
+/// northern subregion (north of 37.5°N). For synthetic worlds it must be
+/// *measured* from the realized population grid
+/// (`PopulationGrid::total_within`) — the city draw makes the split
+/// seed-dependent, and assuming the nominal census split would charge
+/// placement homogeneity with population-synthesis variance. For
+/// real-world data use [`NOMINAL_US_NORTH_SHARE`].
+pub fn table4(dataset: &GeoDataset, world: &WorldModel, us_north_share: f64) -> Vec<Table3Row> {
     let usa = world.profile("USA").expect("world model has USA");
     let mexico = world.profile("Mexico").expect("world model has Mexico");
+    let n = us_north_share.clamp(0.0, 1.0);
+    let s = 1.0 - n;
     let subregions: [(Region, f64, f64); 3] = [
-        (RegionSet::northern_us(), usa.population * 0.56, usa.online_users * 0.56),
-        (RegionSet::southern_us(), usa.population * 0.44, usa.online_users * 0.44),
-        (RegionSet::central_america(), mexico.population, mexico.online_users),
+        (
+            RegionSet::northern_us(),
+            usa.population * n,
+            usa.online_users * n,
+        ),
+        (
+            RegionSet::southern_us(),
+            usa.population * s,
+            usa.online_users * s,
+        ),
+        (
+            RegionSet::central_america(),
+            mexico.population,
+            mexico.online_users,
+        ),
     ];
     subregions
         .into_iter()
@@ -302,7 +322,7 @@ mod tests {
     fn table4_rows_cover_subregions() {
         let world = WorldModel::paper();
         let d = dataset(&[(45.0, -100.0), (30.0, -100.0), (20.0, -100.0)]);
-        let rows = table4(&d, &world);
+        let rows = table4(&d, &world, NOMINAL_US_NORTH_SHARE);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].nodes, 1); // northern
         assert_eq!(rows[1].nodes, 1); // southern
@@ -377,7 +397,7 @@ mod tests {
         let d = dataset(&[(40.0, -100.0)]);
         let t3 = table3_text(&table3(&d, &world));
         assert!(t3.render().contains("USA"));
-        let t4 = table4_text(&table4(&d, &world));
+        let t4 = table4_text(&table4(&d, &world, NOMINAL_US_NORTH_SHARE));
         assert!(t4.render().contains("Northern US"));
     }
 }

@@ -259,9 +259,7 @@ pub fn sensitivity_limit(dp: &DistancePreference) -> Option<Table5Row> {
     }
     // Mean f over the large-d regime.
     let first_large_bin = (dp.small_d_miles / dp.binned.bin_width()) as usize;
-    let flat = dp
-        .binned
-        .mean_ratio_in(first_large_bin, dp.binned.bins())?;
+    let flat = dp.binned.mean_ratio_in(first_large_bin, dp.binned.bins())?;
     if flat <= 0.0 {
         return None;
     }
@@ -386,10 +384,7 @@ mod tests {
         let fit = fit.expect("fit exists");
         assert!(fit.slope < 0.0, "slope {}", fit.slope);
         let decay = waxman_decay_miles(&fit).unwrap();
-        assert!(
-            (decay - 150.0).abs() < 60.0,
-            "decay {decay} expected ~150"
-        );
+        assert!((decay - 150.0).abs() < 60.0, "decay {decay} expected ~150");
     }
 
     #[test]
@@ -397,7 +392,10 @@ mod tests {
         let d = waxman_dataset(1500, 120.0, 0.9, 2);
         let dp = distance_preference(&d, &us_bins(), true);
         let row = sensitivity_limit(&dp).expect("limit exists");
-        assert!(row.limit_miles > 100.0 && row.limit_miles < 2500.0, "{row:?}");
+        assert!(
+            row.limit_miles > 100.0 && row.limit_miles < 2500.0,
+            "{row:?}"
+        );
         assert!(row.frac_below > 0.5, "frac {}", row.frac_below);
     }
 

@@ -78,12 +78,8 @@ pub fn as_measures(dataset: &GeoDataset) -> Vec<AsMeasures> {
 /// Convex-hull areas restricted to a region: only the AS's nodes inside
 /// the region contribute (Figure 9's US and Europe panels).
 pub fn hull_areas_in_region(dataset: &GeoDataset, region: &Region) -> Vec<f64> {
-    let projection = AlbersProjection::for_bounds(
-        region.south,
-        region.north,
-        region.west,
-        region.east,
-    );
+    let projection =
+        AlbersProjection::for_bounds(region.south, region.north, region.west, region.east);
     let mut planar_of: HashMap<AsId, Vec<geotopo_geo::PlanarPoint>> = HashMap::new();
     for n in &dataset.nodes {
         if !n.asn.is_unmapped() && region.contains(&n.location) {
@@ -137,13 +133,9 @@ pub fn fig8(measures: &[AsMeasures]) -> (FigureData, [Option<f64>; 3]) {
     let locs: Vec<f64> = measures.iter().map(|m| log(m.locations)).collect();
     // Degree-0 ASes (stub-only views) are excluded from degree panels,
     // matching the paper's log-log axes.
-    let pairs_with_degree: Vec<&AsMeasures> =
-        measures.iter().filter(|m| m.degree > 0).collect();
+    let pairs_with_degree: Vec<&AsMeasures> = measures.iter().filter(|m| m.degree > 0).collect();
     let if_d: Vec<f64> = pairs_with_degree.iter().map(|m| log(m.nodes)).collect();
-    let lo_d: Vec<f64> = pairs_with_degree
-        .iter()
-        .map(|m| log(m.locations))
-        .collect();
+    let lo_d: Vec<f64> = pairs_with_degree.iter().map(|m| log(m.locations)).collect();
     let deg: Vec<f64> = pairs_with_degree.iter().map(|m| log(m.degree)).collect();
 
     let r_if_lo = pearson(&ifaces, &locs);
@@ -269,7 +261,11 @@ pub fn large_as_dispersal(
         return None;
     }
     Some(
-        large.iter().filter(|m| m.hull_area >= dispersed_area).count() as f64 / large.len() as f64,
+        large
+            .iter()
+            .filter(|m| m.hull_area >= dispersed_area)
+            .count() as f64
+            / large.len() as f64,
     )
 }
 
@@ -331,9 +327,17 @@ pub fn domain_links(dataset: &GeoDataset, regions: &[(String, Option<Region>)]) 
         rows.push(Table6Row {
             region: name.clone(),
             inter_count: inter.0,
-            inter_mean_miles: if inter.0 > 0 { inter.1 / inter.0 as f64 } else { 0.0 },
+            inter_mean_miles: if inter.0 > 0 {
+                inter.1 / inter.0 as f64
+            } else {
+                0.0
+            },
             intra_count: intra.0,
-            intra_mean_miles: if intra.0 > 0 { intra.1 / intra.0 as f64 } else { 0.0 },
+            intra_mean_miles: if intra.0 > 0 {
+                intra.1 / intra.0 as f64
+            } else {
+                0.0
+            },
         });
     }
     rows
@@ -377,6 +381,9 @@ pub fn table6_text(rows: &[Table6Row]) -> TextTable {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::pipeline::GeoNode;
     use geotopo_geo::GeoPoint;

@@ -61,6 +61,7 @@ pub fn box_counting_dimension(
     let mean_x = xs.iter().sum::<f64>() / n;
     let mean_y = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    // lint: allow(float_eq): exact-zero degeneracy guard before division
     if sxx == 0.0 {
         return None;
     }

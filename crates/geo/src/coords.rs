@@ -62,7 +62,10 @@ impl GeoPoint {
     /// corners). Panics in debug builds on invalid input; in release
     /// builds the value is clamped/wrapped instead of panicking.
     pub fn new_unchecked(lat: f64, lon: f64) -> Self {
-        debug_assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat), "bad lat {lat}");
+        debug_assert!(
+            lat.is_finite() && (-90.0..=90.0).contains(&lat),
+            "bad lat {lat}"
+        );
         debug_assert!(lon.is_finite(), "bad lon {lon}");
         GeoPoint {
             lat: lat.clamp(-90.0, 90.0),
@@ -100,17 +103,32 @@ impl fmt::Display for GeoPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ns = if self.lat >= 0.0 { 'N' } else { 'S' };
         let ew = if self.lon >= 0.0 { 'E' } else { 'W' };
-        write!(f, "{:.4}\u{00B0}{ns} {:.4}\u{00B0}{ew}", self.lat.abs(), self.lon.abs())
+        write!(
+            f,
+            "{:.4}\u{00B0}{ns} {:.4}\u{00B0}{ew}",
+            self.lat.abs(),
+            self.lon.abs()
+        )
     }
 }
 
 /// Wraps a finite longitude into `(-180, 180]`.
+#[allow(clippy::float_cmp)] // exact sentinel compares against -180.0 / -0.0
 fn wrap_longitude(lon: f64) -> f64 {
+    // Already in range: return as-is. Re-wrapping would not be exact —
+    // (lon + 180.0) - 180.0 loses low mantissa bits, which let
+    // Region::clamp land an epsilon outside the bound it clamped to.
+    if lon > -180.0 && lon <= 180.0 {
+        // lint: allow(float_eq): -0.0 normalization needs an exact compare
+        return if lon == 0.0 { 0.0 } else { lon };
+    }
     let mut l = (lon + 180.0).rem_euclid(360.0) - 180.0;
+    // lint: allow(float_eq): exact sentinel for the antimeridian seam
     if l == -180.0 {
         l = 180.0;
     }
     // rem_euclid can return -0.0; normalize for equality checks.
+    // lint: allow(float_eq): -0.0 normalization needs an exact compare
     if l == 0.0 {
         l = 0.0;
     }
@@ -119,6 +137,9 @@ fn wrap_longitude(lon: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]
@@ -133,7 +154,10 @@ mod tests {
         assert_eq!(GeoPoint::new(90.01, 0.0), Err(CoordError::BadLatitude));
         assert_eq!(GeoPoint::new(-90.01, 0.0), Err(CoordError::BadLatitude));
         assert_eq!(GeoPoint::new(f64::NAN, 0.0), Err(CoordError::BadLatitude));
-        assert_eq!(GeoPoint::new(f64::INFINITY, 0.0), Err(CoordError::BadLatitude));
+        assert_eq!(
+            GeoPoint::new(f64::INFINITY, 0.0),
+            Err(CoordError::BadLatitude)
+        );
     }
 
     #[test]

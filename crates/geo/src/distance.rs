@@ -36,6 +36,9 @@ pub fn central_angle(a: &GeoPoint, b: &GeoPoint) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p(lat: f64, lon: f64) -> GeoPoint {

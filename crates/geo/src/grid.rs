@@ -228,7 +228,12 @@ mod tests {
     #[test]
     fn tally_counts_and_ignores_outsiders() {
         let g = PatchGrid::paper_grid(RegionSet::us()).unwrap();
-        let pts = vec![p(40.1, -100.1), p(40.2, -100.2), p(40.3, -100.3), p(0.0, 0.0)];
+        let pts = vec![
+            p(40.1, -100.1),
+            p(40.2, -100.2),
+            p(40.3, -100.3),
+            p(0.0, 0.0),
+        ];
         let counts = g.tally(pts);
         let total: u64 = counts.iter().sum();
         assert_eq!(total, 3);

@@ -47,6 +47,8 @@ pub fn convex_hull(points: &[PlanarPoint]) -> Vec<PlanarPoint> {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
     });
+    // lint: allow(float_eq): dedup wants bitwise-identical points only
+    #[allow(clippy::float_cmp)]
     pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     let n = pts.len();
     if n <= 2 {
@@ -64,7 +66,8 @@ pub fn convex_hull(points: &[PlanarPoint]) -> Vec<PlanarPoint> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for p in pts.iter().rev() {
-        while hull.len() >= lower_len && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }
@@ -103,6 +106,9 @@ pub fn hull_area(points: &[PlanarPoint]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn pt(x: f64, y: f64) -> PlanarPoint {
@@ -134,7 +140,13 @@ mod tests {
 
     #[test]
     fn unit_square() {
-        let pts = vec![pt(0.0, 0.0), pt(1.0, 0.0), pt(1.0, 1.0), pt(0.0, 1.0), pt(0.5, 0.5)];
+        let pts = vec![
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+            pt(1.0, 1.0),
+            pt(0.0, 1.0),
+            pt(0.5, 0.5),
+        ];
         let hull = convex_hull(&pts);
         assert_eq!(hull.len(), 4);
         assert!((polygon_area(&hull) - 1.0).abs() < 1e-12);

@@ -44,7 +44,10 @@ impl std::fmt::Display for ProjectionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProjectionError::DegenerateParallels => {
-                write!(f, "standard parallels must not be symmetric about the equator")
+                write!(
+                    f,
+                    "standard parallels must not be symmetric about the equator"
+                )
             }
         }
     }
@@ -86,7 +89,7 @@ impl AlbersProjection {
     pub fn world() -> Self {
         // Parallels chosen well apart and in the northern hemisphere where
         // most of the dataset lies; cannot be degenerate.
-        Self::new(20.0, 50.0, 0.0, 0.0).expect("non-degenerate constants")
+        Self::new(20.0, 50.0, 0.0, 0.0).expect("non-degenerate constants") // lint: allow(unwrap): constant parallels are non-degenerate
     }
 
     /// A projection centred on a region's bounding box, with standard
@@ -101,7 +104,7 @@ impl AlbersProjection {
         Self::new(sp1, sp2, lat0, lon0).unwrap_or_else(|_| {
             // Degenerate only if box straddles the equator symmetrically:
             // nudge one parallel.
-            Self::new(sp1 + 1.0, sp2, lat0, lon0).expect("nudged parallels")
+            Self::new(sp1 + 1.0, sp2, lat0, lon0).expect("nudged parallels") // lint: allow(unwrap): nudged parallels cannot be degenerate
         })
     }
 
@@ -186,7 +189,10 @@ mod tests {
         let b = proj.project(&p(30.0, -99.0));
         let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
         let expected = EARTH_RADIUS_MILES * 1.0_f64.to_radians() * 30.0_f64.to_radians().cos();
-        assert!((d - expected).abs() / expected < 1e-3, "d={d} want~{expected}");
+        assert!(
+            (d - expected).abs() / expected < 1e-3,
+            "d={d} want~{expected}"
+        );
     }
 
     #[test]

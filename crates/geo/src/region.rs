@@ -185,6 +185,9 @@ impl RegionSet {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn p(lat: f64, lon: f64) -> GeoPoint {
@@ -213,11 +216,20 @@ mod tests {
     #[test]
     fn boundaries_match_table_ii() {
         let us = RegionSet::us();
-        assert_eq!((us.north, us.south, us.west, us.east), (50.0, 25.0, -150.0, -45.0));
+        assert_eq!(
+            (us.north, us.south, us.west, us.east),
+            (50.0, 25.0, -150.0, -45.0)
+        );
         let eu = RegionSet::europe();
-        assert_eq!((eu.north, eu.south, eu.west, eu.east), (58.0, 42.0, -5.0, 22.0));
+        assert_eq!(
+            (eu.north, eu.south, eu.west, eu.east),
+            (58.0, 42.0, -5.0, 22.0)
+        );
         let jp = RegionSet::japan();
-        assert_eq!((jp.north, jp.south, jp.west, jp.east), (60.0, 30.0, 130.0, 150.0));
+        assert_eq!(
+            (jp.north, jp.south, jp.west, jp.east),
+            (60.0, 30.0, 130.0, 150.0)
+        );
     }
 
     #[test]
@@ -252,7 +264,11 @@ mod tests {
     fn center_of_wrapping_region() {
         let pacific = Region::named("Pacific", 10.0, -10.0, 170.0, -170.0);
         let c = pacific.center();
-        assert!((c.lon().abs() - 180.0).abs() < 1e-9, "center lon {}", c.lon());
+        assert!(
+            (c.lon().abs() - 180.0).abs() < 1e-9,
+            "center lon {}",
+            c.lon()
+        );
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property-based tests for geodesy invariants.
 
+// Strategy/fixture helpers run outside #[test] fns, where clippy's
+// allow-unwrap-in-tests does not reach; aborting there is fine too.
+#![allow(clippy::unwrap_used)]
+
 use geotopo_geo::{
     convex_hull, haversine_km, haversine_miles, hull::hull_area, polygon_area, AlbersProjection,
     GeoPoint, PlanarPoint, Region,
@@ -20,6 +24,32 @@ proptest! {
         let ab = haversine_miles(&a, &b);
         let ba = haversine_miles(&b, &a);
         prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_identity(a in arb_point()) {
+        prop_assert!(haversine_km(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_units_are_consistent(a in arb_point(), b in arb_point()) {
+        // miles and km report the same physical distance.
+        let km = haversine_km(&a, &b);
+        let mi = haversine_miles(&a, &b);
+        prop_assert!((km - mi * 1.609_344).abs() < 1e-6 * (1.0 + km), "km {km} mi {mi}");
+    }
+
+    #[test]
+    fn region_clamp_is_idempotent_and_contained(
+        a in arb_point(),
+        south in -80f64..70.0, dlat in 1.0f64..20.0,
+        west in -170f64..150.0, dlon in 1.0f64..20.0
+    ) {
+        let r = Region::named("t", (south + dlat).min(90.0), south, west, (west + dlon).min(180.0));
+        let c = r.clamp(&a);
+        prop_assert!(r.contains(&c), "clamped point {c} outside {r:?}");
+        let cc = r.clamp(&c);
+        prop_assert!((cc.lat() - c.lat()).abs() < 1e-12 && (cc.lon() - c.lon()).abs() < 1e-12);
     }
 
     #[test]

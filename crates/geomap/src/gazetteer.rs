@@ -292,7 +292,10 @@ impl Gazetteer {
 
     /// The gazetteer city nearest to `p` with its distance in miles.
     pub fn nearest(&self, p: &GeoPoint) -> Option<(&City, f64)> {
-        self.nearest_k(p, 1).into_iter().next().map(|(i, d)| (&self.cities[i as usize], d))
+        self.nearest_k(p, 1)
+            .into_iter()
+            .next()
+            .map(|(i, d)| (&self.cities[i as usize], d))
     }
 
     /// The `k`-th nearest city (0 = nearest).
@@ -333,18 +336,18 @@ impl Gazetteer {
                 }
             }
             if best.len() >= k {
-                best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-                // A city in an unscanned bucket differs by more than
-                // `ring` bucket indices, i.e. > ring degrees of latitude
-                // or longitude. The tightest mile bound is the longitude
-                // one at high latitude; 0.25 covers |lat| ≤ 75.5°.
+                best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")); // lint: allow(unwrap): haversine of valid coordinates is finite
+                                                                             // A city in an unscanned bucket differs by more than
+                                                                             // `ring` bucket indices, i.e. > ring degrees of latitude
+                                                                             // or longitude. The tightest mile bound is the longitude
+                                                                             // one at high latitude; 0.25 covers |lat| ≤ 75.5°.
                 let bound = 69.0 * ring as f64 * 0.25;
                 if best[k - 1].1 <= bound {
                     return best.into_iter().take(k).collect();
                 }
             }
         }
-        best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")); // lint: allow(unwrap): haversine of valid coordinates is finite
         best.into_iter().take(k).collect()
     }
 

@@ -147,7 +147,10 @@ mod tests {
         let orgs = orgs();
         let c = ctx(35.68, 139.69);
         let ip = "1.2.3.4".parse().unwrap();
-        assert_eq!(oracle.hostname(ip, &c, &orgs), oracle.hostname(ip, &c, &orgs));
+        assert_eq!(
+            oracle.hostname(ip, &c, &orgs),
+            oracle.hostname(ip, &c, &orgs)
+        );
     }
 
     #[test]
@@ -170,7 +173,9 @@ mod tests {
             true_location: GeoPoint::new(40.7, -74.0).unwrap(),
             asn: AsId(777),
         };
-        let h = oracle.hostname("8.8.8.8".parse().unwrap(), &c, &db).unwrap();
+        let h = oracle
+            .hostname("8.8.8.8".parse().unwrap(), &c, &db)
+            .unwrap();
         assert!(h.contains("as777"), "{h}");
     }
 

@@ -81,6 +81,9 @@ pub(crate) fn ip_rng(tool_seed: u64, ip: Ipv4Addr) -> StdRng {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use rand::Rng;
 

@@ -6,9 +6,69 @@
 //! link to mean a connection between two adjacent interfaces"); Mercator's
 //! nodes are routers (canonical IP plus resolved aliases).
 
+use geotopo_topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// A violated [`MeasuredDataset`] invariant, found by
+/// [`MeasuredDataset::validate`] or [`MeasuredDataset::validate_against`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureInvariant {
+    /// A link references a node index past the end of the node list.
+    LinkOutOfRange {
+        /// The offending link, as stored.
+        link: (u32, u32),
+    },
+    /// A self-loop survived collection (the paper discards these).
+    SelfLoopLink {
+        /// The node linked to itself.
+        node: u32,
+    },
+    /// A link is stored with endpoints out of canonical (low, high) order,
+    /// or the same undirected link appears twice.
+    DuplicateOrUnordered {
+        /// The offending link, as stored.
+        link: (u32, u32),
+    },
+    /// The IP→node index disagrees with the node list.
+    IndexDesync {
+        /// Address whose index entry is wrong, stale, or missing.
+        ip: Ipv4Addr,
+    },
+    /// A node address (canonical or alias) does not exist as an interface
+    /// in the topology the dataset was supposedly measured from.
+    UnknownAddress {
+        /// The fabricated address.
+        ip: Ipv4Addr,
+    },
+}
+
+impl std::fmt::Display for MeasureInvariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureInvariant::LinkOutOfRange { link } => {
+                write!(f, "link ({}, {}) references a missing node", link.0, link.1)
+            }
+            MeasureInvariant::SelfLoopLink { node } => {
+                write!(f, "self-loop link on node {node} survived collection")
+            }
+            MeasureInvariant::DuplicateOrUnordered { link } => write!(
+                f,
+                "link ({}, {}) is duplicated or not in canonical order",
+                link.0, link.1
+            ),
+            MeasureInvariant::IndexDesync { ip } => {
+                write!(f, "ip index entry for {ip} disagrees with the node list")
+            }
+            MeasureInvariant::UnknownAddress { ip } => {
+                write!(f, "node address {ip} is not an interface of the topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureInvariant {}
 
 /// What a dataset's nodes represent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,6 +190,73 @@ impl MeasuredDataset {
         self.node_index.get(&ip).copied()
     }
 
+    /// Checks the dataset's internal invariants: every link references
+    /// two distinct, in-range nodes and is stored exactly once in
+    /// canonical (low, high) order, and the IP→node index agrees with
+    /// the node list. (The index is rebuilt lazily after deserialization,
+    /// so an entirely empty index alongside a non-empty node list is
+    /// accepted; a *partially* wrong index is not.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), MeasureInvariant> {
+        let n = self.nodes.len() as u32;
+        let mut seen = std::collections::HashSet::with_capacity(self.links.len());
+        for &(a, b) in &self.links {
+            if a >= n || b >= n {
+                return Err(MeasureInvariant::LinkOutOfRange { link: (a, b) });
+            }
+            if a == b {
+                return Err(MeasureInvariant::SelfLoopLink { node: a });
+            }
+            if a > b || !seen.insert((a, b)) {
+                return Err(MeasureInvariant::DuplicateOrUnordered { link: (a, b) });
+            }
+        }
+        for (&ip, &idx) in &self.node_index {
+            let node = self
+                .nodes
+                .get(idx as usize)
+                .ok_or(MeasureInvariant::IndexDesync { ip })?;
+            if node.ip != ip && !node.aliases.contains(&ip) {
+                return Err(MeasureInvariant::IndexDesync { ip });
+            }
+        }
+        if !self.node_index.is_empty() {
+            for node in &self.nodes {
+                if !self.node_index.contains_key(&node.ip) {
+                    return Err(MeasureInvariant::IndexDesync { ip: node.ip });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks internal invariants plus provenance: every node address —
+    /// canonical IP and every alias — must exist as an interface of the
+    /// ground-truth `topology` the collector probed. A collector can miss
+    /// interfaces, but it can never observe an address the world does not
+    /// contain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate_against(&self, topology: &Topology) -> Result<(), MeasureInvariant> {
+        self.validate()?;
+        for node in &self.nodes {
+            if topology.interface_by_ip(node.ip).is_none() {
+                return Err(MeasureInvariant::UnknownAddress { ip: node.ip });
+            }
+            for &alias in &node.aliases {
+                if topology.interface_by_ip(alias).is_none() {
+                    return Err(MeasureInvariant::UnknownAddress { ip: alias });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Removes the given node indices (e.g. destination-list interfaces),
     /// dropping their incident links and compacting indices. Returns the
     /// number of links removed.
@@ -235,6 +362,119 @@ mod tests {
         let (x, y) = d.links()[0];
         let ips: Vec<_> = vec![d.nodes()[x as usize].ip, d.nodes()[y as usize].ip];
         assert!(ips.contains(&ip("1.0.0.1")) && ips.contains(&ip("1.0.0.3")));
+    }
+
+    fn tiny_topology() -> Topology {
+        use geotopo_bgp::AsId;
+        use geotopo_geo::GeoPoint;
+        use geotopo_topology::TopologyBuilder;
+        let mut b = TopologyBuilder::new();
+        let origin = GeoPoint::new(0.0, 0.0).unwrap();
+        let r0 = b.add_router(origin, AsId(1));
+        let r1 = b.add_router(origin, AsId(1));
+        b.add_link(r0, r1, ip("10.0.0.1"), ip("10.0.0.2")).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn validate_accepts_collected_dataset() {
+        let mut d = MeasuredDataset::new(NodeKind::Router);
+        let a = d.intern(ip("10.0.0.1"));
+        let b = d.intern(ip("10.0.0.2"));
+        d.add_alias(a, ip("10.0.0.1"));
+        d.observe_link(a, b);
+        d.observe_link(b, a); // duplicate: collapsed, stays valid
+        assert_eq!(d.validate(), Ok(()));
+        assert_eq!(d.validate_against(&tiny_topology()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_links() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let a = d.intern(ip("10.0.0.1"));
+        let b = d.intern(ip("10.0.0.2"));
+        d.observe_link(a, b);
+        // Out-of-range endpoint.
+        let mut bad = d.clone();
+        bad.links.push((0, 9));
+        assert_eq!(
+            bad.validate(),
+            Err(MeasureInvariant::LinkOutOfRange { link: (0, 9) })
+        );
+        // Self-loop smuggled past observe_link().
+        let mut bad = d.clone();
+        bad.links.push((1, 1));
+        assert_eq!(
+            bad.validate(),
+            Err(MeasureInvariant::SelfLoopLink { node: 1 })
+        );
+        // Duplicate of an existing link.
+        let mut bad = d.clone();
+        bad.links.push((0, 1));
+        assert_eq!(
+            bad.validate(),
+            Err(MeasureInvariant::DuplicateOrUnordered { link: (0, 1) })
+        );
+        // Endpoints out of canonical order.
+        let mut bad = MeasuredDataset::new(NodeKind::Interface);
+        bad.intern(ip("10.0.0.1"));
+        bad.intern(ip("10.0.0.2"));
+        bad.links.push((1, 0));
+        assert_eq!(
+            bad.validate(),
+            Err(MeasureInvariant::DuplicateOrUnordered { link: (1, 0) })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_index_desync() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        d.intern(ip("10.0.0.1"));
+        d.intern(ip("10.0.0.2"));
+        // Stale entry pointing at the wrong node.
+        let mut bad = d.clone();
+        bad.node_index.insert(ip("10.0.0.1"), 1);
+        assert_eq!(
+            bad.validate(),
+            Err(MeasureInvariant::IndexDesync { ip: ip("10.0.0.1") })
+        );
+        // A node missing from a non-empty index.
+        let mut bad = d.clone();
+        bad.node_index.remove(&ip("10.0.0.2"));
+        assert_eq!(
+            bad.validate(),
+            Err(MeasureInvariant::IndexDesync { ip: ip("10.0.0.2") })
+        );
+        // An entirely empty index models the post-deserialization state
+        // and is fine.
+        let mut fresh = d.clone();
+        fresh.node_index.clear();
+        assert_eq!(fresh.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_against_rejects_fabricated_addresses() {
+        let topo = tiny_topology();
+        // A node whose canonical IP the world never assigned.
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        d.intern(ip("10.0.0.1"));
+        d.intern(ip("172.16.0.9"));
+        assert_eq!(
+            d.validate_against(&topo),
+            Err(MeasureInvariant::UnknownAddress {
+                ip: ip("172.16.0.9")
+            })
+        );
+        // A fabricated alias on an otherwise real router.
+        let mut d = MeasuredDataset::new(NodeKind::Router);
+        let a = d.intern(ip("10.0.0.1"));
+        d.add_alias(a, ip("172.16.0.9"));
+        assert_eq!(
+            d.validate_against(&topo),
+            Err(MeasureInvariant::UnknownAddress {
+                ip: ip("172.16.0.9")
+            })
+        );
     }
 
     #[test]

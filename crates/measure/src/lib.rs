@@ -34,7 +34,7 @@ pub mod probe;
 pub mod routing;
 pub mod skitter;
 
-pub use dataset::{MeasuredDataset, NodeKind};
+pub use dataset::{MeasureInvariant, MeasuredDataset, NodeKind};
 pub use policy::PolicyOracle;
 
 /// Deterministic per-router RNG used by alias resolution (success is a

@@ -76,6 +76,7 @@ pub struct MercatorOutput {
 }
 
 /// The Mercator collector.
+#[derive(Debug)]
 pub struct Mercator;
 
 impl Mercator {
@@ -101,17 +102,13 @@ impl Mercator {
             .routers()
             .max_by_key(|(id, _)| t.degree(*id))
             .map(|(id, _)| id)
-            .expect("non-empty topology");
+            .expect("non-empty topology"); // lint: allow(unwrap): generated topologies are non-empty
 
         // Heuristic destination space: addresses inside allocations,
         // weighted by capacity.
-        let alloc_weights: Vec<f64> = gt
-            .allocations
-            .iter()
-            .map(|a| a.capacity() as f64)
-            .collect();
+        let alloc_weights: Vec<f64> = gt.allocations.iter().map(|a| a.capacity() as f64).collect();
         let alloc_pick =
-            geotopo_stats::AliasTable::new(&alloc_weights).expect("non-empty allocations");
+            geotopo_stats::AliasTable::new(&alloc_weights).expect("non-empty allocations"); // lint: allow(unwrap): generated worlds always allocate prefixes
         let mut destinations: Vec<Ipv4Addr> = Vec::with_capacity(cfg.destinations);
         let mut seen_dst: HashSet<Ipv4Addr> = HashSet::new();
         let mut guard = 0usize;
@@ -133,9 +130,9 @@ impl Mercator {
         let mut raw = MeasuredDataset::new(NodeKind::Interface);
         let mut seen_routers: HashSet<u32> = HashSet::new();
         let trace_into = |oracle: &RoutingOracle,
-                              dst_ip: Ipv4Addr,
-                              raw: &mut MeasuredDataset,
-                              seen_routers: &mut HashSet<u32>| {
+                          dst_ip: Ipv4Addr,
+                          raw: &mut MeasuredDataset,
+                          seen_routers: &mut HashSet<u32>| {
             let asn = match truth.lookup(dst_ip) {
                 Some((asn, _)) => *asn,
                 None => return,
@@ -195,7 +192,7 @@ impl Mercator {
         for node in raw.nodes() {
             let router = t
                 .router_by_ip(node.ip)
-                .expect("observed interfaces exist in ground truth");
+                .expect("observed interfaces exist in ground truth"); // lint: allow(unwrap): probes only reach ground-truth interfaces
             let ok = *resolvable.entry(router.0).or_insert_with(|| {
                 let mut r = crate::alias_rng(cfg.seed, router.0);
                 r.random::<f64>() < cfg.alias_success
@@ -210,7 +207,7 @@ impl Mercator {
         }
         // Second pass now that canonical IPs are final.
         for (i, node) in raw.nodes().iter().enumerate() {
-            let router = t.router_by_ip(node.ip).expect("checked above");
+            let router = t.router_by_ip(node.ip).expect("checked above"); // lint: allow(unwrap): resolved in the first pass
             if resolvable[&router.0] {
                 node_target[i] = canonical[&router.0];
             }

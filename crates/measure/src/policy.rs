@@ -246,12 +246,8 @@ mod tests {
             let oracle = PolicyOracle::new(&t, &rel, src);
             for &dst in &r {
                 if let Some(path) = oracle.path(dst) {
-                    let as_path: Vec<_> =
-                        path.iter().map(|&x| t.router(x).asn).collect();
-                    assert!(
-                        rel.is_valley_free(&as_path),
-                        "{src:?}→{dst:?}: {as_path:?}"
-                    );
+                    let as_path: Vec<_> = path.iter().map(|&x| t.router(x).asn).collect();
+                    assert!(rel.is_valley_free(&as_path), "{src:?}→{dst:?}: {as_path:?}");
                 }
             }
         }

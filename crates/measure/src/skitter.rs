@@ -72,6 +72,7 @@ pub struct SkitterOutput {
 }
 
 /// The Skitter collector.
+#[derive(Debug)]
 pub struct Skitter;
 
 impl Skitter {
@@ -96,13 +97,9 @@ impl Skitter {
         // space ("the destination lists are created with the aim to cover
         // all blocks of 256 addresses ... destinations selected by several
         // methods").
-        let alloc_weights: Vec<f64> = gt
-            .allocations
-            .iter()
-            .map(|a| a.capacity() as f64)
-            .collect();
+        let alloc_weights: Vec<f64> = gt.allocations.iter().map(|a| a.capacity() as f64).collect();
         let alloc_pick =
-            geotopo_stats::AliasTable::new(&alloc_weights).expect("non-empty allocations");
+            geotopo_stats::AliasTable::new(&alloc_weights).expect("non-empty allocations"); // lint: allow(unwrap): generated worlds always allocate prefixes
         let mut destinations: Vec<Ipv4Addr> = Vec::with_capacity(cfg.destinations);
         let mut dest_set: HashSet<Ipv4Addr> = HashSet::new();
         let mut guard = 0usize;
@@ -232,8 +229,16 @@ mod tests {
         };
         let out = Skitter::collect(&gt, &cfg);
         assert_eq!(out.dataset.kind, NodeKind::Interface);
-        assert!(out.dataset.num_nodes() > 100, "nodes {}", out.dataset.num_nodes());
-        assert!(out.dataset.num_links() > 100, "links {}", out.dataset.num_links());
+        assert!(
+            out.dataset.num_nodes() > 100,
+            "nodes {}",
+            out.dataset.num_nodes()
+        );
+        assert!(
+            out.dataset.num_links() > 100,
+            "links {}",
+            out.dataset.num_links()
+        );
         assert_eq!(out.monitors.len(), 5);
     }
 

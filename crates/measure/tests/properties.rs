@@ -1,5 +1,9 @@
 //! Property-based tests for measurement invariants.
 
+// Strategy/fixture helpers run outside #[test] fns, where clippy's
+// allow-unwrap-in-tests does not reach; aborting there is fine too.
+#![allow(clippy::unwrap_used)]
+
 use geotopo_bgp::AsId;
 use geotopo_geo::GeoPoint;
 use geotopo_measure::dataset::{MeasuredDataset, NodeKind};

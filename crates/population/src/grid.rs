@@ -89,6 +89,20 @@ impl PopulationGrid {
         self.cells.iter().sum()
     }
 
+    /// Total population of cells whose centre lies inside `region`.
+    ///
+    /// The synthetic city draw makes the realized population of any
+    /// sub-box of this grid seed-dependent, so analyses over sub-regions
+    /// (e.g. the Table IV homogeneity split) must measure the realized
+    /// split here rather than assume a nominal one.
+    pub fn total_within(&self, region: &Region) -> f64 {
+        self.grid
+            .cells()
+            .filter(|&cell| region.contains(&self.grid.cell_center(cell)))
+            .map(|cell| self.cells[self.grid.flat_index(cell)])
+            .sum()
+    }
+
     /// Population of the cell containing `p` (0 outside the region).
     pub fn population_at(&self, p: &GeoPoint) -> f64 {
         match self.grid.cell_of(p) {
@@ -177,6 +191,9 @@ impl PointSampler<'_> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use geotopo_geo::RegionSet;
     use rand::rngs::StdRng;
@@ -186,6 +203,22 @@ mod tests {
         let grid = PatchGrid::new(RegionSet::japan(), 150.0).unwrap();
         let n = grid.len();
         PopulationGrid::new(grid, vec![per_cell; n]).unwrap()
+    }
+
+    #[test]
+    fn total_within_partitions_the_region() {
+        let pop = uniform_grid(10.0);
+        let japan = RegionSet::japan();
+        let mid = (japan.north + japan.south) / 2.0;
+        let north = Region::named("N", japan.north, mid, japan.west, japan.east);
+        let south = Region::named("S", mid, japan.south, japan.west, japan.east);
+        let n = pop.total_within(&north);
+        let s = pop.total_within(&south);
+        assert!(n > 0.0 && s > 0.0);
+        assert!((n + s - pop.total()).abs() < 1e-6 * pop.total());
+        // Disjoint box picks up nothing.
+        let elsewhere = Region::named("X", 10.0, 0.0, 0.0, 10.0);
+        assert_eq!(pop.total_within(&elsewhere), 0.0);
     }
 
     #[test]
@@ -218,7 +251,10 @@ mod tests {
     #[test]
     fn rescale_empty_fails() {
         let mut pg = uniform_grid(0.0);
-        assert_eq!(pg.rescale_to(5.0).unwrap_err(), PopulationError::NoPopulation);
+        assert_eq!(
+            pg.rescale_to(5.0).unwrap_err(),
+            PopulationError::NoPopulation
+        );
     }
 
     #[test]
@@ -238,7 +274,11 @@ mod tests {
         let total: f64 = tallied.iter().sum();
         // Native cell centres may fall just outside the coarse grid only
         // if grids disagree on the region — same region here, so exact.
-        assert!((total - pg.total()).abs() < 1e-6, "{total} vs {}", pg.total());
+        assert!(
+            (total - pg.total()).abs() < 1e-6,
+            "{total} vs {}",
+            pg.total()
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! The result is rescaled to an exact target total.
 
-use crate::grid::{PopulationGrid, PopulationError};
+use crate::grid::{PopulationError, PopulationGrid};
 use geotopo_geo::{GeoPoint, PatchGrid, Region};
 use geotopo_stats::Zipf;
 use rand::rngs::StdRng;
@@ -189,18 +189,11 @@ impl SyntheticPopulation {
         }
         GeoPoint::new_unchecked(lat, lon)
     }
-
 }
 
 /// Adds `mass` spread as a truncated Gaussian kernel of width `sigma`
 /// (degrees) centred at `center` onto the raster.
-fn deposit_gaussian(
-    grid: &PatchGrid,
-    cells: &mut [f64],
-    center: &GeoPoint,
-    mass: f64,
-    sigma: f64,
-) {
+fn deposit_gaussian(grid: &PatchGrid, cells: &mut [f64], center: &GeoPoint, mass: f64, sigma: f64) {
     let Some(center_cell) = grid.cell_of(center) else {
         return;
     };

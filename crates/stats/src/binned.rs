@@ -172,6 +172,9 @@ impl BinnedRatio {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -35,6 +35,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         syy += (y - my).powi(2);
         sxy += (x - mx) * (y - my);
     }
+    // lint: allow(float_eq): exact-zero degeneracy guard before division
     if sxx == 0.0 || syy == 0.0 {
         return None;
     }
@@ -68,6 +69,9 @@ fn midranks(vals: &[f64]) -> Vec<f64> {
     let mut i = 0;
     while i < idx.len() {
         let mut j = i;
+        // Ties are *exactly* equal values; approximate grouping would
+        // change the rank statistic.
+        #[allow(clippy::float_cmp)]
         while j + 1 < idx.len() && vals[idx[j + 1]] == vals[idx[i]] {
             j += 1;
         }

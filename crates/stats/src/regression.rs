@@ -94,6 +94,7 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
     let mean_x = pairs.iter().map(|p| p.0).sum::<f64>() / nf;
     let mean_y = pairs.iter().map(|p| p.1).sum::<f64>() / nf;
     let sxx: f64 = pairs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    // lint: allow(float_eq): exact-zero degeneracy guard before division
     if sxx == 0.0 {
         return Err(FitError::DegenerateX);
     }
@@ -105,7 +106,7 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<LinearFit, FitError> {
         .iter()
         .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
         .sum();
-    let r2 = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+    let r2 = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy }; // lint: allow(float_eq): exact-zero guard before division
     let slope_stderr = if n > 2 {
         (ss_res / (nf - 2.0) / sxx).sqrt()
     } else {
@@ -182,7 +183,10 @@ mod tests {
 
     #[test]
     fn too_few_points() {
-        assert_eq!(fit_line(&[1.0], &[2.0]).unwrap_err(), FitError::TooFewPoints);
+        assert_eq!(
+            fit_line(&[1.0], &[2.0]).unwrap_err(),
+            FitError::TooFewPoints
+        );
         assert_eq!(fit_line(&[], &[]).unwrap_err(), FitError::TooFewPoints);
     }
 

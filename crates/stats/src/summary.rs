@@ -58,6 +58,9 @@ pub fn mean(sample: &[f64]) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -51,7 +51,7 @@ pub fn barabasi_albert(cfg: &BarabasiAlbertConfig) -> Result<Topology, GenError>
     let mut endpoints: Vec<u32> = Vec::new();
     for i in 0..=cfg.m {
         for j in (i + 1)..=cfg.m {
-            b.add_link_auto(ids[i], ids[j]).expect("valid pair");
+            b.add_link_auto(ids[i], ids[j]).expect("valid pair"); // lint: allow(unwrap): distinct seed-clique indices
             endpoints.push(i as u32);
             endpoints.push(j as u32);
         }
@@ -68,7 +68,8 @@ pub fn barabasi_albert(cfg: &BarabasiAlbertConfig) -> Result<Topology, GenError>
             }
         }
         for &t in &chosen {
-            b.add_link_auto(ids[new], ids[t as usize]).expect("valid pair");
+            b.add_link_auto(ids[new], ids[t as usize])
+                .expect("valid pair"); // lint: allow(unwrap): chosen excludes new; both routers exist
             endpoints.push(new as u32);
             endpoints.push(t);
         }

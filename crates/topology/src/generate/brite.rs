@@ -123,7 +123,7 @@ pub fn brite(cfg: &BriteConfig) -> Result<Topology, GenError> {
     }
     for i in 0..=cfg.m {
         for j in (i + 1)..=cfg.m {
-            b.add_link_auto(ids[i], ids[j]).expect("seed clique");
+            b.add_link_auto(ids[i], ids[j]).expect("seed clique"); // lint: allow(unwrap): distinct seed-clique indices
             degrees[i] += 1.0;
             degrees[j] += 1.0;
         }
@@ -175,7 +175,7 @@ pub fn brite(cfg: &BriteConfig) -> Result<Topology, GenError> {
             }
         }
         for j in chosen {
-            b.add_link_auto(ids[new_idx], ids[j]).expect("new pair");
+            b.add_link_auto(ids[new_idx], ids[j]).expect("new pair"); // lint: allow(unwrap): chosen excludes new_idx; both routers exist
             degrees[new_idx] += 1.0;
             degrees[j] += 1.0;
         }

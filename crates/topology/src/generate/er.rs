@@ -47,7 +47,7 @@ pub fn erdos_renyi(cfg: &ErdosRenyiConfig) -> Result<Topology, GenError> {
     for i in 0..cfg.n {
         for j in (i + 1)..cfg.n {
             if rng.random::<f64>() < cfg.p {
-                b.add_link_auto(ids[i], ids[j]).expect("valid pair");
+                b.add_link_auto(ids[i], ids[j]).expect("valid pair"); // lint: allow(unwrap): i < j over existing routers
             }
         }
     }
@@ -83,7 +83,10 @@ mod tests {
         let t = erdos_renyi(&cfg(n, p)).unwrap();
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = t.num_links() as f64;
-        assert!((got - expected).abs() < 4.0 * expected.sqrt() + 10.0, "got {got} want ~{expected}");
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "got {got} want ~{expected}"
+        );
     }
 
     #[test]

@@ -123,7 +123,7 @@ pub fn geogen(cfg: &GeoGenConfig) -> Result<GeoGenOutput, GenError> {
     // AS labels: Zipf sizes, assigned by geographic proximity — each AS
     // seeds at a random router and grows outward, giving spatially
     // coherent domains.
-    let zipf = Zipf::new(cfg.n_ases, cfg.as_zipf).expect("validated");
+    let zipf = Zipf::new(cfg.n_ases, cfg.as_zipf).expect("validated"); // lint: allow(unwrap): parameters validated above
     let mut sizes: Vec<usize> = (1..=cfg.n_ases)
         .map(|k| ((zipf.pmf(k) * cfg.n as f64).round() as usize).max(1))
         .collect();

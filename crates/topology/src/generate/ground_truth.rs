@@ -255,7 +255,7 @@ impl GroundTruth {
         // 3. AS sizes: Zipf, at least one router each, summing exactly.
         let n_as = ((config.total_routers as f64 / config.as_router_ratio) as usize)
             .max(config.regions.len() * 3);
-        let zipf = Zipf::new(n_as, config.as_size_zipf).expect("validated");
+        let zipf = Zipf::new(n_as, config.as_size_zipf).expect("validated"); // lint: allow(unwrap): parameters validated above
         let mut sizes: Vec<usize> = (1..=n_as)
             .map(|k| ((zipf.pmf(k) * config.total_routers as f64).floor() as usize).max(1))
             .collect();
@@ -301,8 +301,8 @@ impl GroundTruth {
             let noise = (super::std_normal(&mut rng) * config.location_noise).exp();
             let mut n_loc = ((size as f64).powf(config.location_gamma) * noise).round() as usize;
             n_loc = n_loc.clamp(1, size);
-            let global =
-                size >= config.global_size_threshold || rng.random::<f64>() < config.wild_dispersal_prob;
+            let global = size >= config.global_size_threshold
+                || rng.random::<f64>() < config.wild_dispersal_prob;
 
             // Draw metro centres. Global ASes sample worldwide (maximal
             // dispersal); regional ASes cluster — each new location is
@@ -331,7 +331,7 @@ impl GroundTruth {
                             best = Some((c, d));
                         }
                     }
-                    best.expect("three candidates drawn").0
+                    best.expect("three candidates drawn").0 // lint: allow(unwrap): loop always draws three candidates
                 };
                 centers.push((p, region as u16));
             }
@@ -340,7 +340,7 @@ impl GroundTruth {
             // Split routers across locations: one each, remainder Zipf.
             let mut counts = vec![1usize; n_loc];
             if size > n_loc {
-                let splitter = Zipf::new(n_loc, 1.0).expect("n_loc >= 1");
+                let splitter = Zipf::new(n_loc, 1.0).expect("n_loc >= 1"); // lint: allow(unwrap): n_loc >= 1 by construction
                 for _ in 0..(size - n_loc) {
                     counts[splitter.sample(&mut rng) - 1] += 1;
                 }
@@ -376,22 +376,19 @@ impl GroundTruth {
         // 5. Links.
         let mut links: Vec<(u32, u32)> = Vec::new();
         let mut link_set: HashSet<(u32, u32)> = HashSet::new();
-        let add_link = |links: &mut Vec<(u32, u32)>,
-                            set: &mut HashSet<(u32, u32)>,
-                            a: u32,
-                            b: u32|
-         -> bool {
-            if a == b {
-                return false;
-            }
-            let key = if a < b { (a, b) } else { (b, a) };
-            if set.insert(key) {
-                links.push(key);
-                true
-            } else {
-                false
-            }
-        };
+        let add_link =
+            |links: &mut Vec<(u32, u32)>, set: &mut HashSet<(u32, u32)>, a: u32, b: u32| -> bool {
+                if a == b {
+                    return false;
+                }
+                let key = if a < b { (a, b) } else { (b, a) };
+                if set.insert(key) {
+                    links.push(key);
+                    true
+                } else {
+                    false
+                }
+            };
 
         // 5a. Structural: per-AS location MST + per-location stars.
         for loc_routers in &as_locations {
@@ -403,7 +400,12 @@ impl GroundTruth {
                 }
                 if members.len() >= 6 {
                     // One redundancy chord inside big PoPs.
-                    add_link(&mut links, &mut link_set, members[1], members[members.len() - 1]);
+                    add_link(
+                        &mut links,
+                        &mut link_set,
+                        members[1],
+                        members[members.len() - 1],
+                    );
                 }
             }
             // Backbone tree over location heads with *exponential
@@ -416,12 +418,9 @@ impl GroundTruth {
             if heads.len() > 1 {
                 let pos: Vec<GeoPoint> = heads.iter().map(|&h| routers[h as usize].0).collect();
                 for i in 1..heads.len() {
-                    let decay =
-                        config.regions[routers[heads[i] as usize].2 as usize].decay_miles;
+                    let decay = config.regions[routers[heads[i] as usize].2 as usize].decay_miles;
                     let weights: Vec<f64> = (0..i)
-                        .map(|j| {
-                            (-geotopo_geo::haversine_miles(&pos[i], &pos[j]) / decay).exp()
-                        })
+                        .map(|j| (-geotopo_geo::haversine_miles(&pos[i], &pos[j]) / decay).exp())
                         .collect();
                     let total: f64 = weights.iter().sum();
                     let j = if total > 0.0 && total.is_finite() {
@@ -443,9 +442,9 @@ impl GroundTruth {
                             .min_by(|&a, &b| {
                                 geotopo_geo::haversine_miles(&pos[i], &pos[a])
                                     .partial_cmp(&geotopo_geo::haversine_miles(&pos[i], &pos[b]))
-                                    .expect("finite")
+                                    .expect("finite") // lint: allow(unwrap): haversine of valid coordinates is finite
                             })
-                            .expect("i >= 1")
+                            .expect("i >= 1") // lint: allow(unwrap): 0..i is non-empty on this branch
                     };
                     add_link(&mut links, &mut link_set, heads[i], heads[j]);
                 }
@@ -502,8 +501,7 @@ impl GroundTruth {
             }
             let decay = config.regions[routers[u as usize].2 as usize].decay_miles;
             let d = geotopo_geo::haversine_miles(&routers[u as usize].0, &routers[v as usize].0);
-            if rng.random::<f64>() < (-d / decay).exp()
-                && add_link(&mut links, &mut link_set, u, v)
+            if rng.random::<f64>() < (-d / decay).exp() && add_link(&mut links, &mut link_set, u, v)
             {
                 added += 1;
             }
@@ -618,7 +616,7 @@ impl GroundTruth {
                 .ok_or(GroundTruthError::AddressSpace)?;
             builder
                 .add_link(RouterId(a), RouterId(b), ip_a, ip_b)
-                .expect("deduplicated non-self link with fresh IPs");
+                .expect("deduplicated non-self link with fresh IPs"); // lint: allow(unwrap): link set deduplicated, IPs freshly drawn
         }
 
         Ok(GroundTruth {
@@ -691,6 +689,9 @@ fn validate(c: &GroundTruthConfig) -> Result<(), GroundTruthError> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::metrics;
 

@@ -86,12 +86,12 @@ pub fn waxman(cfg: &WaxmanConfig) -> Result<Topology, GenError> {
     for i in 0..cfg.n {
         for j in (i + 1)..cfg.n {
             let d = haversine_miles(
-                &b.router(ids[i]).expect("added").location,
-                &b.router(ids[j]).expect("added").location,
+                &b.router(ids[i]).expect("added").location, // lint: allow(unwrap): router just added
+                &b.router(ids[j]).expect("added").location, // lint: allow(unwrap): router just added
             );
             let p = cfg.beta * (-d / (cfg.alpha * l)).exp();
             if rng.random::<f64>() < p {
-                b.add_link_auto(ids[i], ids[j]).expect("valid pair");
+                b.add_link_auto(ids[i], ids[j]).expect("valid pair"); // lint: allow(unwrap): i < j distinct routers
             }
         }
     }

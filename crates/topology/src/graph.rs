@@ -163,10 +163,16 @@ impl TopologyBuilder {
             return Err(TopologyError::DuplicateIp(ip_b));
         }
         let if_a = InterfaceId(self.interfaces.len() as u32);
-        self.interfaces.push(Interface { ip: ip_a, router: a });
+        self.interfaces.push(Interface {
+            ip: ip_a,
+            router: a,
+        });
         self.ip_index.insert(ip_a, if_a);
         let if_b = InterfaceId(self.interfaces.len() as u32);
-        self.interfaces.push(Interface { ip: ip_b, router: b });
+        self.interfaces.push(Interface {
+            ip: ip_b,
+            router: b,
+        });
         self.ip_index.insert(ip_b, if_b);
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link { a: if_a, b: if_b });
@@ -223,6 +229,65 @@ pub struct Topology {
     router_ifaces: Vec<Vec<InterfaceId>>,
     ip_index: HashMap<Ipv4Addr, InterfaceId>,
 }
+
+/// A structural invariant broken in a [`Topology`].
+///
+/// The builder cannot produce any of these; they surface corruption from
+/// deserialized snapshots or future mutating code paths. Checked by
+/// [`Topology::validate`], which the pipeline runs between stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyInvariant {
+    /// An interface names a router that does not exist.
+    InterfaceRouterOutOfRange(InterfaceId),
+    /// The per-router interface lists do not partition the interface set
+    /// (an interface is missing from, duplicated in, or listed under the
+    /// wrong router).
+    InterfacePartition(InterfaceId),
+    /// A link endpoint names an interface that does not exist.
+    DanglingLinkEndpoint(LinkId),
+    /// A link connects two interfaces on the same router.
+    SelfLoopLink(LinkId, RouterId),
+    /// The adjacency structure disagrees with the link list.
+    AdjacencyMismatch(RouterId),
+    /// The IP index does not bijectively map addresses to interfaces.
+    IpIndexMismatch(Ipv4Addr),
+}
+
+impl std::fmt::Display for TopologyInvariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyInvariant::InterfaceRouterOutOfRange(i) => {
+                write!(f, "interface {} references a nonexistent router", i.0)
+            }
+            TopologyInvariant::InterfacePartition(i) => write!(
+                f,
+                "interface {} is not partitioned correctly into router interface lists",
+                i.0
+            ),
+            TopologyInvariant::DanglingLinkEndpoint(l) => {
+                write!(f, "link {} has a dangling interface endpoint", l.0)
+            }
+            TopologyInvariant::SelfLoopLink(l, r) => {
+                write!(f, "link {} is a self-loop at router {}", l.0, r.0)
+            }
+            TopologyInvariant::AdjacencyMismatch(r) => {
+                write!(
+                    f,
+                    "adjacency of router {} disagrees with the link list",
+                    r.0
+                )
+            }
+            TopologyInvariant::IpIndexMismatch(ip) => {
+                write!(
+                    f,
+                    "ip index entry for {ip} disagrees with the interface table"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyInvariant {}
 
 impl Topology {
     /// Number of routers.
@@ -329,7 +394,10 @@ impl Topology {
     /// Great-circle length of a link in statute miles.
     pub fn link_length_miles(&self, id: LinkId) -> f64 {
         let (a, b) = self.link_routers(id);
-        haversine_miles(&self.routers[a.0 as usize].location, &self.routers[b.0 as usize].location)
+        haversine_miles(
+            &self.routers[a.0 as usize].location,
+            &self.routers[b.0 as usize].location,
+        )
     }
 
     /// Whether a link crosses AS boundaries (the paper's
@@ -339,11 +407,112 @@ impl Topology {
         self.routers[a.0 as usize].asn != self.routers[b.0 as usize].asn
     }
 
+    /// Checks every structural invariant of the topology:
+    ///
+    /// 1. each interface belongs to an existing router, and the
+    ///    per-router interface lists exactly partition the interface set;
+    /// 2. no link endpoint dangles (both interfaces exist);
+    /// 3. no link connects two interfaces of the same router;
+    /// 4. the adjacency structure agrees with the link list;
+    /// 5. the IP index is a bijection onto the interface table.
+    ///
+    /// The builder establishes all of these; `validate` re-checks them on
+    /// data that crossed a serialization boundary or a new mutation path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), TopologyInvariant> {
+        // 1. Interface/router partition.
+        for (i, iface) in self.interfaces.iter().enumerate() {
+            if iface.router.0 as usize >= self.routers.len() {
+                return Err(TopologyInvariant::InterfaceRouterOutOfRange(InterfaceId(
+                    i as u32,
+                )));
+            }
+        }
+        if self.router_ifaces.len() != self.routers.len() {
+            return Err(TopologyInvariant::InterfacePartition(InterfaceId(0)));
+        }
+        let mut seen = vec![false; self.interfaces.len()];
+        for (r, list) in self.router_ifaces.iter().enumerate() {
+            for &iid in list {
+                let idx = iid.0 as usize;
+                if idx >= self.interfaces.len()
+                    || seen[idx]
+                    || self.interfaces[idx].router.0 as usize != r
+                {
+                    return Err(TopologyInvariant::InterfacePartition(iid));
+                }
+                seen[idx] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(TopologyInvariant::InterfacePartition(InterfaceId(
+                missing as u32,
+            )));
+        }
+
+        // 2 + 3. Link endpoints exist and span two distinct routers.
+        for (l, link) in self.links.iter().enumerate() {
+            let lid = LinkId(l as u32);
+            if link.a.0 as usize >= self.interfaces.len()
+                || link.b.0 as usize >= self.interfaces.len()
+            {
+                return Err(TopologyInvariant::DanglingLinkEndpoint(lid));
+            }
+            let ra = self.interfaces[link.a.0 as usize].router;
+            let rb = self.interfaces[link.b.0 as usize].router;
+            if ra == rb {
+                return Err(TopologyInvariant::SelfLoopLink(lid, ra));
+            }
+        }
+
+        // 4. Adjacency agrees with the link list: every link appears once
+        // on each side, and nothing else appears.
+        if self.adj.len() != self.routers.len() {
+            return Err(TopologyInvariant::AdjacencyMismatch(RouterId(0)));
+        }
+        let total: usize = self.adj.iter().map(Vec::len).sum();
+        if total != 2 * self.links.len() {
+            return Err(TopologyInvariant::AdjacencyMismatch(RouterId(0)));
+        }
+        for (r, neighbors) in self.adj.iter().enumerate() {
+            for &(nbr, lid) in neighbors {
+                if lid.0 as usize >= self.links.len() {
+                    return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
+                }
+                let (ra, rb) = self.link_routers(lid);
+                let pair_ok =
+                    (ra.0 as usize == r && rb == nbr) || (rb.0 as usize == r && ra == nbr);
+                if !pair_ok {
+                    return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
+                }
+            }
+        }
+
+        // 5. IP index bijection.
+        if self.ip_index.len() != self.interfaces.len() {
+            let stray = self
+                .ip_index
+                .keys()
+                .next()
+                .copied()
+                .unwrap_or(Ipv4Addr::UNSPECIFIED);
+            return Err(TopologyInvariant::IpIndexMismatch(stray));
+        }
+        for (&ip, &iid) in &self.ip_index {
+            if iid.0 as usize >= self.interfaces.len() || self.interfaces[iid.0 as usize].ip != ip {
+                return Err(TopologyInvariant::IpIndexMismatch(ip));
+            }
+        }
+        Ok(())
+    }
+
     /// The outgoing interface on router `from` for the link to `to`
     /// (used by the traceroute simulator to report hop addresses).
     pub fn interface_between(&self, from: RouterId, to: RouterId) -> Option<InterfaceId> {
-        let (_, lid) = self
-            .adj[from.0 as usize]
+        let (_, lid) = self.adj[from.0 as usize]
             .iter()
             .find(|(nbr, _)| *nbr == to)?;
         let l = &self.links[lid.0 as usize];
@@ -390,7 +559,8 @@ mod tests {
         let mut b = TopologyBuilder::new();
         let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
         assert_eq!(
-            b.add_link(r0, r0, ip("1.0.0.1"), ip("1.0.0.2")).unwrap_err(),
+            b.add_link(r0, r0, ip("1.0.0.1"), ip("1.0.0.2"))
+                .unwrap_err(),
             TopologyError::SelfLink(r0)
         );
     }
@@ -403,7 +573,8 @@ mod tests {
         b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
         assert!(b.has_link(r0, r1) && b.has_link(r1, r0));
         assert_eq!(
-            b.add_link(r1, r0, ip("1.0.0.3"), ip("1.0.0.4")).unwrap_err(),
+            b.add_link(r1, r0, ip("1.0.0.3"), ip("1.0.0.4"))
+                .unwrap_err(),
             TopologyError::DuplicateLink(r1, r0)
         );
     }
@@ -416,11 +587,13 @@ mod tests {
         let r2 = b.add_router(loc(2.0, 2.0), AsId(1));
         b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
         assert_eq!(
-            b.add_link(r0, r2, ip("1.0.0.1"), ip("1.0.0.9")).unwrap_err(),
+            b.add_link(r0, r2, ip("1.0.0.1"), ip("1.0.0.9"))
+                .unwrap_err(),
             TopologyError::DuplicateIp(ip("1.0.0.1"))
         );
         assert_eq!(
-            b.add_link(r0, r2, ip("1.0.0.8"), ip("1.0.0.8")).unwrap_err(),
+            b.add_link(r0, r2, ip("1.0.0.8"), ip("1.0.0.8"))
+                .unwrap_err(),
             TopologyError::DuplicateIp(ip("1.0.0.8"))
         );
     }
@@ -488,6 +661,112 @@ mod tests {
         for (_, iface) in t.interfaces() {
             assert!(u32::from(iface.ip) >= u32::from(Ipv4Addr::new(240, 0, 0, 0)));
         }
+    }
+
+    /// A valid 3-router topology for corruption tests.
+    fn valid_topology() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(1));
+        let r2 = b.add_router(loc(2.0, 2.0), AsId(2));
+        b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
+        b.add_link(r1, r2, ip("1.0.0.3"), ip("2.0.0.1")).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert_eq!(valid_topology().validate(), Ok(()));
+        // The empty topology is trivially valid too.
+        assert_eq!(TopologyBuilder::new().build().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_interface_with_unknown_router() {
+        let mut t = valid_topology();
+        t.interfaces[2].router = RouterId(99);
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::InterfaceRouterOutOfRange(InterfaceId(2)))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_broken_interface_partition() {
+        // Listed under the wrong router.
+        let mut t = valid_topology();
+        let moved = t.router_ifaces[0].pop().unwrap();
+        t.router_ifaces[2].push(moved);
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::InterfacePartition(_))
+        ));
+        // Dropped from every list.
+        let mut t = valid_topology();
+        t.router_ifaces[0].clear();
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::InterfacePartition(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_link_endpoint() {
+        let mut t = valid_topology();
+        t.links[1].b = InterfaceId(500);
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::DanglingLinkEndpoint(LinkId(1)))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_self_loop_link() {
+        let mut t = valid_topology();
+        // Interfaces 0 and 1 sit on routers 0 and 1; re-point the second
+        // endpoint at another interface of the same router as the first.
+        t.interfaces[1].router = t.interfaces[0].router;
+        // Keep the partition consistent so the self-loop check is what
+        // fires: rebuild router_ifaces from the mutated interface table.
+        let n = t.routers.len();
+        t.router_ifaces = vec![Vec::new(); n];
+        for (i, iface) in t.interfaces.iter().enumerate() {
+            t.router_ifaces[iface.router.0 as usize].push(InterfaceId(i as u32));
+        }
+        // Adjacency is now also stale, but the self-loop is detected
+        // first.
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::SelfLoopLink(LinkId(0), RouterId(0)))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_adjacency_mismatch() {
+        let mut t = valid_topology();
+        t.adj[0].pop();
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::AdjacencyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_ip_index_corruption() {
+        let mut t = valid_topology();
+        let (&some_ip, _) = t.ip_index.iter().next().unwrap();
+        t.ip_index.insert(some_ip, InterfaceId(77));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::IpIndexMismatch(_))
+        ));
+        // A stale extra entry is also caught (size mismatch).
+        let mut t = valid_topology();
+        t.ip_index.insert(ip("200.0.0.1"), InterfaceId(0));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::IpIndexMismatch(_))
+        ));
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod spatial;
 
 pub use graph::{
     Interface, InterfaceId, Link, LinkId, Router, RouterId, Topology, TopologyBuilder,
-    TopologyError,
+    TopologyError, TopologyInvariant,
 };
 pub use spatial::SpatialIndex;

@@ -172,6 +172,9 @@ pub fn degree_assortativity(t: &Topology) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact expected values; bitwise float equality is the point.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::graph::TopologyBuilder;
     use geotopo_bgp::AsId;

@@ -26,7 +26,10 @@ impl SpatialIndex {
         assert!(cell_deg.is_finite() && cell_deg > 0.0, "bad cell size");
         let mut buckets: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
-            buckets.entry(Self::key(p, cell_deg)).or_default().push(i as u32);
+            buckets
+                .entry(Self::key(p, cell_deg))
+                .or_default()
+                .push(i as u32);
         }
         SpatialIndex {
             cell_deg,

@@ -1,5 +1,9 @@
 //! Property-based tests for topology invariants.
 
+// Strategy/fixture helpers run outside #[test] fns, where clippy's
+// allow-unwrap-in-tests does not reach; aborting there is fine too.
+#![allow(clippy::unwrap_used)]
+
 use geotopo_bgp::AsId;
 use geotopo_geo::GeoPoint;
 use geotopo_topology::{metrics, RouterId, TopologyBuilder};
@@ -16,11 +20,7 @@ fn build(n: usize, edges: &[(u32, u32)]) -> geotopo_topology::Topology {
     let mut b = TopologyBuilder::new();
     for i in 0..n {
         b.add_router(
-            GeoPoint::new(
-                -80.0 + (i % 160) as f64,
-                -170.0 + ((i * 7) % 340) as f64,
-            )
-            .unwrap(),
+            GeoPoint::new(-80.0 + (i % 160) as f64, -170.0 + ((i * 7) % 340) as f64).unwrap(),
             AsId((i % 5) as u32 + 1),
         );
     }

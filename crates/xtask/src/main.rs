@@ -1,0 +1,137 @@
+//! `cargo xtask` — project automation entry point.
+//!
+//! ```text
+//! cargo xtask check [--root PATH] [--rule GT-LINT-00x] [--list]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error —
+//! so CI can gate on the exit status directly.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::rules::{all_rules, run};
+use xtask::workspace::WorkspaceSrc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown task `{other}`");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask check [--root PATH] [--rule ID] [--list]");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  check    run the geotopo lint pass over the workspace sources");
+    eprintln!();
+    eprintln!("check options:");
+    eprintln!("  --root PATH   workspace root to scan (default: cwd, else the repo root)");
+    eprintln!("  --rule ID     run a single rule (repeatable), e.g. --rule GT-LINT-003");
+    eprintln!("  --list        list the rule catalog and exit");
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rule" => match it.next() {
+                Some(id) => only.push(id.clone()),
+                None => {
+                    eprintln!("error: --rule needs a rule ID");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => list = true,
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut rules = all_rules();
+    if list {
+        for r in &rules {
+            println!("{}  {}", r.id(), r.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !only.is_empty() {
+        for id in &only {
+            if !rules.iter().any(|r| r.id() == id) {
+                eprintln!("error: unknown rule `{id}` (see --list)");
+                return ExitCode::from(2);
+            }
+        }
+        rules.retain(|r| only.iter().any(|id| id == r.id()));
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let ws = match WorkspaceSrc::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: failed to load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if ws.crates.is_empty() {
+        eprintln!("error: no crates found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let findings = run(&rules, &ws);
+    for f in &findings {
+        println!("{f}");
+    }
+    let nfiles = ws.num_files();
+    let ncrates = ws.crates.len();
+    let nrules = rules.len();
+    if findings.is_empty() {
+        println!("xtask check: {ncrates} crates, {nfiles} files, {nrules} rules — clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask check: {ncrates} crates, {nfiles} files, {nrules} rules — {} finding(s)",
+            findings.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Workspace root when `--root` is absent: the current directory if it
+/// holds a `Cargo.toml`, else walk up from this crate's manifest dir
+/// (crates/xtask -> crates -> workspace root) so the alias also works
+/// from subdirectories.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if cwd.join("Cargo.toml").exists() {
+        return cwd;
+    }
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .and_then(|p| p.parent())
+        .map(Path::to_path_buf)
+        .unwrap_or(cwd)
+}

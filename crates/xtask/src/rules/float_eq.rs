@@ -1,0 +1,199 @@
+//! GT-LINT-004: no bare float equality in numeric kernels.
+//!
+//! In `geotopo-stats` and `geotopo-geo` — the crates whose arithmetic
+//! everything else builds on — `x == y` between floats is almost always a
+//! latent bug (rounding turns it into a coin flip). Comparisons should go
+//! through an epsilon helper or an explicit total order. The rule flags
+//! `==`/`!=` where an operand is visibly a float: a float literal
+//! (`1.0`), an `f64::`/`f32::` associated constant, or a `as f64` cast.
+//!
+//! Deliberate exact comparisons (e.g. checking a value survived a
+//! round-trip unchanged, or sentinel equality) carry
+//! `// lint: allow(float_eq): <why>`.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct FloatEq;
+
+const SCOPED_CRATES: &[&str] = &["geotopo-stats", "geotopo-geo"];
+
+impl Rule for FloatEq {
+    fn id(&self) -> &'static str {
+        "GT-LINT-004"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no bare f64/f32 == comparisons in stats/geo library code"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            if !SCOPED_CRATES.contains(&krate.name.as_str()) {
+                continue;
+            }
+            for file in &krate.files {
+                for (line, text) in file.code_lines() {
+                    if has_float_eq(text) && !file.is_allowed(line, "float_eq") {
+                        out.push(Finding {
+                            file: file.path.clone(),
+                            line,
+                            rule: self.id(),
+                            message: "bare float equality; compare with an epsilon or justify \
+                                      with `// lint: allow(float_eq): <why>`"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether a masked code line compares a visibly-float operand with
+/// `==`/`!=`.
+fn has_float_eq(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let op = &bytes[i..i + 2];
+        if op != b"==" && op != b"!=" {
+            continue;
+        }
+        // Exclude `<=`, `>=`, `===`-like runs and pattern `=>`.
+        if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
+            continue;
+        }
+        if bytes.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        let left = &line[..i];
+        let right = &line[i + 2..];
+        if operand_is_float(left, true) || operand_is_float(right, false) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether the operand text adjacent to the comparison looks like a
+/// float: a float literal, an `fXX::` constant, or an `as fXX` cast.
+/// `before` selects which side of the operator `text` sits on.
+fn operand_is_float(text: &str, before: bool) -> bool {
+    let operand = if before {
+        // Take the trailing expression fragment.
+        let stop = text
+            .rfind([';', '{', '(', ',', '&', '|'])
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        &text[stop..]
+    } else {
+        let stop = text
+            .find([';', '{', ')', ',', '&', '|'])
+            .unwrap_or(text.len());
+        &text[..stop]
+    };
+    if operand.contains("f64::")
+        || operand.contains("f32::")
+        || operand.contains("as f64")
+        || operand.contains("as f32")
+    {
+        return true;
+    }
+    has_float_literal(operand)
+}
+
+/// Whether `s` contains a float literal (`1.0`, `2.`, `1e-3`, `3f64`).
+fn has_float_literal(s: &str) -> bool {
+    let b = s.as_bytes();
+    for i in 0..b.len() {
+        if !b[i].is_ascii_digit() {
+            continue;
+        }
+        // Start of a number? (previous char must not be ident-ish)
+        if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_' || b[i - 1] == b'.') {
+            continue;
+        }
+        let mut j = i;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            j += 1;
+        }
+        // `1.` or `1.5` (but not `1..` range or method call `1.max(..)`)
+        if j < b.len() && b[j] == b'.' {
+            let next = b.get(j + 1);
+            if next.is_none_or(|&c| c.is_ascii_digit()) {
+                return true;
+            }
+            continue;
+        }
+        // `1e-3` / `2E5` exponent form.
+        if j < b.len() && (b[j] == b'e' || b[j] == b'E') {
+            let mut k = j + 1;
+            if matches!(b.get(k), Some(&b'+') | Some(&b'-')) {
+                k += 1;
+            }
+            if b.get(k).is_some_and(|c| c.is_ascii_digit()) {
+                return true;
+            }
+        }
+        // `3f64` suffix form.
+        if s[j..].starts_with("f64") || s[j..].starts_with("f32") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_literal_comparison() {
+        let ws = ws_of(
+            "geotopo-stats",
+            &[("crates/x/src/lib.rs", "fn f(x: f64) -> bool { x == 0.0 }\n")],
+        );
+        let f = FloatEq.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "GT-LINT-004");
+    }
+
+    #[test]
+    fn flags_constant_and_ne() {
+        assert!(has_float_eq("if x != f64::INFINITY {"));
+        assert!(has_float_eq("let b = y as f64 == z;"));
+        assert!(has_float_eq("x == 1e-9"));
+        assert!(has_float_eq("x == 3f64"));
+    }
+
+    #[test]
+    fn integer_and_ordering_comparisons_pass() {
+        assert!(!has_float_eq("if n == 0 {"));
+        assert!(!has_float_eq("if x <= 1.0 {"));
+        assert!(!has_float_eq("if x >= 2.5 {"));
+        assert!(!has_float_eq("match x { 1 => 2.0, _ => 3.0 }"));
+        assert!(!has_float_eq("for i in 0..1 {}"));
+        assert!(!has_float_eq("let y = 1.0_f64.max(x);"));
+    }
+
+    #[test]
+    fn out_of_scope_crates_ignored() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[("crates/x/src/lib.rs", "fn f(x: f64) -> bool { x == 0.0 }\n")],
+        );
+        assert!(FloatEq.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_waives() {
+        let src = "fn same(x: f64, y: f64) -> bool {\n    // lint: allow(float_eq): exact round-trip check\n    x == y * 1.0\n}\n";
+        let ws = ws_of("geotopo-geo", &[("crates/x/src/lib.rs", src)]);
+        assert!(FloatEq.check(&ws).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! GT-LINT-006: crate dependency edges must respect the sanctioned
+//! layering.
+//!
+//! The workspace is a strict DAG of layers; a crate may depend only on
+//! geotopo crates in *strictly lower* layers. This keeps the substrate
+//! (geo/stats/bgp) reusable and stops experiment plumbing from leaking
+//! downward. The map mirrors the real dependency graph:
+//!
+//! | layer | crates |
+//! |-------|--------|
+//! | 0     | `geotopo-geo`, `geotopo-stats`, `geotopo-bgp` |
+//! | 1     | `geotopo-population` |
+//! | 2     | `geotopo-topology`, `geotopo-geomap` |
+//! | 3     | `geotopo-measure` |
+//! | 4     | `geotopo-core` |
+//! | 5     | `geotopo-bench` |
+//! | top   | `geotopo` (root package) |
+//!
+//! `xtask` sits outside the pipeline entirely and may depend on no
+//! geotopo crate (it must stay buildable even when the pipeline is
+//! broken — that is the point of a lint runner). Dev-dependencies are
+//! exempt: tests may reach anywhere.
+//!
+//! Findings point at the offending `Cargo.toml` line. There is no allow
+//! marker for this rule — a new edge means the table above (and
+//! `DESIGN.md`) must be updated deliberately.
+
+use super::{Finding, Rule};
+use crate::workspace::{geotopo_dependencies, WorkspaceSrc};
+
+/// See module docs.
+#[derive(Debug)]
+pub struct Layering;
+
+/// Layer assignment; `u32::MAX` marks the top-level binary package which
+/// may depend on everything.
+const LAYERS: &[(&str, u32)] = &[
+    ("geotopo-geo", 0),
+    ("geotopo-stats", 0),
+    ("geotopo-bgp", 0),
+    ("geotopo-population", 1),
+    ("geotopo-topology", 2),
+    ("geotopo-geomap", 2),
+    ("geotopo-measure", 3),
+    ("geotopo-core", 4),
+    ("geotopo-bench", 5),
+    ("geotopo", u32::MAX),
+];
+
+fn layer_of(name: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|(_, l)| *l)
+}
+
+impl Rule for Layering {
+    fn id(&self) -> &'static str {
+        "GT-LINT-006"
+    }
+
+    fn describe(&self) -> &'static str {
+        "crate dependencies must point strictly down the sanctioned layer DAG"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            let deps = geotopo_dependencies(&krate.manifest);
+            if krate.name == "xtask" {
+                for (line, dep) in deps {
+                    out.push(Finding {
+                        file: krate.manifest_path.clone(),
+                        line,
+                        rule: self.id(),
+                        message: format!(
+                            "xtask depends on `{dep}`; the lint runner must have no geotopo \
+                             dependencies so it builds even when the pipeline is broken"
+                        ),
+                    });
+                }
+                continue;
+            }
+            let Some(layer) = layer_of(&krate.name) else {
+                // Unknown crate: every geotopo edge is unsanctioned until
+                // the crate is added to the layer map.
+                for (line, dep) in deps {
+                    out.push(Finding {
+                        file: krate.manifest_path.clone(),
+                        line,
+                        rule: self.id(),
+                        message: format!(
+                            "crate `{}` is not in the sanctioned layer map but depends on \
+                             `{dep}`; add it to the map in xtask's layering rule and DESIGN.md",
+                            krate.name
+                        ),
+                    });
+                }
+                continue;
+            };
+            for (line, dep) in deps {
+                let dep_layer = layer_of(&dep).unwrap_or(u32::MAX);
+                if dep_layer >= layer {
+                    out.push(Finding {
+                        file: krate.manifest_path.clone(),
+                        line,
+                        rule: self.id(),
+                        message: format!(
+                            "`{}` (layer {layer}) may not depend on `{dep}` (layer \
+                             {dep_layer}); edges must point strictly down the DAG",
+                            krate.name
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use crate::workspace::{CrateSrc, WorkspaceSrc};
+    use std::path::PathBuf;
+
+    fn crate_with_manifest(name: &str, manifest: &str) -> CrateSrc {
+        CrateSrc {
+            name: name.to_string(),
+            dir: PathBuf::from(format!("crates/{name}")),
+            manifest: manifest.to_string(),
+            manifest_path: PathBuf::from(format!("crates/{name}/Cargo.toml")),
+            files: Vec::<SourceFile>::new(),
+        }
+    }
+
+    #[test]
+    fn downward_edges_pass() {
+        let m = "[package]\nname = \"geotopo-topology\"\n[dependencies]\ngeotopo-geo.workspace = true\ngeotopo-population.workspace = true\n";
+        let ws = WorkspaceSrc {
+            crates: vec![crate_with_manifest("geotopo-topology", m)],
+        };
+        assert!(Layering.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn upward_edge_flagged_at_manifest_line() {
+        let m =
+            "[package]\nname = \"geotopo-geo\"\n[dependencies]\ngeotopo-core.workspace = true\n";
+        let ws = WorkspaceSrc {
+            crates: vec![crate_with_manifest("geotopo-geo", m)],
+        };
+        let f = Layering.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "GT-LINT-006");
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].file.ends_with("Cargo.toml"));
+    }
+
+    #[test]
+    fn same_layer_edge_flagged() {
+        let m = "[package]\nname = \"geotopo-geomap\"\n[dependencies]\ngeotopo-topology.workspace = true\n";
+        let ws = WorkspaceSrc {
+            crates: vec![crate_with_manifest("geotopo-geomap", m)],
+        };
+        assert_eq!(Layering.check(&ws).len(), 1);
+    }
+
+    #[test]
+    fn xtask_must_stay_dependency_free() {
+        let m = "[package]\nname = \"xtask\"\n[dependencies]\ngeotopo-geo.workspace = true\n";
+        let ws = WorkspaceSrc {
+            crates: vec![crate_with_manifest("xtask", m)],
+        };
+        let f = Layering.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("lint runner"));
+    }
+
+    #[test]
+    fn dev_dependencies_exempt_and_unknown_crate_flagged() {
+        let dev = "[package]\nname = \"geotopo-geo\"\n[dev-dependencies]\ngeotopo-core.workspace = true\n";
+        let unknown = "[package]\nname = \"geotopo-newcrate\"\n[dependencies]\ngeotopo-geo.workspace = true\n";
+        let ws = WorkspaceSrc {
+            crates: vec![
+                crate_with_manifest("geotopo-geo", dev),
+                crate_with_manifest("geotopo-newcrate", unknown),
+            ],
+        };
+        let f = Layering.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not in the sanctioned layer map"));
+    }
+}

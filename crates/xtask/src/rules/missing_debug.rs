@@ -1,0 +1,284 @@
+//! GT-LINT-005: every public struct/enum in the substrate crates must be
+//! debuggable.
+//!
+//! The invariant validators and experiment assertions all report failures
+//! by formatting the offending structure; a `pub` type without `Debug`
+//! forces call sites into lossy hand-rolled messages. The rule scans the
+//! substrate crates for `pub struct` / `pub enum` items and requires
+//! either `#[derive(.. Debug ..)]` on the item or a manual
+//! `impl fmt::Debug for Type` anywhere in the same crate.
+//!
+//! Types that intentionally hide their contents (e.g. a huge grid whose
+//! element dump would be unusable) implement a summarising `Debug` by
+//! hand — which this rule accepts — or carry
+//! `// lint: allow(missing_debug): <why>`.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct MissingDebug;
+
+/// Substrate crates whose public API the rule covers.
+const SCOPED_CRATES: &[&str] = &[
+    "geotopo-geo",
+    "geotopo-stats",
+    "geotopo-bgp",
+    "geotopo-population",
+    "geotopo-topology",
+    "geotopo-geomap",
+    "geotopo-measure",
+];
+
+impl Rule for MissingDebug {
+    fn id(&self) -> &'static str {
+        "GT-LINT-005"
+    }
+
+    fn describe(&self) -> &'static str {
+        "pub structs/enums in substrate crates must implement Debug"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            if !SCOPED_CRATES.contains(&krate.name.as_str()) {
+                continue;
+            }
+            // Pass 1: names with a manual `impl Debug` anywhere in the crate.
+            let mut manual: Vec<String> = Vec::new();
+            for file in &krate.files {
+                for (_, text) in file.code_lines() {
+                    if let Some(name) = manual_debug_impl_target(text) {
+                        manual.push(name);
+                    }
+                }
+            }
+            // Pass 2: pub type declarations lacking both derive and manual impl.
+            for file in &krate.files {
+                let lines: Vec<&str> = file.masked.lines().collect();
+                let derived = debug_derived_decl_lines(&lines);
+                for (idx, text) in lines.iter().enumerate() {
+                    let line = idx + 1;
+                    if file.is_test_line(line) {
+                        continue;
+                    }
+                    let Some((kind, name)) = pub_type_decl(text) else {
+                        continue;
+                    };
+                    if derived.contains(&idx)
+                        || manual.iter().any(|m| m == &name)
+                        || file.is_allowed(line, "missing_debug")
+                    {
+                        continue;
+                    }
+                    out.push(Finding {
+                        file: file.path.clone(),
+                        line,
+                        rule: self.id(),
+                        message: format!(
+                            "pub {kind} `{name}` has no Debug impl; derive it, write a \
+                             summarising impl, or `// lint: allow(missing_debug): <why>`"
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// If `text` declares a public struct or enum, returns `(kind, name)`.
+/// `pub(crate)` / `pub(super)` types are not external API and are skipped.
+fn pub_type_decl(text: &str) -> Option<(&'static str, String)> {
+    let t = text.trim_start();
+    let (kind, rest) = t
+        .strip_prefix("pub struct ")
+        .map(|r| ("struct", r))
+        .or_else(|| t.strip_prefix("pub enum ").map(|r| ("enum", r)))?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    Some((kind, name))
+}
+
+/// Line indices (0-based) of type declarations covered by a
+/// `#[derive(.. Debug ..)]` attribute. Forward scan: bracket-match each
+/// derive attribute (which may span lines), then skip any further
+/// attributes / doc comments / blanks to find the item it decorates.
+fn debug_derived_decl_lines(lines: &[&str]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        if !t.starts_with("#[derive") {
+            i += 1;
+            continue;
+        }
+        let end = attr_end(lines, i);
+        let attr_text: String = lines[i..=end].join("\n");
+        let has_debug = word_debug(&attr_text);
+        // Skip trailing attributes, doc comments and blank lines down to
+        // the decorated item.
+        let mut k = end + 1;
+        while k < lines.len() {
+            let s = lines[k].trim_start();
+            if s.starts_with("#[") {
+                k = attr_end(lines, k) + 1;
+            } else if s.starts_with("//") || s.is_empty() {
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        if has_debug && k < lines.len() {
+            out.push(k);
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// Index of the line on which the attribute starting at `lines[start]`
+/// closes (bracket balance of `[`/`]` returns to zero).
+fn attr_end(lines: &[&str], start: usize) -> usize {
+    let mut depth = 0i32;
+    for (off, l) in lines[start..].iter().enumerate() {
+        for b in l.bytes() {
+            match b {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return start + off;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    lines.len() - 1
+}
+
+/// Whether `t` contains `Debug` as a standalone word (not `DebugFoo`).
+fn word_debug(t: &str) -> bool {
+    let b = t.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = t[start..].find("Debug") {
+        let at = start + pos;
+        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let after = at + "Debug".len();
+        let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// If `text` is a manual Debug impl header, returns the target type name.
+/// Matches `impl Debug for X`, `impl fmt::Debug for X`,
+/// `impl std::fmt::Debug for X`, with optional generic parameters.
+fn manual_debug_impl_target(text: &str) -> Option<String> {
+    let t = text.trim_start();
+    if !t.starts_with("impl") {
+        return None;
+    }
+    let for_pos = t.find(" for ")?;
+    let head = &t[..for_pos];
+    if !word_debug(head) {
+        return None;
+    }
+    let after = &t[for_pos + " for ".len()..];
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_pub_struct_without_debug() {
+        let src = "pub struct Grid {\n    cells: Vec<f64>,\n}\n";
+        let ws = ws_of("geotopo-population", &[("crates/x/src/lib.rs", src)]);
+        let f = MissingDebug.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "GT-LINT-005");
+        assert!(f[0].message.contains("`Grid`"));
+    }
+
+    #[test]
+    fn derive_debug_passes() {
+        let src = "#[derive(Debug, Clone)]\npub struct Grid {\n    cells: Vec<f64>,\n}\n";
+        let ws = ws_of("geotopo-population", &[("crates/x/src/lib.rs", src)]);
+        assert!(MissingDebug.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn multiline_derive_passes() {
+        let src = "#[derive(\n    Clone,\n    Debug,\n)]\npub enum Kind {\n    A,\n}\n";
+        let ws = ws_of("geotopo-geo", &[("crates/x/src/lib.rs", src)]);
+        assert!(MissingDebug.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn derive_then_other_attr_passes() {
+        let src = "#[derive(Debug)]\n#[repr(C)]\npub struct P(f64);\n";
+        let ws = ws_of("geotopo-geo", &[("crates/x/src/lib.rs", src)]);
+        assert!(MissingDebug.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn manual_impl_in_other_file_passes() {
+        let decl = "pub struct Huge {\n    data: Vec<u8>,\n}\n";
+        let imp = "use std::fmt;\nimpl fmt::Debug for Huge {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n}\n";
+        let ws = ws_of(
+            "geotopo-topology",
+            &[("crates/x/src/a.rs", decl), ("crates/x/src/b.rs", imp)],
+        );
+        assert!(MissingDebug.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn private_and_pub_crate_types_ignored() {
+        let src = "struct Inner;\npub(crate) struct Half;\n";
+        let ws = ws_of("geotopo-geo", &[("crates/x/src/lib.rs", src)]);
+        assert!(MissingDebug.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_waives() {
+        let src = "// lint: allow(missing_debug): opaque handle\npub struct Handle(u64);\n";
+        let ws = ws_of("geotopo-bgp", &[("crates/x/src/lib.rs", src)]);
+        assert!(MissingDebug.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn derive_without_debug_still_flagged() {
+        let src = "#[derive(Clone, PartialEq)]\npub struct P(f64);\n";
+        let ws = ws_of("geotopo-geo", &[("crates/x/src/lib.rs", src)]);
+        assert_eq!(MissingDebug.check(&ws).len(), 1);
+    }
+
+    #[test]
+    fn debugfoo_derive_does_not_count() {
+        let src = "#[derive(Clone, DebugStub)]\npub struct P(f64);\n";
+        let ws = ws_of("geotopo-geo", &[("crates/x/src/lib.rs", src)]);
+        assert_eq!(MissingDebug.check(&ws).len(), 1);
+    }
+}

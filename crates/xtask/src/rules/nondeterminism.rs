@@ -1,0 +1,87 @@
+//! GT-LINT-001: no nondeterministic RNG entropy sources.
+//!
+//! Every experiment in this repository must be reproducible from a seed:
+//! `rand::rng()`, `thread_rng()`, `from_entropy()` and `OsRng` pull
+//! entropy from the OS and silently break run-to-run determinism. All
+//! generators must be constructed via `SeedableRng::seed_from_u64` (the
+//! vendored `rand` stand-in deliberately exposes nothing else).
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NonDeterminism;
+
+const NEEDLES: &[&str] = &["thread_rng(", "from_entropy(", "rand::rng()", "OsRng"];
+
+impl Rule for NonDeterminism {
+    fn id(&self) -> &'static str {
+        "GT-LINT-001"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no OS-entropy RNG construction (thread_rng/from_entropy/OsRng) in library code"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            for file in &krate.files {
+                for (line, text) in file.code_lines() {
+                    for needle in NEEDLES {
+                        if text.contains(needle) && !file.is_allowed(line, "nondeterminism") {
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line,
+                                rule: self.id(),
+                                message: format!(
+                                    "`{}` draws OS entropy; seed explicitly via \
+                                     `SeedableRng::seed_from_u64` (or `// lint: allow(nondeterminism)`)",
+                                    needle.trim_end_matches('(')
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_thread_rng_in_library_code() {
+        let ws = ws_of(
+            "geotopo-stats",
+            &[(
+                "crates/x/src/lib.rs",
+                "fn f() { let mut r = rand::thread_rng(); }\n",
+            )],
+        );
+        let f = NonDeterminism.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "GT-LINT-001");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn ignores_test_code_and_comments() {
+        let src = "// thread_rng() is banned\nfn ok() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let r = thread_rng(); }\n}\n";
+        let ws = ws_of("geotopo-stats", &[("crates/x/src/lib.rs", src)]);
+        assert!(NonDeterminism.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_waives() {
+        let src = "fn f() { let r = OsRng; } // lint: allow(nondeterminism)\n";
+        let ws = ws_of("geotopo-stats", &[("crates/x/src/lib.rs", src)]);
+        assert!(NonDeterminism.check(&ws).is_empty());
+    }
+}

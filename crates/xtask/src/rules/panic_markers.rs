@@ -1,0 +1,99 @@
+//! GT-LINT-007: no leftover panic/debug scaffolding macros.
+//!
+//! `todo!()` and `unimplemented!()` are placeholders that abort at
+//! runtime; `dbg!()` leaks debug output to stderr and its formatting is
+//! not covered by the determinism guarantee. None of the three belongs in
+//! committed library code anywhere in the workspace. Test code is exempt
+//! (the source scanner strips `#[cfg(test)]` regions), and a deliberate
+//! permanent stub can carry `// lint: allow(panic): <why>`.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct PanicMarkers;
+
+const NEEDLES: &[&str] = &["todo!(", "unimplemented!(", "dbg!("];
+
+impl Rule for PanicMarkers {
+    fn id(&self) -> &'static str {
+        "GT-LINT-007"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no todo!/unimplemented!/dbg! in committed library code"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            for file in &krate.files {
+                for (line, text) in file.code_lines() {
+                    for needle in NEEDLES {
+                        if contains_macro(text, needle) && !file.is_allowed(line, "panic") {
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line,
+                                rule: self.id(),
+                                message: format!(
+                                    "`{})` is development scaffolding; finish the code path or \
+                                     justify with `// lint: allow(panic): <why>`",
+                                    needle
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `needle` must start at a non-identifier boundary so `my_todo!(` or
+/// `xdbg!(` don't match.
+fn contains_macro(text: &str, needle: &str) -> bool {
+    let b = text.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(needle) {
+        let at = start + pos;
+        let boundary = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        if boundary {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_todo_and_dbg() {
+        let src = "fn f() {\n    todo!(\"later\");\n}\nfn g(x: u32) -> u32 {\n    dbg!(x)\n}\n";
+        let ws = ws_of("geotopo-core", &[("crates/x/src/lib.rs", src)]);
+        let f = PanicMarkers.check(&ws);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == "GT-LINT-007"));
+        assert_eq!((f[0].line, f[1].line), (2, 5));
+    }
+
+    #[test]
+    fn similarly_named_macros_pass() {
+        let src = "fn f() { my_todo!(1); xdbg!(2); }\n";
+        let ws = ws_of("geotopo-core", &[("crates/x/src/lib.rs", src)]);
+        assert!(PanicMarkers.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_allow_marker_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { dbg!(1); }\n}\nfn stub() {\n    // lint: allow(panic): feature gated upstream\n    unimplemented!()\n}\n";
+        let ws = ws_of("geotopo-measure", &[("crates/x/src/lib.rs", src)]);
+        assert!(PanicMarkers.check(&ws).is_empty());
+    }
+}

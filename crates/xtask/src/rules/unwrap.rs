@@ -1,0 +1,117 @@
+//! GT-LINT-003: no `unwrap()`/`expect()` in library paths of the
+//! substrate crates.
+//!
+//! The pipeline is grown toward production scale; a stray `unwrap()` in
+//! the geo/BGP/topology/measurement/mapping layers turns a malformed
+//! input into a process abort. Library code in those crates must return
+//! `Result`, use a non-panicking combinator, or carry an explicit
+//! `// lint: allow(unwrap): <why>` marker stating the invariant that
+//! makes the panic unreachable.
+//!
+//! Test code is exempt (panicking is how tests fail), as are the
+//! aggregation crates (`core`, `bench`) whose experiment plumbing is
+//! allowed to assert its own wiring.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct NoUnwrap;
+
+/// The substrate crates the rule covers.
+const SCOPED_CRATES: &[&str] = &[
+    "geotopo-geo",
+    "geotopo-bgp",
+    "geotopo-topology",
+    "geotopo-measure",
+    "geotopo-geomap",
+];
+
+impl Rule for NoUnwrap {
+    fn id(&self) -> &'static str {
+        "GT-LINT-003"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap()/expect() in library code of geo/bgp/topology/measure/geomap"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            if !SCOPED_CRATES.contains(&krate.name.as_str()) {
+                continue;
+            }
+            for file in &krate.files {
+                for (line, text) in file.code_lines() {
+                    let hit = if text.contains(".unwrap()") {
+                        Some("unwrap()")
+                    } else if text.contains(".expect(") {
+                        Some("expect(..)")
+                    } else {
+                        None
+                    };
+                    if let Some(what) = hit {
+                        if !file.is_allowed(line, "unwrap") {
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line,
+                                rule: self.id(),
+                                message: format!(
+                                    "`.{what}` can abort the pipeline; return a Result or \
+                                     justify with `// lint: allow(unwrap): <invariant>`"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_unwrap_and_expect_in_scoped_crate() {
+        let src = "fn f() {\n    let a = x.unwrap();\n    let b = y.expect(\"set\");\n}\n";
+        let ws = ws_of("geotopo-bgp", &[("crates/x/src/lib.rs", src)]);
+        let f = NoUnwrap.check(&ws);
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].line, f[1].line), (2, 3));
+        assert!(f.iter().all(|x| x.rule == "GT-LINT-003"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f() { let a = x.unwrap_or(0); let b = y.unwrap_or_else(|| 1); let c = z.unwrap_or_default(); }\n";
+        let ws = ws_of("geotopo-geo", &[("crates/x/src/lib.rs", src)]);
+        assert!(NoUnwrap.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crate_ignored() {
+        let src = "fn f() { let a = x.unwrap(); }\n";
+        let ws = ws_of("geotopo-stats", &[("crates/x/src/lib.rs", src)]);
+        assert!(NoUnwrap.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_with_justification_waives() {
+        let src = "fn f() {\n    // lint: allow(unwrap): index validated by constructor\n    let a = x.unwrap();\n}\n";
+        let ws = ws_of("geotopo-topology", &[("crates/x/src/lib.rs", src)]);
+        assert!(NoUnwrap.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        let ws = ws_of("geotopo-measure", &[("crates/x/src/lib.rs", src)]);
+        assert!(NoUnwrap.check(&ws).is_empty());
+    }
+}

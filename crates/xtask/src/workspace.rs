@@ -1,0 +1,193 @@
+//! Workspace discovery: enumerates the crates under a repository root
+//! and loads their library sources into [`SourceFile`]s.
+//!
+//! Only `src/` trees are loaded — integration tests, benches and
+//! examples are out of scope for library lint rules. The `vendor/`
+//! stand-ins for external crates are deliberately not scanned: they
+//! mirror third-party APIs, not this project's code.
+
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One crate's manifest and library sources.
+#[derive(Debug)]
+pub struct CrateSrc {
+    /// Package name from `Cargo.toml` (`geotopo-geo`, ...).
+    pub name: String,
+    /// Crate directory relative to the workspace root.
+    pub dir: PathBuf,
+    /// Raw `Cargo.toml` text.
+    pub manifest: String,
+    /// Manifest path relative to the workspace root (for diagnostics).
+    pub manifest_path: PathBuf,
+    /// Parsed `src/**/*.rs` files, paths relative to the workspace root.
+    pub files: Vec<SourceFile>,
+}
+
+/// All crates discovered under a workspace root.
+#[derive(Debug)]
+pub struct WorkspaceSrc {
+    /// Member crates, sorted by name.
+    pub crates: Vec<CrateSrc>,
+}
+
+impl WorkspaceSrc {
+    /// Loads every crate under `root/crates/*` plus the root package.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a manifest or source file cannot be read.
+    pub fn load(root: &Path) -> io::Result<Self> {
+        let mut crates = Vec::new();
+        if root.join("Cargo.toml").exists() && root.join("src").exists() {
+            if let Some(c) = load_crate(root, Path::new(""))? {
+                crates.push(c);
+            }
+        }
+        let crates_dir = root.join("crates");
+        if crates_dir.exists() {
+            let mut dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            dirs.sort();
+            for dir in dirs {
+                let rel = dir.strip_prefix(root).unwrap_or(&dir).to_path_buf();
+                if let Some(c) = load_crate(root, &rel)? {
+                    crates.push(c);
+                }
+            }
+        }
+        crates.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(WorkspaceSrc { crates })
+    }
+
+    /// Total number of scanned source files.
+    pub fn num_files(&self) -> usize {
+        self.crates.iter().map(|c| c.files.len()).sum()
+    }
+}
+
+/// Loads one crate rooted at `root/rel` (None if it has no manifest).
+fn load_crate(root: &Path, rel: &Path) -> io::Result<Option<CrateSrc>> {
+    let dir = root.join(rel);
+    let manifest_path = dir.join("Cargo.toml");
+    if !manifest_path.exists() {
+        return Ok(None);
+    }
+    let manifest = fs::read_to_string(&manifest_path)?;
+    let name = package_name(&manifest).unwrap_or_else(|| "<unnamed>".to_string());
+    let mut files = Vec::new();
+    let src = dir.join("src");
+    if src.exists() {
+        let mut paths = Vec::new();
+        collect_rs(&src, &mut paths)?;
+        paths.sort();
+        for p in paths {
+            let raw = fs::read_to_string(&p)?;
+            let rel_path = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+            files.push(SourceFile::parse(rel_path, raw));
+        }
+    }
+    Ok(Some(CrateSrc {
+        name,
+        dir: rel.to_path_buf(),
+        manifest,
+        manifest_path: rel.join("Cargo.toml"),
+        files,
+    }))
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `name = "..."` from a manifest's `[package]` section.
+pub fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_package = t == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = t.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Lists the `geotopo-*` (and root `geotopo`) dependency names declared
+/// in a manifest's `[dependencies]` section, with 1-based line numbers.
+/// Dev-dependencies are exempt from layering: tests may reach anywhere.
+pub fn geotopo_dependencies(manifest: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (i, line) in manifest.lines().enumerate() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            // Exact `[dependencies]` only: target-specific tables like
+            // `[target.'cfg(..)'.dependencies]` don't exist in this
+            // workspace, and `[dev-dependencies]` is exempt.
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps || t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let key = t.split(['=', '.']).next().unwrap_or("").trim();
+        if key == "geotopo" || key.starts_with("geotopo-") {
+            out.push((i + 1, key.to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses() {
+        let m = "[workspace]\nx = 1\n[package]\nversion = \"0.1\"\nname = \"geotopo-geo\"\n";
+        assert_eq!(package_name(m).as_deref(), Some("geotopo-geo"));
+        assert_eq!(package_name("[dependencies]\nname = \"no\"\n"), None);
+    }
+
+    #[test]
+    fn dependencies_found_with_lines() {
+        let m = "[package]\nname = \"x\"\n\n[dependencies]\ngeotopo-geo.workspace = true\nserde.workspace = true\ngeotopo-stats = { path = \"../stats\" }\n\n[dev-dependencies]\ngeotopo-core.workspace = true\n";
+        let deps = geotopo_dependencies(m);
+        assert_eq!(
+            deps,
+            vec![
+                (5, "geotopo-geo".to_string()),
+                (7, "geotopo-stats".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn commented_dependencies_ignored() {
+        let m = "[dependencies]\n# geotopo-core.workspace = true\n";
+        assert!(geotopo_dependencies(m).is_empty());
+    }
+}

@@ -10,7 +10,7 @@
 //! and checks robustness by running both tools. This example measures
 //! the error distributions our simulated tools actually produce.
 
-use geotopo::geomap::{EdgeScape, GeoMapper, Gazetteer, IxMapper, MapContext, NetGeo, OrgDb};
+use geotopo::geomap::{EdgeScape, Gazetteer, GeoMapper, IxMapper, MapContext, NetGeo, OrgDb};
 use geotopo::stats::Ecdf;
 use geotopo::topology::generate::{GroundTruth, GroundTruthConfig};
 
@@ -59,9 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 asn: router.asn,
             };
             match mapper.map(iface.ip, &ctx) {
-                Some(est) => {
-                    errors.push(geotopo::geo::haversine_miles(&est, &router.location))
-                }
+                Some(est) => errors.push(geotopo::geo::haversine_miles(&est, &router.location)),
                 None => unmapped += 1,
             }
         }

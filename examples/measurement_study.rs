@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Skitter: multi-monitor interface-level collection.
     let sk_cfg = SkitterConfig::scaled(&gt, seed ^ 0x51);
     let sk = Skitter::collect(&gt, &sk_cfg);
-    println!("Skitter ({} monitors, {} destinations):", sk_cfg.n_monitors, sk_cfg.destinations);
+    println!(
+        "Skitter ({} monitors, {} destinations):",
+        sk_cfg.n_monitors, sk_cfg.destinations
+    );
     println!(
         "  raw nodes {}, destination discards {} ({:.1}%), final: {} interfaces, {} links",
         sk.raw_nodes,
@@ -70,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Mercator: single-source router-level collection.
     let me_cfg = MercatorConfig::scaled(&gt, seed ^ 0x3E);
     let me = Mercator::collect(&gt, &me_cfg);
-    println!("\nMercator (single source + {} lateral vantages):", me_cfg.lateral_sources);
+    println!(
+        "\nMercator (single source + {} lateral vantages):",
+        me_cfg.lateral_sources
+    );
     println!(
         "  raw interfaces {}, resolved to {} routers ({:.1}% collapse)",
         me.raw_interfaces,
@@ -114,7 +120,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut hop_ratio_sum = 0.0;
     for i in (0..gt.topology.num_routers()).step_by(7) {
         let dst = RouterId(i as u32);
-        let Some(p_plain) = plain.path(dst) else { continue };
+        let Some(p_plain) = plain.path(dst) else {
+            continue;
+        };
         total += 1;
         match policy.path(dst) {
             Some(p_policy) => {

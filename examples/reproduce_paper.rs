@@ -1,19 +1,23 @@
 //! Reproduce every table and figure of the paper.
 //!
 //! ```sh
-//! cargo run --release --example reproduce_paper [scale] [seed] [out_dir]
+//! cargo run --release --example reproduce_paper [--validate] [scale] [seed] [out_dir]
 //! ```
 //!
 //! `scale` ∈ {tiny, small, default, paper}; default `small`.
 //! When `out_dir` is given, each experiment's raw data is written as
 //! JSON (one file per table/figure) alongside a combined `results.md`.
+//! `--validate` runs the cross-layer invariant validators between
+//! pipeline stages even in release builds (debug builds always run them).
 
 use geotopo::core::experiments;
-use geotopo::core::pipeline::{Pipeline, PipelineConfig};
+use geotopo::core::pipeline::{Pipeline, PipelineConfig, ValidationMode};
 use std::io::Write;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let validate = args.iter().any(|a| a == "--validate");
+    args.retain(|a| a != "--validate");
     let scale = args.get(1).map(String::as_str).unwrap_or("small");
     let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
     let out_dir = args.get(3).cloned();
@@ -31,9 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(format!("unknown scale {other:?} (tiny|small|default|paper)").into()),
     };
 
-    eprintln!("[geotopo] generating world and collecting datasets (scale = {scale}, seed = {seed})...");
+    eprintln!(
+        "[geotopo] generating world and collecting datasets (scale = {scale}, seed = {seed})..."
+    );
     let t0 = std::time::Instant::now();
-    let out = Pipeline::new(config).run()?;
+    let mode = if validate {
+        ValidationMode::Always
+    } else {
+        ValidationMode::DebugOnly
+    };
+    let out = Pipeline::new(config).with_validation(mode).run()?;
     eprintln!(
         "[geotopo] pipeline done in {:.1}s; ground truth: {} routers, {} interfaces, {} links",
         t0.elapsed().as_secs_f64(),

@@ -98,7 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Structural fingerprints beyond degree and length.
     println!("\nstructural fingerprints:");
-    for (name, t) in [("geogen", &g.topology), ("waxman", &w), ("brite", &br), ("ba", &ba)] {
+    for (name, t) in [
+        ("geogen", &g.topology),
+        ("waxman", &w),
+        ("brite", &br),
+        ("ba", &ba),
+    ] {
         println!(
             "  {name:>8}: clustering {:.3}, assortativity {:+.2}, mean path {:.2} hops",
             metrics::clustering_coefficient(t),

@@ -42,8 +42,14 @@ fn distance_sensitive_generators_make_shorter_links() {
     // distance (>1000 miles over the US box). Waxman and geogen links
     // are several times shorter.
     assert!(er_mean > 800.0, "ER mean {er_mean}");
-    assert!(wax_mean < 0.6 * er_mean, "Waxman {wax_mean} vs ER {er_mean}");
-    assert!(geo_mean < 0.6 * er_mean, "geogen {geo_mean} vs ER {er_mean}");
+    assert!(
+        wax_mean < 0.6 * er_mean,
+        "Waxman {wax_mean} vs ER {er_mean}"
+    );
+    assert!(
+        geo_mean < 0.6 * er_mean,
+        "geogen {geo_mean} vs ER {er_mean}"
+    );
 }
 
 #[test]

@@ -1,0 +1,354 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Supported surface: the [`proptest!`] macro (`arg in strategy` syntax),
+//! [`Strategy`] with `prop_map`, numeric range strategies, [`any`] for
+//! primitive types, tuples of strategies, `prop::collection::vec`, and the
+//! `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: failures report the
+//! generated inputs (all strategies produce `Debug` values) and the test's
+//! RNG is seeded from the test name, so every failure reproduces exactly.
+//! Case count defaults to 64; override with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod collection;
+
+/// Re-exports for `use proptest::prelude::*`.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(..)` works, as with real proptest.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Number of cases per property (unless `PROPTEST_CASES` overrides it).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Resolves the per-test case count.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// The deterministic RNG driving generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds from a test name, so each property has a stable stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (retry-based; panics if
+    /// the predicate rejects too often).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy for primitive types, mirroring `proptest::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite floats spanning many magnitudes (proptest's any::<f64>()
+        // includes specials; this repo's properties want finite inputs).
+        let mantissa: f64 = rng.random_range(-1.0..1.0);
+        let exp: i32 = rng.random_range(-60..60);
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+macro_rules! impl_strategy_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Runs properties over generated inputs; syntax mirrors
+/// `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            for __case in 0..$crate::cases() {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __desc = format!(
+                    concat!("case ", "{}", $(" ", stringify!($arg), "={:?}",)*),
+                    __case $(, &$arg)*
+                );
+                let __guard = $crate::CaseGuard::new(__desc);
+                // The closure gives `prop_assume!` an early-exit channel:
+                // rejected cases Break out of the body without tripping
+                // the guard (a panic still propagates and prints).
+                #[allow(clippy::redundant_closure_call)]
+                let _ = (|| -> ::core::ops::ControlFlow<()> {
+                    { $body }
+                    ::core::ops::ControlFlow::Continue(())
+                })();
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// Prints the failing case's inputs if the property body panics.
+#[derive(Debug)]
+pub struct CaseGuard {
+    desc: Option<String>,
+}
+
+impl CaseGuard {
+    /// Arms the guard with a case description.
+    pub fn new(desc: String) -> Self {
+        CaseGuard { desc: Some(desc) }
+    }
+
+    /// Marks the case as passed.
+    pub fn disarm(mut self) {
+        self.desc = None;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if let Some(desc) = &self.desc {
+            eprintln!("proptest failure: {desc}");
+        }
+    }
+}
+
+/// Rejects the current case when its inputs don't meet a precondition.
+///
+/// Only usable inside a [`proptest!`] body (it returns
+/// `ControlFlow::Break` from the case closure). Rejected cases are
+/// skipped, not re-drawn.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// Asserts inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in -2.0f64..2.0, z in 0u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z <= 4);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..100, 0u32..100).prop_map(|(a, b)| (a.min(b), a.max(b))),
+            v in prop::collection::vec(0u64..1000, 2..20)
+        ) {
+            prop_assert!(pair.0 <= pair.1);
+            prop_assert!((2..20).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 1000));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn filter_retries() {
+        let strat = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        let mut rng = crate::TestRng::deterministic("filter");
+        for _ in 0..50 {
+            assert_eq!(crate::Strategy::generate(&strat, &mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so instead of the real
+//! serde's visitor-based data model this vendored crate uses a simple
+//! value-tree model: [`Serialize`] renders a type into a JSON-like
+//! [`Value`], and [`Deserialize`] reconstructs a type from one. The
+//! companion vendored `serde_json` crate supplies the text format on top.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! vendored `serde_derive`) cover the shapes this repo uses: named-field
+//! structs (with generics and `#[serde(skip)]`), tuple/newtype structs,
+//! and unit-variant enums.
+
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+/// Serialization into the value tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the value tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization failure (wrong shape, missing field, bad number).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error for a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and std types.
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// Maps serialize as a sorted array of `[key, value]` pairs. JSON objects
+// only allow string keys, but this workspace keys maps by integers,
+// addresses, and tuples; the pair-array form round-trips every
+// serializable key type and is deterministic regardless of hasher state.
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| value::cmp_values(&a.0, &b.0));
+        Value::Array(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // `null` round-trips non-finite floats (mirrors serde_json, which
+        // writes NaN/inf as null).
+        if matches!(v, Value::Null) {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr, $($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", stringify!($len)),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1, A: 0)
+    (2, A: 0, B: 1)
+    (3, A: 0, B: 1, C: 2)
+    (4, A: 0, B: 1, C: 2, D: 3)
+}
+
+fn map_pairs<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    match v {
+        Value::Array(items) => items
+            .iter()
+            .map(|item| match item {
+                Value::Array(kv) if kv.len() == 2 => {
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                }
+                other => Err(DeError::expected("[key, value] pair", other)),
+            })
+            .collect(),
+        other => Err(DeError::expected("array of pairs", other)),
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_pairs(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        map_pairs(v).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+impl<T, const N: usize> Deserialize for [T; N]
+where
+    T: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+                vec.try_into()
+                    .map_err(|_| DeError(format!("expected array of length {N}")))
+            }
+            other => Err(DeError::expected("fixed-length array", other)),
+        }
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        s.parse()
+            .map_err(|_| DeError(format!("bad IPv4 address {s:?}")))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(3u32).to_value(), Value::Number(Number::from_u64(3)));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let v = (1u32, 2u32).to_value();
+        assert_eq!(<(u32, u32)>::from_value(&v).unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn hashmap_serializes_as_sorted_pairs() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(10u32, 1u32);
+        m.insert(2u32, 2u32);
+        let v = m.to_value();
+        let expected = Value::Array(vec![
+            Value::Array(vec![2u32.to_value(), 2u32.to_value()]),
+            Value::Array(vec![10u32.to_value(), 1u32.to_value()]),
+        ]);
+        assert_eq!(v, expected);
+        let back: std::collections::HashMap<u32, u32> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let ip: std::net::Ipv4Addr = "10.1.2.3".parse().unwrap();
+        let v = ip.to_value();
+        assert_eq!(std::net::Ipv4Addr::from_value(&v).unwrap(), ip);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let v = Value::Number(Number::from_u64(300));
+        assert!(u8::from_value(&v).is_err());
+    }
+}

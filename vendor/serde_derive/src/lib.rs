@@ -1,0 +1,428 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The offline build has no `syn`/`quote`, so this crate parses the
+//! derive input with hand-rolled `proc_macro` token walking and emits the
+//! impls as strings. Supported shapes — the ones this workspace uses:
+//!
+//! - named-field structs, including generic parameters and
+//!   `#[serde(skip)]` fields (skipped fields deserialize via `Default`);
+//! - tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays);
+//! - enums with unit variants only (serialized as the variant name).
+//!
+//! Anything else fails the build with an explicit message rather than
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let mut body = String::new();
+    match &item.shape {
+        Shape::Named(fields) => {
+            body.push_str("let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "__fields.push((String::from(\"{n}\"), \
+                     ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(__fields)\n");
+        }
+        Shape::Tuple(1) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)\n");
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            body.push_str(&format!(
+                "::serde::Value::Array(vec![{}])\n",
+                elems.join(", ")
+            ));
+        }
+        Shape::Unit => {
+            body.push_str("::serde::Value::Null\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                body.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::String(String::from(\"{v}\")),\n",
+                    name = item.name
+                ));
+            }
+            body.push_str("}\n");
+        }
+    }
+    let out = format!(
+        "impl{bounds} ::serde::Serialize for {name}{args} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n",
+        bounds = bounds(&item.generics, "::serde::Serialize"),
+        name = item.name,
+        args = args(&item.generics),
+        body = body,
+    );
+    parse_str(&out)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{}: Default::default(),\n", f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: match __v.get(\"{n}\") {{\n\
+                         Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                         None => return Err(::serde::DeError(String::from(\
+                         \"missing field `{n}` in {name}\"))),\n}},\n",
+                        n = f.name,
+                        name = name
+                    ));
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Object(_) => Ok({name} {{\n{inits}}}),\n\
+                 __other => Err(::serde::DeError::expected(\"object\", __other)),\n\
+                 }}\n"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))\n"),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 Ok({name}({elems})),\n\
+                 __other => Err(::serde::DeError::expected(\
+                 \"array of length {n}\", __other)),\n}}\n",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("{{ let _ = __v; Ok({name}) }}\n"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{arms}\
+                 __other => Err(::serde::DeError(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}},\n\
+                 __other => Err(::serde::DeError::expected(\"string\", __other)),\n\
+                 }}\n"
+            )
+        }
+    };
+    let out = format!(
+        "impl{bounds} ::serde::Deserialize for {name}{args} {{\n\
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         {body}}}\n}}\n",
+        bounds = bounds(&item.generics, "::serde::Deserialize"),
+        args = args(&item.generics),
+    );
+    parse_str(&out)
+}
+
+fn bounds(generics: &[String], trait_path: &str) -> String {
+    if generics.is_empty() {
+        String::new()
+    } else {
+        let params: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!("<{}>", params.join(", "))
+    }
+}
+
+fn args(generics: &[String]) -> String {
+    if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    }
+}
+
+fn parse_str(s: &str) -> TokenStream {
+    s.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{s}"))
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing of the derive input.
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+
+    // Item attributes and visibility.
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    let generics = parse_generics(&mut toks);
+
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                generics,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                generics,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input {
+                name,
+                generics,
+                shape: Shape::Unit,
+            },
+            Some(TokenTree::Ident(i)) if i.to_string() == "where" => panic!(
+                "serde_derive: `where` clauses are not supported by the vendored \
+                 derive (struct {name})"
+            ),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name: name.clone(),
+                generics,
+                shape: Shape::Enum(parse_unit_variants(g.stream(), &name)),
+            },
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+type Peek = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes; returns whether any was `#[serde(skip...)]`.
+fn skip_attributes(toks: &mut Peek) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    skip |= attr_is_serde_skip(&g.stream());
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: &TokenStream) -> bool {
+    let mut iter = attr.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string().starts_with("skip"))),
+        _ => false,
+    }
+}
+
+fn skip_visibility(toks: &mut Peek) {
+    if let Some(TokenTree::Ident(i)) = toks.peek() {
+        if i.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<...>` generic parameters into their bare names (lifetimes and
+/// bounds are rejected/ignored; only plain type params are supported).
+fn parse_generics(toks: &mut Peek) -> Vec<String> {
+    match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    toks.next();
+    let mut depth = 1usize;
+    let mut names = Vec::new();
+    let mut at_param_start = true;
+    while depth > 0 {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                // Lifetime: consume its ident, do not record it.
+                toks.next();
+                at_param_start = false;
+            }
+            Some(TokenTree::Ident(i)) => {
+                if at_param_start {
+                    names.push(i.to_string());
+                    at_param_start = false;
+                }
+            }
+            Some(_) => at_param_start = false,
+            None => panic!("serde_derive: unbalanced generics"),
+        }
+    }
+    names
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            return fields;
+        }
+        let skip = skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return fields,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma. Commas inside
+        // generic argument lists hide behind `<`/`>` depth; commas inside
+        // tuples/arrays hide inside token groups automatically.
+        let mut angle = 0usize;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle = angle.saturating_sub(1);
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0usize;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle = angle.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if toks.peek().is_none() {
+            return variants;
+        }
+        skip_attributes(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return variants,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        match toks.next() {
+            None => {
+                variants.push(name);
+                return variants;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive: enum {enum_name} variant {name} carries data; the \
+                 vendored derive only supports unit variants"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: skip the expression.
+                for t in toks.by_ref() {
+                    if matches!(&t, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(name);
+            }
+            other => panic!("serde_derive: unexpected token {other:?} in enum body"),
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`Value`], [`json!`], [`to_string`]/[`to_string_pretty`],
+//! [`from_str`], [`to_value`]/[`from_value`], and [`Error`].
+//!
+//! Backed by the value tree defined in the vendored `serde` crate. Output
+//! is deterministic: objects preserve insertion order (`HashMap`s are
+//! key-sorted at serialization time) and float formatting is the shortest
+//! round-trip form via Rust's float `Display`.
+
+#![forbid(unsafe_code)]
+
+mod parse;
+mod print;
+
+pub use serde::value::{Number, Value};
+
+/// A serde_json error (parse failure or shape mismatch).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for this stand-in; kept fallible for API compatibility.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serializes a value to pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Infallible for this stand-in; kept fallible for API compatibility.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or on a shape mismatch for `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible for this stand-in; kept fallible for API compatibility.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a deserializable type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails on a shape mismatch for `T`.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    Ok(T::from_value(&v)?)
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax, mirroring
+/// `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+/// Implementation detail of [`json!`] — a token muncher in the style of
+/// serde_json's `json_internal!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- arrays: munch elements into [$($elems,)*] -----
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ----- objects: munch "key": value pairs -----
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the current entry followed by trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $object.extend([(($($key)+).into(), $value)]);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Current entry followed by unexpected token.
+    (@object $object:ident [$($key:tt)+] ($value:expr) $unexpected:tt $($rest:tt)*) => {
+        $crate::json_unexpected!($unexpected);
+    };
+    // Insert the last entry without trailing comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        $object.extend([(($($key)+).into(), $value)]);
+    };
+    // Next value is `null`.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    // Next value is `true`.
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    // Next value is `false`.
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    // Next value is an array.
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    // Next value is an object.
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    // Next value is an expression followed by comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // Last value is an expression with no trailing comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Missing value for last entry.
+    (@object $object:ident ($($key:tt)+) (:) $copy:tt) => {
+        $crate::json_internal!();
+    };
+    // Missing colon and value.
+    (@object $object:ident ($($key:tt)+) () $copy:tt) => {
+        $crate::json_internal!();
+    };
+    // Misplaced colon.
+    (@object $object:ident () (: $($rest:tt)*) ($colon:tt $($copy:tt)*)) => {
+        $crate::json_unexpected!($colon);
+    };
+    // Found a comma inside a key.
+    (@object $object:ident ($($key:tt)*) (, $($rest:tt)*) ($comma:tt $($copy:tt)*)) => {
+        $crate::json_unexpected!($comma);
+    };
+    // Key is fully parenthesized.
+    (@object $object:ident () (($key:expr) : $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($key) (: $($rest)*) (: $($rest)*));
+    };
+    // Munch a token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ----- primary entry points -----
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object(Vec::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object: Vec<(String, $crate::Value)> = Vec::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    // Any Serialize expression.
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serialization is infallible")
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_unexpected {
+    () => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "three", null, true],
+            "nested": { "x": 1 + 1 },
+            "expr": vec![1u32, 2].len(),
+        });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][1].as_f64(), Some(2.5));
+        assert_eq!(v["b"][2].as_str(), Some("three"));
+        assert!(v["b"][3].is_null());
+        assert_eq!(v["nested"]["x"].as_u64(), Some(2));
+        assert_eq!(v["expr"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v = json!({ "k": [1, -2, 3.75], "s": "he\"llo\n", "t": true });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn compact_text_is_stable() {
+        let v = json!({ "b": 1, "a": 2 });
+        // Insertion order preserved, no whitespace.
+        assert_eq!(v.to_string(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_errors_are_errors() {
+        assert!(from_str::<Value>("{ not json").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("[1, 2,,]").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let v: Vec<(u32, u32)> = from_str("[[1,2],[3,4]]").unwrap();
+        assert_eq!(v, vec![(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn unicode_and_escapes_roundtrip() {
+        let s = "tab\t quote\" slash\\ unicode \u{1F30D} nul\u{0}";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let v = to_value(f64::NAN).unwrap();
+        assert_eq!(print::compact(&v), "null");
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        for x in [0.1, 1e300, -2.5e-10, 123456789.123456] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "text {text}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! JSON text output: compact and pretty printers.
+//!
+//! The compact scalar/string writers live in `serde::value` (next to the
+//! `Display` impl for `Value`); this module adds the pretty printer.
+
+use serde::value::{write_compact, write_escaped, Value};
+
+/// Renders a value as compact JSON (no whitespace).
+pub fn compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_compact(v, &mut out);
+    out
+}
+
+/// Renders a value as pretty JSON with 2-space indentation.
+pub fn pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(v, 0, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(v: &Value, level: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(level + 1, out);
+                write_pretty(item, level + 1, out);
+            }
+            out.push('\n');
+            indent(level, out);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                indent(level + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, level + 1, out);
+            }
+            out.push('\n');
+            indent(level, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::{write_number, Number};
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(pretty(&Value::Array(vec![])), "[]");
+        assert_eq!(pretty(&Value::Object(vec![])), "{}");
+    }
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        let mut out = String::new();
+        write_number(&Number::from_f64(3.0), &mut out);
+        assert_eq!(out, "3.0");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let mut out = String::new();
+        write_escaped("a\u{1}b", &mut out);
+        assert_eq!(out, "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn pretty_nests_with_two_space_indent() {
+        let v = crate::json!({ "a": [1, 2], "b": { "c": true } });
+        let text = pretty(&v);
+        assert_eq!(
+            text,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {\n    \"c\": true\n  }\n}"
+        );
+    }
+}
