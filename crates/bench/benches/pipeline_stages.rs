@@ -1,0 +1,118 @@
+//! Stage-graph scheduler bench: per-stage and end-to-end wall time at
+//! one worker vs the machine's available parallelism.
+//!
+//! ```sh
+//! cargo bench -p geotopo-bench --bench pipeline_stages [-- --json PATH]
+//! ```
+//!
+//! Unlike the Criterion benches this is a plain harness: the engine
+//! already measures each stage (its `StageReport`s), so the bench only
+//! has to run the pipeline at both thread counts, aggregate the
+//! reports, and persist a JSON baseline (default
+//! `target/pipeline_stages.json`) for regression comparison.
+
+// Bench code: aborting on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
+use geotopo_core::engine::{resolve_threads, StageReport};
+use geotopo_core::pipeline::{Pipeline, PipelineConfig};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const ITERS: usize = 3;
+const SEED: u64 = 2002;
+
+struct Run {
+    threads: usize,
+    /// Best end-to-end wall time over the iterations, seconds.
+    total_s: f64,
+    /// Per-stage best wall time, milliseconds.
+    stages_ms: BTreeMap<String, f64>,
+}
+
+fn measure(threads: usize) -> Run {
+    let mut total_s = f64::MAX;
+    let mut stages_ms: BTreeMap<String, f64> = BTreeMap::new();
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let out = Pipeline::new(PipelineConfig::small(SEED))
+            .with_threads(threads)
+            .run()
+            .unwrap();
+        total_s = total_s.min(start.elapsed().as_secs_f64());
+        for r in &out.reports {
+            let best = stages_ms.entry(r.stage.clone()).or_insert(f64::MAX);
+            *best = best.min(r.wall_ms);
+        }
+        record_reports(&out.reports);
+    }
+    Run {
+        threads,
+        total_s,
+        stages_ms,
+    }
+}
+
+/// Keeps the reports alive past the timing read (and out of the
+/// optimizer's reach).
+fn record_reports(reports: &[StageReport]) {
+    std::hint::black_box(reports.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/pipeline_stages.json".into());
+
+    let par_threads = resolve_threads(0);
+    let seq = measure(1);
+    let runs = if par_threads > 1 {
+        vec![seq, measure(par_threads)]
+    } else {
+        vec![seq]
+    };
+
+    println!("pipeline_stages (scale = small, seed = {SEED}, best of {ITERS})");
+    for run in &runs {
+        println!(
+            "  threads = {}: {:.3}s end-to-end",
+            run.threads, run.total_s
+        );
+        for (stage, ms) in &run.stages_ms {
+            println!("    {stage:>24}  {ms:>9.2} ms");
+        }
+    }
+    if let [a, b] = runs.as_slice() {
+        println!(
+            "  speedup: {:.2}x ({} workers over 1)",
+            a.total_s / b.total_s,
+            b.threads
+        );
+    }
+
+    let baseline = serde_json::json!({
+        "bench": "pipeline_stages",
+        "scale": "small",
+        "seed": SEED,
+        "iters": ITERS,
+        "runs": runs
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "threads": r.threads,
+                    "total_s": r.total_s,
+                    "stages_ms": r.stages_ms,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+    if let Some(parent) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&json_path, serde_json::to_string_pretty(&baseline).unwrap()).unwrap();
+    println!("  baseline written to {json_path}");
+}

@@ -129,7 +129,7 @@ fn bench_population_and_mapping(c: &mut Criterion) {
     gaz.extend_from_population(&pop, 8_000.0);
     let mut orgs = OrgDb::new();
     orgs.insert(AsId(1), "isp0001", GeoPoint::new(40.7, -74.0).unwrap());
-    let ix = IxMapper::with_gazetteer(9, orgs, gaz);
+    let ix = IxMapper::with_gazetteer(9, std::sync::Arc::new(orgs), std::sync::Arc::new(gaz));
     let ctx = MapContext {
         true_location: GeoPoint::new(40.0, -100.0).unwrap(),
         asn: AsId(1),

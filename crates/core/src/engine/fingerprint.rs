@@ -1,0 +1,98 @@
+//! Canonical configuration fingerprints.
+//!
+//! Artifact reuse is only sound if "same configuration" has a stable,
+//! total definition. The fingerprint is an FNV-1a hash of the canonical
+//! JSON serialization of [`PipelineConfig`](crate::pipeline::PipelineConfig)
+//! — every field that affects output is serialized, and fields that must
+//! *not* affect output (the `threads` knob) are `#[serde(skip)]`ed, so a
+//! fingerprint collision between two configs that produce different
+//! bytes would require an FNV collision, not a modelling mistake. Stage
+//! fingerprints extend the config fingerprint with the stage name, so
+//! one store can hold artifacts from many configs and stages at once.
+
+use crate::pipeline::PipelineConfig;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable 64-bit identity for a config (or a stage of a config).
+///
+/// Displays as 16 hex digits; the same config always fingerprints to the
+/// same value across runs, platforms, and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a over `bytes`, continuing from `state`.
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprints a pipeline configuration.
+pub fn config_fingerprint(config: &PipelineConfig) -> Fingerprint {
+    let json = serde_json::to_string(config).expect("pipeline config serializes");
+    Fingerprint(fnv1a(FNV_OFFSET, json.as_bytes()))
+}
+
+/// Extends a config fingerprint with a stage name, keying one stage's
+/// artifact.
+pub fn stage_fingerprint(config: Fingerprint, stage: &str) -> Fingerprint {
+    Fingerprint(fnv1a(fnv1a(config.0, b"/"), stage.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_same_fingerprint() {
+        let a = config_fingerprint(&PipelineConfig::tiny(7));
+        let b = config_fingerprint(&PipelineConfig::tiny(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_fingerprint() {
+        let a = config_fingerprint(&PipelineConfig::tiny(7));
+        let b = config_fingerprint(&PipelineConfig::tiny(8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn threads_knob_does_not_change_fingerprint() {
+        let mut cfg = PipelineConfig::tiny(7);
+        let a = config_fingerprint(&cfg);
+        cfg.threads = 8;
+        assert_eq!(
+            a,
+            config_fingerprint(&cfg),
+            "threads must be fingerprint-neutral"
+        );
+    }
+
+    #[test]
+    fn stage_name_separates_artifacts() {
+        let cfg = config_fingerprint(&PipelineConfig::tiny(7));
+        assert_ne!(
+            stage_fingerprint(cfg, "ground-truth"),
+            stage_fingerprint(cfg, "route-table")
+        );
+    }
+
+    #[test]
+    fn displays_as_16_hex_digits() {
+        let s = Fingerprint(0xABC).to_string();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s, "0000000000000abc");
+    }
+}

@@ -1,0 +1,144 @@
+//! The stage-graph execution engine.
+//!
+//! [`Pipeline::run`](crate::pipeline::Pipeline::run) used to be a
+//! sequential monolith; it now compiles to an explicit graph of typed
+//! [`Stage`]s — population grids, world generation, route-table
+//! synthesis, the two collectors, the two mapping tools, and the four
+//! processed-dataset jobs — executed by a deterministic scheduler
+//! ([`execute`]) on scoped worker threads. Independent stages run
+//! concurrently (Skitter ∥ Mercator, the four `process()` jobs, the
+//! per-region population grids); dependent stages wait on their named
+//! dependencies.
+//!
+//! Three properties the engine guarantees:
+//!
+//! - **Determinism.** Every stage derives its RNG seed from the
+//!   configuration, never from scheduling, so output is byte-identical
+//!   at any thread count (the determinism suite asserts this).
+//! - **Reuse.** Artifacts are keyed by a canonical config
+//!   [`Fingerprint`]; a shared [`ArtifactStore`] lets a second run of
+//!   the same config skip regeneration entirely (memory), and
+//!   persistable artifacts additionally spill to disk via `io.rs`.
+//! - **Observability.** Each stage execution records a [`StageReport`]
+//!   (wall time, validation time, artifact size, cache outcome),
+//!   surfaced through `PipelineOutput::reports` and `--trace`.
+
+mod fingerprint;
+mod scheduler;
+mod stages;
+mod store;
+
+pub use fingerprint::{config_fingerprint, stage_fingerprint, Fingerprint};
+pub use scheduler::{execute, parallel_map, resolve_threads, CacheStatus, StageReport};
+pub use stages::{map_stage_name, pipeline_stages, pop_grid_name};
+pub use stages::{
+    COLLECT_MERCATOR, COLLECT_SKITTER, GAZETTEER, GROUND_TRUTH, MAPPER_EDGESCAPE, MAPPER_IXMAPPER,
+    ORG_DB, ROUTE_TABLE,
+};
+pub use store::ArtifactStore;
+
+pub(crate) use stages::TABLE_I_ORDER;
+
+use crate::pipeline::{PipelineConfig, PipelineError};
+use std::any::Any;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A type-erased, cheaply shareable stage output.
+pub type Artifact = Arc<dyn Any + Send + Sync>;
+
+/// Wraps a concrete stage output as an [`Artifact`].
+pub fn artifact<T: Any + Send + Sync>(value: T) -> Artifact {
+    Arc::new(value)
+}
+
+/// Everything a running stage sees: the pipeline configuration plus the
+/// artifacts of its declared dependencies.
+#[derive(Debug)]
+pub struct StageCtx<'a> {
+    /// The full pipeline configuration.
+    pub config: &'a PipelineConfig,
+    /// Dependency artifacts, in [`Stage::deps`] order.
+    pub(crate) deps: Vec<Artifact>,
+}
+
+impl StageCtx<'_> {
+    /// Downcasts the `index`-th dependency (in [`Stage::deps`] order) to
+    /// its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or the type does not match
+    /// the producing stage's artifact type — both are wiring errors in
+    /// the stage definitions, caught by every test that runs the
+    /// pipeline.
+    pub fn dep<T: Any + Send + Sync>(&self, index: usize) -> Arc<T> {
+        self.deps
+            .get(index)
+            .unwrap_or_else(|| panic!("stage declared no dependency at index {index}"))
+            .clone()
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("dependency {index} has an unexpected artifact type"))
+    }
+}
+
+/// One node of the pipeline's stage graph.
+///
+/// Implementations must be pure functions of the configuration and
+/// their dependency artifacts: any randomness comes from an RNG seeded
+/// by [`Stage::seed`] (itself derived only from the config), so the
+/// artifact is identical however the scheduler interleaves stages.
+pub trait Stage: Send + Sync {
+    /// Unique stage name; doubles as the dependency reference and the
+    /// fingerprint discriminator.
+    fn name(&self) -> String;
+
+    /// Names of the stages whose artifacts this stage consumes.
+    fn deps(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The config-derived seed this stage's RNG runs with (reported in
+    /// the [`StageReport`]; stages without randomness report the seed of
+    /// the structure they derive from).
+    fn seed(&self, config: &PipelineConfig) -> u64;
+
+    /// Computes the stage's artifact.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific generation failures, as [`PipelineError`].
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError>;
+
+    /// Checks the artifact's cross-layer invariants (called by the
+    /// scheduler only when validation is active; timed separately).
+    ///
+    /// # Errors
+    ///
+    /// The violated invariant, as [`PipelineError::Invariant`].
+    fn validate(&self, _artifact: &Artifact, _ctx: &StageCtx<'_>) -> Result<(), PipelineError> {
+        Ok(())
+    }
+
+    /// Artifact size in stage-specific items, for the [`StageReport`].
+    fn artifact_items(&self, _artifact: &Artifact) -> usize {
+        1
+    }
+
+    /// Attempts to reload this stage's artifact from an on-disk cache
+    /// directory. Stages without a persistent form return `None`.
+    fn load_cached(&self, _dir: &Path, _fp: Fingerprint) -> Option<Artifact> {
+        None
+    }
+
+    /// Persists the artifact to the on-disk cache directory
+    /// (best-effort; failures are ignored, the artifact stays in
+    /// memory).
+    fn save_cached(&self, _artifact: &Artifact, _dir: &Path, _fp: Fingerprint) {}
+}
+
+impl std::fmt::Debug for dyn Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Stage({})", self.name())
+    }
+}

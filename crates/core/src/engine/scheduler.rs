@@ -1,0 +1,449 @@
+//! Deterministic stage scheduling.
+//!
+//! The scheduler topologically executes a stage graph, running
+//! independent stages concurrently on scoped worker threads. Determinism
+//! is structural, not scheduled: every stage seeds its own RNG from the
+//! configuration (never from execution order), so the artifacts — and
+//! everything derived from them — are byte-identical at any thread
+//! count. The only thing that varies with scheduling is the wall-clock
+//! timing recorded in each [`StageReport`].
+
+use super::fingerprint::{config_fingerprint, stage_fingerprint, Fingerprint};
+use super::store::ArtifactStore;
+use super::{Artifact, Stage, StageCtx};
+use crate::pipeline::{PipelineConfig, PipelineError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// How a stage's artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheStatus {
+    /// Computed from scratch.
+    Miss,
+    /// Served from the in-memory artifact store.
+    HitMemory,
+    /// Reloaded from the store's on-disk spill directory.
+    HitDisk,
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheStatus::Miss => write!(f, "miss"),
+            CacheStatus::HitMemory => write!(f, "memory"),
+            CacheStatus::HitDisk => write!(f, "disk"),
+        }
+    }
+}
+
+/// Per-stage execution record, surfaced through
+/// [`PipelineOutput::reports`](crate::pipeline::PipelineOutput::reports)
+/// and the `--trace` flag of `reproduce_paper`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name.
+    pub stage: String,
+    /// Stage fingerprint (config fingerprint + stage name), hex.
+    pub fingerprint: String,
+    /// The config-derived seed the stage ran with.
+    pub seed: u64,
+    /// Time spent obtaining the artifact (compute or cache fetch), ms.
+    pub wall_ms: f64,
+    /// Time spent in the stage's invariant validator, ms (0 when
+    /// validation is off or the artifact came from the memory cache).
+    pub validate_ms: f64,
+    /// Artifact size in stage-specific items (routers, table entries,
+    /// nodes...).
+    pub artifact_items: usize,
+    /// Where the artifact came from.
+    pub cache: CacheStatus,
+}
+
+/// Resolves a thread-count knob: a positive knob wins, then a positive
+/// integer in `GEOTOPO_THREADS`, then the machine's available
+/// parallelism (1 if unknown). An empty or unparsable env var falls
+/// through to auto-detection.
+pub fn resolve_threads(knob: usize) -> usize {
+    if knob > 0 {
+        return knob;
+    }
+    if let Ok(v) = std::env::var("GEOTOPO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Shared scheduler state behind the lock.
+struct SchedState {
+    indegree: Vec<usize>,
+    ready: BinaryHeap<Reverse<usize>>,
+    results: Vec<Option<Artifact>>,
+    reports: Vec<Option<StageReport>>,
+    done: usize,
+    error: Option<PipelineError>,
+}
+
+/// Executes a stage graph, returning each stage's artifact and report in
+/// the order the stages were given.
+///
+/// `threads <= 1` runs the legacy sequential path (lowest-index-first,
+/// same order every time); otherwise up to `threads` scoped workers
+/// claim ready stages concurrently, always picking the lowest-index
+/// ready stage. Dependencies are resolved by name against the given
+/// slice, which must be topologically ordered consistent with `deps()`
+/// (the builder in [`pipeline_stages`](super::pipeline_stages)
+/// guarantees this).
+///
+/// # Errors
+///
+/// The first stage failure short-circuits the run: workers drain and the
+/// error is returned. Already-completed artifacts stay in the store (if
+/// one was given), so a retry resumes where it left off.
+///
+/// # Panics
+///
+/// Panics if a declared dependency names no stage in the slice, or if
+/// the dependency graph is cyclic — both are programming errors in the
+/// stage list, not runtime conditions.
+pub fn execute(
+    stages: &[Box<dyn Stage>],
+    config: &PipelineConfig,
+    validate: bool,
+    threads: usize,
+    store: Option<&ArtifactStore>,
+) -> Result<(Vec<Artifact>, Vec<StageReport>), PipelineError> {
+    let n = stages.len();
+    let names: Vec<String> = stages.iter().map(|s| s.name()).collect();
+    let index: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.as_str(), i))
+        .collect();
+    let deps: Vec<Vec<usize>> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.deps()
+                .iter()
+                .map(|d| {
+                    *index.get(d.as_str()).unwrap_or_else(|| {
+                        panic!("stage `{}` depends on unknown stage `{d}`", names[i])
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree: Vec<usize> = vec![0; n];
+    for (i, ds) in deps.iter().enumerate() {
+        indegree[i] = ds.len();
+        for &d in ds {
+            dependents[d].push(i);
+        }
+    }
+    let ready: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&i| indegree[i] == 0).map(Reverse).collect();
+    let config_fp = config_fingerprint(config);
+
+    if threads <= 1 {
+        return execute_sequential(
+            stages,
+            config,
+            config_fp,
+            validate,
+            store,
+            &deps,
+            &dependents,
+            indegree,
+            ready,
+        );
+    }
+
+    let state = Mutex::new(SchedState {
+        indegree,
+        ready,
+        results: (0..n).map(|_| None).collect(),
+        reports: vec![None; n],
+        done: 0,
+        error: None,
+    });
+    let cvar = Condvar::new();
+    let workers = threads.min(n.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Claim the lowest-index ready stage, or exit when the
+                // run is complete or failed.
+                let (i, dep_artifacts) = {
+                    let mut st = state.lock().expect("scheduler lock");
+                    loop {
+                        if st.error.is_some() || st.done == n {
+                            return;
+                        }
+                        if let Some(Reverse(i)) = st.ready.pop() {
+                            let dep_artifacts: Vec<Artifact> = deps[i]
+                                .iter()
+                                .map(|&d| st.results[d].clone().expect("dependency completed"))
+                                .collect();
+                            break (i, dep_artifacts);
+                        }
+                        st = cvar.wait(st).expect("scheduler lock");
+                    }
+                };
+                let outcome = run_stage(
+                    &*stages[i],
+                    config,
+                    config_fp,
+                    validate,
+                    store,
+                    dep_artifacts,
+                );
+                let mut st = state.lock().expect("scheduler lock");
+                match outcome {
+                    Ok((artifact, report)) => {
+                        st.results[i] = Some(artifact);
+                        st.reports[i] = Some(report);
+                        st.done += 1;
+                        for &j in &dependents[i] {
+                            st.indegree[j] -= 1;
+                            if st.indegree[j] == 0 {
+                                st.ready.push(Reverse(j));
+                            }
+                        }
+                        cvar.notify_all();
+                    }
+                    Err(e) => {
+                        if st.error.is_none() {
+                            st.error = Some(e);
+                        }
+                        cvar.notify_all();
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    let st = state.into_inner().expect("scheduler lock");
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    assert_eq!(st.done, n, "stage graph is cyclic or disconnected");
+    Ok(collect(st.results, st.reports))
+}
+
+/// The `threads <= 1` path: one stage at a time, lowest index first.
+#[allow(clippy::too_many_arguments)]
+fn execute_sequential(
+    stages: &[Box<dyn Stage>],
+    config: &PipelineConfig,
+    config_fp: Fingerprint,
+    validate: bool,
+    store: Option<&ArtifactStore>,
+    deps: &[Vec<usize>],
+    dependents: &[Vec<usize>],
+    mut indegree: Vec<usize>,
+    mut ready: BinaryHeap<Reverse<usize>>,
+) -> Result<(Vec<Artifact>, Vec<StageReport>), PipelineError> {
+    let n = stages.len();
+    let mut results: Vec<Option<Artifact>> = (0..n).map(|_| None).collect();
+    let mut reports: Vec<Option<StageReport>> = vec![None; n];
+    let mut done = 0;
+    while let Some(Reverse(i)) = ready.pop() {
+        let dep_artifacts: Vec<Artifact> = deps[i]
+            .iter()
+            .map(|&d| results[d].clone().expect("dependency completed"))
+            .collect();
+        let (artifact, report) = run_stage(
+            &*stages[i],
+            config,
+            config_fp,
+            validate,
+            store,
+            dep_artifacts,
+        )?;
+        results[i] = Some(artifact);
+        reports[i] = Some(report);
+        done += 1;
+        for &j in &dependents[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                ready.push(Reverse(j));
+            }
+        }
+    }
+    assert_eq!(done, n, "stage graph is cyclic or disconnected");
+    Ok(collect(results, reports))
+}
+
+fn collect(
+    results: Vec<Option<Artifact>>,
+    reports: Vec<Option<StageReport>>,
+) -> (Vec<Artifact>, Vec<StageReport>) {
+    (
+        results
+            .into_iter()
+            .map(|a| a.expect("all stages completed"))
+            .collect(),
+        reports
+            .into_iter()
+            .map(|r| r.expect("all stages completed"))
+            .collect(),
+    )
+}
+
+/// Runs one stage through the cache cascade: memory hit → disk hit →
+/// compute (+ validate + store).
+fn run_stage(
+    stage: &dyn Stage,
+    config: &PipelineConfig,
+    config_fp: Fingerprint,
+    validate: bool,
+    store: Option<&ArtifactStore>,
+    deps: Vec<Artifact>,
+) -> Result<(Artifact, StageReport), PipelineError> {
+    let name = stage.name();
+    let fp = stage_fingerprint(config_fp, &name);
+    let seed = stage.seed(config);
+    let report = |wall_ms: f64, validate_ms: f64, items: usize, cache: CacheStatus| StageReport {
+        stage: name.clone(),
+        fingerprint: fp.to_string(),
+        seed,
+        wall_ms,
+        validate_ms,
+        artifact_items: items,
+        cache,
+    };
+    // lint: allow(wall_clock): per-stage timing instrumentation is the engine's purpose
+    let start = std::time::Instant::now();
+    if let Some(store) = store {
+        if let Some(artifact) = store.get(fp) {
+            store.record(CacheStatus::HitMemory);
+            let items = stage.artifact_items(&artifact);
+            let r = report(ms_since(start), 0.0, items, CacheStatus::HitMemory);
+            return Ok((artifact, r));
+        }
+        if let Some(dir) = store.disk_dir() {
+            if let Some(artifact) = stage.load_cached(dir, fp) {
+                store.put(fp, artifact.clone());
+                store.record(CacheStatus::HitDisk);
+                let items = stage.artifact_items(&artifact);
+                let r = report(ms_since(start), 0.0, items, CacheStatus::HitDisk);
+                return Ok((artifact, r));
+            }
+        }
+    }
+    let ctx = StageCtx { config, deps };
+    let artifact = stage.run(&ctx)?;
+    let wall_ms = ms_since(start);
+    let mut validate_ms = 0.0;
+    if validate {
+        // lint: allow(wall_clock): validation time is reported separately from compute time
+        let vstart = std::time::Instant::now();
+        stage.validate(&artifact, &ctx)?;
+        validate_ms = ms_since(vstart);
+    }
+    if let Some(store) = store {
+        store.record(CacheStatus::Miss);
+        store.put(fp, artifact.clone());
+        if let Some(dir) = store.disk_dir() {
+            stage.save_cached(&artifact, dir, fp);
+        }
+    }
+    let items = stage.artifact_items(&artifact);
+    Ok((
+        artifact,
+        report(wall_ms, validate_ms, items, CacheStatus::Miss),
+    ))
+}
+
+fn ms_since(start: std::time::Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Runs `n` independent jobs on up to `threads` scoped workers,
+/// returning results in job order regardless of completion order.
+///
+/// With `threads <= 1` (or a single job) the jobs run sequentially on
+/// the calling thread — the legacy path. Jobs must be independently
+/// deterministic: nothing about worker assignment may leak into their
+/// output.
+pub fn parallel_map<T, F>(threads: usize, n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let value = job(i);
+                *slots[i].lock().expect("slot lock") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every job index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_job_order() {
+        let out = parallel_map(4, 32, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_sequential_path_matches() {
+        let seq = parallel_map(1, 10, |i| i + 1);
+        let par = parallel_map(3, 10, |i| i + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(4, 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_knob() {
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn resolve_threads_auto_is_positive() {
+        // knob 0 resolves via env or hardware; either way it is >= 1.
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn cache_status_displays() {
+        assert_eq!(CacheStatus::Miss.to_string(), "miss");
+        assert_eq!(CacheStatus::HitMemory.to_string(), "memory");
+        assert_eq!(CacheStatus::HitDisk.to_string(), "disk");
+    }
+}

@@ -1,0 +1,147 @@
+//! Fingerprint-keyed artifact store.
+//!
+//! A shared [`ArtifactStore`] lets repeated [`Pipeline::run`]
+//! (crate::pipeline::Pipeline::run) calls with the same configuration
+//! reuse stage outputs instead of regenerating the world — benches and
+//! the experiment registry share one generated world instead of
+//! fourteen. Artifacts live in memory as `Arc`s; stages that know how to
+//! persist themselves (the processed datasets, via `io.rs`) can
+//! additionally spill to a disk directory, surviving process restarts.
+
+use super::fingerprint::Fingerprint;
+use super::scheduler::CacheStatus;
+use super::Artifact;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A thread-safe, fingerprint-keyed artifact cache.
+pub struct ArtifactStore {
+    mem: Mutex<HashMap<u64, Artifact>>,
+    disk: Option<PathBuf>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ArtifactStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        ArtifactStore {
+            mem: Mutex::new(HashMap::new()),
+            disk: None,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// An in-memory store that also persists persistable artifacts under
+    /// `dir` (created on demand).
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore {
+            disk: Some(dir.into()),
+            ..Self::new()
+        }
+    }
+
+    /// The on-disk spill directory, if configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Looks up an artifact by fingerprint (memory only; disk probing is
+    /// stage-specific and driven by the scheduler).
+    pub fn get(&self, fp: Fingerprint) -> Option<Artifact> {
+        self.mem.lock().expect("store lock").get(&fp.0).cloned()
+    }
+
+    /// Inserts (or replaces) an artifact.
+    pub fn put(&self, fp: Fingerprint, artifact: Artifact) {
+        self.mem.lock().expect("store lock").insert(fp.0, artifact);
+    }
+
+    /// Records one stage-level cache outcome in the hit/miss counters.
+    pub fn record(&self, status: CacheStatus) {
+        match status {
+            CacheStatus::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
+            CacheStatus::HitMemory | CacheStatus::HitDisk => {
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+    }
+
+    /// Stage executions served from cache (memory or disk) so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Stage executions that had to compute their artifact.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of artifacts currently held in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("store lock").len()
+    }
+
+    /// Whether the in-memory store holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Artifacts are type-erased (`dyn Any`), so the map contents cannot be
+// printed; the counters are the useful state.
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("artifacts", &self.len())
+            .field("disk", &self.disk)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = ArtifactStore::new();
+        let fp = Fingerprint(42);
+        assert!(store.get(fp).is_none());
+        store.put(fp, Arc::new(123_u64));
+        let got = store.get(fp).expect("stored");
+        assert_eq!(*got.downcast::<u64>().expect("u64 artifact"), 123);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn counters_track_outcomes() {
+        let store = ArtifactStore::new();
+        store.record(CacheStatus::Miss);
+        store.record(CacheStatus::HitMemory);
+        store.record(CacheStatus::HitDisk);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.hits(), 2);
+    }
+
+    #[test]
+    fn debug_does_not_dump_artifacts() {
+        let store = ArtifactStore::with_disk("/tmp/x");
+        let s = format!("{store:?}");
+        assert!(s.contains("ArtifactStore"));
+        assert!(s.contains("hits"));
+    }
+}

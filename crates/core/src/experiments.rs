@@ -29,35 +29,88 @@ pub struct ExperimentResult {
     pub json: serde_json::Value,
 }
 
+/// One experiment job: a pure function of the pipeline output.
+type ExperimentJob = Box<dyn Fn(&PipelineOutput) -> ExperimentResult + Send + Sync>;
+
+/// The full paper as an ordered job list (appendix included). Each job
+/// is independent of the others, so [`run_all`] can fan them out across
+/// workers without changing the result.
+fn paper_jobs() -> Vec<ExperimentJob> {
+    vec![
+        Box::new(table1),
+        Box::new(|_| table2()),
+        Box::new(table3),
+        Box::new(table4),
+        Box::new(fig1),
+        Box::new(|out| fig2(out, MapperKind::IxMapper)),
+        Box::new(|out| fig4(out, MapperKind::IxMapper)),
+        Box::new(|out| fig5(out, MapperKind::IxMapper)),
+        Box::new(|out| fig6(out, MapperKind::IxMapper)),
+        Box::new(|out| table5(out, MapperKind::IxMapper)),
+        Box::new(fig7),
+        Box::new(fig8),
+        Box::new(fig9),
+        Box::new(fig10),
+        Box::new(table6),
+        Box::new(fractal_dimension),
+        Box::new(robustness),
+        Box::new(|out| {
+            relabel(
+                fig2(out, MapperKind::EdgeScape),
+                "fig11",
+                "Figure 11 (EdgeScape)",
+            )
+        }),
+        Box::new(|out| {
+            relabel(
+                fig4(out, MapperKind::EdgeScape),
+                "fig12",
+                "Figure 12 (EdgeScape)",
+            )
+        }),
+        Box::new(|out| {
+            relabel(
+                fig5(out, MapperKind::EdgeScape),
+                "fig13",
+                "Figure 13 (EdgeScape)",
+            )
+        }),
+        Box::new(|out| {
+            relabel(
+                fig6(out, MapperKind::EdgeScape),
+                "fig14",
+                "Figure 14 (EdgeScape)",
+            )
+        }),
+        Box::new(|out| {
+            relabel(
+                table5(out, MapperKind::EdgeScape),
+                "table5es",
+                "Table V (EdgeScape)",
+            )
+        }),
+        Box::new(fig15),
+        Box::new(fig16),
+        Box::new(fig17),
+    ]
+}
+
 /// Runs every experiment in paper order (appendix included).
+///
+/// Experiments are independent, so they are dispatched across the
+/// engine's worker pool (`GEOTOPO_THREADS`, defaulting to available
+/// parallelism); results always come back in paper order regardless of
+/// how the jobs interleave.
 pub fn run_all(out: &PipelineOutput) -> Vec<ExperimentResult> {
-    let mut results = vec![
-        table1(out),
-        table2(),
-        table3(out),
-        table4(out),
-        fig1(out),
-        fig2(out, MapperKind::IxMapper),
-        fig4(out, MapperKind::IxMapper),
-        fig5(out, MapperKind::IxMapper),
-        fig6(out, MapperKind::IxMapper),
-        table5(out, MapperKind::IxMapper),
-        fig7(out),
-        fig8(out),
-        fig9(out),
-        fig10(out),
-        table6(out),
-        fractal_dimension(out),
-        robustness(out),
-    ];
-    results.extend(appendix(out));
-    results
+    let jobs = paper_jobs();
+    let threads = crate::engine::resolve_threads(0);
+    crate::engine::parallel_map(threads, jobs.len(), |i| jobs[i](out))
 }
 
 /// The appendix: the EdgeScape versions of Figures 2 and 4–6 plus
 /// Table V (Figures 11–14 in the paper) and the AS figures (15–17).
 pub fn appendix(out: &PipelineOutput) -> Vec<ExperimentResult> {
-    let mut v = vec![
+    vec![
         relabel(
             fig2(out, MapperKind::EdgeScape),
             "fig11",
@@ -83,34 +136,50 @@ pub fn appendix(out: &PipelineOutput) -> Vec<ExperimentResult> {
             "table5es",
             "Table V (EdgeScape)",
         ),
-    ];
-    // Figures 15–17: AS analyses under EdgeScape.
+        fig15(out),
+        fig16(out),
+        fig17(out),
+    ]
+}
+
+fn edgescape_skitter_measures(out: &PipelineOutput) -> Vec<section6::AsMeasures> {
     let ds = &out
         .dataset(MapperKind::EdgeScape, Collector::Skitter)
         .dataset;
-    let m = section6::as_measures(ds);
-    let f15 = section6::fig7(&m);
-    v.push(ExperimentResult {
+    section6::as_measures(ds)
+}
+
+/// Figure 15: AS size distributions under EdgeScape.
+pub fn fig15(out: &PipelineOutput) -> ExperimentResult {
+    let f15 = section6::fig7(&edgescape_skitter_measures(out));
+    ExperimentResult {
         id: "fig15".into(),
         title: "Figure 15 — AS size distributions (EdgeScape)".into(),
         text: f15.render(),
         json: f15.to_json(),
-    });
-    let (f16, corr) = section6::fig8(&m);
-    v.push(ExperimentResult {
+    }
+}
+
+/// Figure 16: AS size scatterplots under EdgeScape.
+pub fn fig16(out: &PipelineOutput) -> ExperimentResult {
+    let (f16, corr) = section6::fig8(&edgescape_skitter_measures(out));
+    ExperimentResult {
         id: "fig16".into(),
         title: "Figure 16 — AS size scatterplots (EdgeScape)".into(),
         text: format!("{}\ncorrelations: {corr:?}\n", f16.render()),
         json: f16.to_json(),
-    });
-    let f17 = section6::fig10(&m);
-    v.push(ExperimentResult {
+    }
+}
+
+/// Figure 17: size vs convex hull under EdgeScape.
+pub fn fig17(out: &PipelineOutput) -> ExperimentResult {
+    let f17 = section6::fig10(&edgescape_skitter_measures(out));
+    ExperimentResult {
         id: "fig17".into(),
         title: "Figure 17 — size vs convex hull (EdgeScape)".into(),
         text: f17.render(),
         json: f17.to_json(),
-    });
-    v
+    }
 }
 
 fn relabel(mut r: ExperimentResult, id: &str, title: &str) -> ExperimentResult {

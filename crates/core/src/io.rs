@@ -6,7 +6,7 @@
 //! of keeping the paper's "snapshots".
 
 use crate::pipeline::ProcessedDataset;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Errors from dataset persistence.
 #[derive(Debug)]
@@ -42,6 +42,13 @@ impl From<serde_json::Error> for IoError {
     fn from(e: serde_json::Error) -> Self {
         IoError::Serde(e)
     }
+}
+
+/// The on-disk location of a stage's cached dataset artifact: one file
+/// per (config fingerprint, stage) pair, so distinct configurations
+/// never collide.
+pub fn dataset_cache_path(dir: &Path, fingerprint: &str, stage: &str) -> PathBuf {
+    dir.join(format!("{fingerprint}-{stage}.json"))
 }
 
 /// Saves a processed dataset as pretty JSON.

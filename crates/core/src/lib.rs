@@ -9,6 +9,9 @@
 //!   collect with Skitter and Mercator, geolocate with IxMapper and
 //!   EdgeScape, originate ASes via RouteViews LPM (Table I's four
 //!   processed datasets).
+//! - [`engine`]: the stage-graph execution engine behind the pipeline —
+//!   typed stages, fingerprint-keyed artifact reuse, and a deterministic
+//!   multi-threaded scheduler with per-stage [`engine::StageReport`]s.
 //! - [`section4`]: routers and population (Tables III & IV, Figure 2).
 //! - [`section5`]: links and distance (Figures 4–6, Table V).
 //! - [`section6`]: autonomous systems (Figures 7–10, Table VI).
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ascii_map;
+pub mod engine;
 pub mod experiments;
 pub mod fractal;
 pub mod gnuplot;

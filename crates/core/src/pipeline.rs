@@ -12,16 +12,16 @@
 //! - unmapped-AS nodes are kept but grouped under [`AsId::UNMAPPED`],
 //!   which Section VI omits.
 
+use crate::engine::{self, ArtifactStore, StageReport};
 use geotopo_bgp::{AsId, RouteTable, RouteTableConfig};
 use geotopo_geo::{GeoPoint, Region};
-use geotopo_geomap::{EdgeScape, GeoMapper, IxMapper, MapContext, OrgDb};
-use geotopo_measure::{
-    MeasuredDataset, Mercator, MercatorConfig, NodeKind, Skitter, SkitterConfig,
-};
+use geotopo_geomap::{GeoMapper, MapContext};
+use geotopo_measure::{MeasuredDataset, MercatorConfig, NodeKind, SkitterConfig};
 use geotopo_topology::generate::{GroundTruth, GroundTruthConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Which collector produced a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -244,6 +244,12 @@ pub struct PipelineConfig {
     pub route_table: RouteTableConfig,
     /// Mapper tool seeds.
     pub mapper_seed: u64,
+    /// Worker threads for stage execution (`0` = resolve from
+    /// `GEOTOPO_THREADS`, else available parallelism; `1` = the legacy
+    /// sequential path). Excluded from the config fingerprint and from
+    /// serialization: thread count must never change output.
+    #[serde(skip)]
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -258,6 +264,7 @@ impl PipelineConfig {
                 ..RouteTableConfig::default()
             },
             mapper_seed: seed ^ 0xFEED,
+            threads: 0,
         }
     }
 
@@ -356,26 +363,35 @@ impl std::fmt::Display for PipelineError {
 impl std::error::Error for PipelineError {}
 
 /// The full pipeline output.
+///
+/// The heavy artifacts are `Arc`-shared with the engine's
+/// [`ArtifactStore`] (when one is attached), so holding an output does
+/// not copy the world.
 #[derive(Debug)]
 pub struct PipelineOutput {
     /// The ground-truth world (available for validation experiments; the
     /// paper's analyses only look at `datasets`).
-    pub ground_truth: GroundTruth,
+    pub ground_truth: Arc<GroundTruth>,
     /// The synthesized RouteViews snapshot.
-    pub route_table: RouteTable,
+    pub route_table: Arc<RouteTable>,
     /// The four processed datasets, ordered as Table I:
     /// (IxMapper, Mercator), (IxMapper, Skitter), (EdgeScape, Mercator),
     /// (EdgeScape, Skitter).
-    pub datasets: Vec<ProcessedDataset>,
+    pub datasets: Vec<Arc<ProcessedDataset>>,
+    /// Per-stage execution reports (timing, artifact sizes, cache
+    /// outcomes), in stage-graph order.
+    pub reports: Vec<StageReport>,
 }
 
 impl PipelineOutput {
     /// Fetches a processed dataset by provenance.
     pub fn dataset(&self, mapper: MapperKind, collector: Collector) -> &ProcessedDataset {
-        self.datasets
+        let d = self
+            .datasets
             .iter()
             .find(|d| d.mapper == mapper && d.collector == collector)
-            .expect("all four combinations are always produced")
+            .expect("all four combinations are always produced");
+        d
     }
 }
 
@@ -384,10 +400,11 @@ impl PipelineOutput {
 pub struct Pipeline {
     config: PipelineConfig,
     validation: ValidationMode,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 /// Wraps a validator result into a stage-labelled [`PipelineError`].
-fn check_stage<E: std::fmt::Display>(
+pub(crate) fn check_stage<E: std::fmt::Display>(
     stage: PipelineStage,
     result: Result<(), E>,
 ) -> Result<(), PipelineError> {
@@ -397,12 +414,25 @@ fn check_stage<E: std::fmt::Display>(
     })
 }
 
+/// Removes a named stage artifact from the map and downcasts it.
+fn take_artifact<T: std::any::Any + Send + Sync>(
+    by_name: &mut HashMap<String, engine::Artifact>,
+    name: &str,
+) -> Arc<T> {
+    by_name
+        .remove(name)
+        .unwrap_or_else(|| panic!("stage `{name}` produced no artifact"))
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("stage `{name}` artifact has an unexpected type"))
+}
+
 impl Pipeline {
     /// Creates a pipeline with the default [`ValidationMode::DebugOnly`].
     pub fn new(config: PipelineConfig) -> Self {
         Pipeline {
             config,
             validation: ValidationMode::default(),
+            store: None,
         }
     }
 
@@ -413,7 +443,32 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a shared artifact store: stage outputs are reused across
+    /// `run()` calls with the same config fingerprint instead of being
+    /// regenerated.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Overrides the worker-thread knob (equivalent to setting
+    /// [`PipelineConfig::threads`]).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Runs everything: world → collection → mapping → AS origination.
+    ///
+    /// The run is delegated to the [`engine`](crate::engine): the
+    /// configuration compiles to a stage graph
+    /// ([`engine::pipeline_stages`]) and a deterministic scheduler
+    /// executes independent stages concurrently (`threads` knob /
+    /// `GEOTOPO_THREADS`; `1` = sequential). Every stage seeds its RNG
+    /// from the config alone, so output is byte-identical at any thread
+    /// count.
     ///
     /// Depending on the configured [`ValidationMode`], each stage's output
     /// is checked against its layer's invariants before the next stage
@@ -427,89 +482,30 @@ impl Pipeline {
     pub fn run(self) -> Result<PipelineOutput, PipelineError> {
         let validate = self.validation.is_active();
         let cfg = self.config;
-        let gt = GroundTruth::generate(cfg.world.clone()).map_err(PipelineError::GroundTruth)?;
-        if validate {
-            check_stage(PipelineStage::GroundTruth, gt.topology.validate())?;
-        }
+        let threads = engine::resolve_threads(cfg.threads);
+        let stages = engine::pipeline_stages(&cfg);
+        let (artifacts, reports) =
+            engine::execute(&stages, &cfg, validate, threads, self.store.as_deref())?;
+        let mut by_name: HashMap<String, engine::Artifact> =
+            stages.iter().map(|s| s.name()).zip(artifacts).collect();
 
-        // BGP snapshot.
-        let route_table = RouteTable::synthesize(&gt.allocations, &cfg.route_table);
-        if validate {
-            check_stage(PipelineStage::RouteTable, route_table.validate())?;
-        }
-
-        // Whois registry from ground-truth AS records.
-        let mut orgs = OrgDb::new();
-        for rec in &gt.as_records {
-            let name = gt
-                .as_names
-                .get(&rec.asn)
-                .cloned()
-                .unwrap_or_else(|| format!("as{}", rec.asn.0));
-            orgs.insert(rec.asn, name, rec.home);
-        }
-
-        // Collections.
-        let skitter_cfg = cfg
-            .skitter
-            .unwrap_or_else(|| SkitterConfig::scaled(&gt, cfg.world.seed ^ 0x51));
-        let mercator_cfg = cfg
-            .mercator
-            .unwrap_or_else(|| MercatorConfig::scaled(&gt, cfg.world.seed ^ 0x3E));
-        let skitter = Skitter::collect(&gt, &skitter_cfg);
-        let mercator = Mercator::collect(&gt, &mercator_cfg);
-        if validate {
-            check_stage(
-                PipelineStage::Collection,
-                skitter.dataset.validate_against(&gt.topology),
-            )?;
-            check_stage(
-                PipelineStage::Collection,
-                mercator.dataset.validate_against(&gt.topology),
-            )?;
-        }
-
-        // Mapping tools over a population-densified gazetteer: real
-        // hostname conventions name thousands of towns, so the curated
-        // hub-city core is extended with one synthetic town per populated
-        // raster cell — giving the city-granularity mapping error the
-        // paper's tools exhibit.
-        let mut gazetteer = geotopo_geomap::Gazetteer::builtin();
-        for i in 0..gt.config.regions.len() {
-            let grid = gt.population_grid(i).map_err(PipelineError::GroundTruth)?;
-            gazetteer.extend_from_population(&grid, 8_000.0);
-        }
-        let ixmapper = IxMapper::with_gazetteer(cfg.mapper_seed, orgs.clone(), gazetteer.clone());
-        let edgescape = EdgeScape::with_gazetteer(cfg.mapper_seed ^ 0x77, orgs, gazetteer);
-
-        let mut datasets = Vec::with_capacity(4);
-        for (mapper_kind, mapper) in [
-            (MapperKind::IxMapper, &ixmapper as &dyn GeoMapper),
-            (MapperKind::EdgeScape, &edgescape as &dyn GeoMapper),
-        ] {
-            for (collector, measured) in [
-                (Collector::Mercator, &mercator.dataset),
-                (Collector::Skitter, &skitter.dataset),
-            ] {
-                let dataset = process(measured, mapper, &route_table, &gt);
-                if validate {
-                    check_stage(
-                        PipelineStage::Mapping,
-                        dataset.validate(&generation_regions(&gt)),
-                    )?;
-                }
-                datasets.push(ProcessedDataset {
-                    collector,
-                    mapper: mapper_kind,
-                    dataset,
-                });
-            }
-        }
+        let ground_truth = take_artifact::<GroundTruth>(&mut by_name, engine::GROUND_TRUTH);
+        let route_table = take_artifact::<RouteTable>(&mut by_name, engine::ROUTE_TABLE);
+        let datasets = engine::TABLE_I_ORDER
+            .iter()
+            .map(|&(mapper, collector)| {
+                take_artifact::<ProcessedDataset>(
+                    &mut by_name,
+                    &engine::map_stage_name(mapper, collector),
+                )
+            })
+            .collect();
 
         Ok(PipelineOutput {
-            ground_truth: gt,
+            ground_truth,
             route_table,
             datasets,
+            reports,
         })
     }
 }
@@ -609,7 +605,7 @@ pub fn process(
 /// city-granularity mapping error: routers sit inside their region, but
 /// the gazetteer city a mapper reports for an edge router can lie a few
 /// degrees outside the box.
-fn generation_regions(gt: &GroundTruth) -> Vec<Region> {
+pub(crate) fn generation_regions(gt: &GroundTruth) -> Vec<Region> {
     const MAPPING_SLOP_DEG: f64 = 5.0;
     gt.config
         .regions

@@ -4,6 +4,7 @@
 //! the paper's table/figure and (b) a JSON value with the raw series, so
 //! external tooling can re-plot the figures.
 
+use crate::engine::StageReport;
 use geotopo_stats::LinearFit;
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +81,35 @@ impl TextTable {
             "rows": self.rows,
         })
     }
+}
+
+/// Renders the engine's per-stage execution reports as a table (the
+/// `--trace` view of `reproduce_paper`).
+pub fn stage_trace(reports: &[StageReport]) -> TextTable {
+    let mut t = TextTable::new(
+        "Stage trace",
+        &[
+            "Stage",
+            "Fingerprint",
+            "Seed",
+            "Wall (ms)",
+            "Validate (ms)",
+            "Items",
+            "Cache",
+        ],
+    );
+    for r in reports {
+        t.row(&[
+            r.stage.clone(),
+            r.fingerprint.clone(),
+            format!("{:#018x}", r.seed),
+            format!("{:.2}", r.wall_ms),
+            format!("{:.2}", r.validate_ms),
+            r.artifact_items.to_string(),
+            r.cache.to_string(),
+        ]);
+    }
+    t
 }
 
 /// One data series of a figure panel.

@@ -13,12 +13,13 @@ use crate::{GeoMapper, MapContext};
 use geotopo_geo::GeoPoint;
 use rand::Rng;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Simulated EdgeScape.
 #[derive(Debug, Clone)]
 pub struct EdgeScape {
     hostnames: HostnameOracle,
-    orgs: OrgDb,
+    orgs: Arc<OrgDb>,
     /// Probability the ISP-feed knows this address directly.
     pub isp_feed_coverage: f64,
     /// Probability an ISP-feed answer points at the metro's second city
@@ -33,12 +34,13 @@ impl EdgeScape {
     /// Creates the service over a whois registry and the built-in
     /// gazetteer.
     pub fn new(seed: u64, orgs: OrgDb) -> Self {
-        Self::with_gazetteer(seed, orgs, crate::Gazetteer::builtin())
+        Self::with_gazetteer(seed, Arc::new(orgs), Arc::new(crate::Gazetteer::builtin()))
     }
 
     /// Creates the service over an explicit gazetteer (the pipeline
-    /// passes a population-densified one).
-    pub fn with_gazetteer(seed: u64, orgs: OrgDb, gazetteer: crate::Gazetteer) -> Self {
+    /// passes a population-densified one). Registry and gazetteer are
+    /// `Arc`-shared with the other tools, not cloned per mapper.
+    pub fn with_gazetteer(seed: u64, orgs: Arc<OrgDb>, gazetteer: Arc<crate::Gazetteer>) -> Self {
         EdgeScape {
             hostnames: HostnameOracle::with_gazetteer(seed ^ 0x4D, gazetteer),
             orgs,

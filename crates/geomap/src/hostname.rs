@@ -17,11 +17,12 @@ use crate::MapContext;
 use geotopo_geo::GeoPoint;
 use rand::Rng;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Synthesizes and parses hostname conventions.
 #[derive(Debug, Clone)]
 pub struct HostnameOracle {
-    gazetteer: Gazetteer,
+    gazetteer: Arc<Gazetteer>,
     /// Probability an interface's hostname embeds a geographic code.
     pub geo_naming_prob: f64,
     /// Seed distinguishing this synthetic DNS zone.
@@ -32,12 +33,13 @@ impl HostnameOracle {
     /// Creates an oracle over the built-in gazetteer with the paper-tuned
     /// geographic-naming share.
     pub fn new(seed: u64) -> Self {
-        Self::with_gazetteer(seed, Gazetteer::builtin())
+        Self::with_gazetteer(seed, Arc::new(Gazetteer::builtin()))
     }
 
     /// Creates an oracle over an explicit (e.g. population-densified)
-    /// gazetteer.
-    pub fn with_gazetteer(seed: u64, gazetteer: Gazetteer) -> Self {
+    /// gazetteer, shared rather than copied — the pipeline hands the
+    /// same `Arc` to every mapping tool.
+    pub fn with_gazetteer(seed: u64, gazetteer: Arc<Gazetteer>) -> Self {
         HostnameOracle {
             gazetteer,
             geo_naming_prob: 0.90,

@@ -12,13 +12,14 @@ use crate::{GeoMapper, MapContext};
 use geotopo_geo::GeoPoint;
 use rand::Rng;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Simulated IxMapper.
 #[derive(Debug, Clone)]
 pub struct IxMapper {
     hostnames: HostnameOracle,
     loc_db: DnsLocDb,
-    orgs: OrgDb,
+    orgs: Arc<OrgDb>,
     /// Probability the whois fallback succeeds for a given address.
     pub whois_success: f64,
     /// Probability a successfully parsed hostname is nonetheless wrong
@@ -31,12 +32,13 @@ impl IxMapper {
     /// Creates the service over a whois registry and the built-in
     /// gazetteer.
     pub fn new(seed: u64, orgs: OrgDb) -> Self {
-        Self::with_gazetteer(seed, orgs, crate::Gazetteer::builtin())
+        Self::with_gazetteer(seed, Arc::new(orgs), Arc::new(crate::Gazetteer::builtin()))
     }
 
     /// Creates the service over an explicit gazetteer (the pipeline
-    /// passes a population-densified one).
-    pub fn with_gazetteer(seed: u64, orgs: OrgDb, gazetteer: crate::Gazetteer) -> Self {
+    /// passes a population-densified one). Registry and gazetteer are
+    /// `Arc`-shared with the other tools, not cloned per mapper.
+    pub fn with_gazetteer(seed: u64, orgs: Arc<OrgDb>, gazetteer: Arc<crate::Gazetteer>) -> Self {
         IxMapper {
             hostnames: HostnameOracle::with_gazetteer(seed ^ 0x1A, gazetteer),
             loc_db: DnsLocDb::new(seed ^ 0x2B),

@@ -48,7 +48,7 @@ pub(crate) fn alias_rng(seed: u64, router: u32) -> rand::rngs::StdRng {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     rand::rngs::StdRng::seed_from_u64(z ^ (z >> 31))
 }
-pub use mercator::{Mercator, MercatorConfig};
+pub use mercator::{Mercator, MercatorConfig, MercatorOutput};
 pub use probe::TracerouteSim;
 pub use routing::RoutingOracle;
-pub use skitter::{Skitter, SkitterConfig};
+pub use skitter::{Skitter, SkitterConfig, SkitterOutput};

@@ -163,6 +163,26 @@ impl GroundTruthConfig {
     pub fn default_scale(seed: u64) -> Self {
         Self::at_scale(25_000, seed)
     }
+
+    /// Synthesizes region `i`'s population raster. Grids seed their own
+    /// RNGs (`seed + 1000 + i`), so they can be built independently —
+    /// and concurrently — of world generation, then passed to
+    /// [`GroundTruth::generate_with_grids`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range region index or degenerate population
+    /// config.
+    pub fn population_grid(&self, i: usize) -> Result<PopulationGrid, GroundTruthError> {
+        let rp = self
+            .regions
+            .get(i)
+            .ok_or(GroundTruthError::BadConfig("region index"))?;
+        let mut cfg = rp.economic.population_config();
+        cfg.resolution_arcmin = self.pop_resolution_arcmin;
+        cfg.generate(self.seed.wrapping_add(1000 + i as u64))
+            .map_err(|e| GroundTruthError::Population(e.to_string()))
+    }
 }
 
 /// Errors from ground-truth generation.
@@ -231,18 +251,35 @@ impl GroundTruth {
     /// address-space exhaustion.
     pub fn generate(config: GroundTruthConfig) -> Result<Self, GroundTruthError> {
         validate(&config)?;
-        let mut rng = StdRng::seed_from_u64(config.seed);
-
-        // 1. Population grids and weighted samplers per region.
+        // 1. Population grids per region (each grid seeds its own RNG,
+        // so pre-building them here is byte-identical to building them
+        // inline — and lets callers fan them out concurrently).
         let mut grids: Vec<PopulationGrid> = Vec::with_capacity(config.regions.len());
-        for (i, rp) in config.regions.iter().enumerate() {
-            let mut cfg = rp.economic.population_config();
-            cfg.resolution_arcmin = config.pop_resolution_arcmin;
-            let grid = cfg
-                .generate(config.seed.wrapping_add(1000 + i as u64))
-                .map_err(|e| GroundTruthError::Population(e.to_string()))?;
-            grids.push(grid);
+        for i in 0..config.regions.len() {
+            grids.push(config.population_grid(i)?);
         }
+        let refs: Vec<&PopulationGrid> = grids.iter().collect();
+        Self::generate_with_grids(config, &refs)
+    }
+
+    /// Generates the world from pre-built per-region population grids
+    /// (one per `config.regions` entry, in order — exactly the grids
+    /// [`GroundTruthConfig::population_grid`] produces). Byte-identical
+    /// to [`GroundTruth::generate`].
+    ///
+    /// # Errors
+    ///
+    /// As [`GroundTruth::generate`], plus a `BadConfig` error when the
+    /// grid count does not match the region count.
+    pub fn generate_with_grids(
+        config: GroundTruthConfig,
+        grids: &[&PopulationGrid],
+    ) -> Result<Self, GroundTruthError> {
+        validate(&config)?;
+        if grids.len() != config.regions.len() {
+            return Err(GroundTruthError::BadConfig("population grid count"));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
 
         // 2. Router budgets ∝ online users.
         let total_online: f64 = config.regions.iter().map(|r| r.economic.online_users).sum();
@@ -643,15 +680,7 @@ impl GroundTruth {
     ///
     /// Propagates population-synthesis failure (degenerate config only).
     pub fn population_grid(&self, i: usize) -> Result<PopulationGrid, GroundTruthError> {
-        let rp = self
-            .config
-            .regions
-            .get(i)
-            .ok_or(GroundTruthError::BadConfig("region index"))?;
-        let mut cfg = rp.economic.population_config();
-        cfg.resolution_arcmin = self.config.pop_resolution_arcmin;
-        cfg.generate(self.config.seed.wrapping_add(1000 + i as u64))
-            .map_err(|e| GroundTruthError::Population(e.to_string()))
+        self.config.population_grid(i)
     }
 }
 

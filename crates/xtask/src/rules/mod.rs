@@ -11,6 +11,7 @@ pub mod layering;
 pub mod missing_debug;
 pub mod nondeterminism;
 pub mod panic_markers;
+pub mod thread_spawn;
 pub mod unwrap;
 pub mod wall_clock;
 
@@ -64,6 +65,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(missing_debug::MissingDebug),
         Box::new(layering::Layering),
         Box::new(panic_markers::PanicMarkers),
+        Box::new(thread_spawn::ThreadSpawn),
     ]
 }
 

@@ -1,0 +1,120 @@
+//! GT-LINT-008: thread creation only inside the engine's scheduler.
+//!
+//! The stage-graph engine (`geotopo-core::engine`) is the single
+//! concurrency point of the pipeline: it guarantees byte-identical
+//! output at any worker count because stages only communicate through
+//! the artifact graph. Ad-hoc `std::thread::spawn`/`thread::scope`
+//! elsewhere would reintroduce scheduling-dependent behaviour with none
+//! of those guarantees, so raw thread creation outside the engine (and
+//! the bench/xtask harnesses) is banned.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct ThreadSpawn;
+
+const NEEDLES: &[&str] = &["thread::spawn(", "thread::scope(", "thread::Builder::new("];
+
+/// Harnesses may run their own workers; they never feed pipeline output.
+const EXEMPT_CRATES: &[&str] = &["geotopo-bench", "xtask"];
+
+impl Rule for ThreadSpawn {
+    fn id(&self) -> &'static str {
+        "GT-LINT-008"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no raw thread creation outside geotopo-core's engine"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+                continue;
+            }
+            for file in &krate.files {
+                if file.path.starts_with("crates/core/src/engine") {
+                    continue;
+                }
+                for (line, text) in file.code_lines() {
+                    for needle in NEEDLES {
+                        if text.contains(needle) && !file.is_allowed(line, "thread") {
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line,
+                                rule: self.id(),
+                                message: format!(
+                                    "`{}` bypasses the stage-graph scheduler; route \
+                                     concurrency through geotopo-core's engine (or \
+                                     `// lint: allow(thread)`)",
+                                    needle.trim_end_matches('(')
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_thread_spawn() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/pipeline.rs",
+                "fn f() { std::thread::spawn(|| {}); }\n",
+            )],
+        );
+        let f = ThreadSpawn.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "GT-LINT-008");
+    }
+
+    #[test]
+    fn engine_module_is_exempt() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/engine/scheduler.rs",
+                "fn f() { std::thread::scope(|s| { let _ = s; }); }\n",
+            )],
+        );
+        assert!(ThreadSpawn.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn bench_crate_is_exempt() {
+        let ws = ws_of(
+            "geotopo-bench",
+            &[(
+                "crates/x/src/lib.rs",
+                "fn f() { std::thread::spawn(|| {}); }\n",
+            )],
+        );
+        assert!(ThreadSpawn.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn marker_allows_site() {
+        let ws = ws_of(
+            "geotopo-geo",
+            &[(
+                "crates/x/src/lib.rs",
+                "// lint: allow(thread): test harness\nfn f() { std::thread::spawn(|| {}); }\n",
+            )],
+        );
+        assert!(ThreadSpawn.check(&ws).is_empty());
+    }
+}

@@ -14,6 +14,7 @@ const ALL_RULES: &[&str] = &[
     "GT-LINT-005",
     "GT-LINT-006",
     "GT-LINT-007",
+    "GT-LINT-008",
 ];
 
 fn fixture_root() -> PathBuf {

@@ -27,3 +27,7 @@ pub fn exact(x: f64) -> bool {
 pub fn unfinished() {
     todo!("never")
 }
+
+pub fn sidecar_worker() {
+    std::thread::spawn(|| {});
+}

@@ -41,9 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Gazetteer::builtin().len()
     );
 
+    let orgs = std::sync::Arc::new(orgs);
+    let gazetteer = std::sync::Arc::new(gazetteer);
     let ix = IxMapper::with_gazetteer(seed, orgs.clone(), gazetteer.clone());
     let es = EdgeScape::with_gazetteer(seed ^ 0x77, orgs.clone(), gazetteer);
-    let ng = NetGeo::new(seed ^ 0x99, orgs);
+    let ng = NetGeo::new(seed ^ 0x99, (*orgs).clone());
 
     for (name, mapper) in [
         ("IxMapper", &ix as &dyn GeoMapper),

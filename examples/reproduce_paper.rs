@@ -1,7 +1,8 @@
 //! Reproduce every table and figure of the paper.
 //!
 //! ```sh
-//! cargo run --release --example reproduce_paper [--validate] [scale] [seed] [out_dir]
+//! cargo run --release --example reproduce_paper \
+//!     [--validate] [--trace] [--threads N] [scale] [seed] [out_dir]
 //! ```
 //!
 //! `scale` ∈ {tiny, small, default, paper}; default `small`.
@@ -9,15 +10,31 @@
 //! JSON (one file per table/figure) alongside a combined `results.md`.
 //! `--validate` runs the cross-layer invariant validators between
 //! pipeline stages even in release builds (debug builds always run them).
+//! `--trace` prints the engine's per-stage execution reports (wall time,
+//! validation time, artifact sizes, cache outcomes) to stderr.
+//! `--threads N` pins the stage scheduler's worker count (equivalently
+//! `GEOTOPO_THREADS=N`; `1` is the legacy sequential path) — the output
+//! is byte-identical at any setting.
 
 use geotopo::core::experiments;
 use geotopo::core::pipeline::{Pipeline, PipelineConfig, ValidationMode};
+use geotopo::core::report;
 use std::io::Write;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().collect();
     let validate = args.iter().any(|a| a == "--validate");
     args.retain(|a| a != "--validate");
+    let trace = args.iter().any(|a| a == "--trace");
+    args.retain(|a| a != "--trace");
+    let mut threads = 0usize;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        let val = args
+            .get(pos + 1)
+            .ok_or("--threads requires a worker count")?;
+        threads = val.parse()?;
+        args.drain(pos..=pos + 1);
+    }
     let scale = args.get(1).map(String::as_str).unwrap_or("small");
     let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
     let out_dir = args.get(3).cloned();
@@ -44,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         ValidationMode::DebugOnly
     };
-    let out = Pipeline::new(config).with_validation(mode).run()?;
+    let out = Pipeline::new(config)
+        .with_validation(mode)
+        .with_threads(threads)
+        .run()?;
     eprintln!(
         "[geotopo] pipeline done in {:.1}s; ground truth: {} routers, {} interfaces, {} links",
         t0.elapsed().as_secs_f64(),
@@ -52,6 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.ground_truth.topology.num_interfaces(),
         out.ground_truth.topology.num_links(),
     );
+    if trace {
+        eprintln!("{}", report::stage_trace(&out.reports).render());
+    }
 
     let results = experiments::run_all(&out);
     for r in &results {

@@ -25,8 +25,8 @@ fn same_seed_report_is_byte_identical() {
     let b = Pipeline::new(PipelineConfig::tiny(77)).run().unwrap();
     assert_eq!(a.datasets.len(), b.datasets.len());
     for (da, db) in a.datasets.iter().zip(&b.datasets) {
-        let ja = serde_json::to_string(da).unwrap();
-        let jb = serde_json::to_string(db).unwrap();
+        let ja = serde_json::to_string(&**da).unwrap();
+        let jb = serde_json::to_string(&**db).unwrap();
         assert_eq!(
             ja, jb,
             "{} {} serialization diverged",
