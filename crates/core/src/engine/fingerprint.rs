@@ -40,6 +40,7 @@ fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
 
 /// Fingerprints a pipeline configuration.
 pub fn config_fingerprint(config: &PipelineConfig) -> Fingerprint {
+    // lint: allow(unwrap): PipelineConfig is plain data with derived Serialize; failure is a definition bug
     let json = serde_json::to_string(config).expect("pipeline config serializes");
     Fingerprint(fnv1a(FNV_OFFSET, json.as_bytes()))
 }

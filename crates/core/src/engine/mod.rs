@@ -20,13 +20,20 @@
 //!   the same config skip regeneration entirely (memory), and
 //!   persistable artifacts additionally spill to disk via `io.rs`.
 //! - **Observability.** Each stage execution records a [`StageReport`]
-//!   (wall time, validation time, artifact size, cache outcome),
-//!   surfaced through `PipelineOutput::reports` and `--trace`.
+//!   (wall time, validation time, artifact size, cache outcome,
+//!   attempts, degradation, anomalies), surfaced through
+//!   `PipelineOutput::reports` and `--trace`.
+//! - **Supervision.** Stages fail with a typed [`StageError`]; the
+//!   scheduler retries transient failures per [`RetryPolicy`], records
+//!   degraded-but-acceptable outcomes (monitor quorum runs) instead of
+//!   aborting, and — with a disk-backed store — a killed run resumes
+//!   from the last fingerprint-valid artifacts.
 
 mod fingerprint;
 mod scheduler;
 mod stages;
 mod store;
+mod supervise;
 
 pub use fingerprint::{config_fingerprint, stage_fingerprint, Fingerprint};
 pub use scheduler::{execute, parallel_map, resolve_threads, CacheStatus, StageReport};
@@ -36,10 +43,11 @@ pub use stages::{
     ORG_DB, ROUTE_TABLE,
 };
 pub use store::ArtifactStore;
+pub use supervise::{RetryPolicy, StageError};
 
 pub(crate) use stages::TABLE_I_ORDER;
 
-use crate::pipeline::{PipelineConfig, PipelineError};
+use crate::pipeline::PipelineConfig;
 use std::any::Any;
 use std::path::Path;
 use std::sync::Arc;
@@ -107,17 +115,38 @@ pub trait Stage: Send + Sync {
     ///
     /// # Errors
     ///
-    /// Stage-specific generation failures, as [`PipelineError`].
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError>;
+    /// A classified [`StageError`]; the scheduler retries retryable
+    /// failures per [`Stage::retry_policy`].
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError>;
 
     /// Checks the artifact's cross-layer invariants (called by the
     /// scheduler only when validation is active; timed separately).
     ///
     /// # Errors
     ///
-    /// The violated invariant, as [`PipelineError::Invariant`].
-    fn validate(&self, _artifact: &Artifact, _ctx: &StageCtx<'_>) -> Result<(), PipelineError> {
+    /// The violated invariant, as [`StageError::Invariant`].
+    fn validate(&self, _artifact: &Artifact, _ctx: &StageCtx<'_>) -> Result<(), StageError> {
         Ok(())
+    }
+
+    /// How often the scheduler re-runs this stage after a retryable
+    /// failure. Stages are pure, so the default allows a couple of
+    /// retries everywhere.
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    /// A degradation note when the artifact is usable but partial (e.g.
+    /// a collection that lost monitors to an outage but kept quorum).
+    /// Recorded in the [`StageReport`]; `None` means fully healthy.
+    fn health(&self, _artifact: &Artifact) -> Option<String> {
+        None
+    }
+
+    /// A one-line summary of collection anomalies survived while
+    /// producing the artifact, for `--trace`. `None` when clean.
+    fn anomalies(&self, _artifact: &Artifact) -> Option<String> {
+        None
     }
 
     /// Artifact size in stage-specific items, for the [`StageReport`].

@@ -10,13 +10,14 @@
 
 use super::fingerprint::{config_fingerprint, stage_fingerprint, Fingerprint};
 use super::store::ArtifactStore;
+use super::supervise::{self, StageError};
 use super::{Artifact, Stage, StageCtx};
 use crate::pipeline::{PipelineConfig, PipelineError};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// How a stage's artifact was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +61,15 @@ pub struct StageReport {
     pub artifact_items: usize,
     /// Where the artifact came from.
     pub cache: CacheStatus,
+    /// Execution attempts, including the first (>1 means supervision
+    /// retried a transient failure).
+    pub attempts: u32,
+    /// Degradation note when the stage proceeded with a partial result
+    /// (e.g. a monitor-quorum collection); `None` when fully healthy.
+    pub degraded: Option<String>,
+    /// One-line anomaly summary from the stage's artifact (`None` when
+    /// clean), surfaced per stage by `--trace`.
+    pub anomalies: Option<String>,
 }
 
 /// Resolves a thread-count knob: a positive knob wins, then a positive
@@ -182,7 +192,7 @@ pub fn execute(
                 // Claim the lowest-index ready stage, or exit when the
                 // run is complete or failed.
                 let (i, dep_artifacts) = {
-                    let mut st = state.lock().expect("scheduler lock");
+                    let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
                     loop {
                         if st.error.is_some() || st.done == n {
                             return;
@@ -190,11 +200,12 @@ pub fn execute(
                         if let Some(Reverse(i)) = st.ready.pop() {
                             let dep_artifacts: Vec<Artifact> = deps[i]
                                 .iter()
+                                // lint: allow(unwrap): indegree hit 0, so every dependency result is filled
                                 .map(|&d| st.results[d].clone().expect("dependency completed"))
                                 .collect();
                             break (i, dep_artifacts);
                         }
-                        st = cvar.wait(st).expect("scheduler lock");
+                        st = cvar.wait(st).unwrap_or_else(PoisonError::into_inner);
                     }
                 };
                 let outcome = run_stage(
@@ -205,7 +216,7 @@ pub fn execute(
                     store,
                     dep_artifacts,
                 );
-                let mut st = state.lock().expect("scheduler lock");
+                let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
                 match outcome {
                     Ok((artifact, report)) => {
                         st.results[i] = Some(artifact);
@@ -230,7 +241,7 @@ pub fn execute(
             });
         }
     });
-    let st = state.into_inner().expect("scheduler lock");
+    let st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
     if let Some(e) = st.error {
         return Err(e);
     }
@@ -258,6 +269,7 @@ fn execute_sequential(
     while let Some(Reverse(i)) = ready.pop() {
         let dep_artifacts: Vec<Artifact> = deps[i]
             .iter()
+            // lint: allow(unwrap): indegree hit 0, so every dependency result is filled
             .map(|&d| results[d].clone().expect("dependency completed"))
             .collect();
         let (artifact, report) = run_stage(
@@ -289,17 +301,23 @@ fn collect(
     (
         results
             .into_iter()
+            // lint: allow(unwrap): callers assert done == n before collecting
             .map(|a| a.expect("all stages completed"))
             .collect(),
         reports
             .into_iter()
+            // lint: allow(unwrap): callers assert done == n before collecting
             .map(|r| r.expect("all stages completed"))
             .collect(),
     )
 }
 
-/// Runs one stage through the cache cascade: memory hit → disk hit →
-/// compute (+ validate + store).
+/// Supervised stage execution: runs the stage through the cache cascade,
+/// retrying retryable [`StageError`]s per the stage's policy, and
+/// converting whatever survives supervision into a [`PipelineError`] at
+/// this boundary. Injected failures from the fault plan
+/// (`config.faults.stage_failures`) fail the first N compute attempts;
+/// cache hits never fail — fetching an artifact is not an execution.
 fn run_stage(
     stage: &dyn Stage,
     config: &PipelineConfig,
@@ -308,6 +326,39 @@ fn run_stage(
     store: Option<&ArtifactStore>,
     deps: Vec<Artifact>,
 ) -> Result<(Artifact, StageReport), PipelineError> {
+    let name = stage.name();
+    let policy = stage.retry_policy();
+    let injected = config.faults.failing_attempts(&name);
+    let mut attempt: u32 = 0;
+    loop {
+        match run_stage_once(
+            stage, config, config_fp, validate, store, &deps, attempt, injected,
+        ) {
+            Ok((artifact, mut report)) => {
+                report.attempts = attempt + 1;
+                return Ok((artifact, report));
+            }
+            Err(e) if e.is_retryable() && attempt < policy.max_retries => {
+                attempt += 1;
+            }
+            Err(e) => return Err(supervise::into_pipeline_error(&name, attempt + 1, e)),
+        }
+    }
+}
+
+/// One attempt of the cache cascade: memory hit → disk hit → compute
+/// (+ validate + store).
+#[allow(clippy::too_many_arguments)]
+fn run_stage_once(
+    stage: &dyn Stage,
+    config: &PipelineConfig,
+    config_fp: Fingerprint,
+    validate: bool,
+    store: Option<&ArtifactStore>,
+    deps: &[Artifact],
+    attempt: u32,
+    injected: u32,
+) -> Result<(Artifact, StageReport), StageError> {
     let name = stage.name();
     let fp = stage_fingerprint(config_fp, &name);
     let seed = stage.seed(config);
@@ -319,6 +370,14 @@ fn run_stage(
         validate_ms,
         artifact_items: items,
         cache,
+        attempts: 1,
+        degraded: None,
+        anomalies: None,
+    };
+    let finish = |artifact: Artifact, mut r: StageReport| {
+        r.degraded = stage.health(&artifact);
+        r.anomalies = stage.anomalies(&artifact);
+        (artifact, r)
     };
     // lint: allow(wall_clock): per-stage timing instrumentation is the engine's purpose
     let start = std::time::Instant::now();
@@ -327,7 +386,7 @@ fn run_stage(
             store.record(CacheStatus::HitMemory);
             let items = stage.artifact_items(&artifact);
             let r = report(ms_since(start), 0.0, items, CacheStatus::HitMemory);
-            return Ok((artifact, r));
+            return Ok(finish(artifact, r));
         }
         if let Some(dir) = store.disk_dir() {
             if let Some(artifact) = stage.load_cached(dir, fp) {
@@ -335,11 +394,19 @@ fn run_stage(
                 store.record(CacheStatus::HitDisk);
                 let items = stage.artifact_items(&artifact);
                 let r = report(ms_since(start), 0.0, items, CacheStatus::HitDisk);
-                return Ok((artifact, r));
+                return Ok(finish(artifact, r));
             }
         }
     }
-    let ctx = StageCtx { config, deps };
+    if attempt < injected {
+        return Err(StageError::Transient {
+            detail: format!("injected fault plan failure (attempt {})", attempt + 1),
+        });
+    }
+    let ctx = StageCtx {
+        config,
+        deps: deps.to_vec(),
+    };
     let artifact = stage.run(&ctx)?;
     let wall_ms = ms_since(start);
     let mut validate_ms = 0.0;
@@ -357,10 +424,8 @@ fn run_stage(
         }
     }
     let items = stage.artifact_items(&artifact);
-    Ok((
-        artifact,
-        report(wall_ms, validate_ms, items, CacheStatus::Miss),
-    ))
+    let r = report(wall_ms, validate_ms, items, CacheStatus::Miss);
+    Ok(finish(artifact, r))
 }
 
 fn ms_since(start: std::time::Instant) -> f64 {
@@ -392,7 +457,7 @@ where
                     return;
                 }
                 let value = job(i);
-                *slots[i].lock().expect("slot lock") = Some(value);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
             });
         }
     });
@@ -400,7 +465,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot lock")
+                .unwrap_or_else(PoisonError::into_inner)
+                // lint: allow(unwrap): the atomic counter hands every index to exactly one worker
                 .expect("every job index was claimed and completed")
         })
         .collect()

@@ -15,11 +15,12 @@
 //! monolith — same seed derivations, same iteration orders — so the
 //! artifacts are byte-identical to the pre-engine pipeline.
 
+use super::supervise::{check_stage, StageError};
 use super::{artifact, Artifact, Fingerprint, Stage, StageCtx};
 use crate::io;
 use crate::pipeline::{
-    check_stage, generation_regions, process, Collector, MapperKind, PipelineConfig, PipelineError,
-    PipelineStage, ProcessedDataset,
+    generation_regions, process, Collector, MapperKind, PipelineConfig, PipelineStage,
+    ProcessedDataset,
 };
 use geotopo_bgp::RouteTable;
 use geotopo_geomap::{EdgeScape, Gazetteer, GeoMapper, IxMapper, OrgDb};
@@ -68,6 +69,20 @@ pub fn map_stage_name(mapper: MapperKind, collector: Collector) -> String {
     format!("map-{m}-{c}")
 }
 
+/// Downcasts a validated artifact, classifying a type mismatch as an
+/// invariant violation (a wiring error between stage and validator, not
+/// a runtime condition worth retrying).
+fn downcast<'a, T: std::any::Any>(
+    a: &'a Artifact,
+    stage: PipelineStage,
+    what: &str,
+) -> Result<&'a T, StageError> {
+    a.downcast_ref::<T>().ok_or_else(|| StageError::Invariant {
+        stage,
+        detail: format!("{what} artifact has an unexpected type"),
+    })
+}
+
 /// The four (tool, collector) pairs in Table I order.
 pub(crate) const TABLE_I_ORDER: [(MapperKind, Collector); 4] = [
     (MapperKind::IxMapper, Collector::Mercator),
@@ -113,12 +128,8 @@ impl Stage for PopGridStage {
         config.world.seed.wrapping_add(1000 + self.region as u64)
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
-        let grid = ctx
-            .config
-            .world
-            .population_grid(self.region)
-            .map_err(PipelineError::GroundTruth)?;
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
+        let grid = ctx.config.world.population_grid(self.region)?;
         Ok(artifact(grid))
     }
 
@@ -146,19 +157,16 @@ impl Stage for GroundTruthStage {
         config.world.seed
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let grids: Vec<std::sync::Arc<PopulationGrid>> =
             (0..self.n_regions).map(|i| ctx.dep(i)).collect();
         let refs: Vec<&PopulationGrid> = grids.iter().map(|g| g.as_ref()).collect();
-        let gt = GroundTruth::generate_with_grids(ctx.config.world.clone(), &refs)
-            .map_err(PipelineError::GroundTruth)?;
+        let gt = GroundTruth::generate_with_grids(ctx.config.world.clone(), &refs)?;
         Ok(artifact(gt))
     }
 
-    fn validate(&self, a: &Artifact, _ctx: &StageCtx<'_>) -> Result<(), PipelineError> {
-        let gt = a
-            .downcast_ref::<GroundTruth>()
-            .expect("ground truth artifact");
+    fn validate(&self, a: &Artifact, _ctx: &StageCtx<'_>) -> Result<(), StageError> {
+        let gt: &GroundTruth = downcast(a, PipelineStage::GroundTruth, "ground truth")?;
         check_stage(PipelineStage::GroundTruth, gt.topology.validate())
     }
 
@@ -184,16 +192,14 @@ impl Stage for RouteTableStage {
         config.route_table.seed
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let gt = ctx.dep::<GroundTruth>(0);
         let table = RouteTable::synthesize(&gt.allocations, &ctx.config.route_table);
         Ok(artifact(table))
     }
 
-    fn validate(&self, a: &Artifact, _ctx: &StageCtx<'_>) -> Result<(), PipelineError> {
-        let table = a
-            .downcast_ref::<RouteTable>()
-            .expect("route table artifact");
+    fn validate(&self, a: &Artifact, _ctx: &StageCtx<'_>) -> Result<(), StageError> {
+        let table: &RouteTable = downcast(a, PipelineStage::RouteTable, "route table")?;
         check_stage(PipelineStage::RouteTable, table.validate())
     }
 
@@ -218,7 +224,7 @@ impl Stage for OrgDbStage {
         config.world.seed
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let gt = ctx.dep::<GroundTruth>(0);
         let mut orgs = OrgDb::new();
         for rec in &gt.as_records {
@@ -257,7 +263,7 @@ impl Stage for GazetteerStage {
         config.world.seed
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let mut gazetteer = Gazetteer::builtin();
         for i in 0..self.n_regions {
             let grid = ctx.dep::<PopulationGrid>(i);
@@ -290,18 +296,29 @@ impl Stage for CollectSkitterStage {
             .map_or(config.world.seed ^ 0x51, |c| c.seed)
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let gt = ctx.dep::<GroundTruth>(0);
         let cfg = ctx
             .config
             .skitter
             .clone()
             .unwrap_or_else(|| SkitterConfig::scaled(&gt, ctx.config.world.seed ^ 0x51));
-        Ok(artifact(Skitter::collect(&gt, &cfg)))
+        let out = Skitter::collect_with_faults(&gt, &cfg, &ctx.config.faults);
+        let planned = out.monitors.len();
+        let need = ctx.config.faults.quorum_monitors(planned);
+        let active = out.active_monitors();
+        if active < need {
+            return Err(StageError::QuorumLost {
+                active,
+                planned,
+                need,
+            });
+        }
+        Ok(artifact(out))
     }
 
-    fn validate(&self, a: &Artifact, ctx: &StageCtx<'_>) -> Result<(), PipelineError> {
-        let out = a.downcast_ref::<SkitterOutput>().expect("skitter artifact");
+    fn validate(&self, a: &Artifact, ctx: &StageCtx<'_>) -> Result<(), StageError> {
+        let out: &SkitterOutput = downcast(a, PipelineStage::Collection, "skitter")?;
         let gt = ctx.dep::<GroundTruth>(0);
         check_stage(
             PipelineStage::Collection,
@@ -309,9 +326,45 @@ impl Stage for CollectSkitterStage {
         )
     }
 
+    fn health(&self, a: &Artifact) -> Option<String> {
+        let out = a.downcast_ref::<SkitterOutput>()?;
+        if out.failed_monitors == 0 {
+            None
+        } else {
+            Some(format!(
+                "quorum run: {}/{} monitors healthy",
+                out.active_monitors(),
+                out.monitors.len()
+            ))
+        }
+    }
+
+    fn anomalies(&self, a: &Artifact) -> Option<String> {
+        a.downcast_ref::<SkitterOutput>()?
+            .dataset
+            .anomalies
+            .summary()
+    }
+
     fn artifact_items(&self, a: &Artifact) -> usize {
         a.downcast_ref::<SkitterOutput>()
             .map_or(0, |o| o.dataset.num_nodes())
+    }
+
+    fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
+        let out: SkitterOutput =
+            io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
+        Some(artifact(out))
+    }
+
+    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) {
+        if let Some(out) = a.downcast_ref::<SkitterOutput>() {
+            // Best-effort: a read-only cache dir degrades to memory-only.
+            let _ = io::save_json(
+                out,
+                &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
+            );
+        }
     }
 }
 
@@ -334,20 +387,25 @@ impl Stage for CollectMercatorStage {
             .map_or(config.world.seed ^ 0x3E, |c| c.seed)
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let gt = ctx.dep::<GroundTruth>(0);
         let cfg = ctx
             .config
             .mercator
             .clone()
             .unwrap_or_else(|| MercatorConfig::scaled(&gt, ctx.config.world.seed ^ 0x3E));
-        Ok(artifact(Mercator::collect(&gt, &cfg)))
+        // No quorum check: Mercator's primary source is operator-attended
+        // (outages only thin the lateral vantages), so the collection
+        // always stands.
+        Ok(artifact(Mercator::collect_with_faults(
+            &gt,
+            &cfg,
+            &ctx.config.faults,
+        )))
     }
 
-    fn validate(&self, a: &Artifact, ctx: &StageCtx<'_>) -> Result<(), PipelineError> {
-        let out = a
-            .downcast_ref::<MercatorOutput>()
-            .expect("mercator artifact");
+    fn validate(&self, a: &Artifact, ctx: &StageCtx<'_>) -> Result<(), StageError> {
+        let out: &MercatorOutput = downcast(a, PipelineStage::Collection, "mercator")?;
         let gt = ctx.dep::<GroundTruth>(0);
         check_stage(
             PipelineStage::Collection,
@@ -355,9 +413,32 @@ impl Stage for CollectMercatorStage {
         )
     }
 
+    fn anomalies(&self, a: &Artifact) -> Option<String> {
+        a.downcast_ref::<MercatorOutput>()?
+            .dataset
+            .anomalies
+            .summary()
+    }
+
     fn artifact_items(&self, a: &Artifact) -> usize {
         a.downcast_ref::<MercatorOutput>()
             .map_or(0, |o| o.dataset.num_nodes())
+    }
+
+    fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
+        let out: MercatorOutput =
+            io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
+        Some(artifact(out))
+    }
+
+    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) {
+        if let Some(out) = a.downcast_ref::<MercatorOutput>() {
+            // Best-effort: a read-only cache dir degrades to memory-only.
+            let _ = io::save_json(
+                out,
+                &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
+            );
+        }
     }
 }
 
@@ -377,7 +458,7 @@ impl Stage for MapperIxStage {
         config.mapper_seed
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let mapper = IxMapper::with_gazetteer(ctx.config.mapper_seed, ctx.dep(0), ctx.dep(1));
         Ok(artifact(mapper))
     }
@@ -399,7 +480,7 @@ impl Stage for MapperEsStage {
         config.mapper_seed ^ 0x77
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let mapper =
             EdgeScape::with_gazetteer(ctx.config.mapper_seed ^ 0x77, ctx.dep(0), ctx.dep(1));
         Ok(artifact(mapper))
@@ -454,7 +535,7 @@ impl Stage for MapStage {
         }
     }
 
-    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, PipelineError> {
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let gt = ctx.dep::<GroundTruth>(0);
         let table = ctx.dep::<RouteTable>(1);
         let run_process = |measured: &MeasuredDataset| match self.mapper {
@@ -484,10 +565,8 @@ impl Stage for MapStage {
         }))
     }
 
-    fn validate(&self, a: &Artifact, ctx: &StageCtx<'_>) -> Result<(), PipelineError> {
-        let ds = a
-            .downcast_ref::<ProcessedDataset>()
-            .expect("processed dataset artifact");
+    fn validate(&self, a: &Artifact, ctx: &StageCtx<'_>) -> Result<(), StageError> {
+        let ds: &ProcessedDataset = downcast(a, PipelineStage::Mapping, "processed dataset")?;
         let gt = ctx.dep::<GroundTruth>(0);
         check_stage(
             PipelineStage::Mapping,

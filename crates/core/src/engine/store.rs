@@ -14,7 +14,7 @@ use super::Artifact;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A thread-safe, fingerprint-keyed artifact cache.
 pub struct ArtifactStore {
@@ -52,12 +52,19 @@ impl ArtifactStore {
     /// Looks up an artifact by fingerprint (memory only; disk probing is
     /// stage-specific and driven by the scheduler).
     pub fn get(&self, fp: Fingerprint) -> Option<Artifact> {
-        self.mem.lock().expect("store lock").get(&fp.0).cloned()
+        self.mem
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&fp.0)
+            .cloned()
     }
 
     /// Inserts (or replaces) an artifact.
     pub fn put(&self, fp: Fingerprint, artifact: Artifact) {
-        self.mem.lock().expect("store lock").insert(fp.0, artifact);
+        self.mem
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fp.0, artifact);
     }
 
     /// Records one stage-level cache outcome in the hit/miss counters.
@@ -82,7 +89,10 @@ impl ArtifactStore {
 
     /// Number of artifacts currently held in memory.
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("store lock").len()
+        self.mem
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the in-memory store holds no artifacts.

@@ -1,0 +1,218 @@
+//! Stage supervision: a typed error taxonomy and per-stage retry policy.
+//!
+//! The engine used to abort the whole run on the first stage error. Under
+//! fault injection that is the wrong contract: a transient failure of a
+//! pure stage is recoverable by re-running it, a lost monitor is
+//! recoverable by degrading to a quorum, and only genuine invariant
+//! violations or generation failures should kill a run. [`StageError`]
+//! classifies the failure, [`RetryPolicy`] bounds the recovery, and the
+//! scheduler converts whatever survives supervision back into a
+//! [`PipelineError`] at the boundary so existing callers see the same
+//! error type they always did.
+
+use crate::pipeline::{PipelineError, PipelineStage};
+use geotopo_topology::generate::ground_truth::GroundTruthError;
+
+/// A classified stage failure.
+#[derive(Debug)]
+pub enum StageError {
+    /// World generation failed. Deterministic: retrying cannot help.
+    Generation(GroundTruthError),
+    /// A cross-layer invariant validator found a corrupt artifact.
+    /// Deterministic: retrying reproduces the same bytes.
+    Invariant {
+        /// Which pipeline stage the invariant belongs to.
+        stage: PipelineStage,
+        /// What was violated.
+        detail: String,
+    },
+    /// A transient infrastructure failure (injected or environmental).
+    /// Retryable: the stage is pure, so a re-run can succeed and
+    /// produces identical output when it does.
+    Transient {
+        /// What failed.
+        detail: String,
+    },
+    /// Too few monitors survived the campaign for the collection to
+    /// stand for the paper's dataset. Not retryable: the outage plan is
+    /// deterministic, so a re-run loses the same monitors.
+    QuorumLost {
+        /// Monitors that stayed healthy.
+        active: usize,
+        /// Monitors the campaign planned.
+        planned: usize,
+        /// The quorum threshold that was missed.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Generation(e) => write!(f, "ground-truth generation failed: {e}"),
+            StageError::Invariant { stage, detail } => {
+                write!(f, "invariant violated in {stage:?} stage: {detail}")
+            }
+            StageError::Transient { detail } => write!(f, "transient failure: {detail}"),
+            StageError::QuorumLost {
+                active,
+                planned,
+                need,
+            } => write!(
+                f,
+                "monitor quorum lost: {active}/{planned} healthy, need {need}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StageError::Generation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GroundTruthError> for StageError {
+    fn from(e: GroundTruthError) -> Self {
+        StageError::Generation(e)
+    }
+}
+
+impl StageError {
+    /// Whether re-running the stage can change the outcome.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StageError::Transient { .. })
+    }
+}
+
+/// How many times the scheduler re-runs a stage that failed with a
+/// retryable [`StageError`] before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-runs allowed after the first failed attempt.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Every stage is pure, so a couple of retries are always safe.
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is final.
+    pub const fn none() -> Self {
+        RetryPolicy { max_retries: 0 }
+    }
+
+    /// Exactly `n` retries after the first failure.
+    pub const fn retries(n: u32) -> Self {
+        RetryPolicy { max_retries: n }
+    }
+}
+
+/// Converts a supervision-final error into the public [`PipelineError`],
+/// preserving the legacy variants for generation and invariant failures
+/// so existing matches keep working.
+pub(crate) fn into_pipeline_error(stage: &str, attempts: u32, e: StageError) -> PipelineError {
+    match e {
+        StageError::Generation(g) => PipelineError::GroundTruth(g),
+        StageError::Invariant { stage, detail } => PipelineError::Invariant { stage, detail },
+        other => PipelineError::Stage {
+            stage: stage.to_string(),
+            attempts,
+            detail: other.to_string(),
+        },
+    }
+}
+
+/// Adapts a stage-local invariant check into a [`StageError`].
+///
+/// # Errors
+///
+/// Maps any `Err` to [`StageError::Invariant`] tagged with `stage`.
+pub(crate) fn check_stage<E: std::fmt::Display>(
+    stage: PipelineStage,
+    result: Result<(), E>,
+) -> Result<(), StageError> {
+    result.map_err(|e| StageError::Invariant {
+        stage,
+        detail: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_transient_errors_are_retryable() {
+        assert!(StageError::Transient {
+            detail: "injected".into()
+        }
+        .is_retryable());
+        assert!(!StageError::Invariant {
+            stage: PipelineStage::Collection,
+            detail: "x".into()
+        }
+        .is_retryable());
+        assert!(!StageError::QuorumLost {
+            active: 3,
+            planned: 19,
+            need: 10
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn boundary_conversion_preserves_legacy_variants() {
+        let e = into_pipeline_error(
+            "map-ixmapper-skitter",
+            1,
+            StageError::Invariant {
+                stage: PipelineStage::Mapping,
+                detail: "bad".into(),
+            },
+        );
+        assert!(matches!(e, PipelineError::Invariant { .. }));
+        let e = into_pipeline_error(
+            "collect-skitter",
+            3,
+            StageError::Transient {
+                detail: "injected".into(),
+            },
+        );
+        match e {
+            PipelineError::Stage {
+                stage, attempts, ..
+            } => {
+                assert_eq!(stage, "collect-skitter");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = StageError::QuorumLost {
+            active: 4,
+            planned: 19,
+            need: 10,
+        }
+        .to_string();
+        assert!(s.contains("4/19"));
+        assert!(s.contains("need 10"));
+    }
+
+    #[test]
+    fn retry_policy_constructors() {
+        assert_eq!(RetryPolicy::default().max_retries, 2);
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+        assert_eq!(RetryPolicy::retries(5).max_retries, 5);
+    }
+}

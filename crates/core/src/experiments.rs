@@ -685,6 +685,114 @@ pub fn fractal_dimension(out: &PipelineOutput) -> ExperimentResult {
     }
 }
 
+/// One row of the `faults` sweep: a full pipeline run at one severity,
+/// scored against its own (clean, identical) ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSweepPoint {
+    /// Fault severity in `[0, 1]` (0 = inert plan).
+    pub severity: f64,
+    /// Nodes in the mapped IxMapper/Skitter dataset.
+    pub nodes: usize,
+    /// Links in the mapped dataset.
+    pub links: usize,
+    /// Median great-circle error (miles) of mapped node locations
+    /// against the true router locations.
+    pub median_error_miles: f64,
+    /// Probes lost to injected packet loss (both collectors).
+    pub probes_lost: u64,
+    /// Probe retries issued in virtual time (both collectors).
+    pub retries: u64,
+    /// Skitter monitors that lost their campaign to outage.
+    pub failed_monitors: usize,
+}
+
+/// Median location error of a mapped dataset against the world it was
+/// measured from; nodes whose IP no longer resolves to a router (or that
+/// the mapper left unplaced at the origin) still count — distortion is
+/// the quantity of interest.
+fn median_error_miles(ds: &GeoDataset, gt: &geotopo_topology::generate::GroundTruth) -> f64 {
+    let mut errs: Vec<f64> = ds
+        .nodes
+        .iter()
+        .filter_map(|n| {
+            let router = gt.topology.router_by_ip(n.ip)?;
+            Some(
+                gt.topology
+                    .router(router)
+                    .location
+                    .distance_miles(&n.location),
+            )
+        })
+        .collect();
+    if errs.is_empty() {
+        return 0.0;
+    }
+    errs.sort_by(f64::total_cmp);
+    errs[errs.len() / 2]
+}
+
+/// The `faults` experiment: sweeps injected fault severity and reports
+/// how the mapped picture degrades — dataset size, median geolocation
+/// error, and the injected-and-survived pathology counters. Each
+/// severity is a full pipeline run over the *same* world (the fault seed
+/// is derived from `seed`, so the sweep is deterministic).
+///
+/// Not part of [`run_all`]: the paper has no such figure. The
+/// `fault_sweep` example and the fault test suite drive it directly.
+pub fn fault_severity_sweep(seed: u64, severities: &[f64]) -> ExperimentResult {
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    let mut points = Vec::with_capacity(severities.len());
+    let mut t = TextTable::new(
+        "Fault severity vs mapping accuracy (IxMapper/Skitter, tiny world)",
+        &[
+            "Severity",
+            "Nodes",
+            "Links",
+            "Median err (mi)",
+            "Lost",
+            "Retries",
+            "Failed monitors",
+        ],
+    );
+    for &severity in severities {
+        let mut config = PipelineConfig::tiny(seed);
+        config.faults = geotopo_measure::FaultConfig::at_severity(severity, seed ^ 0xFA);
+        let out = Pipeline::new(config)
+            .run()
+            .expect("default severities stay above monitor quorum");
+        let ds = &out
+            .dataset(MapperKind::IxMapper, Collector::Skitter)
+            .dataset;
+        let faults = &out.skitter.dataset.anomalies.faults;
+        let mfaults = &out.mercator.dataset.anomalies.faults;
+        let point = FaultSweepPoint {
+            severity,
+            nodes: ds.num_nodes(),
+            links: ds.num_links(),
+            median_error_miles: median_error_miles(ds, &out.ground_truth),
+            probes_lost: faults.probes_lost + mfaults.probes_lost,
+            retries: faults.retries + mfaults.retries,
+            failed_monitors: out.skitter.failed_monitors,
+        };
+        t.row(&[
+            format!("{:.2}", point.severity),
+            point.nodes.to_string(),
+            point.links.to_string(),
+            format!("{:.1}", point.median_error_miles),
+            point.probes_lost.to_string(),
+            point.retries.to_string(),
+            point.failed_monitors.to_string(),
+        ]);
+        points.push(point);
+    }
+    ExperimentResult {
+        id: "faults".into(),
+        title: "Fault severity vs mapping accuracy".into(),
+        text: t.render(),
+        json: serde_json::json!({ "points": points }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,6 +880,20 @@ mod tests {
             !us_sk["series"][0]["points"].as_array().unwrap().is_empty(),
             "US Skitter panel empty"
         );
+    }
+
+    #[test]
+    fn fault_sweep_reports_degradation() {
+        let r = fault_severity_sweep(11, &[0.0, 0.6]);
+        assert_eq!(r.id, "faults");
+        let pts = r.json["points"].as_array().unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0]["probes_lost"].as_u64().unwrap(), 0);
+        assert!(
+            pts[1]["probes_lost"].as_u64().unwrap() > 0,
+            "severity 0.6 injected no loss"
+        );
+        assert!(r.text.contains("Severity"));
     }
 
     #[test]

@@ -51,18 +51,39 @@ pub fn dataset_cache_path(dir: &Path, fingerprint: &str, stage: &str) -> PathBuf
     dir.join(format!("{fingerprint}-{stage}.json"))
 }
 
+/// Saves any serializable artifact as pretty JSON (used by the engine to
+/// spill collector outputs next to the processed datasets).
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_json<T: serde::Serialize>(value: &T, path: &Path) -> Result<(), IoError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a JSON artifact saved by [`save_json`]. No validation beyond
+/// deserialization — callers with invariants check them after loading.
+///
+/// # Errors
+///
+/// Propagates filesystem and deserialization failures.
+pub fn load_json<T: serde::Deserialize>(path: &Path) -> Result<T, IoError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&text)?)
+}
+
 /// Saves a processed dataset as pretty JSON.
 ///
 /// # Errors
 ///
 /// Propagates filesystem and serialization failures.
 pub fn save_dataset(ds: &ProcessedDataset, path: &Path) -> Result<(), IoError> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let json = serde_json::to_string_pretty(ds)?;
-    std::fs::write(path, json)?;
-    Ok(())
+    save_json(ds, path)
 }
 
 /// Loads and validates a processed dataset.

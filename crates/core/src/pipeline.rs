@@ -16,7 +16,10 @@ use crate::engine::{self, ArtifactStore, StageReport};
 use geotopo_bgp::{AsId, RouteTable, RouteTableConfig};
 use geotopo_geo::{GeoPoint, Region};
 use geotopo_geomap::{GeoMapper, MapContext};
-use geotopo_measure::{MeasuredDataset, MercatorConfig, NodeKind, SkitterConfig};
+use geotopo_measure::{
+    FaultConfig, MeasuredDataset, MercatorConfig, MercatorOutput, NodeKind, SkitterConfig,
+    SkitterOutput,
+};
 use geotopo_topology::generate::{GroundTruth, GroundTruthConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -244,6 +247,11 @@ pub struct PipelineConfig {
     pub route_table: RouteTableConfig,
     /// Mapper tool seeds.
     pub mapper_seed: u64,
+    /// Fault-injection profile. Probe-level fields are serialized (they
+    /// change the measured output, so they feed the fingerprint);
+    /// engine-level `stage_failures` are output-neutral and skipped —
+    /// see [`FaultConfig`].
+    pub faults: FaultConfig,
     /// Worker threads for stage execution (`0` = resolve from
     /// `GEOTOPO_THREADS`, else available parallelism; `1` = the legacy
     /// sequential path). Excluded from the config fingerprint and from
@@ -264,6 +272,7 @@ impl PipelineConfig {
                 ..RouteTableConfig::default()
             },
             mapper_seed: seed ^ 0xFEED,
+            faults: FaultConfig::none(),
             threads: 0,
         }
     }
@@ -347,6 +356,16 @@ pub enum PipelineError {
         /// The violated invariant.
         detail: String,
     },
+    /// A stage failed after exhausting its supervision policy (retries
+    /// for transient errors; quorum rules for degraded collections).
+    Stage {
+        /// The stage-graph name of the failed stage.
+        stage: String,
+        /// Execution attempts made, including the first.
+        attempts: u32,
+        /// The final classified error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -355,6 +374,16 @@ impl std::fmt::Display for PipelineError {
             PipelineError::GroundTruth(e) => write!(f, "ground truth generation: {e}"),
             PipelineError::Invariant { stage, detail } => {
                 write!(f, "invariant violated after {stage} stage: {detail}")
+            }
+            PipelineError::Stage {
+                stage,
+                attempts,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "stage `{stage}` failed after {attempts} attempt(s): {detail}"
+                )
             }
         }
     }
@@ -378,6 +407,11 @@ pub struct PipelineOutput {
     /// (IxMapper, Mercator), (IxMapper, Skitter), (EdgeScape, Mercator),
     /// (EdgeScape, Skitter).
     pub datasets: Vec<Arc<ProcessedDataset>>,
+    /// The raw Skitter collection (pre-mapping), for anomaly and
+    /// monitor-health reporting.
+    pub skitter: Arc<SkitterOutput>,
+    /// The raw Mercator collection (pre-mapping), for anomaly reporting.
+    pub mercator: Arc<MercatorOutput>,
     /// Per-stage execution reports (timing, artifact sizes, cache
     /// outcomes), in stage-graph order.
     pub reports: Vec<StageReport>,
@@ -401,17 +435,6 @@ pub struct Pipeline {
     config: PipelineConfig,
     validation: ValidationMode,
     store: Option<Arc<ArtifactStore>>,
-}
-
-/// Wraps a validator result into a stage-labelled [`PipelineError`].
-pub(crate) fn check_stage<E: std::fmt::Display>(
-    stage: PipelineStage,
-    result: Result<(), E>,
-) -> Result<(), PipelineError> {
-    result.map_err(|e| PipelineError::Invariant {
-        stage,
-        detail: e.to_string(),
-    })
 }
 
 /// Removes a named stage artifact from the map and downcasts it.
@@ -491,6 +514,8 @@ impl Pipeline {
 
         let ground_truth = take_artifact::<GroundTruth>(&mut by_name, engine::GROUND_TRUTH);
         let route_table = take_artifact::<RouteTable>(&mut by_name, engine::ROUTE_TABLE);
+        let skitter = take_artifact::<SkitterOutput>(&mut by_name, engine::COLLECT_SKITTER);
+        let mercator = take_artifact::<MercatorOutput>(&mut by_name, engine::COLLECT_MERCATOR);
         let datasets = engine::TABLE_I_ORDER
             .iter()
             .map(|&(mapper, collector)| {
@@ -505,6 +530,8 @@ impl Pipeline {
             ground_truth,
             route_table,
             datasets,
+            skitter,
+            mercator,
             reports,
         })
     }

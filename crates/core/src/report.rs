@@ -96,6 +96,9 @@ pub fn stage_trace(reports: &[StageReport]) -> TextTable {
             "Validate (ms)",
             "Items",
             "Cache",
+            "Try",
+            "Health",
+            "Anomalies",
         ],
     );
     for r in reports {
@@ -107,6 +110,9 @@ pub fn stage_trace(reports: &[StageReport]) -> TextTable {
             format!("{:.2}", r.validate_ms),
             r.artifact_items.to_string(),
             r.cache.to_string(),
+            r.attempts.to_string(),
+            r.degraded.clone().unwrap_or_else(|| "ok".into()),
+            r.anomalies.clone().unwrap_or_else(|| "-".into()),
         ]);
     }
     t

@@ -89,14 +89,104 @@ pub struct MeasuredNode {
     pub aliases: Vec<Ipv4Addr>,
 }
 
+/// One monitor's collection record: what it sent, what it skipped, and
+/// where it landed in the dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorRecord {
+    /// Ground-truth router id of the monitor.
+    pub router: u32,
+    /// Dataset node index of the monitor's first observed interface,
+    /// `None` if nothing it owns survived into the dataset. Kept in sync
+    /// by [`MeasuredDataset::remove_nodes`].
+    pub node: Option<u32>,
+    /// Probes this monitor launched.
+    pub probes: u64,
+    /// Traces skipped because the monitor was in outage.
+    pub skipped: u64,
+}
+
+impl MonitorRecord {
+    /// A monitor counts as failed when the outage swallowed more of its
+    /// campaign than it completed.
+    pub fn failed(&self) -> bool {
+        self.skipped > self.probes
+    }
+}
+
 /// Collection anomaly counters (the paper "discarded anomalies such as
-/// self-loops").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// self-loops"). One struct reports every pathology a collector survived:
+/// structural discards, alias-resolution artifacts, injected faults, and
+/// per-monitor outage accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AnomalyStats {
     /// Self-loop link observations discarded.
     pub self_loops: u64,
     /// Duplicate link observations collapsed.
     pub duplicate_links: u64,
+    /// Self-loops induced by alias resolution collapsing both endpoints
+    /// of a raw link onto one router (Mercator).
+    pub alias_self_loops: u64,
+    /// Injected-fault pathologies survived during collection.
+    pub faults: crate::faults::FaultStats,
+    /// Per-monitor collection records (multi-monitor collectors only;
+    /// `node` values index into this dataset's node list).
+    pub monitors: Vec<MonitorRecord>,
+}
+
+impl AnomalyStats {
+    /// Accumulates another collection's counters (monitor records are
+    /// appended; their node indices must already refer to this dataset).
+    pub fn absorb(&mut self, other: &AnomalyStats) {
+        self.self_loops += other.self_loops;
+        self.duplicate_links += other.duplicate_links;
+        self.alias_self_loops += other.alias_self_loops;
+        self.faults.absorb(&other.faults);
+        self.monitors.extend(other.monitors.iter().cloned());
+    }
+
+    /// A compact one-line summary for trace output; `None` when nothing
+    /// anomalous happened.
+    pub fn summary(&self) -> Option<String> {
+        let failed = self.monitors.iter().filter(|m| m.failed()).count();
+        if self.self_loops == 0
+            && self.duplicate_links == 0
+            && self.alias_self_loops == 0
+            && self.faults.is_zero()
+            && failed == 0
+        {
+            return None;
+        }
+        let mut parts = Vec::new();
+        if self.self_loops > 0 {
+            parts.push(format!("loops={}", self.self_loops));
+        }
+        if self.duplicate_links > 0 {
+            parts.push(format!("dups={}", self.duplicate_links));
+        }
+        if self.alias_self_loops > 0 {
+            parts.push(format!("alias-loops={}", self.alias_self_loops));
+        }
+        let f = &self.faults;
+        if f.probes_lost > 0 {
+            parts.push(format!("lost={}", f.probes_lost));
+        }
+        if f.rate_limited > 0 {
+            parts.push(format!("rate-limited={}", f.rate_limited));
+        }
+        if f.flap_breaks > 0 {
+            parts.push(format!("flaps={}", f.flap_breaks));
+        }
+        if f.retries > 0 {
+            parts.push(format!("retries={}/{}", f.retry_successes, f.retries));
+        }
+        if f.outage_skips > 0 {
+            parts.push(format!("outage-skips={}", f.outage_skips));
+        }
+        if failed > 0 {
+            parts.push(format!("monitors-lost={failed}"));
+        }
+        Some(parts.join(" "))
+    }
 }
 
 /// An undirected measured graph.
@@ -258,7 +348,9 @@ impl MeasuredDataset {
     }
 
     /// Removes the given node indices (e.g. destination-list interfaces),
-    /// dropping their incident links and compacting indices. Returns the
+    /// dropping their incident links and compacting indices — including
+    /// the node indices held by `anomalies.monitors`, which would
+    /// otherwise dangle or silently point at the wrong node. Returns the
     /// number of links removed.
     pub fn remove_nodes(&mut self, remove: &std::collections::HashSet<u32>) -> usize {
         let mut remap: Vec<Option<u32>> = vec![None; self.nodes.len()];
@@ -278,6 +370,13 @@ impl MeasuredDataset {
             }
         }
         self.links = kept_links;
+        // Monitor records reference nodes by index too; remap them the
+        // same way (a removed monitor node becomes None, not a stale id).
+        for m in &mut self.anomalies.monitors {
+            m.node = m
+                .node
+                .and_then(|n| remap.get(n as usize).copied().flatten());
+        }
         // Rebuild indices.
         self.node_index.clear();
         self.link_set.clear();
@@ -362,6 +461,75 @@ mod tests {
         let (x, y) = d.links()[0];
         let ips: Vec<_> = vec![d.nodes()[x as usize].ip, d.nodes()[y as usize].ip];
         assert!(ips.contains(&ip("1.0.0.1")) && ips.contains(&ip("1.0.0.3")));
+    }
+
+    #[test]
+    fn remove_nodes_compacts_monitor_records() {
+        let mut d = MeasuredDataset::new(NodeKind::Interface);
+        let a = d.intern(ip("1.0.0.1"));
+        let b = d.intern(ip("1.0.0.2"));
+        let c = d.intern(ip("1.0.0.3"));
+        d.observe_link(a, b);
+        d.observe_link(b, c);
+        d.anomalies.monitors = vec![
+            MonitorRecord {
+                router: 10,
+                node: Some(a),
+                probes: 5,
+                skipped: 0,
+            },
+            MonitorRecord {
+                router: 11,
+                node: Some(b),
+                probes: 5,
+                skipped: 0,
+            },
+            MonitorRecord {
+                router: 12,
+                node: Some(c),
+                probes: 5,
+                skipped: 0,
+            },
+        ];
+        let mut rm = std::collections::HashSet::new();
+        rm.insert(b);
+        d.remove_nodes(&rm);
+        // Monitor at the removed node loses its reference; the monitor
+        // past it is remapped to the compacted index, not left dangling.
+        assert_eq!(d.anomalies.monitors[0].node, Some(0));
+        assert_eq!(d.anomalies.monitors[1].node, None);
+        let c_new = d.anomalies.monitors[2].node.unwrap();
+        assert_eq!(d.nodes()[c_new as usize].ip, ip("1.0.0.3"));
+    }
+
+    #[test]
+    fn absorb_accumulates_and_summary_reports() {
+        let mut a = AnomalyStats::default();
+        assert_eq!(a.summary(), None);
+        let mut b = AnomalyStats {
+            self_loops: 2,
+            alias_self_loops: 3,
+            ..AnomalyStats::default()
+        };
+        b.faults.retries = 4;
+        b.faults.retry_successes = 1;
+        b.monitors.push(MonitorRecord {
+            router: 1,
+            node: None,
+            probes: 1,
+            skipped: 9,
+        });
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.self_loops, 4);
+        assert_eq!(a.alias_self_loops, 6);
+        assert_eq!(a.faults.retries, 8);
+        assert_eq!(a.monitors.len(), 2);
+        let s = a.summary().unwrap();
+        assert!(s.contains("loops=4"), "{s}");
+        assert!(s.contains("alias-loops=6"), "{s}");
+        assert!(s.contains("retries=2/8"), "{s}");
+        assert!(s.contains("monitors-lost=2"), "{s}");
     }
 
     fn tiny_topology() -> Topology {

@@ -1,0 +1,512 @@
+//! Deterministic fault injection in virtual probe-tick time.
+//!
+//! Real measurement campaigns are shaped by pathologies the paper could
+//! only observe after the fact: ICMP rate-limiting, packet loss, route
+//! flaps, and monitors that die mid-campaign. This module makes those
+//! pathologies first-class and *reproducible*: every fault decision is a
+//! hash of `(fault seed, virtual tick, router)` — never a draw from the
+//! collectors' RNG streams — so an inert plan leaves collection
+//! byte-identical to a fault-free build, and an active plan produces the
+//! same bytes at any thread count.
+//!
+//! Time is counted in **probe ticks**: the virtual clock advances by one
+//! for every probe a collector sends, and retry backoff advances it
+//! further without sending. There is no wall clock anywhere; flap windows
+//! and outage onsets are expressed in ticks against the campaign's
+//! expected probe budget.
+
+use serde::{Deserialize, Serialize};
+
+/// splitmix64 finalizer: a well-mixed 64-bit hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` keyed by `(seed, a, b)`. Decisions derived
+/// from this never perturb collector RNG state.
+fn unit(seed: u64, a: u64, b: u64) -> f64 {
+    let h = mix(seed ^ mix(a ^ mix(b)));
+    // 53 high bits → exactly representable in f64.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const LOSS_SALT: u64 = 0x10_55;
+const FLAP_SALT: u64 = 0xF1_A9;
+const OUTAGE_SALT: u64 = 0x0D_1E;
+
+/// An engine-level injected failure: the named stage fails transiently on
+/// its first `failures` execution attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFailure {
+    /// Stage name, as reported in `StageReport`.
+    pub stage: String,
+    /// How many leading attempts fail before the stage succeeds.
+    pub failures: u32,
+}
+
+/// The fault profile for a run.
+///
+/// Probe-level fields are serialized — they change the measured output,
+/// so they must feed the config fingerprint. `stage_failures` is
+/// deliberately `#[serde(skip)]`: a retried stage is pure, so injected
+/// engine failures are output-neutral and must *not* change the
+/// fingerprint — that is exactly what lets a killed run resume from the
+/// artifacts its healthy stages already produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Per-probe packet loss probability.
+    pub packet_loss: f64,
+    /// Per-router ICMP token-bucket capacity (0 disables rate-limiting).
+    pub rate_limit_burst: u32,
+    /// Tokens refilled per virtual tick.
+    pub rate_limit_refill: f64,
+    /// Fraction of routers that suffer one transient route flap.
+    pub flap_fraction: f64,
+    /// Flap window length, as a fraction of the campaign's probe budget.
+    pub flap_duration: f64,
+    /// Fraction of monitors that go dark mid-campaign and stay dark.
+    pub outage_fraction: f64,
+    /// Minimum fraction of planned monitors that must stay healthy for a
+    /// collection to count; below this the stage reports quorum loss.
+    pub quorum: f64,
+    /// Probe retransmissions attempted when a probe goes unanswered.
+    pub max_retries: u32,
+    /// Base retry backoff in virtual ticks (doubles per attempt).
+    pub retry_backoff: u64,
+    /// Seed for all hash-derived fault decisions.
+    pub seed: u64,
+    /// Engine-level injected stage failures (output-neutral; see above).
+    #[serde(skip)]
+    pub stage_failures: Vec<StageFailure>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+impl FaultConfig {
+    /// The inert plan: no faults, no retries — byte-identical to a build
+    /// without the fault substrate.
+    pub fn none() -> Self {
+        FaultConfig {
+            packet_loss: 0.0,
+            rate_limit_burst: 0,
+            rate_limit_refill: 0.0,
+            flap_fraction: 0.0,
+            flap_duration: 0.0,
+            outage_fraction: 0.0,
+            quorum: 0.5,
+            max_retries: 0,
+            retry_backoff: 4,
+            seed: 0,
+            stage_failures: Vec::new(),
+        }
+    }
+
+    /// A profile scaled by `severity` in `[0, 1]`: 0 is inert, 1 is a
+    /// badly-behaved internet. Outage stays below the default quorum so
+    /// severity sweeps complete instead of aborting.
+    pub fn at_severity(severity: f64, seed: u64) -> Self {
+        let s = severity.clamp(0.0, 1.0);
+        FaultConfig {
+            packet_loss: 0.10 * s,
+            rate_limit_burst: if s > 0.0 {
+                (30.0 - 26.0 * s).round() as u32
+            } else {
+                0
+            },
+            rate_limit_refill: if s > 0.0 {
+                0.25 * (1.0 - s) + 0.01
+            } else {
+                0.0
+            },
+            flap_fraction: 0.15 * s,
+            flap_duration: 0.20 * s,
+            outage_fraction: 0.40 * s,
+            quorum: 0.5,
+            max_retries: if s > 0.0 { 2 } else { 0 },
+            retry_backoff: 4,
+            seed,
+            stage_failures: Vec::new(),
+        }
+    }
+
+    /// Looks a named profile up (`none`, `light`, `moderate`, `heavy`).
+    pub fn profile(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none()),
+            "light" => Some(Self::at_severity(0.25, seed)),
+            "moderate" => Some(Self::at_severity(0.5, seed)),
+            "heavy" => Some(Self::at_severity(0.8, seed)),
+            _ => None,
+        }
+    }
+
+    /// Whether the probe-level plan injects nothing (engine-level
+    /// `stage_failures` do not affect probing).
+    pub fn is_inert(&self) -> bool {
+        self.packet_loss <= 0.0
+            && self.rate_limit_burst == 0
+            && self.flap_fraction <= 0.0
+            && self.outage_fraction <= 0.0
+    }
+
+    /// How many leading attempts of `stage` are set to fail.
+    pub fn failing_attempts(&self, stage: &str) -> u32 {
+        self.stage_failures
+            .iter()
+            .filter(|f| f.stage == stage)
+            .map(|f| f.failures)
+            .sum()
+    }
+
+    /// Minimum healthy monitors out of `planned` for quorum (at least 1).
+    pub fn quorum_monitors(&self, planned: usize) -> usize {
+        ((self.quorum * planned as f64).ceil() as usize).max(1)
+    }
+}
+
+/// What happened to one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeFate {
+    /// The probe reached the router and an answer came back.
+    Answered,
+    /// The probe (or its answer) was dropped in transit.
+    Lost,
+    /// The router's ICMP token bucket was empty.
+    RateLimited,
+    /// The route through this router was flapping; no answer.
+    Flapped,
+}
+
+/// Counters for every injected-and-survived pathology. All zero on a
+/// fault-free run; folded into `AnomalyStats` by the collectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Probes lost in transit.
+    pub probes_lost: u64,
+    /// Probes swallowed by ICMP rate-limiting.
+    pub rate_limited: u64,
+    /// Probes that hit a flapping route.
+    pub flap_breaks: u64,
+    /// Retransmissions sent.
+    pub retries: u64,
+    /// Retransmissions that recovered an answer a fault had swallowed.
+    pub retry_successes: u64,
+    /// Probes never sent because the monitor was in outage.
+    pub outage_skips: u64,
+}
+
+impl FaultStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.probes_lost += other.probes_lost;
+        self.rate_limited += other.rate_limited;
+        self.flap_breaks += other.flap_breaks;
+        self.retries += other.retries;
+        self.retry_successes += other.retry_successes;
+        self.outage_skips += other.outage_skips;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
+/// A compiled fault plan for one collection campaign: which routers flap
+/// (and when), and which monitors go dark (and when), all precomputed so
+/// per-probe decisions are O(1) lookups plus one hash.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    inert: bool,
+    /// Per-router flap window `[start, end)` in ticks, if any.
+    flaps: Vec<Option<(u64, u64)>>,
+    /// Per-monitor permanent outage onset tick, if any.
+    outages: Vec<Option<u64>>,
+}
+
+impl FaultPlan {
+    /// Compiles a plan for a campaign over `n_routers` routers and
+    /// `n_monitors` monitors expected to send about `expected_probes`
+    /// probes in total. Window placement scales with the probe budget;
+    /// the estimate only has to be the right order of magnitude.
+    pub fn compile(
+        cfg: &FaultConfig,
+        n_routers: usize,
+        n_monitors: usize,
+        expected_probes: u64,
+    ) -> Self {
+        let inert = cfg.is_inert();
+        let budget = expected_probes.max(1) as f64;
+        let flaps = (0..n_routers as u64)
+            .map(|r| {
+                if cfg.flap_fraction > 0.0 && unit(cfg.seed ^ FLAP_SALT, r, 0) < cfg.flap_fraction {
+                    let start = (unit(cfg.seed ^ FLAP_SALT, r, 1) * budget) as u64;
+                    let len = ((cfg.flap_duration * budget) as u64).max(1);
+                    Some((start, start.saturating_add(len)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let outages = (0..n_monitors as u64)
+            .map(|m| {
+                if cfg.outage_fraction > 0.0
+                    && unit(cfg.seed ^ OUTAGE_SALT, m, 0) < cfg.outage_fraction
+                {
+                    // Mid-campaign: somewhere in the first 10–60% of the
+                    // probe budget, so even early monitors can be caught.
+                    let frac = 0.10 + 0.50 * unit(cfg.seed ^ OUTAGE_SALT, m, 1);
+                    Some((frac * budget) as u64)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        FaultPlan {
+            cfg: cfg.clone(),
+            inert,
+            flaps,
+            outages,
+        }
+    }
+
+    /// The config this plan was compiled from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+}
+
+/// Mutable campaign state: the virtual clock, per-router token buckets,
+/// and the pathology counters.
+#[derive(Debug)]
+pub struct FaultSession<'p> {
+    plan: &'p FaultPlan,
+    tick: u64,
+    /// Per-router remaining tokens, refilled lazily by elapsed ticks.
+    tokens: Vec<f64>,
+    /// Tick of each router's last refill.
+    refilled_at: Vec<u64>,
+    /// Pathology counters for this campaign.
+    pub stats: FaultStats,
+}
+
+impl<'p> FaultSession<'p> {
+    /// Starts a session at tick 0 with full token buckets.
+    pub fn new(plan: &'p FaultPlan) -> Self {
+        let n = plan.flaps.len();
+        FaultSession {
+            plan,
+            tick: 0,
+            tokens: vec![f64::from(plan.cfg.rate_limit_burst); n],
+            refilled_at: vec![0; n],
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Retransmissions allowed per silent probe.
+    pub fn max_retries(&self) -> u32 {
+        self.plan.cfg.max_retries
+    }
+
+    /// Sends one probe toward `router`, advancing the clock one tick and
+    /// deciding its fate. The inert fast path answers unconditionally.
+    pub fn probe(&mut self, router: u32) -> ProbeFate {
+        self.tick += 1;
+        if self.plan.inert {
+            return ProbeFate::Answered;
+        }
+        let r = router as usize;
+        if let Some(&Some((start, end))) = self.plan.flaps.get(r) {
+            if start <= self.tick && self.tick < end {
+                self.stats.flap_breaks += 1;
+                return ProbeFate::Flapped;
+            }
+        }
+        let cfg = &self.plan.cfg;
+        if cfg.packet_loss > 0.0
+            && unit(cfg.seed ^ LOSS_SALT, self.tick, u64::from(router)) < cfg.packet_loss
+        {
+            self.stats.probes_lost += 1;
+            return ProbeFate::Lost;
+        }
+        if cfg.rate_limit_burst > 0 {
+            let elapsed = (self.tick - self.refilled_at[r]) as f64;
+            let burst = f64::from(cfg.rate_limit_burst);
+            self.tokens[r] = (self.tokens[r] + elapsed * cfg.rate_limit_refill).min(burst);
+            self.refilled_at[r] = self.tick;
+            if self.tokens[r] < 1.0 {
+                self.stats.rate_limited += 1;
+                return ProbeFate::RateLimited;
+            }
+            self.tokens[r] -= 1.0;
+        }
+        ProbeFate::Answered
+    }
+
+    /// Waits out the backoff before retry `attempt` (1-based), advancing
+    /// virtual time without sending anything.
+    pub fn backoff(&mut self, attempt: u32) {
+        let shift = attempt.saturating_sub(1).min(6);
+        self.tick += self.plan.cfg.retry_backoff << shift;
+    }
+
+    /// Whether monitor `m` is in outage at the current tick.
+    pub fn monitor_down(&self, m: usize) -> bool {
+        matches!(
+            self.plan.outages.get(m),
+            Some(&Some(onset)) if self.tick >= onset
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    // Exact equality is the property under test: the hash is a pure
+    // function of its integer inputs, bit-for-bit.
+    #[allow(clippy::float_cmp)]
+    fn unit_is_deterministic_and_uniformish() {
+        assert_eq!(unit(1, 2, 3), unit(1, 2, 3));
+        assert_ne!(unit(1, 2, 3), unit(1, 2, 4));
+        let mean: f64 = (0..1000).map(|i| unit(9, i, 0)).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from uniform");
+        assert!((0..1000).all(|i| (0.0..1.0).contains(&unit(9, i, 1))));
+    }
+
+    #[test]
+    fn inert_plan_always_answers() {
+        let plan = FaultPlan::compile(&FaultConfig::none(), 8, 4, 1000);
+        let mut s = FaultSession::new(&plan);
+        for r in 0..8u32 {
+            assert_eq!(s.probe(r), ProbeFate::Answered);
+        }
+        assert_eq!(s.tick(), 8);
+        assert!(s.stats.is_zero());
+        assert!(!s.monitor_down(0));
+    }
+
+    #[test]
+    fn token_bucket_exhausts_and_refills() {
+        let mut cfg = FaultConfig::none();
+        cfg.rate_limit_burst = 2;
+        cfg.rate_limit_refill = 0.5;
+        let plan = FaultPlan::compile(&cfg, 1, 1, 100);
+        let mut s = FaultSession::new(&plan);
+        // Each probe advances one tick and refills 0.5, so the bucket
+        // drains by 0.5/probe: answers until tokens dip below 1.
+        assert_eq!(s.probe(0), ProbeFate::Answered); // 2.5 - 1 = 1.5
+        assert_eq!(s.probe(0), ProbeFate::Answered); // 2.0 - 1 = 1.0
+        assert_eq!(s.probe(0), ProbeFate::Answered); // 1.5 - 1 = 0.5
+        assert_eq!(s.probe(0), ProbeFate::RateLimited); // 1.0 > tokens
+        assert!(s.stats.rate_limited >= 1);
+        // Backoff gives the bucket time to refill.
+        s.backoff(1);
+        assert_eq!(s.probe(0), ProbeFate::Answered);
+    }
+
+    #[test]
+    fn flap_window_silences_only_its_router_and_ticks() {
+        let mut cfg = FaultConfig::none();
+        cfg.flap_fraction = 1.0; // every router flaps
+        cfg.flap_duration = 0.5;
+        cfg.seed = 7;
+        let plan = FaultPlan::compile(&cfg, 4, 1, 100);
+        let mut s = FaultSession::new(&plan);
+        let mut flapped = 0;
+        let mut answered = 0;
+        for t in 0..200u32 {
+            match s.probe(t % 4) {
+                ProbeFate::Flapped => flapped += 1,
+                ProbeFate::Answered => answered += 1,
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+        assert!(flapped > 0, "no probe hit a flap window");
+        assert!(answered > 0, "flaps must be transient, not permanent");
+        assert_eq!(s.stats.flap_breaks, flapped);
+    }
+
+    #[test]
+    fn outage_onset_is_permanent() {
+        let mut cfg = FaultConfig::none();
+        cfg.outage_fraction = 1.0;
+        cfg.seed = 3;
+        let plan = FaultPlan::compile(&cfg, 2, 3, 100);
+        let mut s = FaultSession::new(&plan);
+        assert!(!s.monitor_down(0), "outage must not start at tick 0");
+        for _ in 0..200 {
+            s.probe(0);
+        }
+        for m in 0..3 {
+            assert!(s.monitor_down(m), "monitor {m} should be dark by now");
+        }
+    }
+
+    #[test]
+    fn packet_loss_rate_tracks_probability() {
+        let mut cfg = FaultConfig::none();
+        cfg.packet_loss = 0.2;
+        cfg.seed = 11;
+        let plan = FaultPlan::compile(&cfg, 1, 1, 10_000);
+        let mut s = FaultSession::new(&plan);
+        for _ in 0..10_000 {
+            s.probe(0);
+        }
+        let rate = s.stats.probes_lost as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.03, "loss rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn severity_zero_is_inert_and_profiles_resolve() {
+        assert!(FaultConfig::at_severity(0.0, 1).is_inert());
+        assert!(!FaultConfig::at_severity(0.5, 1).is_inert());
+        assert!(FaultConfig::profile("none", 1).is_some_and(|c| c.is_inert()));
+        for name in ["light", "moderate", "heavy"] {
+            assert!(
+                FaultConfig::profile(name, 1).is_some_and(|c| !c.is_inert()),
+                "{name} should be an active profile"
+            );
+        }
+        assert!(FaultConfig::profile("bogus", 1).is_none());
+    }
+
+    #[test]
+    fn stage_failures_do_not_serialize() {
+        let mut cfg = FaultConfig::at_severity(0.3, 5);
+        let clean = serde_json::to_string(&cfg).expect("serializes");
+        cfg.stage_failures.push(StageFailure {
+            stage: "collect-skitter".into(),
+            failures: 2,
+        });
+        let faulty = serde_json::to_string(&cfg).expect("serializes");
+        assert_eq!(
+            clean, faulty,
+            "stage failures are output-neutral and must be fingerprint-neutral"
+        );
+        assert_eq!(cfg.failing_attempts("collect-skitter"), 2);
+        assert_eq!(cfg.failing_attempts("route-table"), 0);
+    }
+
+    #[test]
+    fn quorum_counts_round_up() {
+        let cfg = FaultConfig::none();
+        assert_eq!(cfg.quorum_monitors(19), 10);
+        assert_eq!(cfg.quorum_monitors(1), 1);
+        assert_eq!(cfg.quorum_monitors(0), 1);
+    }
+}

@@ -19,6 +19,7 @@
 //!   alias-induced self-loops are discarded as anomalies.
 
 use crate::dataset::{MeasuredDataset, NodeKind};
+use crate::faults::{FaultConfig, FaultPlan, FaultSession};
 use crate::probe::TracerouteSim;
 use crate::routing::RoutingOracle;
 use geotopo_bgp::trie::PrefixTrie;
@@ -65,7 +66,7 @@ impl MercatorConfig {
 }
 
 /// Mercator collection result.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct MercatorOutput {
     /// The router-level dataset after alias resolution.
     pub dataset: MeasuredDataset,
@@ -80,8 +81,20 @@ pub struct MercatorOutput {
 pub struct Mercator;
 
 impl Mercator {
-    /// Runs a collection over the ground-truth world.
+    /// Runs a fault-free collection over the ground-truth world.
     pub fn collect(gt: &GroundTruth, cfg: &MercatorConfig) -> MercatorOutput {
+        Self::collect_with_faults(gt, cfg, &FaultConfig::none())
+    }
+
+    /// Runs a collection under an injected fault plan. Monitor outages
+    /// apply to the *lateral* vantages (the operator notices and restarts
+    /// their own primary host); all probe-level faults apply everywhere.
+    /// An inert plan is byte-identical to [`collect`](Self::collect).
+    pub fn collect_with_faults(
+        gt: &GroundTruth,
+        cfg: &MercatorConfig,
+        faults: &FaultConfig,
+    ) -> MercatorOutput {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let t = &gt.topology;
 
@@ -126,13 +139,27 @@ impl Mercator {
 
         let sim = TracerouteSim::new(t, cfg.response_prob, &mut rng);
 
+        // One fault session spans both sweeps; outage indices address the
+        // lateral vantages. The probe budget mirrors the sweep sizes.
+        let expected_probes = (destinations.len() as f64
+            * (1.0 + cfg.lateral_sources as f64 * cfg.lateral_coverage)
+            * 8.0) as u64;
+        let plan = FaultPlan::compile(
+            faults,
+            t.num_routers(),
+            cfg.lateral_sources,
+            expected_probes,
+        );
+        let mut session = FaultSession::new(&plan);
+
         // Raw interface-level adjacency observations.
         let mut raw = MeasuredDataset::new(NodeKind::Interface);
         let mut seen_routers: HashSet<u32> = HashSet::new();
         let trace_into = |oracle: &RoutingOracle,
                           dst_ip: Ipv4Addr,
                           raw: &mut MeasuredDataset,
-                          seen_routers: &mut HashSet<u32>| {
+                          seen_routers: &mut HashSet<u32>,
+                          session: &mut FaultSession<'_>| {
             let asn = match truth.lookup(dst_ip) {
                 Some((asn, _)) => *asn,
                 None => return,
@@ -141,7 +168,7 @@ impl Mercator {
                 return;
             };
             let attach = members[(u32::from(dst_ip) as usize) % members.len()];
-            let Some(hops) = sim.trace(oracle, attach) else {
+            let Some(hops) = sim.trace_with_faults(oracle, attach, session) else {
                 return;
             };
             let mut prev: Option<u32> = None;
@@ -163,7 +190,7 @@ impl Mercator {
         // Primary sweep.
         let primary = RoutingOracle::new(t, source);
         for &dst in &destinations {
-            trace_into(&primary, dst, &mut raw, &mut seen_routers);
+            trace_into(&primary, dst, &mut raw, &mut seen_routers, &mut session);
         }
 
         // Lateral vantage sweeps (loose-source-routing effect): re-probe
@@ -173,12 +200,18 @@ impl Mercator {
         // choice is a pure function of the seed.
         discovered.sort_unstable();
         if !discovered.is_empty() {
-            for _ in 0..cfg.lateral_sources {
+            for v in 0..cfg.lateral_sources {
                 let vantage = RouterId(discovered[rng.random_range(0..discovered.len())]);
                 let oracle = RoutingOracle::new(t, vantage);
                 for &dst in &destinations {
+                    // The coverage draw stays unconditional so the RNG
+                    // stream is identical with and without faults.
                     if rng.random::<f64>() < cfg.lateral_coverage {
-                        trace_into(&oracle, dst, &mut raw, &mut seen_routers);
+                        if session.monitor_down(v) {
+                            session.stats.outage_skips += 1;
+                            continue;
+                        }
+                        trace_into(&oracle, dst, &mut raw, &mut seen_routers, &mut session);
                     }
                 }
             }
@@ -223,8 +256,22 @@ impl Mercator {
             raw_to_new.push(new);
         }
         for &(a, b) in raw.links() {
-            dataset.observe_link(raw_to_new[a as usize], raw_to_new[b as usize]);
+            let (na, nb) = (raw_to_new[a as usize], raw_to_new[b as usize]);
+            if na == nb {
+                // Both raw endpoints collapsed onto one router: an
+                // alias-resolution artifact, reported distinctly from
+                // probing self-loops.
+                dataset.anomalies.alias_self_loops += 1;
+                continue;
+            }
+            dataset.observe_link(na, nb);
         }
+        // One struct reports every anomaly of the collection: fold the
+        // raw sweep's discards and the fault session's pathology
+        // counters into the final dataset's stats.
+        dataset.anomalies.self_loops += raw.anomalies.self_loops;
+        dataset.anomalies.duplicate_links += raw.anomalies.duplicate_links;
+        dataset.anomalies.faults.absorb(&session.stats);
 
         MercatorOutput {
             raw_interfaces: raw.num_nodes(),
@@ -329,5 +376,53 @@ mod tests {
         let b = Mercator::collect(&gt, &cfg(6));
         assert_eq!(a.dataset.num_nodes(), b.dataset.num_nodes());
         assert_eq!(a.dataset.num_links(), b.dataset.num_links());
+    }
+
+    #[test]
+    fn alias_self_loops_reported_in_anomaly_stats() {
+        let gt = world();
+        // Route churn is the organic source of same-router adjacencies:
+        // a flapping route briefly reverts and the previous router
+        // answers the TTL again. After alias resolution both endpoints
+        // collapse and the self-loop is discarded — into the unified
+        // struct, not silently.
+        let mut faults = FaultConfig::none();
+        faults.flap_fraction = 0.5;
+        faults.flap_duration = 0.4;
+        faults.seed = 13;
+        let out = Mercator::collect_with_faults(&gt, &cfg(7), &faults);
+        assert!(
+            out.dataset.anomalies.alias_self_loops > 0,
+            "route churn produced no alias self-loop discards"
+        );
+        // And they never survive into the link list.
+        assert!(out.dataset.validate().is_ok());
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_plain_collect() {
+        let gt = world();
+        let plain = Mercator::collect(&gt, &cfg(8));
+        let inert = Mercator::collect_with_faults(&gt, &cfg(8), &FaultConfig::none());
+        assert_eq!(
+            serde_json::to_string(&plain.dataset).unwrap(),
+            serde_json::to_string(&inert.dataset).unwrap()
+        );
+        assert!(plain.dataset.anomalies.faults.is_zero());
+    }
+
+    #[test]
+    fn faults_thin_but_never_corrupt() {
+        let gt = world();
+        let out = Mercator::collect_with_faults(&gt, &cfg(9), &FaultConfig::at_severity(0.7, 31));
+        let clean = Mercator::collect(&gt, &cfg(9));
+        assert!(!out.dataset.anomalies.faults.is_zero());
+        assert!(out.dataset.num_links() < clean.dataset.num_links());
+        assert!(out.dataset.validate_against(&gt.topology).is_ok());
+        let again = Mercator::collect_with_faults(&gt, &cfg(9), &FaultConfig::at_severity(0.7, 31));
+        assert_eq!(
+            serde_json::to_string(&out.dataset).unwrap(),
+            serde_json::to_string(&again.dataset).unwrap()
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! Routers that do not respond (rate-limiting, ICMP disabled) leave gaps;
 //! a gap breaks the adjacent-interface chain so no false link spans it.
 
+use crate::faults::{FaultSession, ProbeFate};
 use crate::routing::RoutingOracle;
 use geotopo_topology::{InterfaceId, RouterId, Topology};
 use rand::Rng;
@@ -66,6 +67,69 @@ impl<'a> TracerouteSim<'a> {
             };
             hops.push(Hop {
                 router: cur,
+                interface,
+            });
+        }
+        Some(hops)
+    }
+
+    /// Like [`trace`](Self::trace), but every probe runs through the
+    /// fault `session` in virtual time, with bounded retry-with-backoff
+    /// when a probe is swallowed by loss, rate-limiting, or a flap.
+    ///
+    /// Routers that are silent by disposition (the per-router coin) stay
+    /// silent — retransmitting cannot help, and a real prober cannot tell
+    /// the difference anyway, so the channel fate is decided first and
+    /// the responsiveness coin only gates what an answered probe reports.
+    /// Under an inert session this reproduces `trace` byte-for-byte.
+    pub fn trace_with_faults(
+        &self,
+        oracle: &RoutingOracle,
+        dst: RouterId,
+        session: &mut FaultSession<'_>,
+    ) -> Option<Vec<Hop>> {
+        let path = oracle.path(dst)?;
+        let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
+        for w in path.windows(2) {
+            let (prev, cur) = (w[0], w[1]);
+            let mut reported = cur;
+            let mut interface = None;
+            let mut attempt = 0u32;
+            loop {
+                let fate = session.probe(cur.0);
+                match fate {
+                    ProbeFate::Answered => {
+                        if self.responsive[cur.0 as usize] {
+                            interface = self.topology.interface_between(cur, prev);
+                            if attempt > 0 {
+                                session.stats.retry_successes += 1;
+                            }
+                        }
+                        break;
+                    }
+                    ProbeFate::Lost | ProbeFate::RateLimited | ProbeFate::Flapped => {
+                        if attempt >= session.max_retries() {
+                            if fate == ProbeFate::Flapped && self.responsive[prev.0 as usize] {
+                                // Route churn: the flapping route briefly
+                                // reverts and the *previous* router answers
+                                // this TTL again — real traceroute's loop
+                                // artifact. The recorded adjacency then
+                                // joins two interfaces of one router, the
+                                // organic source of alias-induced
+                                // self-loops after resolution.
+                                interface = self.topology.interface_between(prev, cur);
+                                reported = prev;
+                            }
+                            break;
+                        }
+                        attempt += 1;
+                        session.stats.retries += 1;
+                        session.backoff(attempt);
+                    }
+                }
+            }
+            hops.push(Hop {
+                router: reported,
                 interface,
             });
         }
@@ -143,6 +207,53 @@ mod tests {
         let h1 = sim.trace(&oracle, r[9]).unwrap();
         let h2 = sim.trace(&oracle, r[9]).unwrap();
         assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn inert_faults_reproduce_plain_trace() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (t, r) = line_topology(8);
+        let mut rng = StdRng::seed_from_u64(6);
+        let sim = TracerouteSim::new(&t, 0.6, &mut rng);
+        let oracle = RoutingOracle::new(&t, r[0]);
+        let plan = FaultPlan::compile(&FaultConfig::none(), t.num_routers(), 1, 100);
+        let mut session = FaultSession::new(&plan);
+        for dst in &r[1..] {
+            let plain = sim.trace(&oracle, *dst);
+            let faulty = sim.trace_with_faults(&oracle, *dst, &mut session);
+            assert_eq!(plain, faulty);
+        }
+        assert!(session.stats.is_zero());
+    }
+
+    #[test]
+    fn retries_recover_lost_answers() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (t, r) = line_topology(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sim = TracerouteSim::new(&t, 1.0, &mut rng);
+        let oracle = RoutingOracle::new(&t, r[0]);
+        let mut cfg = FaultConfig::none();
+        cfg.packet_loss = 0.4;
+        cfg.max_retries = 5;
+        cfg.seed = 17;
+        let plan = FaultPlan::compile(&cfg, t.num_routers(), 1, 10_000);
+        let mut session = FaultSession::new(&plan);
+        let mut answered = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let hops = sim.trace_with_faults(&oracle, r[5], &mut session).unwrap();
+            total += hops.len();
+            answered += hops.iter().filter(|h| h.interface.is_some()).count();
+        }
+        assert!(session.stats.probes_lost > 0, "loss never fired");
+        assert!(session.stats.retry_successes > 0, "no retry ever recovered");
+        // With 5 retries against 40% loss, nearly every hop answers:
+        // failure needs 6 consecutive losses (~0.4%).
+        assert!(
+            answered as f64 / total as f64 > 0.95,
+            "retries failed to mask loss: {answered}/{total}"
+        );
     }
 
     #[test]

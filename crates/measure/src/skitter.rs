@@ -14,7 +14,8 @@
 //!   further discarded all interfaces appearing in the destination lists";
 //! - self-loops and duplicate observations are discarded as anomalies.
 
-use crate::dataset::{MeasuredDataset, NodeKind};
+use crate::dataset::{MeasuredDataset, MonitorRecord, NodeKind};
+use crate::faults::{FaultConfig, FaultPlan, FaultSession};
 use crate::probe::TracerouteSim;
 use crate::routing::RoutingOracle;
 use geotopo_bgp::trie::PrefixTrie;
@@ -59,7 +60,7 @@ impl SkitterConfig {
 }
 
 /// Skitter collection result.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct SkitterOutput {
     /// The processed interface-level dataset (destinations discarded).
     pub dataset: MeasuredDataset,
@@ -67,8 +68,18 @@ pub struct SkitterOutput {
     pub raw_nodes: usize,
     /// Destination-list nodes discarded (paper: 18%).
     pub discarded_destinations: usize,
-    /// The monitors used.
+    /// The monitors planned for the campaign.
     pub monitors: Vec<RouterId>,
+    /// Monitors that lost more of their campaign to outage than they
+    /// completed (also recorded per-monitor in `dataset.anomalies`).
+    pub failed_monitors: usize,
+}
+
+impl SkitterOutput {
+    /// Monitors that stayed healthy for at least half their campaign.
+    pub fn active_monitors(&self) -> usize {
+        self.monitors.len().saturating_sub(self.failed_monitors)
+    }
 }
 
 /// The Skitter collector.
@@ -76,8 +87,20 @@ pub struct SkitterOutput {
 pub struct Skitter;
 
 impl Skitter {
-    /// Runs a collection over the ground-truth world.
+    /// Runs a fault-free collection over the ground-truth world.
     pub fn collect(gt: &GroundTruth, cfg: &SkitterConfig) -> SkitterOutput {
+        Self::collect_with_faults(gt, cfg, &FaultConfig::none())
+    }
+
+    /// Runs a collection under an injected fault plan. With an inert plan
+    /// this is byte-identical to [`collect`](Self::collect): fault
+    /// decisions are hash-derived in virtual probe-tick time and never
+    /// touch the collection RNG stream.
+    pub fn collect_with_faults(
+        gt: &GroundTruth,
+        cfg: &SkitterConfig,
+        faults: &FaultConfig,
+    ) -> SkitterOutput {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let t = &gt.topology;
 
@@ -120,12 +143,35 @@ impl Skitter {
         let sim = TracerouteSim::new(t, cfg.response_prob, &mut rng);
         let mut dataset = MeasuredDataset::new(NodeKind::Interface);
 
-        for &monitor in &monitors {
+        // Compile the fault plan against the campaign's probe budget
+        // (monitors × destinations × coverage × a typical hop count) so
+        // flap windows and outage onsets land mid-campaign.
+        let expected_probes =
+            (monitors.len() as f64 * destinations.len() as f64 * cfg.monitor_coverage * 8.0) as u64;
+        let plan = FaultPlan::compile(faults, t.num_routers(), monitors.len(), expected_probes);
+        let mut session = FaultSession::new(&plan);
+        let mut records: Vec<MonitorRecord> = Vec::with_capacity(monitors.len());
+
+        for (m_idx, &monitor) in monitors.iter().enumerate() {
             let oracle = RoutingOracle::new(t, monitor);
+            let mut record = MonitorRecord {
+                router: monitor.0,
+                node: None,
+                probes: 0,
+                skipped: 0,
+            };
             for &dst_ip in &destinations {
+                // The coverage draw comes first and unconditionally, so
+                // the RNG stream is identical with and without faults.
                 if rng.random::<f64>() >= cfg.monitor_coverage {
                     continue;
                 }
+                if session.monitor_down(m_idx) {
+                    record.skipped += 1;
+                    session.stats.outage_skips += 1;
+                    continue;
+                }
+                record.probes += 1;
                 // Attachment router: a deterministic member of the
                 // destination's AS (the access router serving it).
                 let asn = match truth.lookup(dst_ip) {
@@ -136,7 +182,7 @@ impl Skitter {
                     continue;
                 };
                 let attach = members[(u32::from(dst_ip) as usize) % members.len()];
-                let Some(hops) = sim.trace(&oracle, attach) else {
+                let Some(hops) = sim.trace_with_faults(&oracle, attach, &mut session) else {
                     continue;
                 };
                 // Chain adjacent reported interfaces; silence breaks the
@@ -161,7 +207,26 @@ impl Skitter {
                     dataset.observe_link(p, dst_node);
                 }
             }
+            records.push(record);
         }
+
+        // Anchor each monitor record at the lowest-indexed interface of
+        // its router present in the dataset (before destination
+        // discarding — remove_nodes remaps or clears the reference).
+        let mut first_node_of_router: HashMap<u32, u32> = HashMap::new();
+        for (i, node) in dataset.nodes().iter().enumerate() {
+            if let Some(iface) = t.interface_by_ip(node.ip) {
+                first_node_of_router
+                    .entry(t.interface(iface).router.0)
+                    .or_insert(i as u32);
+            }
+        }
+        for record in &mut records {
+            record.node = first_node_of_router.get(&record.router).copied();
+        }
+        let failed_monitors = records.iter().filter(|r| r.failed()).count();
+        dataset.anomalies.faults.absorb(&session.stats);
+        dataset.anomalies.monitors = records;
 
         // Discard destination-list interfaces (end hosts).
         let raw_nodes = dataset.num_nodes();
@@ -179,6 +244,7 @@ impl Skitter {
             raw_nodes,
             discarded_destinations,
             monitors,
+            failed_monitors,
         }
     }
 }
@@ -314,5 +380,77 @@ mod tests {
         let b = Skitter::collect(&gt, &cfg);
         assert_eq!(a.dataset.num_nodes(), b.dataset.num_nodes());
         assert_eq!(a.dataset.num_links(), b.dataset.num_links());
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_plain_collect() {
+        let gt = world();
+        let cfg = SkitterConfig {
+            n_monitors: 4,
+            destinations: 300,
+            monitor_coverage: 0.85,
+            response_prob: 0.95,
+            seed: 6,
+        };
+        let plain = Skitter::collect(&gt, &cfg);
+        let inert = Skitter::collect_with_faults(&gt, &cfg, &FaultConfig::none());
+        assert_eq!(
+            serde_json::to_string(&plain.dataset).unwrap(),
+            serde_json::to_string(&inert.dataset).unwrap()
+        );
+        assert!(plain.dataset.anomalies.faults.is_zero());
+        assert_eq!(plain.failed_monitors, 0);
+    }
+
+    #[test]
+    fn active_faults_are_counted_and_survived() {
+        let gt = world();
+        let cfg = SkitterConfig {
+            n_monitors: 6,
+            destinations: 400,
+            monitor_coverage: 0.9,
+            response_prob: 0.97,
+            seed: 7,
+        };
+        let out = Skitter::collect_with_faults(&gt, &cfg, &FaultConfig::at_severity(0.6, 21));
+        let f = &out.dataset.anomalies.faults;
+        assert!(f.probes_lost > 0, "packet loss never fired");
+        assert!(f.retries > 0, "no retries issued");
+        assert!(f.retry_successes > 0, "no retry recovered an answer");
+        assert_eq!(out.dataset.anomalies.monitors.len(), 6);
+        // Pathologies distort the dataset (loss thins it, churn adds
+        // same-router artifacts) but never corrupt it.
+        assert!(out.dataset.validate_against(&gt.topology).is_ok());
+        let clean = Skitter::collect(&gt, &cfg);
+        assert_ne!(
+            serde_json::to_string(&out.dataset).unwrap(),
+            serde_json::to_string(&clean.dataset).unwrap(),
+            "an active fault plan left the dataset untouched"
+        );
+    }
+
+    #[test]
+    fn outages_fail_monitors_deterministically() {
+        let gt = world();
+        let cfg = SkitterConfig {
+            n_monitors: 8,
+            destinations: 300,
+            monitor_coverage: 0.9,
+            response_prob: 0.97,
+            seed: 8,
+        };
+        let mut faults = FaultConfig::none();
+        faults.outage_fraction = 1.0;
+        faults.seed = 5;
+        let a = Skitter::collect_with_faults(&gt, &cfg, &faults);
+        assert!(a.failed_monitors > 0, "no monitor failed under outage 1.0");
+        assert!(a.dataset.anomalies.faults.outage_skips > 0);
+        assert!(a.active_monitors() < a.monitors.len());
+        let b = Skitter::collect_with_faults(&gt, &cfg, &faults);
+        assert_eq!(a.failed_monitors, b.failed_monitors);
+        assert_eq!(
+            serde_json::to_string(&a.dataset).unwrap(),
+            serde_json::to_string(&b.dataset).unwrap()
+        );
     }
 }

@@ -11,6 +11,7 @@ pub mod layering;
 pub mod missing_debug;
 pub mod nondeterminism;
 pub mod panic_markers;
+pub mod supervised_paths;
 pub mod thread_spawn;
 pub mod unwrap;
 pub mod wall_clock;
@@ -66,6 +67,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(layering::Layering),
         Box::new(panic_markers::PanicMarkers),
         Box::new(thread_spawn::ThreadSpawn),
+        Box::new(supervised_paths::SupervisedPaths),
     ]
 }
 

@@ -1,0 +1,129 @@
+//! GT-LINT-009: no `unwrap()`/`expect()` on supervised execution paths.
+//!
+//! The engine's supervision contract is that stage failures become typed
+//! `StageError`s, get retried per policy, and degrade gracefully to a
+//! monitor quorum — never abort the process. That contract is only as
+//! strong as its weakest call site: a panic inside the scheduler, the
+//! artifact store, or a collector tears down every in-flight stage and
+//! loses the run (and with it the resume checkpoint being written).
+//!
+//! Code under `crates/core/src/engine` and `crates/measure/src` must
+//! therefore return `Result`, use a non-panicking combinator, or carry
+//! the same `// lint: allow(unwrap): <why>` marker as GT-LINT-003 (one
+//! marker waives both rules at the site). Unlike GT-LINT-003 this rule
+//! is *path*-scoped, not crate-scoped: it reaches into `geotopo-core`,
+//! which the crate-level rule deliberately leaves free to assert its own
+//! experiment plumbing — but the engine submodule is the supervision
+//! substrate itself and gets no such latitude.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct SupervisedPaths;
+
+/// Workspace-relative path prefixes on the supervised execution path.
+const SCOPED_PATHS: &[&str] = &["crates/core/src/engine", "crates/measure/src"];
+
+impl Rule for SupervisedPaths {
+    fn id(&self) -> &'static str {
+        "GT-LINT-009"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap()/expect() on supervised execution paths (core engine, measure)"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            for file in &krate.files {
+                if !SCOPED_PATHS.iter().any(|p| file.path.starts_with(p)) {
+                    continue;
+                }
+                for (line, text) in file.code_lines() {
+                    let hit = if text.contains(".unwrap()") {
+                        Some("unwrap()")
+                    } else if text.contains(".expect(") {
+                        Some("expect(..)")
+                    } else {
+                        None
+                    };
+                    if let Some(what) = hit {
+                        if !file.is_allowed(line, "unwrap") {
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line,
+                                rule: self.id(),
+                                message: format!(
+                                    "`.{what}` aborts a supervised stage instead of \
+                                     surfacing a StageError; return a Result or justify \
+                                     with `// lint: allow(unwrap): <invariant>`"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_unwrap_and_expect_under_engine_path() {
+        let src = "fn f() {\n    let a = x.unwrap();\n    let b = y.expect(\"set\");\n}\n";
+        let ws = ws_of(
+            "geotopo-core",
+            &[("crates/core/src/engine/scheduler.rs", src)],
+        );
+        let f = SupervisedPaths.check(&ws);
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].line, f[1].line), (2, 3));
+        assert!(f.iter().all(|x| x.rule == "GT-LINT-009"));
+    }
+
+    #[test]
+    fn flags_measure_sources_regardless_of_crate_name() {
+        let src = "fn f() { let a = x.unwrap(); }\n";
+        let ws = ws_of("geotopo-measure", &[("crates/measure/src/faults.rs", src)]);
+        assert_eq!(SupervisedPaths.check(&ws).len(), 1);
+    }
+
+    #[test]
+    fn core_outside_engine_is_out_of_scope() {
+        let src = "fn f() { let a = x.unwrap(); }\n";
+        let ws = ws_of("geotopo-core", &[("crates/core/src/pipeline.rs", src)]);
+        assert!(SupervisedPaths.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_with_justification_waives() {
+        let src = "fn f() {\n    // lint: allow(unwrap): lock poisoning recovered via into_inner\n    let a = x.unwrap();\n}\n";
+        let ws = ws_of("geotopo-core", &[("crates/core/src/engine/store.rs", src)]);
+        assert!(SupervisedPaths.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        let ws = ws_of("geotopo-core", &[("crates/core/src/engine/store.rs", src)]);
+        assert!(SupervisedPaths.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn non_panicking_combinators_are_fine() {
+        let src = "fn f() { let a = x.unwrap_or(0); let b = y.unwrap_or_else(|| 1); }\n";
+        let ws = ws_of(
+            "geotopo-core",
+            &[("crates/core/src/engine/scheduler.rs", src)],
+        );
+        assert!(SupervisedPaths.check(&ws).is_empty());
+    }
+}

@@ -15,6 +15,7 @@ const ALL_RULES: &[&str] = &[
     "GT-LINT-006",
     "GT-LINT-007",
     "GT-LINT-008",
+    "GT-LINT-009",
 ];
 
 fn fixture_root() -> PathBuf {
@@ -51,6 +52,10 @@ fn seeded_fixture_trips_every_rule_with_file_line_diagnostics() {
     assert!(
         stdout.contains("crates/bad-geo/Cargo.toml:10: [GT-LINT-006]"),
         "layering edge not located at its manifest line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/core/src/engine/faulty.rs:5: [GT-LINT-009]"),
+        "supervised-path unwrap not located:\n{stdout}"
     );
 }
 

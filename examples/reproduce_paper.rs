@@ -2,7 +2,8 @@
 //!
 //! ```sh
 //! cargo run --release --example reproduce_paper \
-//!     [--validate] [--trace] [--threads N] [scale] [seed] [out_dir]
+//!     [--validate] [--trace] [--threads N] [--faults PROFILE] [--resume] \
+//!     [scale] [seed] [out_dir]
 //! ```
 //!
 //! `scale` ∈ {tiny, small, default, paper}; default `small`.
@@ -11,15 +12,25 @@
 //! `--validate` runs the cross-layer invariant validators between
 //! pipeline stages even in release builds (debug builds always run them).
 //! `--trace` prints the engine's per-stage execution reports (wall time,
-//! validation time, artifact sizes, cache outcomes) to stderr.
+//! validation time, artifact sizes, cache outcomes, attempts, health) to
+//! stderr.
 //! `--threads N` pins the stage scheduler's worker count (equivalently
 //! `GEOTOPO_THREADS=N`; `1` is the legacy sequential path) — the output
 //! is byte-identical at any setting.
+//! `--faults PROFILE` (none|light|moderate|heavy) runs the collection
+//! under a deterministic injected fault plan — same seed + same profile
+//! is byte-identical at any thread count.
+//! `--resume` spills stage artifacts to `.geotopo-cache/` and, on a
+//! re-run, resumes from the last fingerprint-valid artifacts instead of
+//! recomputing them (a killed run picks up where it left off).
 
+use geotopo::core::engine::ArtifactStore;
 use geotopo::core::experiments;
 use geotopo::core::pipeline::{Pipeline, PipelineConfig, ValidationMode};
 use geotopo::core::report;
+use geotopo::measure::FaultConfig;
 use std::io::Write;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().collect();
@@ -27,6 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     args.retain(|a| a != "--validate");
     let trace = args.iter().any(|a| a == "--trace");
     args.retain(|a| a != "--trace");
+    let resume = args.iter().any(|a| a == "--resume");
+    args.retain(|a| a != "--resume");
     let mut threads = 0usize;
     if let Some(pos) = args.iter().position(|a| a == "--threads") {
         let val = args
@@ -35,11 +48,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads = val.parse()?;
         args.drain(pos..=pos + 1);
     }
+    let mut fault_profile = String::from("none");
+    if let Some(pos) = args.iter().position(|a| a == "--faults") {
+        fault_profile = args
+            .get(pos + 1)
+            .ok_or("--faults requires a profile (none|light|moderate|heavy)")?
+            .clone();
+        args.drain(pos..=pos + 1);
+    }
     let scale = args.get(1).map(String::as_str).unwrap_or("small");
     let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
     let out_dir = args.get(3).cloned();
 
-    let config = match scale {
+    let mut config = match scale {
         "tiny" => PipelineConfig::tiny(seed),
         "small" => PipelineConfig::small(seed),
         "default" => PipelineConfig::default_scale(seed),
@@ -51,9 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         other => return Err(format!("unknown scale {other:?} (tiny|small|default|paper)").into()),
     };
+    config.faults = FaultConfig::profile(&fault_profile, seed ^ 0xFA).ok_or_else(|| {
+        format!("unknown fault profile {fault_profile:?} (none|light|moderate|heavy)")
+    })?;
 
     eprintln!(
-        "[geotopo] generating world and collecting datasets (scale = {scale}, seed = {seed})..."
+        "[geotopo] generating world and collecting datasets (scale = {scale}, seed = {seed}, faults = {fault_profile})..."
     );
     let t0 = std::time::Instant::now();
     let mode = if validate {
@@ -61,10 +85,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         ValidationMode::DebugOnly
     };
-    let out = Pipeline::new(config)
+    let mut pipeline = Pipeline::new(config)
         .with_validation(mode)
-        .with_threads(threads)
-        .run()?;
+        .with_threads(threads);
+    if resume {
+        pipeline = pipeline.with_store(Arc::new(ArtifactStore::with_disk(".geotopo-cache")));
+    }
+    let out = pipeline.run()?;
     eprintln!(
         "[geotopo] pipeline done in {:.1}s; ground truth: {} routers, {} interfaces, {} links",
         t0.elapsed().as_secs_f64(),

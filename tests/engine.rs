@@ -144,7 +144,10 @@ fn disk_cache_survives_store_loss() {
         .iter()
         .filter(|r| r.cache == CacheStatus::HitDisk)
         .count();
-    assert_eq!(disk_hits, 4, "all four map stages should reload from disk");
+    assert_eq!(
+        disk_hits, 6,
+        "both collectors and all four map stages should reload from disk"
+    );
     for (a, b) in first.datasets.iter().zip(&second.datasets) {
         assert_eq!(
             serde_json::to_string(&**a).unwrap(),

@@ -1,0 +1,210 @@
+//! Fault-injection and supervision guarantees: determinism under active
+//! fault plans, retry-to-success, resume-after-failure, and quorum
+//! degradation.
+
+use geotopo::core::engine::{config_fingerprint, ArtifactStore, CacheStatus};
+use geotopo::core::experiments;
+use geotopo::core::pipeline::{Pipeline, PipelineConfig, PipelineError};
+use geotopo::measure::{FaultConfig, StageFailure};
+use std::sync::Arc;
+
+fn faulted_config(seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::tiny(seed);
+    config.faults = FaultConfig::at_severity(0.6, 9);
+    config
+}
+
+/// The tentpole guarantee: an *active* fault plan is part of the config,
+/// so the faulted output is still a pure function of (config, seed) —
+/// byte-identical at any worker count, datasets and experiments alike.
+#[test]
+fn faulted_output_byte_identical_across_thread_counts() {
+    let seq = Pipeline::new(faulted_config(41))
+        .with_threads(1)
+        .run()
+        .unwrap();
+    let par = Pipeline::new(faulted_config(41))
+        .with_threads(4)
+        .run()
+        .unwrap();
+
+    // The plan actually fired — this is not the inert fast path.
+    assert!(
+        !seq.skitter.dataset.anomalies.faults.is_zero(),
+        "severity 0.6 injected nothing"
+    );
+
+    for (a, b) in seq.datasets.iter().zip(&par.datasets) {
+        assert_eq!(
+            serde_json::to_string(&**a).unwrap(),
+            serde_json::to_string(&**b).unwrap(),
+            "{} {} diverged between thread counts under faults",
+            a.mapper,
+            a.collector
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&*seq.skitter).unwrap(),
+        serde_json::to_string(&*par.skitter).unwrap(),
+        "skitter collection diverged between thread counts"
+    );
+    assert_eq!(
+        serde_json::to_string(&*seq.mercator).unwrap(),
+        serde_json::to_string(&*par.mercator).unwrap(),
+        "mercator collection diverged between thread counts"
+    );
+
+    let ra = experiments::run_all(&seq);
+    let rb = experiments::run_all(&par);
+    assert_eq!(ra.len(), rb.len());
+    for (x, y) in ra.iter().zip(&rb) {
+        assert_eq!(x.text, y.text, "experiment {} diverged under faults", x.id);
+    }
+}
+
+/// Injected stage failures are supervision-level, not data-level: the
+/// scheduler retries them per policy, the run completes, and the report
+/// records the attempts. They are also fingerprint-neutral, so they
+/// never invalidate cached artifacts.
+#[test]
+fn transient_stage_failures_are_retried_to_success() {
+    let clean = PipelineConfig::tiny(43);
+    let mut config = PipelineConfig::tiny(43);
+    config.faults.stage_failures = vec![StageFailure {
+        stage: "route-table".into(),
+        failures: 2,
+    }];
+    assert_eq!(
+        config_fingerprint(&clean),
+        config_fingerprint(&config),
+        "stage failures must not change the config fingerprint"
+    );
+
+    let baseline = Pipeline::new(clean).run().unwrap();
+    let out = Pipeline::new(config).run().unwrap();
+    let report = out
+        .reports
+        .iter()
+        .find(|r| r.stage == "route-table")
+        .unwrap();
+    assert_eq!(report.attempts, 3, "two failures then success");
+    for (a, b) in baseline.datasets.iter().zip(&out.datasets) {
+        assert_eq!(
+            serde_json::to_string(&**a).unwrap(),
+            serde_json::to_string(&**b).unwrap(),
+            "retried run diverged from clean run"
+        );
+    }
+}
+
+/// A stage that exhausts its retries fails the run with the supervised
+/// error — but everything that completed first is on disk, so a second
+/// run against the same store resumes from the last fingerprint-valid
+/// artifacts and finishes byte-identically to a never-failed run.
+#[test]
+fn killed_run_resumes_from_disk_byte_identical() {
+    let dir = std::env::temp_dir().join("geotopo_faults_resume_test");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let baseline = Pipeline::new(PipelineConfig::tiny(44)).run().unwrap();
+
+    // First run: the second map stage dies harder than its retry policy.
+    let mut config = PipelineConfig::tiny(44);
+    config.faults.stage_failures = vec![StageFailure {
+        stage: "map-ixmapper-skitter".into(),
+        failures: 5,
+    }];
+    let err = Pipeline::new(config)
+        .with_threads(1)
+        .with_store(Arc::new(ArtifactStore::with_disk(&dir)))
+        .run()
+        .unwrap_err();
+    match err {
+        PipelineError::Stage {
+            stage, attempts, ..
+        } => {
+            assert_eq!(stage, "map-ixmapper-skitter");
+            assert_eq!(attempts, 3, "default policy is two retries");
+        }
+        other => panic!("wrong error variant: {other}"),
+    }
+
+    // Second run, same store, fault gone (the outage ended): collectors
+    // and the completed map stage reload from disk, the rest compute.
+    let store = Arc::new(ArtifactStore::with_disk(&dir));
+    let resumed = Pipeline::new(PipelineConfig::tiny(44))
+        .with_store(Arc::clone(&store))
+        .run()
+        .unwrap();
+    let disk_hits = resumed
+        .reports
+        .iter()
+        .filter(|r| r.cache == CacheStatus::HitDisk)
+        .count();
+    assert!(
+        disk_hits >= 3,
+        "resume reloaded only {disk_hits} artifacts from disk"
+    );
+    for (a, b) in baseline.datasets.iter().zip(&resumed.datasets) {
+        assert_eq!(
+            serde_json::to_string(&**a).unwrap(),
+            serde_json::to_string(&**b).unwrap(),
+            "resumed run diverged from uninterrupted run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A mid-campaign monitor outage that stays above quorum does not fail
+/// the collection: the run completes degraded, and the degradation is
+/// recorded on the collect stage's report.
+#[test]
+fn monitor_outage_degrades_to_quorum_run() {
+    let mut config = PipelineConfig::tiny(41);
+    config.faults.outage_fraction = 1.0;
+    config.faults.quorum = 0.1;
+    config.faults.seed = 5;
+    let out = Pipeline::new(config).run().unwrap();
+    assert!(
+        out.skitter.failed_monitors > 0,
+        "outage 1.0 failed no monitor"
+    );
+    assert!(out.skitter.active_monitors() > 0);
+    let report = out
+        .reports
+        .iter()
+        .find(|r| r.stage == "collect-skitter")
+        .unwrap();
+    let degraded = report.degraded.as_deref().expect("degradation recorded");
+    assert!(
+        degraded.contains("monitors healthy"),
+        "unexpected health note: {degraded}"
+    );
+    assert!(
+        report
+            .anomalies
+            .as_deref()
+            .is_some_and(|a| a.contains("outage-skips")),
+        "anomaly summary missing outage skips: {:?}",
+        report.anomalies
+    );
+}
+
+/// Below quorum the collection cannot stand for the paper's dataset:
+/// the stage fails (non-retryable — the outage plan is deterministic)
+/// and the error surfaces through the supervised boundary.
+#[test]
+fn quorum_loss_fails_the_collect_stage() {
+    let mut config = PipelineConfig::tiny(41);
+    config.faults.outage_fraction = 1.0;
+    config.faults.quorum = 1.01; // stricter than any campaign can meet
+    config.faults.seed = 5;
+    let err = Pipeline::new(config).run().unwrap_err();
+    match err {
+        PipelineError::Stage { stage, detail, .. } => {
+            assert_eq!(stage, "collect-skitter");
+            assert!(detail.contains("quorum"), "detail: {detail}");
+        }
+        other => panic!("wrong error variant: {other}"),
+    }
+}
