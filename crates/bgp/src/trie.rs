@@ -589,4 +589,21 @@ mod tests {
         assert_eq!(t.lookup(ip("192.168.1.0")), Some((&2, 24)));
         assert_eq!(t.lookup(ip("192.168.2.0")), None);
     }
+
+    #[test]
+    fn default_route_shadowed_by_more_specifics() {
+        // A /0 matches every address but must lose to any longer match —
+        // and must still answer (with length 0) for addresses outside
+        // every covering prefix.
+        let mut t = PrefixTrie::new();
+        t.insert(pfx("0.0.0.0/0"), 1u32);
+        t.insert(pfx("10.0.0.0/8"), 2);
+        t.insert(pfx("10.1.0.0/16"), 3);
+        assert_eq!(t.lookup(ip("10.1.2.3")), Some((&3, 16)));
+        assert_eq!(t.lookup(ip("10.200.0.1")), Some((&2, 8)));
+        assert_eq!(t.lookup(ip("172.16.0.1")), Some((&1, 0)));
+        assert_eq!(t.lookup(ip("0.0.0.0")), Some((&1, 0)));
+        assert_eq!(t.lookup(ip("255.255.255.255")), Some((&1, 0)));
+        assert_eq!(t.validate(), Ok(()));
+    }
 }

@@ -36,7 +36,10 @@ mod store;
 mod supervise;
 
 pub use fingerprint::{config_fingerprint, stage_fingerprint, Fingerprint};
-pub use scheduler::{execute, parallel_map, resolve_threads, CacheStatus, StageReport};
+pub use scheduler::{
+    execute, parallel_map, parse_threads_env, resolve_threads, threads_env_warning, CacheStatus,
+    StageReport,
+};
 pub use stages::{map_stage_name, pipeline_stages, pop_grid_name};
 pub use stages::{
     COLLECT_MERCATOR, COLLECT_SKITTER, GAZETTEER, GROUND_TRUTH, MAPPER_EDGESCAPE, MAPPER_IXMAPPER,
@@ -48,6 +51,7 @@ pub use supervise::{RetryPolicy, StageError};
 pub(crate) use stages::TABLE_I_ORDER;
 
 use crate::pipeline::PipelineConfig;
+use crate::telemetry::Telemetry;
 use std::any::Any;
 use std::path::Path;
 use std::sync::Arc;
@@ -60,17 +64,27 @@ pub fn artifact<T: Any + Send + Sync>(value: T) -> Artifact {
     Arc::new(value)
 }
 
-/// Everything a running stage sees: the pipeline configuration plus the
-/// artifacts of its declared dependencies.
+/// Everything a running stage sees: the pipeline configuration, the
+/// artifacts of its declared dependencies, and the run's telemetry
+/// registry.
 #[derive(Debug)]
 pub struct StageCtx<'a> {
     /// The full pipeline configuration.
     pub config: &'a PipelineConfig,
     /// Dependency artifacts, in [`Stage::deps`] order.
     pub(crate) deps: Vec<Artifact>,
+    /// The run's metrics registry (write-only from stages).
+    pub(crate) telemetry: &'a Telemetry,
 }
 
 impl StageCtx<'_> {
+    /// The run's telemetry registry. Stages record domain counters here
+    /// (probe volumes, resolution paths, LPM stats); the registry is
+    /// write-only, so recording can never perturb an artifact.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
+    }
+
     /// Downcasts the `index`-th dependency (in [`Stage::deps`] order) to
     /// its concrete type.
     ///

@@ -13,6 +13,7 @@ use super::store::ArtifactStore;
 use super::supervise::{self, StageError};
 use super::{Artifact, Stage, StageCtx};
 use crate::pipeline::{PipelineConfig, PipelineError};
+use crate::telemetry::{Stopwatch, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -72,22 +73,49 @@ pub struct StageReport {
     pub anomalies: Option<String>,
 }
 
+/// Interprets one `GEOTOPO_THREADS` value: `Ok(n)` for a positive
+/// integer, `Err(reason)` for anything unusable (`"abc"`, `"0"`,
+/// `"-2"`, `""`). Pure so the fallback is unit-testable without racing
+/// on the process environment.
+///
+/// # Errors
+///
+/// A human-readable reason the value was rejected.
+pub fn parse_threads_env(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("must be a positive integer, got 0".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("not a positive integer: `{trimmed}`")),
+    }
+}
+
 /// Resolves a thread-count knob: a positive knob wins, then a positive
 /// integer in `GEOTOPO_THREADS`, then the machine's available
-/// parallelism (1 if unknown). An empty or unparsable env var falls
-/// through to auto-detection.
+/// parallelism (1 if unknown). A malformed env value falls through to
+/// auto-detection; [`threads_env_warning`] reports it (and
+/// `Pipeline::run` records the `engine.threads.env_malformed` counter)
+/// instead of the old silent swallow.
 pub fn resolve_threads(knob: usize) -> usize {
     if knob > 0 {
         return knob;
     }
     if let Ok(v) = std::env::var("GEOTOPO_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+        if let Ok(n) = parse_threads_env(&v) {
+            return n;
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A one-line warning when `GEOTOPO_THREADS` is set but unusable, `None`
+/// when the variable is unset or valid. Surfaced by `--trace` and
+/// counted under `engine.threads.env_malformed` in the run's telemetry.
+pub fn threads_env_warning() -> Option<String> {
+    let v = std::env::var("GEOTOPO_THREADS").ok()?;
+    parse_threads_env(&v).err().map(|reason| {
+        format!("GEOTOPO_THREADS ignored ({reason}); falling back to auto-detected parallelism")
+    })
 }
 
 /// Shared scheduler state behind the lock.
@@ -128,6 +156,7 @@ pub fn execute(
     validate: bool,
     threads: usize,
     store: Option<&ArtifactStore>,
+    telemetry: &Telemetry,
 ) -> Result<(Vec<Artifact>, Vec<StageReport>), PipelineError> {
     let n = stages.len();
     let names: Vec<String> = stages.iter().map(|s| s.name()).collect();
@@ -169,6 +198,7 @@ pub fn execute(
             config_fp,
             validate,
             store,
+            telemetry,
             &deps,
             &dependents,
             indegree,
@@ -214,6 +244,7 @@ pub fn execute(
                     config_fp,
                     validate,
                     store,
+                    telemetry,
                     dep_artifacts,
                 );
                 let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
@@ -257,6 +288,7 @@ fn execute_sequential(
     config_fp: Fingerprint,
     validate: bool,
     store: Option<&ArtifactStore>,
+    telemetry: &Telemetry,
     deps: &[Vec<usize>],
     dependents: &[Vec<usize>],
     mut indegree: Vec<usize>,
@@ -278,6 +310,7 @@ fn execute_sequential(
             config_fp,
             validate,
             store,
+            telemetry,
             dep_artifacts,
         )?;
         results[i] = Some(artifact);
@@ -318,12 +351,14 @@ fn collect(
 /// this boundary. Injected failures from the fault plan
 /// (`config.faults.stage_failures`) fail the first N compute attempts;
 /// cache hits never fail — fetching an artifact is not an execution.
+#[allow(clippy::too_many_arguments)]
 fn run_stage(
     stage: &dyn Stage,
     config: &PipelineConfig,
     config_fp: Fingerprint,
     validate: bool,
     store: Option<&ArtifactStore>,
+    telemetry: &Telemetry,
     deps: Vec<Artifact>,
 ) -> Result<(Artifact, StageReport), PipelineError> {
     let name = stage.name();
@@ -332,13 +367,14 @@ fn run_stage(
     let mut attempt: u32 = 0;
     loop {
         match run_stage_once(
-            stage, config, config_fp, validate, store, &deps, attempt, injected,
+            stage, config, config_fp, validate, store, telemetry, &deps, attempt, injected,
         ) {
             Ok((artifact, mut report)) => {
                 report.attempts = attempt + 1;
                 return Ok((artifact, report));
             }
             Err(e) if e.is_retryable() && attempt < policy.max_retries => {
+                telemetry.count("engine.stage.retries", 1);
                 attempt += 1;
             }
             Err(e) => return Err(supervise::into_pipeline_error(&name, attempt + 1, e)),
@@ -355,6 +391,7 @@ fn run_stage_once(
     config_fp: Fingerprint,
     validate: bool,
     store: Option<&ArtifactStore>,
+    telemetry: &Telemetry,
     deps: &[Artifact],
     attempt: u32,
     injected: u32,
@@ -379,26 +416,28 @@ fn run_stage_once(
         r.anomalies = stage.anomalies(&artifact);
         (artifact, r)
     };
-    // lint: allow(wall_clock): per-stage timing instrumentation is the engine's purpose
-    let start = std::time::Instant::now();
+    let sw = Stopwatch::start();
     if let Some(store) = store {
         if let Some(artifact) = store.get(fp) {
             store.record(CacheStatus::HitMemory);
+            telemetry.count("engine.cache.hit_memory", 1);
             let items = stage.artifact_items(&artifact);
-            let r = report(ms_since(start), 0.0, items, CacheStatus::HitMemory);
+            let r = report(sw.elapsed_ms(), 0.0, items, CacheStatus::HitMemory);
             return Ok(finish(artifact, r));
         }
         if let Some(dir) = store.disk_dir() {
             if let Some(artifact) = stage.load_cached(dir, fp) {
                 store.put(fp, artifact.clone());
                 store.record(CacheStatus::HitDisk);
+                telemetry.count("engine.cache.hit_disk", 1);
                 let items = stage.artifact_items(&artifact);
-                let r = report(ms_since(start), 0.0, items, CacheStatus::HitDisk);
+                let r = report(sw.elapsed_ms(), 0.0, items, CacheStatus::HitDisk);
                 return Ok(finish(artifact, r));
             }
         }
     }
     if attempt < injected {
+        telemetry.count("engine.stage.injected_failures", 1);
         return Err(StageError::Transient {
             detail: format!("injected fault plan failure (attempt {})", attempt + 1),
         });
@@ -406,15 +445,16 @@ fn run_stage_once(
     let ctx = StageCtx {
         config,
         deps: deps.to_vec(),
+        telemetry,
     };
     let artifact = stage.run(&ctx)?;
-    let wall_ms = ms_since(start);
+    let wall_ms = sw.elapsed_ms();
     let mut validate_ms = 0.0;
     if validate {
-        // lint: allow(wall_clock): validation time is reported separately from compute time
-        let vstart = std::time::Instant::now();
+        // Validation time is reported separately from compute time.
+        let vsw = Stopwatch::start();
         stage.validate(&artifact, &ctx)?;
-        validate_ms = ms_since(vstart);
+        validate_ms = vsw.elapsed_ms();
     }
     if let Some(store) = store {
         store.record(CacheStatus::Miss);
@@ -423,13 +463,11 @@ fn run_stage_once(
             stage.save_cached(&artifact, dir, fp);
         }
     }
+    telemetry.count("engine.cache.miss", 1);
+    telemetry.span_record(&format!("stage.{name}"), wall_ms);
     let items = stage.artifact_items(&artifact);
     let r = report(wall_ms, validate_ms, items, CacheStatus::Miss);
     Ok(finish(artifact, r))
-}
-
-fn ms_since(start: std::time::Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1e3
 }
 
 /// Runs `n` independent jobs on up to `threads` scoped workers,
@@ -504,6 +542,26 @@ mod tests {
     fn resolve_threads_auto_is_positive() {
         // knob 0 resolves via env or hardware; either way it is >= 1.
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn parse_threads_env_accepts_positive_integers() {
+        assert_eq!(parse_threads_env("4"), Ok(4));
+        assert_eq!(parse_threads_env(" 8 "), Ok(8));
+        assert_eq!(parse_threads_env("1"), Ok(1));
+    }
+
+    #[test]
+    fn parse_threads_env_rejects_malformed_values() {
+        // The trio from the bug report: each used to be silently
+        // swallowed by resolve_threads; now each carries a reason that
+        // threads_env_warning surfaces (and --trace prints).
+        for bad in ["abc", "0", "-2", "", "  ", "3.5"] {
+            let err = parse_threads_env(bad).unwrap_err();
+            assert!(!err.is_empty(), "no reason for {bad:?}");
+        }
+        assert!(parse_threads_env("0").unwrap_err().contains("positive"));
+        assert!(parse_threads_env("abc").unwrap_err().contains("abc"));
     }
 
     #[test]

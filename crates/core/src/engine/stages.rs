@@ -19,11 +19,13 @@ use super::supervise::{check_stage, StageError};
 use super::{artifact, Artifact, Fingerprint, Stage, StageCtx};
 use crate::io;
 use crate::pipeline::{
-    generation_regions, process, Collector, MapperKind, PipelineConfig, PipelineStage,
-    ProcessedDataset,
+    generation_regions, process_with_telemetry, Collector, MapperKind, PipelineConfig,
+    PipelineStage, ProcessTelemetry, ProcessedDataset,
 };
+use crate::telemetry::Telemetry;
 use geotopo_bgp::RouteTable;
 use geotopo_geomap::{EdgeScape, Gazetteer, GeoMapper, IxMapper, OrgDb};
+use geotopo_measure::FaultStats;
 use geotopo_measure::{
     MeasuredDataset, Mercator, MercatorConfig, MercatorOutput, Skitter, SkitterConfig,
     SkitterOutput,
@@ -162,6 +164,8 @@ impl Stage for GroundTruthStage {
             (0..self.n_regions).map(|i| ctx.dep(i)).collect();
         let refs: Vec<&PopulationGrid> = grids.iter().map(|g| g.as_ref()).collect();
         let gt = GroundTruth::generate_with_grids(ctx.config.world.clone(), &refs)?;
+        ctx.telemetry()
+            .count("ground-truth.routers", gt.topology.num_routers() as u64);
         Ok(artifact(gt))
     }
 
@@ -195,6 +199,8 @@ impl Stage for RouteTableStage {
     fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let gt = ctx.dep::<GroundTruth>(0);
         let table = RouteTable::synthesize(&gt.allocations, &ctx.config.route_table);
+        ctx.telemetry()
+            .count("route-table.entries", table.len() as u64);
         Ok(artifact(table))
     }
 
@@ -277,6 +283,48 @@ impl Stage for GazetteerStage {
     }
 }
 
+/// Absorbs a collection campaign's counters into the metrics registry
+/// under a collector prefix (`collect-skitter` / `collect-mercator`).
+/// One batch of registry writes per stage: the hot probe loops only
+/// touch the session's plain fields.
+fn record_collection_metrics(
+    telemetry: &Telemetry,
+    prefix: &str,
+    probes_sent: u64,
+    virtual_ticks: u64,
+    faults: &FaultStats,
+) {
+    telemetry.count(&format!("{prefix}.probes.sent"), probes_sent);
+    telemetry.count(&format!("{prefix}.probes.lost"), faults.probes_lost);
+    telemetry.count(
+        &format!("{prefix}.probes.rate_limited"),
+        faults.rate_limited,
+    );
+    telemetry.count(&format!("{prefix}.probes.flapped"), faults.flap_breaks);
+    telemetry.count(&format!("{prefix}.retries"), faults.retries);
+    telemetry.count(&format!("{prefix}.retry_successes"), faults.retry_successes);
+    telemetry.count(&format!("{prefix}.outage_skips"), faults.outage_skips);
+    telemetry.count(&format!("{prefix}.virtual_ticks"), virtual_ticks);
+}
+
+/// Absorbs one map stage's processing tallies into the registry under
+/// the stage's own name (`map-ixmapper-skitter.resolved`, ...).
+fn record_map_metrics(telemetry: &Telemetry, stage: &str, tally: &ProcessTelemetry) {
+    telemetry.count(&format!("{stage}.addresses"), tally.addresses);
+    telemetry.count(&format!("{stage}.resolved"), tally.resolved);
+    telemetry.count(&format!("{stage}.unresolved"), tally.unresolved);
+    telemetry.count(&format!("{stage}.fallback"), tally.fallback);
+    for (source, n) in &tally.sources {
+        telemetry.count(&format!("{stage}.source.{source}"), *n);
+    }
+    telemetry.count(&format!("{stage}.lpm.lookups"), tally.lpm_lookups);
+    telemetry.count(&format!("{stage}.lpm.unmapped"), tally.lpm_unmapped);
+    telemetry.merge_histogram(&format!("{stage}.lpm.matched_len"), &tally.lpm_matched_len);
+    if let Some(mean) = tally.lpm_matched_len.mean() {
+        telemetry.gauge(&format!("{stage}.lpm.mean_matched_len"), mean);
+    }
+}
+
 /// Runs the Skitter collection over the world.
 struct CollectSkitterStage;
 
@@ -314,6 +362,22 @@ impl Stage for CollectSkitterStage {
                 need,
             });
         }
+        let t = ctx.telemetry();
+        record_collection_metrics(
+            t,
+            COLLECT_SKITTER,
+            out.probes_sent,
+            out.virtual_ticks,
+            &out.dataset.anomalies.faults,
+        );
+        t.count(
+            "collect-skitter.monitors.failed",
+            out.failed_monitors as u64,
+        );
+        t.count(
+            "collect-skitter.destinations.discarded",
+            out.discarded_destinations as u64,
+        );
         Ok(artifact(out))
     }
 
@@ -397,11 +461,15 @@ impl Stage for CollectMercatorStage {
         // No quorum check: Mercator's primary source is operator-attended
         // (outages only thin the lateral vantages), so the collection
         // always stands.
-        Ok(artifact(Mercator::collect_with_faults(
-            &gt,
-            &cfg,
-            &ctx.config.faults,
-        )))
+        let out = Mercator::collect_with_faults(&gt, &cfg, &ctx.config.faults);
+        record_collection_metrics(
+            ctx.telemetry(),
+            COLLECT_MERCATOR,
+            out.probes_sent,
+            out.virtual_ticks,
+            &out.dataset.anomalies.faults,
+        );
+        Ok(artifact(out))
     }
 
     fn validate(&self, a: &Artifact, ctx: &StageCtx<'_>) -> Result<(), StageError> {
@@ -541,14 +609,14 @@ impl Stage for MapStage {
         let run_process = |measured: &MeasuredDataset| match self.mapper {
             MapperKind::IxMapper => {
                 let mapper = ctx.dep::<IxMapper>(2);
-                process(measured, &*mapper as &dyn GeoMapper, &table, &gt)
+                process_with_telemetry(measured, &*mapper as &dyn GeoMapper, &table, &gt)
             }
             MapperKind::EdgeScape => {
                 let mapper = ctx.dep::<EdgeScape>(2);
-                process(measured, &*mapper as &dyn GeoMapper, &table, &gt)
+                process_with_telemetry(measured, &*mapper as &dyn GeoMapper, &table, &gt)
             }
         };
-        let dataset = match self.collector {
+        let (dataset, tally) = match self.collector {
             Collector::Skitter => {
                 let collected = ctx.dep::<SkitterOutput>(3);
                 run_process(&collected.dataset)
@@ -558,6 +626,7 @@ impl Stage for MapStage {
                 run_process(&collected.dataset)
             }
         };
+        record_map_metrics(ctx.telemetry(), &self.name(), &tally);
         Ok(artifact(ProcessedDataset {
             collector: self.collector,
             mapper: self.mapper,

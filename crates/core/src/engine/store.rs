@@ -22,6 +22,7 @@ pub struct ArtifactStore {
     disk: Option<PathBuf>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    disk_restores: AtomicUsize,
 }
 
 impl ArtifactStore {
@@ -32,6 +33,7 @@ impl ArtifactStore {
             disk: None,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            disk_restores: AtomicUsize::new(0),
         }
     }
 
@@ -68,11 +70,20 @@ impl ArtifactStore {
     }
 
     /// Records one stage-level cache outcome in the hit/miss counters.
+    /// Disk hits count as hits *and* bump the disk-restore counter, so
+    /// telemetry can distinguish a warm-memory reuse from a
+    /// survived-restart reload.
     pub fn record(&self, status: CacheStatus) {
         match status {
-            CacheStatus::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
-            CacheStatus::HitMemory | CacheStatus::HitDisk => {
-                self.hits.fetch_add(1, Ordering::Relaxed)
+            CacheStatus::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheStatus::HitMemory => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheStatus::HitDisk => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_restores.fetch_add(1, Ordering::Relaxed);
             }
         };
     }
@@ -85,6 +96,12 @@ impl ArtifactStore {
     /// Stage executions that had to compute their artifact.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The subset of [`hits`](ArtifactStore::hits) that were reloaded
+    /// from the on-disk spill directory rather than warm memory.
+    pub fn disk_restores(&self) -> usize {
+        self.disk_restores.load(Ordering::Relaxed)
     }
 
     /// Number of artifacts currently held in memory.
@@ -145,6 +162,7 @@ mod tests {
         store.record(CacheStatus::HitDisk);
         assert_eq!(store.misses(), 1);
         assert_eq!(store.hits(), 2);
+        assert_eq!(store.disk_restores(), 1);
     }
 
     #[test]

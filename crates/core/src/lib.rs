@@ -21,6 +21,8 @@
 //! - [`report`]: text tables, figure data series, JSON export.
 //! - [`experiments`]: the experiment registry — one entry per table and
 //!   figure, runnable individually or as the full paper.
+//! - [`telemetry`]: the deterministic metrics registry threaded through
+//!   the engine and stages (`PipelineOutput::metrics`, `--metrics-out`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +38,7 @@ pub mod report;
 pub mod section4;
 pub mod section5;
 pub mod section6;
+pub mod telemetry;
 
 pub use pipeline::{
     Collector, GeoDataset, GeoInvariant, GeoNode, MapperKind, Pipeline, PipelineConfig,

@@ -13,6 +13,7 @@
 //!   which Section VI omits.
 
 use crate::engine::{self, ArtifactStore, StageReport};
+use crate::telemetry::{Histogram, MetricsSnapshot, Telemetry};
 use geotopo_bgp::{AsId, RouteTable, RouteTableConfig};
 use geotopo_geo::{GeoPoint, Region};
 use geotopo_geomap::{GeoMapper, MapContext};
@@ -415,6 +416,10 @@ pub struct PipelineOutput {
     /// Per-stage execution reports (timing, artifact sizes, cache
     /// outcomes), in stage-graph order.
     pub reports: Vec<StageReport>,
+    /// The run's metrics snapshot (empty when the attached registry was
+    /// disabled). Purely observational: the same run with telemetry off
+    /// produces byte-identical datasets.
+    pub metrics: MetricsSnapshot,
 }
 
 impl PipelineOutput {
@@ -435,6 +440,7 @@ pub struct Pipeline {
     config: PipelineConfig,
     validation: ValidationMode,
     store: Option<Arc<ArtifactStore>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Removes a named stage artifact from the map and downcasts it.
@@ -456,6 +462,7 @@ impl Pipeline {
             config,
             validation: ValidationMode::default(),
             store: None,
+            telemetry: None,
         }
     }
 
@@ -483,6 +490,16 @@ impl Pipeline {
         self
     }
 
+    /// Attaches an explicit metrics registry. Without one the pipeline
+    /// creates its own enabled registry; pass [`Telemetry::disabled`] to
+    /// prove output-neutrality, or share one registry across runs to
+    /// accumulate fleet-level counters.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Runs everything: world → collection → mapping → AS origination.
     ///
     /// The run is delegated to the [`engine`](crate::engine): the
@@ -505,10 +522,21 @@ impl Pipeline {
     pub fn run(self) -> Result<PipelineOutput, PipelineError> {
         let validate = self.validation.is_active();
         let cfg = self.config;
+        let telemetry = self.telemetry.unwrap_or_else(|| Arc::new(Telemetry::new()));
         let threads = engine::resolve_threads(cfg.threads);
+        telemetry.gauge("engine.threads.resolved", threads as f64);
+        if engine::threads_env_warning().is_some() {
+            telemetry.count("engine.threads.env_malformed", 1);
+        }
         let stages = engine::pipeline_stages(&cfg);
-        let (artifacts, reports) =
-            engine::execute(&stages, &cfg, validate, threads, self.store.as_deref())?;
+        let (artifacts, reports) = engine::execute(
+            &stages,
+            &cfg,
+            validate,
+            threads,
+            self.store.as_deref(),
+            &telemetry,
+        )?;
         let mut by_name: HashMap<String, engine::Artifact> =
             stages.iter().map(|s| s.name()).zip(artifacts).collect();
 
@@ -533,8 +561,37 @@ impl Pipeline {
             skitter,
             mercator,
             reports,
+            metrics: telemetry.snapshot(),
         })
     }
+}
+
+/// Per-dataset processing tallies destined for the metrics registry.
+///
+/// Accumulated in plain local fields inside the [`process_with_telemetry`]
+/// hot loop — the registry's locks are touched once per stage, when the
+/// owning stage absorbs the totals.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessTelemetry {
+    /// Addresses handed to the mapping tool (alias interfaces counted
+    /// individually).
+    pub addresses: u64,
+    /// Addresses the tool located.
+    pub resolved: u64,
+    /// Addresses the tool gave up on.
+    pub unresolved: u64,
+    /// Resolved addresses answered by a fallback source (below the head
+    /// of the tool's chain).
+    pub fallback: u64,
+    /// Per-source resolution counts, keyed by the tool's stable source
+    /// labels (see `geotopo_geomap::MapOutcome`).
+    pub sources: std::collections::BTreeMap<&'static str, u64>,
+    /// Longest-prefix-match lookups issued for AS origination.
+    pub lpm_lookups: u64,
+    /// Lookups that matched no advertised prefix.
+    pub lpm_unmapped: u64,
+    /// Matched prefix lengths (bits), over successful lookups.
+    pub lpm_matched_len: Histogram,
 }
 
 /// Applies geographic mapping and AS origination to a measured dataset.
@@ -544,7 +601,21 @@ pub fn process(
     route_table: &RouteTable,
     gt: &GroundTruth,
 ) -> GeoDataset {
+    process_with_telemetry(measured, mapper, route_table, gt).0
+}
+
+/// Like [`process`], but also returns the per-tool resolution and LPM
+/// tallies the map stages feed into the metrics registry. Identical
+/// mapping decisions: the traced mapper entry point
+/// (`GeoMapper::map_resolved`) is draw-for-draw the same as `map`.
+pub fn process_with_telemetry(
+    measured: &MeasuredDataset,
+    mapper: &dyn GeoMapper,
+    route_table: &RouteTable,
+    gt: &GroundTruth,
+) -> (GeoDataset, ProcessTelemetry) {
     let mut stats = ProcessingStats::default();
+    let mut tally = ProcessTelemetry::default();
     let mut nodes: Vec<Option<GeoNode>> = Vec::with_capacity(measured.num_nodes());
 
     for node in measured.nodes() {
@@ -560,11 +631,20 @@ pub fn process(
             let Some(truth) = interface_truth(gt, ip) else {
                 continue;
             };
-            if let Some(loc) = mapper.map(ip, &truth) {
+            let outcome = mapper.map_resolved(ip, &truth);
+            tally.addresses += 1;
+            *tally.sources.entry(outcome.source).or_insert(0) += 1;
+            if let Some(loc) = outcome.location {
+                tally.resolved += 1;
+                if outcome.fallback {
+                    tally.fallback += 1;
+                }
                 votes
                     .entry(location_key(&loc))
                     .and_modify(|e| e.1 += 1)
                     .or_insert((loc, 1));
+            } else {
+                tally.unresolved += 1;
             }
         }
         let location = match majority(&votes) {
@@ -582,7 +662,17 @@ pub fn process(
         // AS origination: longest-prefix match, majority across aliases.
         let mut as_votes: HashMap<AsId, usize> = HashMap::new();
         for &ip in addrs {
-            let asn = route_table.origin(ip);
+            tally.lpm_lookups += 1;
+            let asn = match route_table.origin_with_len(ip) {
+                Some((asn, len)) => {
+                    tally.lpm_matched_len.record(u64::from(len));
+                    asn
+                }
+                None => {
+                    tally.lpm_unmapped += 1;
+                    AsId::UNMAPPED
+                }
+            };
             if !asn.is_unmapped() {
                 *as_votes.entry(asn).or_insert(0) += 1;
             }
@@ -620,12 +710,15 @@ pub fn process(
         }
     }
 
-    GeoDataset {
-        kind: measured.kind,
-        nodes: kept,
-        links,
-        stats,
-    }
+    (
+        GeoDataset {
+            kind: measured.kind,
+            nodes: kept,
+            links,
+            stats,
+        },
+        tally,
+    )
 }
 
 /// The region boxes the world was generated from, padded by the

@@ -5,6 +5,7 @@
 //! external tooling can re-plot the figures.
 
 use crate::engine::StageReport;
+use crate::telemetry::MetricsSnapshot;
 use geotopo_stats::LinearFit;
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +114,39 @@ pub fn stage_trace(reports: &[StageReport]) -> TextTable {
             r.attempts.to_string(),
             r.degraded.clone().unwrap_or_else(|| "ok".into()),
             r.anomalies.clone().unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}
+
+/// Renders a [`MetricsSnapshot`] as a table (the metrics half of the
+/// `--trace` view). One row per metric, kind-tagged; counters print as
+/// integers, gauges to three decimals, histograms as `count / mean /
+/// min..max`, spans as `count / total ms`.
+pub fn metrics_trace(snapshot: &MetricsSnapshot) -> TextTable {
+    let mut t = TextTable::new(
+        format!("Metrics (schema v{})", snapshot.schema_version),
+        &["Metric", "Kind", "Value"],
+    );
+    for (name, v) in &snapshot.counters {
+        t.row(&[name.clone(), "counter".into(), v.to_string()]);
+    }
+    for (name, v) in &snapshot.gauges {
+        t.row(&[name.clone(), "gauge".into(), format!("{v:.3}")]);
+    }
+    for (name, h) in &snapshot.histograms {
+        let mean = h.mean().unwrap_or(0.0);
+        t.row(&[
+            name.clone(),
+            "histogram".into(),
+            format!("n={} mean={:.2} range={}..{}", h.count, mean, h.min, h.max),
+        ]);
+    }
+    for (name, s) in &snapshot.spans {
+        t.row(&[
+            name.clone(),
+            "span".into(),
+            format!("n={} total={:.2} ms", s.count, s.total_ms),
         ]);
     }
     t
@@ -232,6 +266,23 @@ mod tests {
         let j = t.to_json();
         assert_eq!(j["headers"][0], "A");
         assert_eq!(j["rows"][0][0], "1");
+    }
+
+    #[test]
+    fn metrics_trace_rows_cover_every_kind() {
+        let t = crate::telemetry::Telemetry::new();
+        t.count("engine.cache.miss", 3);
+        t.gauge("engine.threads.resolved", 4.0);
+        t.observe("lpm.matched_len", 16);
+        t.span_record("stage.ground-truth", 1.5);
+        let table = metrics_trace(&t.snapshot());
+        assert_eq!(table.num_rows(), 4);
+        let s = table.render();
+        assert!(s.contains("engine.cache.miss"));
+        assert!(s.contains("counter"));
+        assert!(s.contains("4.000"));
+        assert!(s.contains("n=1 mean=16.00 range=16..16"));
+        assert!(s.contains("stage.ground-truth"));
     }
 
     #[test]

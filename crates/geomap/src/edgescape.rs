@@ -9,7 +9,7 @@
 
 use crate::hostname::HostnameOracle;
 use crate::orgdb::OrgDb;
-use crate::{GeoMapper, MapContext};
+use crate::{GeoMapper, MapContext, MapOutcome};
 use geotopo_geo::GeoPoint;
 use rand::Rng;
 use std::net::Ipv4Addr;
@@ -58,32 +58,54 @@ impl GeoMapper for EdgeScape {
     }
 
     fn map(&self, ip: Ipv4Addr, ctx: &MapContext) -> Option<GeoPoint> {
+        self.map_resolved(ip, ctx).location
+    }
+
+    fn map_resolved(&self, ip: Ipv4Addr, ctx: &MapContext) -> MapOutcome {
         let mut rng = crate::ip_rng(self.seed ^ 0x5E, ip);
         // 1. ISP feed: city-granularity from the provider's own data.
         if rng.random::<f64>() < self.isp_feed_coverage {
             let gaz = self.hostnames.gazetteer();
             if rng.random::<f64>() < self.neighbor_city_prob {
                 if let Some(second) = gaz.kth_nearest(&ctx.true_location, 1) {
-                    return Some(second.location);
+                    // Feed keyed on a billing site: the metro's second
+                    // city. Still the primary source answering.
+                    return MapOutcome {
+                        location: Some(second.location),
+                        source: "isp-feed-neighbor",
+                        fallback: false,
+                    };
                 }
             }
             if let Some((city, _)) = gaz.nearest(&ctx.true_location) {
-                return Some(city.location);
+                return MapOutcome {
+                    location: Some(city.location),
+                    source: "isp-feed",
+                    fallback: false,
+                };
             }
         }
         // 2. Hostname-based mapping.
         if let Some(hostname) = self.hostnames.hostname(ip, ctx, &self.orgs) {
             if let Some(city_loc) = self.hostnames.parse(&hostname) {
-                return Some(city_loc);
+                return MapOutcome {
+                    location: Some(city_loc),
+                    source: "hostname",
+                    fallback: true,
+                };
             }
         }
         // 3. Whois fallback.
         if rng.random::<f64>() < self.whois_success {
             if let Some(rec) = self.orgs.get(ctx.asn) {
-                return Some(rec.headquarters);
+                return MapOutcome {
+                    location: Some(rec.headquarters),
+                    source: "whois",
+                    fallback: true,
+                };
             }
         }
-        None
+        MapOutcome::unresolved()
     }
 }
 
@@ -163,6 +185,36 @@ mod tests {
         let svc = service();
         let ip = "55.4.3.2".parse().unwrap();
         assert_eq!(svc.map(ip, &ctx()), svc.map(ip, &ctx()));
+    }
+
+    #[test]
+    fn map_resolved_agrees_with_map_and_labels_sources() {
+        let svc = service();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..20_000u32 {
+            let ip = Ipv4Addr::from(0x18000000 + i);
+            let outcome = svc.map_resolved(ip, &ctx());
+            assert_eq!(outcome.location, svc.map(ip, &ctx()), "ip {ip}");
+            assert_eq!(outcome.location.is_none(), outcome.source == "none");
+            assert!(
+                ["isp-feed", "isp-feed-neighbor", "hostname", "whois", "none"]
+                    .contains(&outcome.source),
+                "unexpected source {}",
+                outcome.source
+            );
+            assert_eq!(
+                outcome.fallback,
+                matches!(outcome.source, "hostname" | "whois"),
+                "fallback flag wrong for {}",
+                outcome.source
+            );
+            seen.insert(outcome.source);
+        }
+        assert!(seen.contains("isp-feed"), "sources seen: {seen:?}");
+        assert!(
+            seen.contains("hostname") || seen.contains("whois"),
+            "no fallback ever fired: {seen:?}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::dnsloc::DnsLocDb;
 use crate::hostname::HostnameOracle;
 use crate::orgdb::OrgDb;
-use crate::{GeoMapper, MapContext};
+use crate::{GeoMapper, MapContext, MapOutcome};
 use geotopo_geo::GeoPoint;
 use rand::Rng;
 use std::net::Ipv4Addr;
@@ -61,29 +61,51 @@ impl GeoMapper for IxMapper {
     }
 
     fn map(&self, ip: Ipv4Addr, ctx: &MapContext) -> Option<GeoPoint> {
+        self.map_resolved(ip, ctx).location
+    }
+
+    fn map_resolved(&self, ip: Ipv4Addr, ctx: &MapContext) -> MapOutcome {
         let mut rng = crate::ip_rng(self.seed ^ 0x3C, ip);
         // 1. Hostname-based mapping.
         if let Some(hostname) = self.hostnames.hostname(ip, ctx, &self.orgs) {
             if let Some(city_loc) = self.hostnames.parse(&hostname) {
                 if rng.random::<f64>() < self.stale_hostname_prob {
-                    // Stale record: a different city entirely.
+                    // Stale record: a different city entirely. Still the
+                    // hostname source answering — degraded, not a
+                    // fallback.
                     let idx = rng.random_range(0..self.hostnames.gazetteer().len());
-                    return Some(self.hostnames.gazetteer().cities()[idx].location);
+                    return MapOutcome {
+                        location: Some(self.hostnames.gazetteer().cities()[idx].location),
+                        source: "hostname-stale",
+                        fallback: false,
+                    };
                 }
-                return Some(city_loc);
+                return MapOutcome {
+                    location: Some(city_loc),
+                    source: "hostname",
+                    fallback: false,
+                };
             }
         }
         // 2. DNS LOC.
         if let Some(loc) = self.loc_db.lookup(ip, ctx) {
-            return Some(loc);
+            return MapOutcome {
+                location: Some(loc),
+                source: "dns-loc",
+                fallback: true,
+            };
         }
         // 3. Whois: the organization's registered headquarters.
         if rng.random::<f64>() < self.whois_success {
             if let Some(rec) = self.orgs.get(ctx.asn) {
-                return Some(rec.headquarters);
+                return MapOutcome {
+                    location: Some(rec.headquarters),
+                    source: "whois",
+                    fallback: true,
+                };
             }
         }
-        None
+        MapOutcome::unresolved()
     }
 }
 
@@ -164,6 +186,36 @@ mod tests {
         let svc = service();
         let ip = "99.1.2.3".parse().unwrap();
         assert_eq!(svc.map(ip, &ctx()), svc.map(ip, &ctx()));
+    }
+
+    #[test]
+    fn map_resolved_agrees_with_map_and_labels_sources() {
+        // The traced entry point must be draw-for-draw identical to
+        // map(), and every label must come from the documented set.
+        let svc = service();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..20_000u32 {
+            let ip = Ipv4Addr::from(0x0E000000 + i);
+            let outcome = svc.map_resolved(ip, &ctx());
+            assert_eq!(outcome.location, svc.map(ip, &ctx()), "ip {ip}");
+            assert_eq!(outcome.location.is_none(), outcome.source == "none");
+            assert!(
+                ["hostname", "hostname-stale", "dns-loc", "whois", "none"]
+                    .contains(&outcome.source),
+                "unexpected source {}",
+                outcome.source
+            );
+            assert_eq!(
+                outcome.fallback,
+                matches!(outcome.source, "dns-loc" | "whois"),
+                "fallback flag wrong for {}",
+                outcome.source
+            );
+            seen.insert(outcome.source);
+        }
+        // The chain head and at least one fallback fire over 20k addrs.
+        assert!(seen.contains("hostname"), "sources seen: {seen:?}");
+        assert!(seen.contains("whois"), "sources seen: {seen:?}");
     }
 
     #[test]

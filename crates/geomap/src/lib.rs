@@ -57,6 +57,33 @@ pub struct MapContext {
     pub asn: AsId,
 }
 
+/// One mapping outcome with its provenance: the estimated location (if
+/// any) and which source in the tool's fallback chain produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapOutcome {
+    /// The estimated coordinates (`None` when the tool gave up).
+    pub location: Option<GeoPoint>,
+    /// Stable source label — IxMapper: `"hostname"`,
+    /// `"hostname-stale"`, `"dns-loc"`, `"whois"`; EdgeScape:
+    /// `"isp-feed"`, `"isp-feed-neighbor"`, `"hostname"`, `"whois"`;
+    /// `"none"` when unresolved.
+    pub source: &'static str,
+    /// True when the answer came from a source *below* the head of the
+    /// tool's chain (the tool fell back).
+    pub fallback: bool,
+}
+
+impl MapOutcome {
+    /// An unresolved outcome.
+    pub fn unresolved() -> Self {
+        MapOutcome {
+            location: None,
+            source: "none",
+            fallback: false,
+        }
+    }
+}
+
 /// A geolocation service: maps an IP to estimated coordinates, or `None`
 /// when the service cannot locate the address.
 pub trait GeoMapper {
@@ -65,6 +92,22 @@ pub trait GeoMapper {
 
     /// Maps one address. Deterministic per `(self, ip)`.
     fn map(&self, ip: Ipv4Addr, ctx: &MapContext) -> Option<GeoPoint>;
+
+    /// Like [`map`](GeoMapper::map), but also reports which source in
+    /// the tool's fallback chain resolved the address — the raw material
+    /// for per-tool resolution telemetry. Must be draw-for-draw
+    /// identical to `map` (same RNG stream, same answer). The default
+    /// cannot see inside `map`, so it labels every success `"direct"`.
+    fn map_resolved(&self, ip: Ipv4Addr, ctx: &MapContext) -> MapOutcome {
+        match self.map(ip, ctx) {
+            Some(location) => MapOutcome {
+                location: Some(location),
+                source: "direct",
+                fallback: false,
+            },
+            None => MapOutcome::unresolved(),
+        }
+    }
 }
 
 /// Derives a deterministic per-IP RNG from a tool seed (splitmix64 over

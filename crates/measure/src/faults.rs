@@ -290,6 +290,8 @@ impl FaultPlan {
 pub struct FaultSession<'p> {
     plan: &'p FaultPlan,
     tick: u64,
+    /// Probes actually sent (first transmissions and retries alike).
+    probes_sent: u64,
     /// Per-router remaining tokens, refilled lazily by elapsed ticks.
     tokens: Vec<f64>,
     /// Tick of each router's last refill.
@@ -305,6 +307,7 @@ impl<'p> FaultSession<'p> {
         FaultSession {
             plan,
             tick: 0,
+            probes_sent: 0,
             tokens: vec![f64::from(plan.cfg.rate_limit_burst); n],
             refilled_at: vec![0; n],
             stats: FaultStats::default(),
@@ -316,6 +319,11 @@ impl<'p> FaultSession<'p> {
         self.tick
     }
 
+    /// Probes sent so far (retransmissions included).
+    pub fn probes_sent(&self) -> u64 {
+        self.probes_sent
+    }
+
     /// Retransmissions allowed per silent probe.
     pub fn max_retries(&self) -> u32 {
         self.plan.cfg.max_retries
@@ -325,6 +333,7 @@ impl<'p> FaultSession<'p> {
     /// deciding its fate. The inert fast path answers unconditionally.
     pub fn probe(&mut self, router: u32) -> ProbeFate {
         self.tick += 1;
+        self.probes_sent += 1;
         if self.plan.inert {
             return ProbeFate::Answered;
         }
@@ -396,6 +405,7 @@ mod tests {
             assert_eq!(s.probe(r), ProbeFate::Answered);
         }
         assert_eq!(s.tick(), 8);
+        assert_eq!(s.probes_sent(), 8);
         assert!(s.stats.is_zero());
         assert!(!s.monitor_down(0));
     }

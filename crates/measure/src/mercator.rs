@@ -74,6 +74,13 @@ pub struct MercatorOutput {
     pub raw_interfaces: usize,
     /// The primary source router.
     pub source: RouterId,
+    /// Probes actually sent during the campaign (retries included).
+    #[serde(default)]
+    pub probes_sent: u64,
+    /// Virtual probe-tick clock reading at campaign end (probes sent
+    /// plus backoff waits; see `faults`).
+    #[serde(default)]
+    pub virtual_ticks: u64,
 }
 
 /// The Mercator collector.
@@ -277,6 +284,8 @@ impl Mercator {
             raw_interfaces: raw.num_nodes(),
             dataset,
             source,
+            probes_sent: session.probes_sent(),
+            virtual_ticks: session.tick(),
         }
     }
 }

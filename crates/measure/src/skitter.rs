@@ -73,6 +73,13 @@ pub struct SkitterOutput {
     /// Monitors that lost more of their campaign to outage than they
     /// completed (also recorded per-monitor in `dataset.anomalies`).
     pub failed_monitors: usize,
+    /// Probes actually sent during the campaign (retries included).
+    #[serde(default)]
+    pub probes_sent: u64,
+    /// Virtual probe-tick clock reading at campaign end (probes sent
+    /// plus backoff waits; see `faults`).
+    #[serde(default)]
+    pub virtual_ticks: u64,
 }
 
 impl SkitterOutput {
@@ -245,6 +252,8 @@ impl Skitter {
             discarded_destinations,
             monitors,
             failed_monitors,
+            probes_sent: session.probes_sent(),
+            virtual_ticks: session.tick(),
         }
     }
 }

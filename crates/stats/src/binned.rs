@@ -110,14 +110,18 @@ impl BinnedRatio {
 
     /// Cumulated series `F(d) = Σ_{d' < d} f(d')` over all bins with a
     /// defined estimate. `F` is evaluated at each bin's *upper* edge.
+    /// Bins with an empty denominator contribute no point: `f` is
+    /// undefined there, so repeating the accumulated value would plot a
+    /// flat segment Figure 6 never measured (visible as spurious plateaus
+    /// across sparse large-`d` gaps).
     pub fn cumulated(&self) -> CumulatedSeries {
         let mut acc = 0.0;
         let mut points = Vec::with_capacity(self.bins());
         for bin in self.ratios() {
             if let Some(v) = bin.value {
                 acc += v;
+                points.push((bin.d + self.bin_width(), acc));
             }
-            points.push((bin.d + self.bin_width(), acc));
         }
         CumulatedSeries { points }
     }
@@ -228,6 +232,27 @@ mod tests {
     }
 
     #[test]
+    fn cumulated_skips_empty_denominator_bins() {
+        // Bins 0 and 2 have estimates; bin 1 is an interior gap (no node
+        // pair at that distance). The gap must yield no point at all —
+        // not a repeat of the running total at the gap's edge.
+        let mut br = BinnedRatio::new(10.0, 3);
+        br.add_num_n(5.0, 2);
+        br.add_den_n(5.0, 10); // bin 0: f = 0.2
+        br.add_num(15.0); // bin 1: numerator only -> undefined
+        br.add_num_n(25.0, 3);
+        br.add_den_n(25.0, 10); // bin 2: f = 0.3
+        let c = br.cumulated();
+        assert_eq!(c.points.len(), 2, "undefined bin produced a point");
+        assert_eq!(c.points[0], (10.0, 0.2));
+        assert_eq!(c.points[1], (30.0, 0.5));
+        assert!(
+            c.points.iter().all(|(d, _)| *d != 20.0),
+            "a point was emitted at the gap's upper edge"
+        );
+    }
+
+    #[test]
     fn mean_ratio_in_range() {
         let mut br = BinnedRatio::new(1.0, 4);
         br.add_num_n(0.5, 1);
@@ -236,6 +261,24 @@ mod tests {
         br.add_den_n(1.5, 10); // 0.3
         assert_eq!(br.mean_ratio_in(0, 2), Some(0.2));
         assert_eq!(br.mean_ratio_in(2, 4), None); // empty bins
+    }
+
+    #[test]
+    fn mean_ratio_in_degenerate_windows() {
+        let mut br = BinnedRatio::new(1.0, 4);
+        for i in 0..4 {
+            br.add_num_n(i as f64 + 0.5, 1);
+            br.add_den_n(i as f64 + 0.5, 10);
+        }
+        // Inverted window (from > to): no bins, not a panic.
+        assert_eq!(br.mean_ratio_in(3, 1), None);
+        // Start past the end: out of range entirely.
+        assert_eq!(br.mean_ratio_in(4, 8), None);
+        assert_eq!(br.mean_ratio_in(17, 20), None);
+        // End past the last bin clamps instead of failing.
+        assert_eq!(br.mean_ratio_in(2, 100), Some(0.1));
+        // Empty window at a valid index.
+        assert_eq!(br.mean_ratio_in(2, 2), None);
     }
 
     #[test]

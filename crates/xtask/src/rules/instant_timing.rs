@@ -1,0 +1,140 @@
+//! GT-LINT-010: ad-hoc `Instant::now()` only inside `core::telemetry`.
+//!
+//! GT-LINT-002 bans wall-clock reads outright but can be waived site by
+//! site with `// lint: allow(wall_clock)` — which is how scattered
+//! hand-rolled timing crept into the scheduler before the telemetry
+//! subsystem existed. Timing now has one sanctioned home:
+//! `geotopo-core::telemetry::Stopwatch`, whose elapsed values feed
+//! reports and span metrics and are masked out of every determinism
+//! comparison. This rule closes the waiver loophole: `Instant::now()`
+//! outside the telemetry module needs its own `// lint: allow(timing)`
+//! marker even if a `wall_clock` waiver is already present, so every
+//! bypass of the Stopwatch is a deliberate, visible decision.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct InstantTiming;
+
+const NEEDLE: &str = "Instant::now(";
+
+/// Harness crates measure their own elapsed time and never feed
+/// pipeline output.
+const EXEMPT_CRATES: &[&str] = &["geotopo-bench", "xtask"];
+
+impl Rule for InstantTiming {
+    fn id(&self) -> &'static str {
+        "GT-LINT-010"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Instant::now() only inside geotopo-core's telemetry module"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+                continue;
+            }
+            for file in &krate.files {
+                // The module file itself or anything under a submodule
+                // directory of the same name (Path::starts_with matches
+                // whole components only, so test the file explicitly).
+                if file.path == std::path::Path::new("crates/core/src/telemetry.rs")
+                    || file.path.starts_with("crates/core/src/telemetry")
+                {
+                    continue;
+                }
+                for (line, text) in file.code_lines() {
+                    if text.contains(NEEDLE) && !file.is_allowed(line, "timing") {
+                        out.push(Finding {
+                            file: file.path.clone(),
+                            line,
+                            rule: self.id(),
+                            message: "ad-hoc `Instant::now`; time through \
+                                      `geotopo_core::telemetry::Stopwatch` (or \
+                                      `// lint: allow(timing)`)"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_ad_hoc_instant() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/engine/scheduler.rs",
+                "fn f() { let t = std::time::Instant::now(); }\n",
+            )],
+        );
+        let f = InstantTiming.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "GT-LINT-010");
+    }
+
+    #[test]
+    fn wall_clock_waiver_alone_is_not_enough() {
+        // The GT-LINT-002 marker does not satisfy this rule: routing
+        // around the Stopwatch needs its own explicit waiver.
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/report.rs",
+                "// lint: allow(wall_clock): legacy timing\n\
+                 fn f() { let t = std::time::Instant::now(); }\n",
+            )],
+        );
+        assert_eq!(InstantTiming.check(&ws).len(), 1);
+    }
+
+    #[test]
+    fn telemetry_module_is_exempt() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/telemetry.rs",
+                "fn f() { let t = std::time::Instant::now(); }\n",
+            )],
+        );
+        assert!(InstantTiming.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn bench_crate_is_exempt() {
+        let ws = ws_of(
+            "geotopo-bench",
+            &[(
+                "crates/x/src/lib.rs",
+                "fn f() { let t = Instant::now(); }\n",
+            )],
+        );
+        assert!(InstantTiming.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn timing_marker_allows_site() {
+        let ws = ws_of(
+            "geotopo-geo",
+            &[(
+                "crates/x/src/lib.rs",
+                "// lint: allow(timing): harness-only stopwatch\n\
+                 fn f() { let t = std::time::Instant::now(); }\n",
+            )],
+        );
+        assert!(InstantTiming.check(&ws).is_empty());
+    }
+}

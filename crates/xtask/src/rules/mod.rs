@@ -7,6 +7,7 @@
 //! and CI logs can jump to the site.
 
 pub mod float_eq;
+pub mod instant_timing;
 pub mod layering;
 pub mod missing_debug;
 pub mod nondeterminism;
@@ -68,6 +69,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(panic_markers::PanicMarkers),
         Box::new(thread_spawn::ThreadSpawn),
         Box::new(supervised_paths::SupervisedPaths),
+        Box::new(instant_timing::InstantTiming),
     ]
 }
 

@@ -16,6 +16,7 @@ const ALL_RULES: &[&str] = &[
     "GT-LINT-007",
     "GT-LINT-008",
     "GT-LINT-009",
+    "GT-LINT-010",
 ];
 
 fn fixture_root() -> PathBuf {

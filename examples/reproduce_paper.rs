@@ -3,7 +3,7 @@
 //! ```sh
 //! cargo run --release --example reproduce_paper \
 //!     [--validate] [--trace] [--threads N] [--faults PROFILE] [--resume] \
-//!     [scale] [seed] [out_dir]
+//!     [--metrics-out PATH] [scale] [seed] [out_dir]
 //! ```
 //!
 //! `scale` ∈ {tiny, small, default, paper}; default `small`.
@@ -23,6 +23,10 @@
 //! `--resume` spills stage artifacts to `.geotopo-cache/` and, on a
 //! re-run, resumes from the last fingerprint-valid artifacts instead of
 //! recomputing them (a killed run picks up where it left off).
+//! `--metrics-out PATH` writes the run's metrics snapshot as pretty JSON
+//! (stable schema; see `geotopo_core::telemetry`). Counters, gauges and
+//! histograms are deterministic per (config, seed); only the span
+//! timers carry wall-clock.
 
 use geotopo::core::engine::ArtifactStore;
 use geotopo::core::experiments;
@@ -46,6 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .get(pos + 1)
             .ok_or("--threads requires a worker count")?;
         threads = val.parse()?;
+        args.drain(pos..=pos + 1);
+    }
+    let mut metrics_out: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--metrics-out") {
+        metrics_out = Some(
+            args.get(pos + 1)
+                .ok_or("--metrics-out requires a file path")?
+                .clone(),
+        );
         args.drain(pos..=pos + 1);
     }
     let mut fault_profile = String::from("none");
@@ -101,6 +114,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     if trace {
         eprintln!("{}", report::stage_trace(&out.reports).render());
+        if let Some(warning) = geotopo::core::engine::threads_env_warning() {
+            eprintln!("[geotopo] warning: {warning}");
+        }
+        eprintln!("{}", report::metrics_trace(&out.metrics).render());
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, serde_json::to_string_pretty(&out.metrics)?)?;
+        eprintln!("[geotopo] wrote metrics snapshot to {path}");
     }
 
     let results = experiments::run_all(&out);

@@ -1,0 +1,179 @@
+//! Telemetry guarantees: the metrics registry never perturbs pipeline
+//! output (on/off, any thread count, faults active or not), and masked
+//! snapshots are a deterministic function of the configuration.
+
+use geotopo::core::experiments;
+use geotopo::core::pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+use geotopo::core::telemetry::{MetricsSnapshot, Telemetry, SCHEMA_VERSION};
+use geotopo::measure::FaultConfig;
+use std::sync::Arc;
+
+fn run_with(config: PipelineConfig, telemetry: Option<Arc<Telemetry>>) -> PipelineOutput {
+    let mut p = Pipeline::new(config);
+    if let Some(t) = telemetry {
+        p = p.with_telemetry(t);
+    }
+    p.run().expect("pipeline run")
+}
+
+fn dataset_bytes(out: &PipelineOutput) -> Vec<String> {
+    out.datasets
+        .iter()
+        .map(|d| serde_json::to_string(&**d).expect("dataset serializes"))
+        .collect()
+}
+
+/// Output neutrality: a disabled registry and the default enabled one
+/// produce byte-identical datasets and experiment text — telemetry is
+/// write-only from the pipeline's point of view.
+#[test]
+fn telemetry_on_off_is_byte_identical() {
+    let on = run_with(PipelineConfig::tiny(11), None);
+    let off = run_with(
+        PipelineConfig::tiny(11),
+        Some(Arc::new(Telemetry::disabled())),
+    );
+    assert_eq!(dataset_bytes(&on), dataset_bytes(&off));
+    assert_eq!(
+        serde_json::to_string(&*on.skitter).unwrap(),
+        serde_json::to_string(&*off.skitter).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&*on.mercator).unwrap(),
+        serde_json::to_string(&*off.mercator).unwrap()
+    );
+
+    // The enabled run actually recorded something; the disabled run
+    // snapshots empty.
+    assert!(!on.metrics.counters.is_empty());
+    assert!(off.metrics.counters.is_empty());
+    assert!(off.metrics.spans.is_empty());
+
+    let ra = experiments::run_all(&on);
+    let rb = experiments::run_all(&off);
+    assert_eq!(ra.len(), rb.len());
+    for (a, b) in ra.iter().zip(&rb) {
+        assert_eq!(a.text, b.text, "experiment {} diverged", a.id);
+    }
+}
+
+/// Output neutrality holds under an active fault profile too.
+#[test]
+fn telemetry_on_off_identical_under_faults() {
+    let mut config = PipelineConfig::tiny(23);
+    config.faults = FaultConfig::profile("moderate", 23).unwrap();
+    let on = run_with(config.clone(), None);
+    let off = run_with(config, Some(Arc::new(Telemetry::disabled())));
+    assert!(
+        !on.skitter.dataset.anomalies.faults.is_zero(),
+        "moderate profile injected nothing"
+    );
+    assert_eq!(dataset_bytes(&on), dataset_bytes(&off));
+    // Fault pathologies surfaced as metrics.
+    assert!(on.metrics.counters["collect-skitter.probes.lost"] > 0);
+    assert!(on.metrics.counters["collect-skitter.retries"] > 0);
+}
+
+/// Counters and histograms are additive and order-independent: a 1-thread
+/// and a 4-thread run agree exactly (datasets byte-identical as ever; the
+/// `engine.threads.resolved` gauge legitimately differs).
+#[test]
+fn counters_agree_across_thread_counts() {
+    let mut config = PipelineConfig::tiny(31);
+    config.faults = FaultConfig::at_severity(0.5, 7);
+    let seq = Pipeline::new(config.clone()).with_threads(1).run().unwrap();
+    let par = Pipeline::new(config).with_threads(4).run().unwrap();
+    assert_eq!(dataset_bytes(&seq), dataset_bytes(&par));
+    assert_eq!(seq.metrics.counters, par.metrics.counters);
+    assert_eq!(seq.metrics.histograms, par.metrics.histograms);
+    // Span counts are deterministic; only their milliseconds are not.
+    let seq_spans: Vec<(&String, u64)> = seq
+        .metrics
+        .spans
+        .iter()
+        .map(|(k, s)| (k, s.count))
+        .collect();
+    let par_spans: Vec<(&String, u64)> = par
+        .metrics
+        .spans
+        .iter()
+        .map(|(k, s)| (k, s.count))
+        .collect();
+    assert_eq!(seq_spans, par_spans);
+    assert!(
+        (seq.metrics.gauges["engine.threads.resolved"] - 1.0).abs() < 1e-9,
+        "sequential run resolved to one worker"
+    );
+    assert!((par.metrics.gauges["engine.threads.resolved"] - 4.0).abs() < 1e-9);
+}
+
+/// A masked snapshot (wall-clock zeroed) is byte-stable across repeat
+/// identical runs — the `--metrics-out` determinism contract.
+#[test]
+fn masked_snapshot_is_deterministic_for_fixed_seed() {
+    let a = Pipeline::new(PipelineConfig::tiny(47))
+        .with_threads(2)
+        .run()
+        .unwrap();
+    let b = Pipeline::new(PipelineConfig::tiny(47))
+        .with_threads(2)
+        .run()
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.metrics.masked()).unwrap(),
+        serde_json::to_string(&b.metrics.masked()).unwrap()
+    );
+}
+
+/// The exported JSON carries the stable schema: version stamp, the four
+/// key-ordered maps, and the documented engine/collector/mapper keys.
+#[test]
+fn snapshot_schema_roundtrip_and_required_keys() {
+    let out = run_with(PipelineConfig::tiny(53), None);
+    let json = serde_json::to_string_pretty(&out.metrics).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
+
+    for key in [
+        "engine.cache.miss",
+        "collect-skitter.probes.sent",
+        "collect-mercator.probes.sent",
+        "collect-skitter.virtual_ticks",
+        "route-table.entries",
+        "ground-truth.routers",
+        "map-ixmapper-skitter.addresses",
+        "map-ixmapper-skitter.resolved",
+        "map-edgescape-mercator.unresolved",
+        "map-ixmapper-skitter.fallback",
+        "map-ixmapper-skitter.lpm.lookups",
+    ] {
+        assert!(back.counters.contains_key(key), "missing counter {key}");
+    }
+    assert!(back.counters["collect-skitter.probes.sent"] > 0);
+    assert!(back.counters["map-ixmapper-skitter.resolved"] > 0);
+    // Per-source provenance counters carry the tool's labels.
+    assert!(back
+        .counters
+        .keys()
+        .any(|k| k.starts_with("map-ixmapper-skitter.source.")));
+    assert!(back.gauges.contains_key("engine.threads.resolved"));
+    assert!(back
+        .gauges
+        .contains_key("map-ixmapper-skitter.lpm.mean_matched_len"));
+    let h = &back.histograms["map-ixmapper-skitter.lpm.matched_len"];
+    assert!(h.count > 0 && h.max <= 32);
+    assert!(back.spans.contains_key("stage.ground-truth"));
+    // Source counts partition the address count.
+    let sources: u64 = back
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("map-ixmapper-skitter.source."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(sources, back.counters["map-ixmapper-skitter.addresses"]);
+    assert_eq!(
+        back.counters["map-ixmapper-skitter.resolved"]
+            + back.counters["map-ixmapper-skitter.unresolved"],
+        back.counters["map-ixmapper-skitter.addresses"]
+    );
+}
