@@ -1,15 +1,34 @@
 //! Stage-graph scheduler bench: per-stage and end-to-end wall time at
-//! one worker vs the machine's available parallelism.
+//! each requested worker count, plus the measurement-stage regression
+//! gate behind `cargo xtask bench --check`.
 //!
 //! ```sh
-//! cargo bench -p geotopo-bench --bench pipeline_stages [-- --json PATH]
+//! cargo bench -p geotopo-bench --bench pipeline_stages -- \
+//!     [--threads 1,4] [--json PATH] [--check BASELINE] [--min-speedup X]
 //! ```
 //!
 //! Unlike the Criterion benches this is a plain harness: the engine
 //! already measures each stage (its `StageReport`s), so the bench only
-//! has to run the pipeline at both thread counts, aggregate the
-//! reports, and persist a JSON baseline (default
+//! has to run the pipeline at the requested thread counts, aggregate
+//! the reports, and persist a JSON baseline (default
 //! `target/pipeline_stages.json`) for regression comparison.
+//!
+//! `--check BASELINE` loads a committed baseline (`BENCH_measure.json`
+//! at the repo root) and gates on two properties of the fresh run:
+//!
+//! 1. **Thread scaling** — the measurement stage (`collect-skitter` +
+//!    `collect-mercator` wall time) at the highest thread count must be
+//!    at least `--min-speedup` (default 2.0) times faster than at one
+//!    thread. Monitor campaigns are CPU-bound, so this assertion is
+//!    only meaningful when the host actually has that parallelism; on
+//!    hosts with fewer cores than the requested thread count the
+//!    scaling gate is skipped with a loud note (CI runs on multi-core
+//!    runners where it is enforced).
+//! 2. **No single-thread regression** — the fresh one-thread
+//!    measurement time must not exceed the baseline's by more than
+//!    `--tolerance` (default 0.5, i.e. +50%; generous because absolute
+//!    milliseconds move across machines — the committed baseline mainly
+//!    pins the *shape* of the run).
 
 // Bench code: aborting on setup failure is the right behaviour.
 #![allow(clippy::unwrap_used)]
@@ -17,10 +36,15 @@
 use geotopo_core::engine::{resolve_threads, StageReport};
 use geotopo_core::pipeline::{Pipeline, PipelineConfig};
 use std::collections::BTreeMap;
+use std::process::ExitCode;
 use std::time::Instant;
 
 const ITERS: usize = 3;
 const SEED: u64 = 2002;
+
+/// Stages that make up "the measurement stage" for gating purposes:
+/// the two probe collectors the hot-path work landed in.
+const MEASURE_STAGES: &[&str] = &["collect-skitter", "collect-mercator"];
 
 struct Run {
     threads: usize,
@@ -28,6 +52,16 @@ struct Run {
     total_s: f64,
     /// Per-stage best wall time, milliseconds.
     stages_ms: BTreeMap<String, f64>,
+}
+
+impl Run {
+    /// Combined wall time of the measurement stages, milliseconds.
+    fn measure_ms(&self) -> f64 {
+        MEASURE_STAGES
+            .iter()
+            .filter_map(|s| self.stages_ms.get(*s))
+            .sum()
+    }
 }
 
 fn measure(threads: usize) -> Run {
@@ -59,52 +93,87 @@ fn record_reports(reports: &[StageReport]) {
     std::hint::black_box(reports.len());
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "target/pipeline_stages.json".into());
+}
 
-    let par_threads = resolve_threads(0);
-    let seq = measure(1);
-    let runs = if par_threads > 1 {
-        vec![seq, measure(par_threads)]
-    } else {
-        vec![seq]
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path =
+        arg_value(&args, "--json").unwrap_or_else(|| "target/pipeline_stages.json".into());
+    let baseline_path = arg_value(&args, "--check");
+    let min_speedup: f64 = arg_value(&args, "--min-speedup")
+        .map(|s| s.parse().expect("--min-speedup takes a number"))
+        .unwrap_or(2.0);
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .map(|s| s.parse().expect("--tolerance takes a number"))
+        .unwrap_or(0.5);
+    let threads: Vec<usize> = match arg_value(&args, "--threads") {
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                let t: usize = t.trim().parse().expect("--threads takes e.g. 1,4");
+                if t == 0 {
+                    resolve_threads(0)
+                } else {
+                    t
+                }
+            })
+            .collect(),
+        None => {
+            let par = resolve_threads(0);
+            if par > 1 {
+                vec![1, par]
+            } else {
+                vec![1]
+            }
+        }
     };
+
+    let runs: Vec<Run> = threads.iter().map(|&t| measure(t)).collect();
 
     println!("pipeline_stages (scale = small, seed = {SEED}, best of {ITERS})");
     for run in &runs {
         println!(
-            "  threads = {}: {:.3}s end-to-end",
-            run.threads, run.total_s
+            "  threads = {}: {:.3}s end-to-end, measurement {:.2} ms",
+            run.threads,
+            run.total_s,
+            run.measure_ms()
         );
         for (stage, ms) in &run.stages_ms {
             println!("    {stage:>24}  {ms:>9.2} ms");
         }
     }
-    if let [a, b] = runs.as_slice() {
-        println!(
-            "  speedup: {:.2}x ({} workers over 1)",
-            a.total_s / b.total_s,
-            b.threads
-        );
+    if let (Some(a), Some(b)) = (runs.first(), runs.last()) {
+        if a.threads != b.threads {
+            println!(
+                "  measurement-stage speedup: {:.2}x ({} workers over {})",
+                a.measure_ms() / b.measure_ms(),
+                b.threads,
+                a.threads
+            );
+        }
     }
 
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let baseline = serde_json::json!({
         "bench": "pipeline_stages",
         "scale": "small",
         "seed": SEED,
         "iters": ITERS,
+        // Contextualizes the thread-scaling rows: a 4-thread run on a
+        // 1-core host records oversubscription, not speedup.
+        "host_cores": cores,
         "runs": runs
             .iter()
             .map(|r| {
                 serde_json::json!({
                     "threads": r.threads,
                     "total_s": r.total_s,
+                    "measure_ms": r.measure_ms(),
                     "stages_ms": r.stages_ms,
                 })
             })
@@ -114,5 +183,100 @@ fn main() {
         let _ = std::fs::create_dir_all(parent);
     }
     std::fs::write(&json_path, serde_json::to_string_pretty(&baseline).unwrap()).unwrap();
-    println!("  baseline written to {json_path}");
+    println!("  results written to {json_path}");
+
+    match baseline_path {
+        Some(p) => check(&runs, &p, min_speedup, tolerance),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// The `--check` gate. Returns failure (exit 1) on a regression so
+/// `cargo bench` — and through it `cargo xtask bench --check` — fails
+/// the CI job.
+fn check(runs: &[Run], baseline_path: &str, min_speedup: f64, tolerance: f64) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench check: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline: serde_json::Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench check: baseline {baseline_path} is not JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_measure_1 = baseline["runs"]
+        .as_array()
+        .and_then(|rs| rs.iter().find(|r| r["threads"] == 1))
+        .and_then(|r| r["measure_ms"].as_f64());
+    let Some(base_measure_1) = base_measure_1 else {
+        eprintln!("bench check: baseline has no 1-thread measure_ms entry");
+        return ExitCode::from(2);
+    };
+
+    let mut failed = false;
+    let seq = runs.iter().find(|r| r.threads == 1);
+    let par = runs.iter().rfind(|r| r.threads > 1);
+
+    // Gate 1: thread scaling of the measurement stage, when the host
+    // can actually express it.
+    if let (Some(seq), Some(par)) = (seq, par) {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        if cores < par.threads {
+            println!(
+                "bench check: host has {cores} core(s) < {} threads; \
+                 scaling gate skipped (enforced on multi-core CI)",
+                par.threads
+            );
+        } else {
+            let speedup = seq.measure_ms() / par.measure_ms();
+            if speedup < min_speedup {
+                eprintln!(
+                    "bench check: FAIL measurement-stage speedup {speedup:.2}x at \
+                     {} threads < required {min_speedup:.2}x",
+                    par.threads
+                );
+                failed = true;
+            } else {
+                println!(
+                    "bench check: measurement-stage speedup {speedup:.2}x at {} threads \
+                     (>= {min_speedup:.2}x)",
+                    par.threads
+                );
+            }
+        }
+    }
+
+    // Gate 2: no single-thread regression against the committed
+    // baseline.
+    if let Some(seq) = seq {
+        let limit = base_measure_1 * (1.0 + tolerance);
+        if seq.measure_ms() > limit {
+            eprintln!(
+                "bench check: FAIL 1-thread measurement {:.2} ms exceeds baseline \
+                 {base_measure_1:.2} ms by more than {:.0}%",
+                seq.measure_ms(),
+                tolerance * 100.0
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench check: 1-thread measurement {:.2} ms within {:.0}% of \
+                 baseline {base_measure_1:.2} ms",
+                seq.measure_ms(),
+                tolerance * 100.0
+            );
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        println!("bench check: ok against {baseline_path}");
+        ExitCode::SUCCESS
+    }
 }

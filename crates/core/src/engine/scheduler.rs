@@ -15,8 +15,7 @@ use super::{Artifact, Stage, StageCtx};
 use crate::pipeline::{PipelineConfig, PipelineError};
 use crate::telemetry::{Stopwatch, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 
@@ -121,7 +120,7 @@ pub fn threads_env_warning() -> Option<String> {
 /// Shared scheduler state behind the lock.
 struct SchedState {
     indegree: Vec<usize>,
-    ready: BinaryHeap<Reverse<usize>>,
+    ready: BTreeSet<usize>,
     results: Vec<Option<Artifact>>,
     reports: Vec<Option<StageReport>>,
     done: usize,
@@ -187,8 +186,11 @@ pub fn execute(
             dependents[d].push(i);
         }
     }
-    let ready: BinaryHeap<Reverse<usize>> =
-        (0..n).filter(|&i| indegree[i] == 0).map(Reverse).collect();
+    // An ordered set popped from the front is the lowest-index-first
+    // ready queue the old BinaryHeap<Reverse<..>> implemented — and
+    // GT-LINT-011 keeps BinaryHeap out of everything but the routing
+    // reference solver.
+    let ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let config_fp = config_fingerprint(config);
 
     if threads <= 1 {
@@ -227,7 +229,7 @@ pub fn execute(
                         if st.error.is_some() || st.done == n {
                             return;
                         }
-                        if let Some(Reverse(i)) = st.ready.pop() {
+                        if let Some(i) = st.ready.pop_first() {
                             let dep_artifacts: Vec<Artifact> = deps[i]
                                 .iter()
                                 // lint: allow(unwrap): indegree hit 0, so every dependency result is filled
@@ -256,7 +258,7 @@ pub fn execute(
                         for &j in &dependents[i] {
                             st.indegree[j] -= 1;
                             if st.indegree[j] == 0 {
-                                st.ready.push(Reverse(j));
+                                st.ready.insert(j);
                             }
                         }
                         cvar.notify_all();
@@ -292,13 +294,13 @@ fn execute_sequential(
     deps: &[Vec<usize>],
     dependents: &[Vec<usize>],
     mut indegree: Vec<usize>,
-    mut ready: BinaryHeap<Reverse<usize>>,
+    mut ready: BTreeSet<usize>,
 ) -> Result<(Vec<Artifact>, Vec<StageReport>), PipelineError> {
     let n = stages.len();
     let mut results: Vec<Option<Artifact>> = (0..n).map(|_| None).collect();
     let mut reports: Vec<Option<StageReport>> = vec![None; n];
     let mut done = 0;
-    while let Some(Reverse(i)) = ready.pop() {
+    while let Some(i) = ready.pop_first() {
         let dep_artifacts: Vec<Artifact> = deps[i]
             .iter()
             // lint: allow(unwrap): indegree hit 0, so every dependency result is filled
@@ -319,7 +321,7 @@ fn execute_sequential(
         for &j in &dependents[i] {
             indegree[j] -= 1;
             if indegree[j] == 0 {
-                ready.push(Reverse(j));
+                ready.insert(j);
             }
         }
     }

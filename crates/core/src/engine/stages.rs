@@ -15,6 +15,7 @@
 //! monolith — same seed derivations, same iteration orders — so the
 //! artifacts are byte-identical to the pre-engine pipeline.
 
+use super::scheduler::{parallel_map, resolve_threads};
 use super::supervise::{check_stage, StageError};
 use super::{artifact, Artifact, Fingerprint, Stage, StageCtx};
 use crate::io;
@@ -22,10 +23,10 @@ use crate::pipeline::{
     generation_regions, process_with_telemetry, Collector, MapperKind, PipelineConfig,
     PipelineStage, ProcessTelemetry, ProcessedDataset,
 };
-use crate::telemetry::Telemetry;
+use crate::telemetry::{Stopwatch, Telemetry};
 use geotopo_bgp::RouteTable;
 use geotopo_geomap::{EdgeScape, Gazetteer, GeoMapper, IxMapper, OrgDb};
-use geotopo_measure::FaultStats;
+use geotopo_measure::{FaultStats, MonitorCampaign, RoutingStats};
 use geotopo_measure::{
     MeasuredDataset, Mercator, MercatorConfig, MercatorOutput, Skitter, SkitterConfig,
     SkitterOutput,
@@ -293,6 +294,7 @@ fn record_collection_metrics(
     probes_sent: u64,
     virtual_ticks: u64,
     faults: &FaultStats,
+    routing: &RoutingStats,
 ) {
     telemetry.count(&format!("{prefix}.probes.sent"), probes_sent);
     telemetry.count(&format!("{prefix}.probes.lost"), faults.probes_lost);
@@ -305,6 +307,23 @@ fn record_collection_metrics(
     telemetry.count(&format!("{prefix}.retry_successes"), faults.retry_successes);
     telemetry.count(&format!("{prefix}.outage_skips"), faults.outage_skips);
     telemetry.count(&format!("{prefix}.virtual_ticks"), virtual_ticks);
+    telemetry.count(
+        &format!("{prefix}.routing.sources_solved"),
+        routing.sources_solved,
+    );
+    telemetry.count(
+        &format!("{prefix}.routing.edges_relaxed"),
+        routing.edges_relaxed,
+    );
+    telemetry.count(
+        &format!("{prefix}.routing.bucket_pushes"),
+        routing.bucket_pushes,
+    );
+    telemetry.count(
+        &format!("{prefix}.routing.bucket_reuses"),
+        routing.bucket_reuses,
+    );
+    telemetry.count(&format!("{prefix}.routing.memo_hits"), routing.memo_hits);
 }
 
 /// Absorbs one map stage's processing tallies into the registry under
@@ -351,7 +370,25 @@ impl Stage for CollectSkitterStage {
             .skitter
             .clone()
             .unwrap_or_else(|| SkitterConfig::scaled(&gt, ctx.config.world.seed ^ 0x51));
-        let out = Skitter::collect_with_faults(&gt, &cfg, &ctx.config.faults);
+        let t = ctx.telemetry();
+        // Per-monitor campaigns fan out over the engine's deterministic
+        // scoped-thread pool; all RNG is drawn in Skitter's serial
+        // prologue and results merge in monitor-index order, so the
+        // bytes are identical at any thread count.
+        let threads = resolve_threads(ctx.config.threads);
+        let out = Skitter::collect_with_faults_exec(
+            &gt,
+            &cfg,
+            &ctx.config.faults,
+            |n, job: &(dyn Fn(usize) -> MonitorCampaign + Sync)| {
+                parallel_map(threads, n, |m| {
+                    let sw = Stopwatch::start();
+                    let campaign = job(m);
+                    t.span_record("stage.measure.skitter", sw.elapsed_ms());
+                    campaign
+                })
+            },
+        );
         let planned = out.monitors.len();
         let need = ctx.config.faults.quorum_monitors(planned);
         let active = out.active_monitors();
@@ -362,13 +399,13 @@ impl Stage for CollectSkitterStage {
                 need,
             });
         }
-        let t = ctx.telemetry();
         record_collection_metrics(
             t,
             COLLECT_SKITTER,
             out.probes_sent,
             out.virtual_ticks,
             &out.dataset.anomalies.faults,
+            &out.routing,
         );
         t.count(
             "collect-skitter.monitors.failed",
@@ -468,6 +505,7 @@ impl Stage for CollectMercatorStage {
             out.probes_sent,
             out.virtual_ticks,
             &out.dataset.anomalies.faults,
+            &out.routing,
         );
         Ok(artifact(out))
     }

@@ -51,6 +51,6 @@ pub(crate) fn alias_rng(seed: u64, router: u32) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(z ^ (z >> 31))
 }
 pub use mercator::{Mercator, MercatorConfig, MercatorOutput};
-pub use probe::TracerouteSim;
-pub use routing::RoutingOracle;
-pub use skitter::{Skitter, SkitterConfig, SkitterOutput};
+pub use probe::{TraceBuf, TracerouteSim};
+pub use routing::{RoutingOracle, RoutingScratch, RoutingStats, WalkUp};
+pub use skitter::{MonitorCampaign, Skitter, SkitterConfig, SkitterOutput};

@@ -20,8 +20,8 @@
 
 use crate::dataset::{MeasuredDataset, NodeKind};
 use crate::faults::{FaultConfig, FaultPlan, FaultSession};
-use crate::probe::TracerouteSim;
-use crate::routing::RoutingOracle;
+use crate::probe::{TraceBuf, TracerouteSim};
+use crate::routing::{RoutingOracle, RoutingScratch};
 use geotopo_bgp::trie::PrefixTrie;
 use geotopo_bgp::AsId;
 use geotopo_topology::generate::GroundTruth;
@@ -81,6 +81,10 @@ pub struct MercatorOutput {
     /// plus backoff waits; see `faults`).
     #[serde(default)]
     pub virtual_ticks: u64,
+    /// Shortest-path solver counters: one solve per distinct vantage,
+    /// memo hits for every repeated lateral pick.
+    #[serde(default)]
+    pub routing: crate::routing::RoutingStats,
 }
 
 /// The Mercator collector.
@@ -166,7 +170,8 @@ impl Mercator {
                           dst_ip: Ipv4Addr,
                           raw: &mut MeasuredDataset,
                           seen_routers: &mut HashSet<u32>,
-                          session: &mut FaultSession<'_>| {
+                          session: &mut FaultSession<'_>,
+                          buf: &mut TraceBuf| {
             let asn = match truth.lookup(dst_ip) {
                 Some((asn, _)) => *asn,
                 None => return,
@@ -175,11 +180,11 @@ impl Mercator {
                 return;
             };
             let attach = members[(u32::from(dst_ip) as usize) % members.len()];
-            let Some(hops) = sim.trace_with_faults(oracle, attach, session) else {
+            let Some(hops) = sim.trace_with_faults_into(oracle, attach, session, buf) else {
                 return;
             };
             let mut prev: Option<u32> = None;
-            for hop in &hops {
+            for hop in hops {
                 seen_routers.insert(hop.router.0);
                 match hop.interface {
                     Some(iface) => {
@@ -194,10 +199,21 @@ impl Mercator {
             }
         };
 
-        // Primary sweep.
-        let primary = RoutingOracle::new(t, source);
+        // Primary sweep. One scratch spans the whole collection: the
+        // bucket ring warms once, and every vantage solved once is
+        // served from the memo thereafter.
+        let mut scratch = RoutingScratch::new();
+        let mut buf = TraceBuf::new();
+        let primary = scratch.oracle(t, source);
         for &dst in &destinations {
-            trace_into(&primary, dst, &mut raw, &mut seen_routers, &mut session);
+            trace_into(
+                primary,
+                dst,
+                &mut raw,
+                &mut seen_routers,
+                &mut session,
+                &mut buf,
+            );
         }
 
         // Lateral vantage sweeps (loose-source-routing effect): re-probe
@@ -209,7 +225,10 @@ impl Mercator {
         if !discovered.is_empty() {
             for v in 0..cfg.lateral_sources {
                 let vantage = RouterId(discovered[rng.random_range(0..discovered.len())]);
-                let oracle = RoutingOracle::new(t, vantage);
+                // Memoized: a vantage already solved (the primary, or a
+                // repeated lateral pick) costs a map lookup, not a
+                // Dijkstra run.
+                let oracle = scratch.oracle(t, vantage);
                 for &dst in &destinations {
                     // The coverage draw stays unconditional so the RNG
                     // stream is identical with and without faults.
@@ -218,7 +237,14 @@ impl Mercator {
                             session.stats.outage_skips += 1;
                             continue;
                         }
-                        trace_into(&oracle, dst, &mut raw, &mut seen_routers, &mut session);
+                        trace_into(
+                            oracle,
+                            dst,
+                            &mut raw,
+                            &mut seen_routers,
+                            &mut session,
+                            &mut buf,
+                        );
                     }
                 }
             }
@@ -286,6 +312,7 @@ impl Mercator {
             source,
             probes_sent: session.probes_sent(),
             virtual_ticks: session.tick(),
+            routing: scratch.stats,
         }
     }
 }
@@ -406,6 +433,23 @@ mod tests {
         );
         // And they never survive into the link list.
         assert!(out.dataset.validate().is_ok());
+    }
+
+    #[test]
+    fn routing_counters_account_for_every_vantage() {
+        let gt = world();
+        let mut c = cfg(10);
+        c.lateral_sources = 12;
+        let out = Mercator::collect(&gt, &c);
+        let r = &out.routing;
+        // The primary plus each lateral pick calls into the scratch
+        // exactly once: every call is either a fresh solve or a memo hit.
+        assert_eq!(r.sources_solved + r.memo_hits, 1 + 12);
+        assert!(r.sources_solved >= 1);
+        assert!(r.edges_relaxed > 0);
+        assert!(r.bucket_pushes >= r.sources_solved);
+        // Every solve after the first reuses the warm bucket ring.
+        assert_eq!(r.bucket_reuses + 1, r.sources_solved);
     }
 
     #[test]

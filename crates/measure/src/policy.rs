@@ -15,8 +15,7 @@
 use crate::routing::{INTER_COST, INTRA_COST};
 use geotopo_bgp::{AsRelations, Relationship};
 use geotopo_topology::{RouterId, Topology};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, HashMap};
 
 /// Builds size-inferred AS relationships for a topology: sizes from
 /// router counts, adjacencies from interdomain links.
@@ -56,18 +55,24 @@ impl PolicyOracle {
         let n = topology.num_routers();
         let mut dist = vec![u64::MAX; 2 * n];
         let mut parent = vec![usize::MAX; 2 * n];
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // An ordered set pops the lexicographic (dist, state) minimum
+        // exactly like the old BinaryHeap<Reverse<..>> did; this module
+        // is off the hot path, so the simpler structure wins over a
+        // second bucket queue (and GT-LINT-011 keeps BinaryHeap out of
+        // everything but the routing reference).
+        let mut frontier: BTreeSet<(u64, usize)> = BTreeSet::new();
         let start = source.0 as usize * 2 + UP;
         dist[start] = 0;
-        heap.push(Reverse((0, start)));
-        while let Some(Reverse((d, state))) = heap.pop() {
+        frontier.insert((0, start));
+        while let Some((d, state)) = frontier.pop_first() {
             if d > dist[state] {
                 continue;
             }
             let u = RouterId((state / 2) as u32);
             let phase = state % 2;
             let as_u = topology.router(u).asn;
-            for &(v, _link) in topology.neighbors(u) {
+            for e in topology.neighbors(u) {
+                let v = e.neighbor();
                 let as_v = topology.router(v).asn;
                 let (next_phase, cost) = if as_u == as_v {
                     (phase, INTRA_COST)
@@ -84,7 +89,7 @@ impl PolicyOracle {
                 if nd < dist[next] {
                     dist[next] = nd;
                     parent[next] = state;
-                    heap.push(Reverse((nd, next)));
+                    frontier.insert((nd, next));
                 }
             }
         }

@@ -23,6 +23,22 @@ pub struct Hop {
     pub interface: Option<InterfaceId>,
 }
 
+/// Reusable trace-walk buffers: the router path and the hop list. The
+/// collectors keep one per monitor so the hot loop performs no
+/// per-trace allocation — every walk reuses the same two vectors.
+#[derive(Debug, Default)]
+pub struct TraceBuf {
+    path: Vec<RouterId>,
+    hops: Vec<Hop>,
+}
+
+impl TraceBuf {
+    /// Creates empty buffers (they grow to the longest trace and stay).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Traceroute simulation over a topology.
 #[derive(Debug)]
 pub struct TracerouteSim<'a> {
@@ -54,8 +70,23 @@ impl<'a> TracerouteSim<'a> {
     /// *after* the source (the source itself emits, it does not report).
     /// Returns `None` if the destination is unreachable.
     pub fn trace(&self, oracle: &RoutingOracle, dst: RouterId) -> Option<Vec<Hop>> {
-        let path = oracle.path(dst)?;
-        let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
+        let mut buf = TraceBuf::new();
+        self.trace_into(oracle, dst, &mut buf).map(<[Hop]>::to_vec)
+    }
+
+    /// Allocation-free [`trace`](Self::trace): walks the route into
+    /// `buf`'s reusable vectors and returns a borrowed hop slice.
+    pub fn trace_into<'b>(
+        &self,
+        oracle: &RoutingOracle,
+        dst: RouterId,
+        buf: &'b mut TraceBuf,
+    ) -> Option<&'b [Hop]> {
+        let TraceBuf { path, hops } = buf;
+        if !oracle.path_into(dst, path) {
+            return None;
+        }
+        hops.clear();
         for w in path.windows(2) {
             let (prev, cur) = (w[0], w[1]);
             let interface = if self.responsive[cur.0 as usize] {
@@ -88,8 +119,26 @@ impl<'a> TracerouteSim<'a> {
         dst: RouterId,
         session: &mut FaultSession<'_>,
     ) -> Option<Vec<Hop>> {
-        let path = oracle.path(dst)?;
-        let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
+        let mut buf = TraceBuf::new();
+        self.trace_with_faults_into(oracle, dst, session, &mut buf)
+            .map(<[Hop]>::to_vec)
+    }
+
+    /// Allocation-free [`trace_with_faults`](Self::trace_with_faults):
+    /// same fault semantics, but the route walk and hop list reuse
+    /// `buf`'s vectors and the result borrows from them.
+    pub fn trace_with_faults_into<'b>(
+        &self,
+        oracle: &RoutingOracle,
+        dst: RouterId,
+        session: &mut FaultSession<'_>,
+        buf: &'b mut TraceBuf,
+    ) -> Option<&'b [Hop]> {
+        let TraceBuf { path, hops } = buf;
+        if !oracle.path_into(dst, path) {
+            return None;
+        }
+        hops.clear();
         for w in path.windows(2) {
             let (prev, cur) = (w[0], w[1]);
             let mut reported = cur;
@@ -134,6 +183,42 @@ impl<'a> TracerouteSim<'a> {
             });
         }
         Some(hops)
+    }
+}
+
+#[cfg(test)]
+mod trace_buf_tests {
+    use super::*;
+    use geotopo_bgp::AsId;
+    use geotopo_geo::GeoPoint;
+    use geotopo_topology::TopologyBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trace_into_reuses_buffers_and_matches_trace() {
+        let mut b = TopologyBuilder::new();
+        let r: Vec<_> = (0..6)
+            .map(|i| b.add_router(GeoPoint::new(10.0 + i as f64 * 0.1, 10.0).unwrap(), AsId(1)))
+            .collect();
+        for w in r.windows(2) {
+            b.add_link_auto(w[0], w[1]).unwrap();
+        }
+        let t = b.build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sim = TracerouteSim::new(&t, 0.7, &mut rng);
+        let oracle = RoutingOracle::new(&t, r[0]);
+        let mut buf = TraceBuf::new();
+        for &dst in &r[1..] {
+            let owned = sim.trace(&oracle, dst).unwrap();
+            let borrowed = sim.trace_into(&oracle, dst, &mut buf).unwrap();
+            assert_eq!(owned.as_slice(), borrowed);
+        }
+        // After the longest trace the buffers never shrink: a short
+        // trace must reuse the capacity, not reallocate.
+        let cap = (buf.path.capacity(), buf.hops.capacity());
+        assert!(sim.trace_into(&oracle, r[1], &mut buf).is_some());
+        assert_eq!((buf.path.capacity(), buf.hops.capacity()), cap);
     }
 }
 

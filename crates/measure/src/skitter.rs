@@ -15,9 +15,9 @@
 //! - self-loops and duplicate observations are discarded as anomalies.
 
 use crate::dataset::{MeasuredDataset, MonitorRecord, NodeKind};
-use crate::faults::{FaultConfig, FaultPlan, FaultSession};
-use crate::probe::TracerouteSim;
-use crate::routing::RoutingOracle;
+use crate::faults::{FaultConfig, FaultPlan, FaultSession, FaultStats};
+use crate::probe::{TraceBuf, TracerouteSim};
+use crate::routing::{RoutingOracle, RoutingScratch, RoutingStats};
 use geotopo_bgp::trie::PrefixTrie;
 use geotopo_bgp::AsId;
 use geotopo_topology::generate::GroundTruth;
@@ -80,6 +80,9 @@ pub struct SkitterOutput {
     /// plus backoff waits; see `faults`).
     #[serde(default)]
     pub virtual_ticks: u64,
+    /// Shortest-path solver counters, merged in monitor-index order.
+    #[serde(default)]
+    pub routing: RoutingStats,
 }
 
 impl SkitterOutput {
@@ -87,6 +90,23 @@ impl SkitterOutput {
     pub fn active_monitors(&self) -> usize {
         self.monitors.len().saturating_sub(self.failed_monitors)
     }
+}
+
+/// One monitor's campaign, produced by a (possibly parallel) monitor
+/// job: the dataset events to replay, the monitor record, and every
+/// per-monitor counter. Merged serially in monitor-index order, which is
+/// what keeps the final dataset byte-identical at any thread count.
+#[derive(Debug)]
+pub struct MonitorCampaign {
+    /// Dataset events in observation order: `Some(ip)` interns the IP
+    /// and links it to the previous node in the chain, `None` breaks
+    /// the chain (silent router or end of a trace).
+    replay: Vec<Option<Ipv4Addr>>,
+    record: MonitorRecord,
+    fstats: FaultStats,
+    probes_sent: u64,
+    ticks_elapsed: u64,
+    routing: RoutingStats,
 }
 
 /// The Skitter collector.
@@ -99,15 +119,37 @@ impl Skitter {
         Self::collect_with_faults(gt, cfg, &FaultConfig::none())
     }
 
-    /// Runs a collection under an injected fault plan. With an inert plan
-    /// this is byte-identical to [`collect`](Self::collect): fault
-    /// decisions are hash-derived in virtual probe-tick time and never
-    /// touch the collection RNG stream.
+    /// Runs a collection under an injected fault plan, executing the
+    /// per-monitor campaigns serially. With an inert plan this is
+    /// byte-identical to [`collect`](Self::collect): fault decisions are
+    /// hash-derived in virtual probe-tick time and never touch the
+    /// collection RNG stream.
     pub fn collect_with_faults(
         gt: &GroundTruth,
         cfg: &SkitterConfig,
         faults: &FaultConfig,
     ) -> SkitterOutput {
+        Self::collect_with_faults_exec(gt, cfg, faults, |n, job| (0..n).map(job).collect())
+    }
+
+    /// Runs a collection with the per-monitor campaigns dispatched
+    /// through `exec`: it receives the monitor count and a job closure,
+    /// and must return `job(0)..job(n-1)`'s results **in monitor-index
+    /// order** (running them on any threads it likes — every job is
+    /// independent and `Sync`). The engine passes its deterministic
+    /// scoped-thread scheduler here; the output is byte-identical for
+    /// any conforming executor because all RNG draws happen up front in
+    /// the serial prologue, each monitor owns a disjoint slice of the
+    /// virtual fault clock, and results are merged in monitor order.
+    pub fn collect_with_faults_exec<E>(
+        gt: &GroundTruth,
+        cfg: &SkitterConfig,
+        faults: &FaultConfig,
+        exec: E,
+    ) -> SkitterOutput
+    where
+        E: FnOnce(usize, &(dyn Fn(usize) -> MonitorCampaign + Sync)) -> Vec<MonitorCampaign>,
+    {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let t = &gt.topology;
 
@@ -148,7 +190,14 @@ impl Skitter {
         let monitors = pick_monitors(gt, cfg.n_monitors, &mut rng);
 
         let sim = TracerouteSim::new(t, cfg.response_prob, &mut rng);
-        let mut dataset = MeasuredDataset::new(NodeKind::Interface);
+
+        // Last of the serial RNG prologue: pre-draw every coverage coin
+        // in the exact nested (monitor, destination) order the serial
+        // loop used, so the RNG stream — and therefore every downstream
+        // byte — is independent of how the jobs are later scheduled.
+        let coverage: Vec<bool> = (0..monitors.len() * destinations.len())
+            .map(|_| rng.random::<f64>() < cfg.monitor_coverage)
+            .collect();
 
         // Compile the fault plan against the campaign's probe budget
         // (monitors × destinations × coverage × a typical hop count) so
@@ -156,21 +205,27 @@ impl Skitter {
         let expected_probes =
             (monitors.len() as f64 * destinations.len() as f64 * cfg.monitor_coverage * 8.0) as u64;
         let plan = FaultPlan::compile(faults, t.num_routers(), monitors.len(), expected_probes);
-        let mut session = FaultSession::new(&plan);
-        let mut records: Vec<MonitorRecord> = Vec::with_capacity(monitors.len());
+        // Each monitor owns a disjoint slice of the virtual clock, so
+        // its hash-derived fate stream depends only on its own probes.
+        let slice_len = (expected_probes / monitors.len().max(1) as u64).max(1);
 
-        for (m_idx, &monitor) in monitors.iter().enumerate() {
-            let oracle = RoutingOracle::new(t, monitor);
+        let job = |m_idx: usize| -> MonitorCampaign {
+            let monitor = monitors[m_idx];
+            let mut scratch = RoutingScratch::new();
+            let oracle = RoutingOracle::new_in(t, monitor, &mut scratch);
+            let base = m_idx as u64 * slice_len;
+            let mut session = FaultSession::at_tick(&plan, base);
+            let mut buf = TraceBuf::new();
+            let mut replay: Vec<Option<Ipv4Addr>> = Vec::new();
             let mut record = MonitorRecord {
                 router: monitor.0,
                 node: None,
                 probes: 0,
                 skipped: 0,
             };
-            for &dst_ip in &destinations {
-                // The coverage draw comes first and unconditionally, so
-                // the RNG stream is identical with and without faults.
-                if rng.random::<f64>() >= cfg.monitor_coverage {
+            let cover = &coverage[m_idx * destinations.len()..(m_idx + 1) * destinations.len()];
+            for (d_idx, &dst_ip) in destinations.iter().enumerate() {
+                if !cover[d_idx] {
                     continue;
                 }
                 if session.monitor_down(m_idx) {
@@ -189,32 +244,71 @@ impl Skitter {
                     continue;
                 };
                 let attach = members[(u32::from(dst_ip) as usize) % members.len()];
-                let Some(hops) = sim.trace_with_faults(&oracle, attach, &mut session) else {
+                let Some(hops) =
+                    sim.trace_with_faults_into(&oracle, attach, &mut session, &mut buf)
+                else {
                     continue;
                 };
-                // Chain adjacent reported interfaces; silence breaks the
-                // chain so no false link spans an unresponsive router.
-                let mut prev: Option<u32> = None;
-                for hop in &hops {
+                // Record the chain events: reported interfaces extend
+                // it, silence breaks it so no false link spans an
+                // unresponsive router.
+                let mut chained = false;
+                for hop in hops {
                     match hop.interface {
                         Some(iface) => {
-                            let ip = t.interface(iface).ip;
-                            let node = dataset.intern(ip);
-                            if let Some(p) = prev {
-                                dataset.observe_link(p, node);
-                            }
-                            prev = Some(node);
+                            replay.push(Some(t.interface(iface).ip));
+                            chained = true;
                         }
-                        None => prev = None,
+                        None => {
+                            replay.push(None);
+                            chained = false;
+                        }
                     }
                 }
                 // The destination end host responds last.
-                if let Some(p) = prev {
-                    let dst_node = dataset.intern(dst_ip);
-                    dataset.observe_link(p, dst_node);
+                if chained {
+                    replay.push(Some(dst_ip));
+                }
+                replay.push(None);
+            }
+            MonitorCampaign {
+                replay,
+                record,
+                probes_sent: session.probes_sent(),
+                ticks_elapsed: session.tick() - base,
+                fstats: session.stats,
+                routing: scratch.stats,
+            }
+        };
+        let campaigns = exec(monitors.len(), &job);
+
+        // Serial epilogue: replay every campaign in monitor-index order
+        // so node interning — and with it every downstream byte — is
+        // schedule-independent.
+        let mut dataset = MeasuredDataset::new(NodeKind::Interface);
+        let mut records: Vec<MonitorRecord> = Vec::with_capacity(monitors.len());
+        let mut fault_stats = FaultStats::default();
+        let mut routing = RoutingStats::default();
+        let (mut probes_sent, mut virtual_ticks) = (0u64, 0u64);
+        for campaign in campaigns {
+            let mut prev: Option<u32> = None;
+            for ev in &campaign.replay {
+                match ev {
+                    Some(ip) => {
+                        let node = dataset.intern(*ip);
+                        if let Some(p) = prev {
+                            dataset.observe_link(p, node);
+                        }
+                        prev = Some(node);
+                    }
+                    None => prev = None,
                 }
             }
-            records.push(record);
+            records.push(campaign.record);
+            fault_stats.absorb(&campaign.fstats);
+            routing.absorb(&campaign.routing);
+            probes_sent += campaign.probes_sent;
+            virtual_ticks += campaign.ticks_elapsed;
         }
 
         // Anchor each monitor record at the lowest-indexed interface of
@@ -232,7 +326,7 @@ impl Skitter {
             record.node = first_node_of_router.get(&record.router).copied();
         }
         let failed_monitors = records.iter().filter(|r| r.failed()).count();
-        dataset.anomalies.faults.absorb(&session.stats);
+        dataset.anomalies.faults.absorb(&fault_stats);
         dataset.anomalies.monitors = records;
 
         // Discard destination-list interfaces (end hosts).
@@ -252,8 +346,9 @@ impl Skitter {
             discarded_destinations,
             monitors,
             failed_monitors,
-            probes_sent: session.probes_sent(),
-            virtual_ticks: session.tick(),
+            probes_sent,
+            virtual_ticks,
+            routing,
         }
     }
 }
@@ -436,6 +531,37 @@ mod tests {
             serde_json::to_string(&clean.dataset).unwrap(),
             "an active fault plan left the dataset untouched"
         );
+    }
+
+    #[test]
+    fn executor_schedule_does_not_change_bytes() {
+        // Jobs executed in reverse order (the worst-case schedule) must
+        // produce the same bytes as the serial executor, faulted or not:
+        // all RNG is drawn in the prologue and each monitor owns its own
+        // clock slice, so only the merge order — fixed — matters.
+        let gt = world();
+        let cfg = SkitterConfig {
+            n_monitors: 5,
+            destinations: 300,
+            monitor_coverage: 0.85,
+            response_prob: 0.95,
+            seed: 12,
+        };
+        let reversed = |n: usize, job: &(dyn Fn(usize) -> MonitorCampaign + Sync)| {
+            let mut out: Vec<Option<MonitorCampaign>> = (0..n).map(|_| None).collect();
+            for m in (0..n).rev() {
+                out[m] = Some(job(m));
+            }
+            out.into_iter().flatten().collect()
+        };
+        for faults in [FaultConfig::none(), FaultConfig::at_severity(0.6, 9)] {
+            let serial = Skitter::collect_with_faults(&gt, &cfg, &faults);
+            let shuffled = Skitter::collect_with_faults_exec(&gt, &cfg, &faults, reversed);
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&shuffled).unwrap()
+            );
+        }
     }
 
     #[test]

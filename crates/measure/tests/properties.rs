@@ -105,10 +105,35 @@ proptest! {
             // Consecutive hops are adjacent.
             for w in path.windows(2) {
                 prop_assert!(
-                    t.neighbors(w[0]).iter().any(|(r, _)| *r == w[1]),
+                    t.neighbors(w[0]).iter().any(|e| e.neighbor() == w[1]),
                     "non-adjacent hop"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn bucket_queue_matches_reference_heap_dijkstra(
+        // Sparse edge sets leave unreachable components; dense ones
+        // exercise stale bucket entries. Both must agree with the
+        // BinaryHeap reference bit-for-bit.
+        edges in prop::collection::vec((0u32..20, 0u32..20), 0..70),
+        src in 0u32..20,
+    ) {
+        let t = build(20, &edges);
+        let fast = RoutingOracle::new(&t, RouterId(src));
+        let (dist, parent) = geotopo_measure::routing::reference::solve(&t, RouterId(src));
+        for v in 0..20u32 {
+            let d = dist[v as usize];
+            let expect_cost = if d == u64::MAX { None } else { Some(d) };
+            prop_assert_eq!(fast.cost(RouterId(v)), expect_cost, "dist diverged at {}", v);
+            // The parent is the second element of the walk to the
+            // source (None for the source itself and unreachables).
+            prop_assert_eq!(
+                fast.walk_up(RouterId(v)).nth(1),
+                parent[v as usize],
+                "parent diverged at {}", v
+            );
         }
     }
 

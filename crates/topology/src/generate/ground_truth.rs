@@ -722,6 +722,7 @@ mod tests {
     #![allow(clippy::float_cmp)]
 
     use super::*;
+    use crate::graph::LinkId;
     use crate::metrics;
 
     fn world() -> GroundTruth {
@@ -858,13 +859,43 @@ mod tests {
         queue.push_back(members[0]);
         seen.insert(members[0]);
         while let Some(u) = queue.pop_front() {
-            for &(v, _) in t.neighbors(u) {
+            for e in t.neighbors(u) {
+                let v = e.neighbor();
                 if member_set.contains(&v) && seen.insert(v) {
                     queue.push_back(v);
                 }
             }
         }
         assert_eq!(seen.len(), members.len(), "AS {} disconnected", big.asn);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_link_list_reconstruction() {
+        // The CSR slices must reproduce the old Vec<Vec<(router, link)>>
+        // adjacency exactly — same neighbors, same link ids, same
+        // per-router order (link insertion order) — on real generator
+        // output, and the precomputed interdomain bits must agree with
+        // the AS labels.
+        let gt = world();
+        let t = &gt.topology;
+        let mut reference: Vec<Vec<(RouterId, LinkId)>> = vec![Vec::new(); t.num_routers()];
+        for (lid, _) in t.links() {
+            let (ra, rb) = t.link_routers(lid);
+            reference[ra.0 as usize].push((rb, lid));
+            reference[rb.0 as usize].push((ra, lid));
+        }
+        for (r, _) in t.routers() {
+            let got: Vec<(RouterId, LinkId)> = t
+                .neighbors(r)
+                .iter()
+                .map(|e| (e.neighbor(), e.link()))
+                .collect();
+            assert_eq!(got, reference[r.0 as usize], "router {} run diverged", r.0);
+            assert_eq!(t.degree(r), got.len());
+            for e in t.neighbors(r) {
+                assert_eq!(e.is_interdomain(), t.is_interdomain(e.link()));
+            }
+        }
     }
 
     #[test]

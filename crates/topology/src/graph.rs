@@ -194,17 +194,48 @@ impl TopologyBuilder {
         self.add_link(a, b, ip_a, ip_b)
     }
 
-    /// Finalizes the topology, computing adjacency and per-router
+    /// Finalizes the topology, computing the CSR adjacency and per-router
     /// interface lists.
     pub fn build(self) -> Topology {
-        let mut adj: Vec<Vec<(RouterId, LinkId)>> = vec![Vec::new(); self.routers.len()];
+        let n = self.routers.len();
+        // CSR construction in three passes: count degrees, prefix-sum the
+        // offsets, then fill each router's slice in link-insertion order
+        // (the same per-router neighbor order the old Vec<Vec<..>> gave).
+        let mut adj_off: Vec<u32> = vec![0; n + 1];
+        for link in &self.links {
+            let ra = self.interfaces[link.a.0 as usize].router;
+            let rb = self.interfaces[link.b.0 as usize].router;
+            adj_off[ra.0 as usize + 1] += 1;
+            adj_off[rb.0 as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            adj_off[i] += adj_off[i - 1];
+        }
+        let mut cursor: Vec<u32> = adj_off[..n].to_vec();
+        let mut adj: Vec<AdjEntry> = vec![
+            AdjEntry {
+                neighbor: RouterId(0),
+                packed: 0,
+            };
+            2 * self.links.len()
+        ];
         for (i, link) in self.links.iter().enumerate() {
             let ra = self.interfaces[link.a.0 as usize].router;
             let rb = self.interfaces[link.b.0 as usize].router;
-            adj[ra.0 as usize].push((rb, LinkId(i as u32)));
-            adj[rb.0 as usize].push((ra, LinkId(i as u32)));
+            let inter = self.routers[ra.0 as usize].asn != self.routers[rb.0 as usize].asn;
+            let packed = i as u32 | if inter { INTERDOMAIN_BIT } else { 0 };
+            adj[cursor[ra.0 as usize] as usize] = AdjEntry {
+                neighbor: rb,
+                packed,
+            };
+            cursor[ra.0 as usize] += 1;
+            adj[cursor[rb.0 as usize] as usize] = AdjEntry {
+                neighbor: ra,
+                packed,
+            };
+            cursor[rb.0 as usize] += 1;
         }
-        let mut router_ifaces: Vec<Vec<InterfaceId>> = vec![Vec::new(); self.routers.len()];
+        let mut router_ifaces: Vec<Vec<InterfaceId>> = vec![Vec::new(); n];
         for (i, iface) in self.interfaces.iter().enumerate() {
             router_ifaces[iface.router.0 as usize].push(InterfaceId(i as u32));
         }
@@ -212,10 +243,46 @@ impl TopologyBuilder {
             routers: self.routers,
             interfaces: self.interfaces,
             links: self.links,
+            adj_off,
             adj,
             router_ifaces,
             ip_index: self.ip_index,
         }
+    }
+}
+
+/// High bit of [`AdjEntry::packed`]: set when the edge crosses AS
+/// boundaries. The low 31 bits hold the link id, so the interdomain
+/// test costs a mask instead of two router lookups per relaxation.
+const INTERDOMAIN_BIT: u32 = 1 << 31;
+
+/// One edge of the flat CSR adjacency: the neighbor router plus the
+/// connecting link id with the interdomain bit precomputed at build
+/// time. Shortest-path relaxation reads everything it needs from the
+/// 8-byte entry — no `is_interdomain` call, no link-table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjEntry {
+    neighbor: RouterId,
+    packed: u32,
+}
+
+impl AdjEntry {
+    /// The neighbor router on the far end of the edge.
+    #[inline]
+    pub fn neighbor(&self) -> RouterId {
+        self.neighbor
+    }
+
+    /// The link realizing the edge.
+    #[inline]
+    pub fn link(&self) -> LinkId {
+        LinkId(self.packed & !INTERDOMAIN_BIT)
+    }
+
+    /// Whether the edge crosses AS boundaries (precomputed at build).
+    #[inline]
+    pub fn is_interdomain(&self) -> bool {
+        self.packed & INTERDOMAIN_BIT != 0
     }
 }
 
@@ -225,7 +292,10 @@ pub struct Topology {
     routers: Vec<Router>,
     interfaces: Vec<Interface>,
     links: Vec<Link>,
-    adj: Vec<Vec<(RouterId, LinkId)>>,
+    /// CSR offsets: router `r`'s edges live at `adj[adj_off[r]..adj_off[r+1]]`.
+    adj_off: Vec<u32>,
+    /// Flat CSR edge array, per-router runs in link-insertion order.
+    adj: Vec<AdjEntry>,
     router_ifaces: Vec<Vec<InterfaceId>>,
     ip_index: HashMap<Ipv4Addr, InterfaceId>,
 }
@@ -356,14 +426,19 @@ impl Topology {
             .map(|(i, l)| (LinkId(i as u32), l))
     }
 
-    /// Neighbours of a router with the connecting link.
-    pub fn neighbors(&self, r: RouterId) -> &[(RouterId, LinkId)] {
-        &self.adj[r.0 as usize]
+    /// Neighbours of a router with the connecting link: a contiguous
+    /// slice of the flat CSR edge array, in link-insertion order.
+    #[inline]
+    pub fn neighbors(&self, r: RouterId) -> &[AdjEntry] {
+        let lo = self.adj_off[r.0 as usize] as usize;
+        let hi = self.adj_off[r.0 as usize + 1] as usize;
+        &self.adj[lo..hi]
     }
 
     /// Router degree (number of incident links).
+    #[inline]
     pub fn degree(&self, r: RouterId) -> usize {
-        self.adj[r.0 as usize].len()
+        (self.adj_off[r.0 as usize + 1] - self.adj_off[r.0 as usize]) as usize
     }
 
     /// Interfaces on a router.
@@ -468,24 +543,38 @@ impl Topology {
             }
         }
 
-        // 4. Adjacency agrees with the link list: every link appears once
-        // on each side, and nothing else appears.
-        if self.adj.len() != self.routers.len() {
+        // 4. CSR adjacency agrees with the link list: the offset array is
+        // a well-formed prefix-sum over the edge array (n+1 entries,
+        // starts at zero, monotone, covers exactly 2×links), every entry
+        // names an existing link joining this router to the recorded
+        // neighbor, and the precomputed interdomain bit matches the AS
+        // labels re-derived from the router table.
+        if self.adj_off.len() != self.routers.len() + 1
+            || self.adj_off.first() != Some(&0)
+            || self.adj_off.last().copied() != Some(self.adj.len() as u32)
+            || self.adj.len() != 2 * self.links.len()
+        {
             return Err(TopologyInvariant::AdjacencyMismatch(RouterId(0)));
         }
-        let total: usize = self.adj.iter().map(Vec::len).sum();
-        if total != 2 * self.links.len() {
-            return Err(TopologyInvariant::AdjacencyMismatch(RouterId(0)));
-        }
-        for (r, neighbors) in self.adj.iter().enumerate() {
-            for &(nbr, lid) in neighbors {
+        for r in 0..self.routers.len() {
+            let (lo, hi) = (self.adj_off[r], self.adj_off[r + 1]);
+            if lo > hi || hi as usize > self.adj.len() {
+                return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
+            }
+            for e in &self.adj[lo as usize..hi as usize] {
+                let lid = e.link();
                 if lid.0 as usize >= self.links.len() {
                     return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
                 }
                 let (ra, rb) = self.link_routers(lid);
+                let nbr = e.neighbor();
                 let pair_ok =
                     (ra.0 as usize == r && rb == nbr) || (rb.0 as usize == r && ra == nbr);
                 if !pair_ok {
+                    return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
+                }
+                let inter = self.routers[ra.0 as usize].asn != self.routers[rb.0 as usize].asn;
+                if e.is_interdomain() != inter {
                     return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
                 }
             }
@@ -512,9 +601,11 @@ impl Topology {
     /// The outgoing interface on router `from` for the link to `to`
     /// (used by the traceroute simulator to report hop addresses).
     pub fn interface_between(&self, from: RouterId, to: RouterId) -> Option<InterfaceId> {
-        let (_, lid) = self.adj[from.0 as usize]
+        let lid = self
+            .neighbors(from)
             .iter()
-            .find(|(nbr, _)| *nbr == to)?;
+            .find(|e| e.neighbor() == to)?
+            .link();
         let l = &self.links[lid.0 as usize];
         let ia = l.a;
         if self.interfaces[ia.0 as usize].router == from {
@@ -743,12 +834,74 @@ mod tests {
 
     #[test]
     fn validate_rejects_adjacency_mismatch() {
+        // A dropped edge breaks the 2×links count.
         let mut t = valid_topology();
-        t.adj[0].pop();
+        t.adj.pop();
+        t.adj_off[3] -= 1;
         assert!(matches!(
             t.validate(),
             Err(TopologyInvariant::AdjacencyMismatch(_))
         ));
+        // A corrupted offset breaks the prefix-sum structure.
+        let mut t = valid_topology();
+        t.adj_off[1] = 99;
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::AdjacencyMismatch(_))
+        ));
+        // A misdirected entry (wrong neighbor for its link) is caught.
+        let mut t = valid_topology();
+        t.adj[0].neighbor = RouterId(2);
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::AdjacencyMismatch(_))
+        ));
+        // A flipped interdomain bit disagrees with the AS labels.
+        let mut t = valid_topology();
+        t.adj[0].packed ^= INTERDOMAIN_BIT;
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::AdjacencyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn csr_offsets_are_a_prefix_sum_of_degrees() {
+        let t = valid_topology();
+        assert_eq!(t.adj_off, vec![0, 1, 3, 4]);
+        assert_eq!(t.adj.len(), 2 * t.num_links());
+        for (r, _) in t.routers() {
+            assert_eq!(t.neighbors(r).len(), t.degree(r));
+        }
+    }
+
+    #[test]
+    fn csr_entries_carry_links_and_interdomain_flags() {
+        // valid_topology: r0(AS1)-r1(AS1) on link 0, r1(AS1)-r2(AS2) on
+        // link 1. Neighbor runs follow link insertion order.
+        let t = valid_topology();
+        let n0 = t.neighbors(RouterId(0));
+        assert_eq!(n0.len(), 1);
+        assert_eq!(n0[0].neighbor(), RouterId(1));
+        assert_eq!(n0[0].link(), LinkId(0));
+        assert!(!n0[0].is_interdomain());
+        let n1 = t.neighbors(RouterId(1));
+        assert_eq!(
+            n1.iter().map(AdjEntry::neighbor).collect::<Vec<_>>(),
+            vec![RouterId(0), RouterId(2)]
+        );
+        assert_eq!(
+            n1.iter().map(AdjEntry::link).collect::<Vec<_>>(),
+            vec![LinkId(0), LinkId(1)]
+        );
+        assert!(!n1[0].is_interdomain());
+        assert!(n1[1].is_interdomain());
+        // Every flag agrees with the link-table derivation.
+        for (r, _) in t.routers() {
+            for e in t.neighbors(r) {
+                assert_eq!(e.is_interdomain(), t.is_interdomain(e.link()));
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod spatial;
 
 pub use graph::{
-    Interface, InterfaceId, Link, LinkId, Router, RouterId, Topology, TopologyBuilder,
+    AdjEntry, Interface, InterfaceId, Link, LinkId, Router, RouterId, Topology, TopologyBuilder,
     TopologyError, TopologyInvariant,
 };
 pub use spatial::SpatialIndex;

@@ -39,7 +39,8 @@ pub fn component_sizes(t: &Topology) -> Vec<usize> {
         seen[start] = true;
         while let Some(u) = queue.pop_front() {
             size += 1;
-            for &(v, _) in t.neighbors(RouterId(u as u32)) {
+            for e in t.neighbors(RouterId(u as u32)) {
+                let v = e.neighbor();
                 if !seen[v.0 as usize] {
                     seen[v.0 as usize] = true;
                     queue.push_back(v.0 as usize);
@@ -86,7 +87,7 @@ pub fn clustering_coefficient(t: &Topology) -> f64 {
         .map(|i| {
             t.neighbors(RouterId(i as u32))
                 .iter()
-                .map(|(r, _)| r.0)
+                .map(|e| e.neighbor().0)
                 .collect()
         })
         .collect();
@@ -131,7 +132,8 @@ pub fn average_path_length(t: &Topology, sources: usize) -> Option<f64> {
         dist[start] = 0;
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
-            for &(v, _) in t.neighbors(RouterId(u as u32)) {
+            for e in t.neighbors(RouterId(u as u32)) {
+                let v = e.neighbor();
                 if dist[v.0 as usize] == u32::MAX {
                     dist[v.0 as usize] = dist[u] + 1;
                     queue.push_back(v.0 as usize);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo xtask check [--root PATH] [--rule GT-LINT-00x] [--list]
+//! cargo xtask bench [--check] [--update] [--threads LIST] [--json PATH]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error —
@@ -17,6 +18,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -31,14 +33,99 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!("usage: cargo xtask check [--root PATH] [--rule ID] [--list]");
+    eprintln!("       cargo xtask bench [--check] [--update] [--threads LIST] [--json PATH]");
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  check    run the geotopo lint pass over the workspace sources");
+    eprintln!("  bench    run the pipeline_stages measurement-stage bench");
     eprintln!();
     eprintln!("check options:");
     eprintln!("  --root PATH   workspace root to scan (default: cwd, else the repo root)");
     eprintln!("  --rule ID     run a single rule (repeatable), e.g. --rule GT-LINT-003");
     eprintln!("  --list        list the rule catalog and exit");
+    eprintln!();
+    eprintln!("bench options:");
+    eprintln!("  --check         gate against the committed BENCH_measure.json baseline");
+    eprintln!("  --update        rewrite BENCH_measure.json from this run");
+    eprintln!("  --threads LIST  worker counts to measure (default 1,4)");
+    eprintln!("  --json PATH     also write results to PATH (default target/pipeline_stages.json)");
+}
+
+/// Baseline file committed at the repo root; `bench --check` gates the
+/// fresh run against it and `bench --update` rewrites it.
+const BENCH_BASELINE: &str = "BENCH_measure.json";
+
+/// `cargo xtask bench` — thin orchestrator around the `pipeline_stages`
+/// bench binary, which owns the JSON handling (this crate is
+/// deliberately dependency-free, see Cargo.toml). Exit status is the
+/// bench's own, so CI gates on it directly.
+fn bench(args: &[String]) -> ExitCode {
+    let mut do_check = false;
+    let mut do_update = false;
+    let mut threads = String::from("1,4");
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => do_check = true,
+            "--update" => do_update = true,
+            "--threads" => match it.next() {
+                Some(list) => threads = list.clone(),
+                None => {
+                    eprintln!("error: --threads needs a list, e.g. 1,4");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json = Some(p.clone()),
+                None => {
+                    eprintln!("error: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = default_root();
+    // Cargo runs bench binaries with the *package* directory as cwd,
+    // so every path handed over must be absolute against the root.
+    let abs = |p: &str| {
+        let p = Path::new(p);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            root.join(p)
+        }
+    };
+    let baseline = abs(BENCH_BASELINE);
+    // The bench writes its JSON wherever it is told: pointing it at
+    // the baseline makes the run the new reference.
+    let json = if do_update {
+        baseline.clone()
+    } else {
+        abs(&json.unwrap_or_else(|| "target/pipeline_stages.json".into()))
+    };
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.current_dir(&root)
+        .args(["bench", "-p", "geotopo-bench", "--bench", "pipeline_stages"])
+        .args(["--", "--threads", &threads])
+        .arg("--json")
+        .arg(&json);
+    if do_check {
+        cmd.arg("--check").arg(&baseline);
+    }
+    match cmd.status() {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(status) => ExitCode::from(status.code().unwrap_or(1).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("error: failed to run cargo bench: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn check(args: &[String]) -> ExitCode {

@@ -1,0 +1,136 @@
+//! GT-LINT-011: `BinaryHeap` only in the routing reference solver.
+//!
+//! The measurement hot path replaced its heap-based Dijkstra with a
+//! bucket queue (Dial's algorithm — there are only two edge weights),
+//! and the engine's ready queues with ordered sets. The one sanctioned
+//! `BinaryHeap` left in the workspace is the reference solver
+//! (`crates/measure/src/routing/reference.rs`) that the property suite
+//! differential-tests the bucket queue against. Any other use is either
+//! a perf regression waiting to happen or a second source of settle
+//! order — both banned.
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct BinaryHeapUse;
+
+const NEEDLES: &[&str] = &["BinaryHeap"];
+
+/// Harnesses may use whatever structures they like; they never feed
+/// pipeline output.
+const EXEMPT_CRATES: &[&str] = &["geotopo-bench", "xtask"];
+
+/// The differential-testing baseline keeps the textbook heap solver.
+const REFERENCE_PATH: &str = "crates/measure/src/routing/reference.rs";
+
+impl Rule for BinaryHeapUse {
+    fn id(&self) -> &'static str {
+        "GT-LINT-011"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no std BinaryHeap outside the routing reference solver"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+                continue;
+            }
+            for file in &krate.files {
+                if file.path.ends_with(REFERENCE_PATH) {
+                    continue;
+                }
+                for (line, text) in file.code_lines() {
+                    for needle in NEEDLES {
+                        if text.contains(needle) && !file.is_allowed(line, "binary_heap") {
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line,
+                                rule: self.id(),
+                                message: format!(
+                                    "`{needle}` outside the routing reference solver; use \
+                                     the bucket queue (hot path) or an ordered set (cold \
+                                     path), or `// lint: allow(binary_heap)` with a reason"
+                                ),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_binary_heap_use() {
+        let ws = ws_of(
+            "geotopo-measure",
+            &[(
+                "crates/measure/src/routing/mod.rs",
+                "use std::collections::BinaryHeap;\n",
+            )],
+        );
+        let f = BinaryHeapUse.check(&ws);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "GT-LINT-011");
+    }
+
+    #[test]
+    fn reference_solver_is_exempt() {
+        let ws = ws_of(
+            "geotopo-measure",
+            &[(
+                "crates/measure/src/routing/reference.rs",
+                "use std::collections::BinaryHeap;\nfn f() { let _: BinaryHeap<u32> = BinaryHeap::new(); }\n",
+            )],
+        );
+        assert!(BinaryHeapUse.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn bench_crate_is_exempt() {
+        let ws = ws_of(
+            "geotopo-bench",
+            &[(
+                "crates/bench/src/lib.rs",
+                "use std::collections::BinaryHeap;\n",
+            )],
+        );
+        assert!(BinaryHeapUse.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn marker_allows_site() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/engine/scheduler.rs",
+                "// lint: allow(binary_heap): migration shim\nuse std::collections::BinaryHeap;\n",
+            )],
+        );
+        assert!(BinaryHeapUse.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/engine/scheduler.rs",
+                "// the old BinaryHeap is gone\nfn f() {}\n",
+            )],
+        );
+        assert!(BinaryHeapUse.check(&ws).is_empty());
+    }
+}

@@ -6,6 +6,7 @@
 //! `DESIGN.md`; diagnostics print as `file:line: [ID] message` so editors
 //! and CI logs can jump to the site.
 
+pub mod binary_heap;
 pub mod float_eq;
 pub mod instant_timing;
 pub mod layering;
@@ -70,6 +71,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(thread_spawn::ThreadSpawn),
         Box::new(supervised_paths::SupervisedPaths),
         Box::new(instant_timing::InstantTiming),
+        Box::new(binary_heap::BinaryHeapUse),
     ]
 }
 

@@ -17,6 +17,7 @@ const ALL_RULES: &[&str] = &[
     "GT-LINT-008",
     "GT-LINT-009",
     "GT-LINT-010",
+    "GT-LINT-011",
 ];
 
 fn fixture_root() -> PathBuf {

@@ -31,3 +31,7 @@ pub fn unfinished() {
 pub fn sidecar_worker() {
     std::thread::spawn(|| {});
 }
+
+pub fn heapy() -> std::collections::BinaryHeap<u32> {
+    std::collections::BinaryHeap::new()
+}

@@ -49,6 +49,43 @@ fn same_seed_report_is_byte_identical() {
 }
 
 #[test]
+fn fault_free_output_byte_identical_across_thread_counts() {
+    // Skitter's monitor campaigns fan out across worker threads, so this
+    // is the core monitor-parallelism contract: with no fault plan, a
+    // 1-thread and a 4-thread run serialize every collector output and
+    // dataset byte-for-byte identically (the faulted variant lives in
+    // tests/faults.rs).
+    let seq = Pipeline::new(PipelineConfig::tiny(83))
+        .with_threads(1)
+        .run()
+        .unwrap();
+    let par = Pipeline::new(PipelineConfig::tiny(83))
+        .with_threads(4)
+        .run()
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&*seq.skitter).unwrap(),
+        serde_json::to_string(&*par.skitter).unwrap(),
+        "skitter output diverged across thread counts"
+    );
+    assert_eq!(
+        serde_json::to_string(&*seq.mercator).unwrap(),
+        serde_json::to_string(&*par.mercator).unwrap(),
+        "mercator output diverged across thread counts"
+    );
+    assert_eq!(seq.datasets.len(), par.datasets.len());
+    for (da, db) in seq.datasets.iter().zip(&par.datasets) {
+        assert_eq!(
+            serde_json::to_string(&**da).unwrap(),
+            serde_json::to_string(&**db).unwrap(),
+            "{} {} dataset diverged across thread counts",
+            da.mapper,
+            da.collector
+        );
+    }
+}
+
+#[test]
 fn different_seeds_different_worlds() {
     let a = Pipeline::new(PipelineConfig::tiny(1)).run().unwrap();
     let b = Pipeline::new(PipelineConfig::tiny(2)).run().unwrap();

@@ -139,6 +139,11 @@ fn snapshot_schema_roundtrip_and_required_keys() {
         "collect-skitter.probes.sent",
         "collect-mercator.probes.sent",
         "collect-skitter.virtual_ticks",
+        "collect-skitter.routing.sources_solved",
+        "collect-skitter.routing.edges_relaxed",
+        "collect-skitter.routing.bucket_pushes",
+        "collect-mercator.routing.sources_solved",
+        "collect-mercator.routing.memo_hits",
         "route-table.entries",
         "ground-truth.routers",
         "map-ixmapper-skitter.addresses",
@@ -163,6 +168,10 @@ fn snapshot_schema_roundtrip_and_required_keys() {
     let h = &back.histograms["map-ixmapper-skitter.lpm.matched_len"];
     assert!(h.count > 0 && h.max <= 32);
     assert!(back.spans.contains_key("stage.ground-truth"));
+    // One monitor-campaign span per Skitter monitor.
+    let skitter_spans = &back.spans["stage.measure.skitter"];
+    assert!(skitter_spans.count > 0, "no per-monitor skitter spans");
+    assert!(back.counters["collect-skitter.routing.sources_solved"] > 0);
     // Source counts partition the address count.
     let sources: u64 = back
         .counters
