@@ -17,6 +17,7 @@ pub fn tiny_output() -> &'static PipelineOutput {
 }
 
 /// A shared small pipeline output for heavier benches (seed 2002).
+// analyze: allow(dead-pub): heavier companion to tiny_output, kept public for ad-hoc bench experiments
 pub fn small_output() -> &'static PipelineOutput {
     static OUT: OnceLock<PipelineOutput> = OnceLock::new();
     OUT.get_or_init(|| {

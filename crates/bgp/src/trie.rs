@@ -82,6 +82,7 @@ impl<V> PrefixTrie<V> {
 
     /// Longest-prefix match: the value of the most specific stored prefix
     /// containing `ip`, with the matched prefix length.
+    // analyze: hot-path-root
     pub fn lookup(&self, ip: Ipv4Addr) -> Option<(&V, u8)> {
         let bits = u32::from(ip);
         let mut node = 0usize;

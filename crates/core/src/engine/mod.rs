@@ -94,6 +94,9 @@ impl StageCtx<'_> {
     /// the producing stage's artifact type — both are wiring errors in
     /// the stage definitions, caught by every test that runs the
     /// pipeline.
+    // analyze: allow(panic): wiring errors in the static stage graph must
+    // abort loudly (documented above); every pipeline test exercises the
+    // full graph, so a bad index or artifact type cannot reach a run
     pub fn dep<T: Any + Send + Sync>(&self, index: usize) -> Arc<T> {
         self.deps
             .get(index)

@@ -329,6 +329,8 @@ fn execute_sequential(
     Ok(collect(results, reports))
 }
 
+// lint: allow(unwrap): callers assert done == n before collecting, so every
+// slot is filled — the item-scoped marker covers both expect sites below
 fn collect(
     results: Vec<Option<Artifact>>,
     reports: Vec<Option<StageReport>>,
@@ -336,12 +338,10 @@ fn collect(
     (
         results
             .into_iter()
-            // lint: allow(unwrap): callers assert done == n before collecting
             .map(|a| a.expect("all stages completed"))
             .collect(),
         reports
             .into_iter()
-            // lint: allow(unwrap): callers assert done == n before collecting
             .map(|r| r.expect("all stages completed"))
             .collect(),
     )

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 /// A finished experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+// analyze: allow(dead-pub): every experiment entry returns this record; callers read fields via inference
 pub struct ExperimentResult {
     /// Short id ("table1", "fig5", ...).
     pub id: String,
@@ -109,6 +110,7 @@ pub fn run_all(out: &PipelineOutput) -> Vec<ExperimentResult> {
 
 /// The appendix: the EdgeScape versions of Figures 2 and 4–6 plus
 /// Table V (Figures 11–14 in the paper) and the AS figures (15–17).
+// analyze: allow(dead-pub): paper-surface API — the appendix artifacts as one list, separate from run_all
 pub fn appendix(out: &PipelineOutput) -> Vec<ExperimentResult> {
     vec![
         relabel(
@@ -150,6 +152,7 @@ fn edgescape_skitter_measures(out: &PipelineOutput) -> Vec<section6::AsMeasures>
 }
 
 /// Figure 15: AS size distributions under EdgeScape.
+// analyze: allow(dead-pub): paper-surface API — individually addressable artifact also produced by run_all
 pub fn fig15(out: &PipelineOutput) -> ExperimentResult {
     let f15 = section6::fig7(&edgescape_skitter_measures(out));
     ExperimentResult {
@@ -161,6 +164,7 @@ pub fn fig15(out: &PipelineOutput) -> ExperimentResult {
 }
 
 /// Figure 16: AS size scatterplots under EdgeScape.
+// analyze: allow(dead-pub): paper-surface API — individually addressable artifact also produced by run_all
 pub fn fig16(out: &PipelineOutput) -> ExperimentResult {
     let (f16, corr) = section6::fig8(&edgescape_skitter_measures(out));
     ExperimentResult {
@@ -172,6 +176,7 @@ pub fn fig16(out: &PipelineOutput) -> ExperimentResult {
 }
 
 /// Figure 17: size vs convex hull under EdgeScape.
+// analyze: allow(dead-pub): paper-surface API — individually addressable artifact also produced by run_all
 pub fn fig17(out: &PipelineOutput) -> ExperimentResult {
     let f17 = section6::fig10(&edgescape_skitter_measures(out));
     ExperimentResult {
@@ -216,6 +221,7 @@ pub fn table1(out: &PipelineOutput) -> ExperimentResult {
 }
 
 /// Table II: region boundaries (constants).
+// analyze: allow(dead-pub): paper-surface API — individually addressable artifact also produced by run_all
 pub fn table2() -> ExperimentResult {
     let mut t = TextTable::new(
         "Table II — Boundaries of regions studied",
@@ -322,7 +328,7 @@ pub fn fig1(out: &PipelineOutput) -> ExperimentResult {
 
 /// The three study-region population grids, regenerated from the ground
 /// truth (our "CIESIN data").
-pub fn study_population_grids(out: &PipelineOutput) -> Vec<(Region, PopulationGrid)> {
+pub(crate) fn study_population_grids(out: &PipelineOutput) -> Vec<(Region, PopulationGrid)> {
     let gt = &out.ground_truth;
     let mut grids = Vec::new();
     for (name, region) in [
@@ -380,7 +386,7 @@ pub fn fig2(out: &PipelineOutput, mapper: MapperKind) -> ExperimentResult {
 
 /// Computes distance-preference estimates for every study region of one
 /// dataset.
-pub fn preferences(ds: &GeoDataset) -> Vec<DistancePreference> {
+pub(crate) fn preferences(ds: &GeoDataset) -> Vec<DistancePreference> {
     RegionBins::paper()
         .iter()
         .map(|bins| section5::distance_preference(ds, bins, false))
@@ -440,6 +446,7 @@ pub fn fig5(out: &PipelineOutput, mapper: MapperKind) -> ExperimentResult {
 }
 
 /// Figure 6: cumulated preference over large d with linear fits.
+// analyze: allow(dead-pub): paper-surface API — individually addressable artifact also produced by run_all
 pub fn fig6(out: &PipelineOutput, mapper: MapperKind) -> ExperimentResult {
     let mut panels = Vec::new();
     for collector in [Collector::Mercator, Collector::Skitter] {
@@ -601,6 +608,7 @@ pub fn table6(out: &PipelineOutput) -> ExperimentResult {
 /// figures are built from are compared directly. Perfect agreement is
 /// not expected (the tools have different error models — that is the
 /// point); what matters is that the KS distances are small.
+// analyze: allow(dead-pub): paper-surface API — individually addressable artifact also produced by run_all
 pub fn robustness(out: &PipelineOutput) -> ExperimentResult {
     let mut t = TextTable::new(
         "Appendix robustness — KS distance between mapper views (Skitter)",
@@ -688,6 +696,7 @@ pub fn fractal_dimension(out: &PipelineOutput) -> ExperimentResult {
 /// One row of the `faults` sweep: a full pipeline run at one severity,
 /// scored against its own (clean, identical) ground truth.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+// analyze: allow(dead-pub): rows of the public fault sweep; callers read fields via inference
 pub struct FaultSweepPoint {
     /// Fault severity in `[0, 1]` (0 = inert plan).
     pub severity: f64,

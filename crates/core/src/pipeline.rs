@@ -76,6 +76,7 @@ pub struct GeoNode {
 
 /// Per-dataset processing counters.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+// analyze: allow(dead-pub): the pub stats field of every dataset; read via field access, never named
 pub struct ProcessingStats {
     /// Nodes the mapper could not locate (discarded).
     pub unmapped_location: usize,
@@ -760,15 +761,30 @@ enum MajorityResult {
 }
 
 fn majority(votes: &HashMap<(u64, u64), (GeoPoint, usize)>) -> MajorityResult {
-    if votes.is_empty() {
-        return MajorityResult::Empty;
+    // Single pass, order-independent: track the best count seen and
+    // whether another entry matched it. A later strictly-greater count
+    // clears the tie flag, so `tied` ends true iff the maximum count is
+    // shared — regardless of map iteration order.
+    let mut best: Option<(GeoPoint, usize)> = None;
+    let mut tied = false;
+    for &(point, count) in votes.values() {
+        match best {
+            None => best = Some((point, count)),
+            Some((_, max)) => match count.cmp(&max) {
+                std::cmp::Ordering::Greater => {
+                    best = Some((point, count));
+                    tied = false;
+                }
+                std::cmp::Ordering::Equal => tied = true,
+                std::cmp::Ordering::Less => {}
+            },
+        }
     }
-    let max = votes.values().map(|(_, c)| *c).max().expect("non-empty");
-    let mut leaders: Vec<&(GeoPoint, usize)> = votes.values().filter(|(_, c)| *c == max).collect();
-    if leaders.len() > 1 {
-        return MajorityResult::Tie;
+    match best {
+        None => MajorityResult::Empty,
+        Some(_) if tied => MajorityResult::Tie,
+        Some((point, _)) => MajorityResult::Winner(point),
     }
-    MajorityResult::Winner(leaders.pop().expect("exactly one").0)
 }
 
 #[cfg(test)]

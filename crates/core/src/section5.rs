@@ -175,7 +175,7 @@ pub fn distance_preference_with_threshold(
 }
 
 /// Figure 4 series: (d, f̂(d)) for every bin with a defined estimate.
-pub fn fig4_series(dp: &DistancePreference) -> Series {
+pub(crate) fn fig4_series(dp: &DistancePreference) -> Series {
     Series {
         label: dp.region.clone(),
         points: dp
@@ -237,6 +237,7 @@ pub fn fig6_cumulated(dp: &DistancePreference) -> (Vec<(f64, f64)>, Option<Linea
 
 /// One row of Table V.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+// analyze: allow(dead-pub): returned by the section builders; callers read fields without naming the type
 pub struct Table5Row {
     /// Region name.
     pub region: String,

@@ -271,6 +271,7 @@ pub fn large_as_dispersal(
 
 /// One row of Table VI.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+// analyze: allow(dead-pub): returned by the section builders; callers read fields without naming the type
 pub struct Table6Row {
     /// Region name ("World" for the unrestricted row).
     pub region: String,
@@ -286,7 +287,7 @@ pub struct Table6Row {
 
 impl Table6Row {
     /// Fraction of links that are intradomain.
-    pub fn intra_fraction(&self) -> f64 {
+    pub(crate) fn intra_fraction(&self) -> f64 {
         let total = self.inter_count + self.intra_count;
         if total == 0 {
             0.0

@@ -24,7 +24,7 @@ pub fn haversine_miles(a: &GeoPoint, b: &GeoPoint) -> f64 {
 }
 
 /// Central angle between two points in radians, via the haversine formula.
-pub fn central_angle(a: &GeoPoint, b: &GeoPoint) -> f64 {
+pub(crate) fn central_angle(a: &GeoPoint, b: &GeoPoint) -> f64 {
     let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
     let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
     let dlat = lat2 - lat1;

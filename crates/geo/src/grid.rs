@@ -55,7 +55,7 @@ impl std::error::Error for GridError {}
 
 impl PatchGrid {
     /// The paper's patch size: 75 arc-minutes (1.25°).
-    pub const PAPER_PATCH_ARCMIN: f64 = 75.0;
+    pub(crate) const PAPER_PATCH_ARCMIN: f64 = 75.0;
 
     /// Builds a grid over `region` with cells of `arcmin` arc-minutes.
     ///

@@ -198,7 +198,7 @@ impl Gazetteer {
 
     /// Builds a gazetteer from an explicit city list (later entries with
     /// duplicate codes are dropped).
-    pub fn from_cities(cities: Vec<City>) -> Self {
+    pub(crate) fn from_cities(cities: Vec<City>) -> Self {
         let mut g = Gazetteer {
             cities: Vec::with_capacity(cities.len()),
             by_code: HashMap::new(),

@@ -15,6 +15,7 @@ use rand::Rng;
 
 /// A traced hop: the responding router and the interface it reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// analyze: allow(dead-pub): hop record returned by every trace API; fields read without naming the type
 pub struct Hop {
     /// The router at this hop.
     pub router: RouterId,
@@ -76,6 +77,7 @@ impl<'a> TracerouteSim<'a> {
 
     /// Allocation-free [`trace`](Self::trace): walks the route into
     /// `buf`'s reusable vectors and returns a borrowed hop slice.
+    // analyze: hot-path-root
     pub fn trace_into<'b>(
         &self,
         oracle: &RoutingOracle,
@@ -127,6 +129,7 @@ impl<'a> TracerouteSim<'a> {
     /// Allocation-free [`trace_with_faults`](Self::trace_with_faults):
     /// same fault semantics, but the route walk and hop list reuse
     /// `buf`'s vectors and the result borrows from them.
+    // analyze: hot-path-root
     pub fn trace_with_faults_into<'b>(
         &self,
         oracle: &RoutingOracle,
@@ -213,6 +216,10 @@ mod trace_buf_tests {
             let owned = sim.trace(&oracle, dst).unwrap();
             let borrowed = sim.trace_into(&oracle, dst, &mut buf).unwrap();
             assert_eq!(owned.as_slice(), borrowed);
+            // A hop reports an interface iff its router answers probes.
+            for h in &owned {
+                assert_eq!(h.interface.is_some(), sim.is_responsive(h.router));
+            }
         }
         // After the longest trace the buffers never shrink: a short
         // trace must reuse the capacity, not reallocate.

@@ -25,6 +25,7 @@ pub mod reference;
 
 use geotopo_topology::{RouterId, Topology};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Per-hop cost of an intradomain link.
@@ -72,10 +73,18 @@ impl RoutingStats {
 /// collection) keeps the counters deterministic at any thread count.
 #[derive(Debug, Default)]
 pub struct RoutingScratch {
-    buckets: [Vec<u32>; NUM_BUCKETS],
     solved: HashMap<u32, RoutingOracle>,
+    core: SolveState,
     /// Solver counters accumulated across every solve on this scratch.
     pub stats: RoutingStats,
+}
+
+/// The bucket ring and warm flag — the solver state the Dijkstra kernel
+/// mutates, split from the memo map so [`RoutingScratch::oracle`] can
+/// hold a map entry open while solving into it.
+#[derive(Debug, Default)]
+struct SolveState {
+    buckets: [Vec<u32>; NUM_BUCKETS],
     warm: bool,
 }
 
@@ -88,15 +97,17 @@ impl RoutingScratch {
     /// The oracle for `source`, memoized: the first request solves and
     /// caches, repeats are served from the memo and counted as hits.
     pub fn oracle(&mut self, topology: &Topology, source: RouterId) -> &RoutingOracle {
-        if self.solved.contains_key(&source.0) {
-            self.stats.memo_hits += 1;
-        } else {
-            let oracle = RoutingOracle::new_in(topology, source, self);
-            self.solved.insert(source.0, oracle);
-        }
-        match self.solved.get(&source.0) {
-            Some(oracle) => oracle,
-            None => unreachable!("inserted on the branch above when absent"),
+        match self.solved.entry(source.0) {
+            Entry::Occupied(e) => {
+                self.stats.memo_hits += 1;
+                e.into_mut()
+            }
+            Entry::Vacant(e) => e.insert(RoutingOracle::solve(
+                topology,
+                source,
+                &mut self.core,
+                &mut self.stats,
+            )),
         }
     }
 }
@@ -131,16 +142,31 @@ impl RoutingOracle {
     /// in the same bucket) and is sorted by router index before
     /// relaxation.
     pub fn new_in(topology: &Topology, source: RouterId, scratch: &mut RoutingScratch) -> Self {
+        Self::solve(topology, source, &mut scratch.core, &mut scratch.stats)
+    }
+
+    /// The Dijkstra kernel behind [`RoutingOracle::new_in`] and
+    /// [`RoutingScratch::oracle`], taking the scratch's parts separately
+    /// so the memo map can stay borrowed while a miss solves.
+    // analyze: hot-path-root
+    fn solve(
+        topology: &Topology,
+        source: RouterId,
+        core: &mut SolveState,
+        stats: &mut RoutingStats,
+    ) -> Self {
         let n = topology.num_routers();
+        // analyze: allow(alloc): the oracle's owned distance array, one per solved source
         let mut dist = vec![u64::MAX; n];
+        // analyze: allow(alloc): the oracle's owned parent array, one per solved source
         let mut parent: Vec<Option<RouterId>> = vec![None; n];
-        scratch.stats.sources_solved += 1;
-        if scratch.warm {
-            scratch.stats.bucket_reuses += 1;
+        stats.sources_solved += 1;
+        if core.warm {
+            stats.bucket_reuses += 1;
         } else {
-            scratch.warm = true;
+            core.warm = true;
         }
-        let buckets = &mut scratch.buckets;
+        let buckets = &mut core.buckets;
         let (mut edges, mut pushes) = (0u64, 1u64);
 
         dist[source.0 as usize] = 0;
@@ -182,8 +208,8 @@ impl RoutingOracle {
             buckets[slot] = batch;
             cur += 1;
         }
-        scratch.stats.edges_relaxed += edges;
-        scratch.stats.bucket_pushes += pushes;
+        stats.edges_relaxed += edges;
+        stats.bucket_pushes += pushes;
         RoutingOracle {
             source,
             parent,

@@ -32,6 +32,9 @@ pub enum PopulationError {
     BadCellValue(usize),
     /// The grid is empty of population (cannot sample points).
     NoPopulation,
+    /// A synthesis configuration is degenerate (invalid grid geometry
+    /// or distribution parameters).
+    BadConfig(&'static str),
 }
 
 impl std::fmt::Display for PopulationError {
@@ -42,6 +45,9 @@ impl std::fmt::Display for PopulationError {
             }
             PopulationError::BadCellValue(i) => write!(f, "cell {i} is negative or non-finite"),
             PopulationError::NoPopulation => write!(f, "grid holds zero total population"),
+            PopulationError::BadConfig(what) => {
+                write!(f, "degenerate synthesis configuration: {what}")
+            }
         }
     }
 }
@@ -165,6 +171,7 @@ impl PopulationGrid {
 /// Draws geographic points with probability proportional to (powered)
 /// cell population. Created by [`PopulationGrid::point_sampler`].
 #[derive(Debug, Clone)]
+// analyze: allow(dead-pub): returned by PopulationGrid::point_sampler; driven without naming the type
 pub struct PointSampler<'a> {
     pop: &'a PopulationGrid,
     table: AliasTable,

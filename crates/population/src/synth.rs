@@ -102,18 +102,22 @@ impl SyntheticPopulation {
     ///
     /// # Errors
     ///
-    /// Propagates [`PopulationError`] from grid construction (only
-    /// possible with a degenerate configuration such as zero population).
+    /// Returns [`PopulationError::BadConfig`] when the region,
+    /// resolution, or distribution parameters are degenerate, and
+    /// propagates [`PopulationError`] from grid construction (e.g. zero
+    /// population).
     pub fn generate(&self, seed: u64) -> Result<PopulationGrid, PopulationError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let grid = PatchGrid::new(self.region.clone(), self.resolution_arcmin)
-            .expect("validated region and resolution");
+        let grid = PatchGrid::new(self.region.clone(), self.resolution_arcmin).map_err(|_| {
+            PopulationError::BadConfig("region and resolution must define a non-empty grid")
+        })?;
         let mut cells = vec![0.0f64; grid.len()];
 
         // City shares: Zipf over ranks.
         let urban_total = self.total_population * (1.0 - self.rural_fraction);
-        let zipf = Zipf::new(self.n_cities.max(1), self.zipf_exponent)
-            .expect("n_cities >= 1 and finite exponent");
+        let zipf = Zipf::new(self.n_cities.max(1), self.zipf_exponent).ok_or(
+            PopulationError::BadConfig("zipf exponent must be finite and non-negative"),
+        )?;
         let shares: Vec<f64> = (1..=self.n_cities.max(1)).map(|k| zipf.pmf(k)).collect();
 
         // Placement. Two tiers:
@@ -128,15 +132,19 @@ impl SyntheticPopulation {
             self.offspring_scale_deg.max(1e-3),
             self.offspring_alpha.max(0.2),
         )
-        .expect("positive scale and shape");
+        .ok_or(PopulationError::BadConfig(
+            "pareto offset scale and shape must be finite",
+        ))?;
         let n = shares.len();
         let top = (n / 20).max(1);
         // Prefix sums of shares for weighted parent choice among the
         // cities placed so far (earlier rank = larger share).
         let mut prefix: Vec<f64> = Vec::with_capacity(n + 1);
         prefix.push(0.0);
+        let mut acc = 0.0;
         for &s in &shares {
-            prefix.push(prefix.last().expect("non-empty") + s);
+            acc += s;
+            prefix.push(acc);
         }
         let mut centers: Vec<GeoPoint> = Vec::with_capacity(n);
         for (rank0, &share) in shares.iter().enumerate() {

@@ -25,6 +25,7 @@ pub struct BinnedRatio {
 
 /// One bin of the estimated function.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// analyze: allow(dead-pub): returned by ratios(); callers read fields without naming the type
 pub struct RatioBin {
     /// Lower edge of the bin (the paper plots f(d) at multiples of b).
     pub d: f64,
@@ -143,7 +144,7 @@ impl BinnedRatio {
     }
 
     /// Total numerator observations that fell in range.
-    pub fn num_total(&self) -> u64 {
+    pub(crate) fn num_total(&self) -> u64 {
         self.numerator.total()
     }
 

@@ -210,6 +210,7 @@ impl std::error::Error for GroundTruthError {}
 
 /// Ground-truth AS metadata.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+// analyze: allow(dead-pub): element of the pub as_records field; read via field access, never named
 pub struct AsRecord {
     /// AS number.
     pub asn: AsId,
@@ -748,6 +749,15 @@ mod tests {
         let gt = world();
         assert_eq!(gt.topology.num_routers(), gt.config.total_routers);
         assert_eq!(gt.router_region.len(), gt.config.total_routers);
+        // Every router's region accessor resolves to a configured region.
+        for r in 0..gt.config.total_routers {
+            let profile = gt.region_of(RouterId(r as u32));
+            assert!(gt
+                .config
+                .regions
+                .iter()
+                .any(|p| p.economic.region.name == profile.economic.region.name));
+        }
     }
 
     #[test]

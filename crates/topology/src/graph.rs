@@ -428,6 +428,7 @@ impl Topology {
 
     /// Neighbours of a router with the connecting link: a contiguous
     /// slice of the flat CSR edge array, in link-insertion order.
+    // analyze: hot-path-root
     #[inline]
     pub fn neighbors(&self, r: RouterId) -> &[AdjEntry] {
         let lo = self.adj_off[r.0 as usize] as usize;

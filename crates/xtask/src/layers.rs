@@ -1,0 +1,61 @@
+//! The sanctioned crate-layering table, shared between the manifest rule
+//! (GT-LINT-006 in [`crate::rules::layering`]) and the use-graph rule
+//! (GT-AN-003 in [`crate::analyze::hygiene`]).
+//!
+//! The workspace is a strict DAG of layers; a crate may depend only on
+//! geotopo crates in *strictly lower* layers:
+//!
+//! | layer | crates |
+//! |-------|--------|
+//! | 0     | `geotopo-geo`, `geotopo-stats`, `geotopo-bgp` |
+//! | 1     | `geotopo-population` |
+//! | 2     | `geotopo-topology`, `geotopo-geomap` |
+//! | 3     | `geotopo-measure` |
+//! | 4     | `geotopo-core` |
+//! | 5     | `geotopo-bench` |
+//! | top   | `geotopo` (root package) |
+//!
+//! `xtask` sits outside the pipeline entirely and may depend on no
+//! geotopo crate. A new edge means this table (and `DESIGN.md`) must be
+//! updated deliberately — there is no allow marker for layering.
+
+/// Layer assignment; `u32::MAX` marks the top-level binary package which
+/// may depend on everything.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("geotopo-geo", 0),
+    ("geotopo-stats", 0),
+    ("geotopo-bgp", 0),
+    ("geotopo-population", 1),
+    ("geotopo-topology", 2),
+    ("geotopo-geomap", 2),
+    ("geotopo-measure", 3),
+    ("geotopo-core", 4),
+    ("geotopo-bench", 5),
+    ("geotopo", u32::MAX),
+];
+
+/// The layer of a crate name, or None if it is not in the table.
+pub fn layer_of(name: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|(_, l)| *l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lookup() {
+        assert_eq!(layer_of("geotopo-geo"), Some(0));
+        assert_eq!(layer_of("geotopo-core"), Some(4));
+        assert_eq!(layer_of("geotopo"), Some(u32::MAX));
+        assert_eq!(layer_of("serde"), None);
+    }
+
+    #[test]
+    fn substrate_below_pipeline() {
+        for name in ["geotopo-geo", "geotopo-stats", "geotopo-bgp"] {
+            assert!(layer_of(name) < layer_of("geotopo-measure"));
+        }
+        assert!(layer_of("geotopo-measure") < layer_of("geotopo-core"));
+    }
+}

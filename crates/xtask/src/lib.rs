@@ -15,6 +15,11 @@
 //! comment and string interiors and strips `#[cfg(test)]` regions before
 //! rules see the text.
 
+pub mod analyze;
+pub mod graph;
+pub mod items;
+pub mod layers;
+pub mod lexer;
 pub mod rules;
 pub mod source;
 pub mod workspace;

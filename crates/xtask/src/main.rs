@@ -1,9 +1,16 @@
 //! `cargo xtask` — project automation entry point.
 //!
 //! ```text
-//! cargo xtask check [--root PATH] [--rule GT-LINT-00x] [--list]
+//! cargo xtask check [--root PATH] [--rule GT-LINT-00x] [--list] [--all]
+//! cargo xtask analyze [--root PATH] [--rule GT-AN-00x] [--list] [--explain ID]
 //! cargo xtask bench [--check] [--update] [--threads LIST] [--json PATH]
 //! ```
+//!
+//! `check` runs the line-level lint catalog; `analyze` runs the
+//! semantic analyzer (call-graph panic reachability, hot-path
+//! allocation, cross-crate hygiene); `check --all` runs both over a
+//! single workspace parse, interleaving the findings in one sorted
+//! stream.
 //!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error —
 //! so CI can gate on the exit status directly.
@@ -11,13 +18,15 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::rules::{all_rules, run};
+use xtask::analyze::{all_analyzers, AnalyzeRule};
+use xtask::rules::{all_rules, run, Finding};
 use xtask::workspace::WorkspaceSrc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -32,17 +41,26 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask check [--root PATH] [--rule ID] [--list]");
+    eprintln!("usage: cargo xtask check [--root PATH] [--rule ID] [--list] [--all]");
+    eprintln!("       cargo xtask analyze [--root PATH] [--rule ID] [--list] [--explain ID]");
     eprintln!("       cargo xtask bench [--check] [--update] [--threads LIST] [--json PATH]");
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  check    run the geotopo lint pass over the workspace sources");
+    eprintln!("  analyze  run the call-graph analyzer (GT-AN rules) over the workspace");
     eprintln!("  bench    run the pipeline_stages measurement-stage bench");
     eprintln!();
     eprintln!("check options:");
     eprintln!("  --root PATH   workspace root to scan (default: cwd, else the repo root)");
     eprintln!("  --rule ID     run a single rule (repeatable), e.g. --rule GT-LINT-003");
     eprintln!("  --list        list the rule catalog and exit");
+    eprintln!("  --all         also run the GT-AN analyzer rules on the same parse");
+    eprintln!();
+    eprintln!("analyze options:");
+    eprintln!("  --root PATH   workspace root to scan (default: cwd, else the repo root)");
+    eprintln!("  --rule ID     run a single rule (repeatable), e.g. --rule GT-AN-001");
+    eprintln!("  --list        list the analyzer catalog and exit");
+    eprintln!("  --explain ID  print the long-form documentation for one rule");
     eprintln!();
     eprintln!("bench options:");
     eprintln!("  --check         gate against the committed BENCH_measure.json baseline");
@@ -132,6 +150,7 @@ fn check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut only: Vec<String> = Vec::new();
     let mut list = false;
+    let mut all = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -150,6 +169,7 @@ fn check(args: &[String]) -> ExitCode {
                 }
             },
             "--list" => list = true,
+            "--all" => all = true,
             other => {
                 eprintln!("error: unknown option `{other}`");
                 return ExitCode::from(2);
@@ -158,9 +178,13 @@ fn check(args: &[String]) -> ExitCode {
     }
 
     let mut rules = all_rules();
+    let analyzers = if all { all_analyzers() } else { Vec::new() };
     if list {
         for r in &rules {
             println!("{}  {}", r.id(), r.describe());
+        }
+        for r in &analyzers {
+            println!("{}   {}", r.id(), r.describe());
         }
         return ExitCode::SUCCESS;
     }
@@ -175,31 +199,126 @@ fn check(args: &[String]) -> ExitCode {
     }
 
     let root = root.unwrap_or_else(default_root);
-    let ws = match WorkspaceSrc::load(&root) {
+    let ws = match load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(code) => return code,
+    };
+
+    // One workspace parse serves both catalogs: `SourceFile` carries the
+    // masked view for the lint rules and the token/item trees for the
+    // analyzer, so `--all` costs one extra model build, not a re-read.
+    let mut findings = run(&rules, &ws);
+    if !analyzers.is_empty() {
+        findings.extend(xtask::analyze::run(&analyzers, &ws));
+        findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+    report("check", &ws, rules.len() + analyzers.len(), &findings)
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut explain: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rule" => match it.next() {
+                Some(id) => only.push(id.clone()),
+                None => {
+                    eprintln!("error: --rule needs a rule ID");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => list = true,
+            "--explain" => match it.next() {
+                Some(id) => explain = Some(id.clone()),
+                None => {
+                    eprintln!("error: --explain needs a rule ID");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut analyzers: Vec<Box<dyn AnalyzeRule>> = all_analyzers();
+    if let Some(id) = explain {
+        return match analyzers.iter().find(|r| r.id() == id) {
+            Some(r) => {
+                println!("{}", r.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: unknown rule `{id}` (see --list)");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if list {
+        for r in &analyzers {
+            println!("{}  {}", r.id(), r.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !only.is_empty() {
+        for id in &only {
+            if !analyzers.iter().any(|r| r.id() == id) {
+                eprintln!("error: unknown rule `{id}` (see --list)");
+                return ExitCode::from(2);
+            }
+        }
+        analyzers.retain(|r| only.iter().any(|id| id == r.id()));
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let ws = match load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(code) => return code,
+    };
+    let findings = xtask::analyze::run(&analyzers, &ws);
+    report("analyze", &ws, analyzers.len(), &findings)
+}
+
+/// Loads the workspace or reports the usage/IO error (exit 2).
+fn load_workspace(root: &Path) -> Result<WorkspaceSrc, ExitCode> {
+    let ws = match WorkspaceSrc::load(root) {
         Ok(ws) => ws,
         Err(e) => {
             eprintln!("error: failed to load workspace at {}: {e}", root.display());
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
     if ws.crates.is_empty() {
         eprintln!("error: no crates found under {}", root.display());
-        return ExitCode::from(2);
+        return Err(ExitCode::from(2));
     }
+    Ok(ws)
+}
 
-    let findings = run(&rules, &ws);
-    for f in &findings {
+/// Prints findings plus the one-line summary; exit 0 clean, 1 findings.
+fn report(task: &str, ws: &WorkspaceSrc, nrules: usize, findings: &[Finding]) -> ExitCode {
+    for f in findings {
         println!("{f}");
     }
     let nfiles = ws.num_files();
     let ncrates = ws.crates.len();
-    let nrules = rules.len();
     if findings.is_empty() {
-        println!("xtask check: {ncrates} crates, {nfiles} files, {nrules} rules — clean");
+        println!("xtask {task}: {ncrates} crates, {nfiles} files, {nrules} rules — clean");
         ExitCode::SUCCESS
     } else {
         println!(
-            "xtask check: {ncrates} crates, {nfiles} files, {nrules} rules — {} finding(s)",
+            "xtask {task}: {ncrates} crates, {nfiles} files, {nrules} rules — {} finding(s)",
             findings.len()
         );
         ExitCode::from(1)

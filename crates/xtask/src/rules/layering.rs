@@ -4,17 +4,10 @@
 //! The workspace is a strict DAG of layers; a crate may depend only on
 //! geotopo crates in *strictly lower* layers. This keeps the substrate
 //! (geo/stats/bgp) reusable and stops experiment plumbing from leaking
-//! downward. The map mirrors the real dependency graph:
-//!
-//! | layer | crates |
-//! |-------|--------|
-//! | 0     | `geotopo-geo`, `geotopo-stats`, `geotopo-bgp` |
-//! | 1     | `geotopo-population` |
-//! | 2     | `geotopo-topology`, `geotopo-geomap` |
-//! | 3     | `geotopo-measure` |
-//! | 4     | `geotopo-core` |
-//! | 5     | `geotopo-bench` |
-//! | top   | `geotopo` (root package) |
+//! downward. The table itself lives in [`crate::layers`], shared with
+//! GT-AN-003 which recomputes the same constraint from the real
+//! `use`-graph in source (this rule checks the *declared* manifest
+//! edges; the analyzer checks the *actual* import edges).
 //!
 //! `xtask` sits outside the pipeline entirely and may depend on no
 //! geotopo crate (it must stay buildable even when the pipeline is
@@ -22,34 +15,16 @@
 //! exempt: tests may reach anywhere.
 //!
 //! Findings point at the offending `Cargo.toml` line. There is no allow
-//! marker for this rule — a new edge means the table above (and
+//! marker for this rule — a new edge means the layer table (and
 //! `DESIGN.md`) must be updated deliberately.
 
 use super::{Finding, Rule};
+use crate::layers::layer_of;
 use crate::workspace::{geotopo_dependencies, WorkspaceSrc};
 
 /// See module docs.
 #[derive(Debug)]
 pub struct Layering;
-
-/// Layer assignment; `u32::MAX` marks the top-level binary package which
-/// may depend on everything.
-const LAYERS: &[(&str, u32)] = &[
-    ("geotopo-geo", 0),
-    ("geotopo-stats", 0),
-    ("geotopo-bgp", 0),
-    ("geotopo-population", 1),
-    ("geotopo-topology", 2),
-    ("geotopo-geomap", 2),
-    ("geotopo-measure", 3),
-    ("geotopo-core", 4),
-    ("geotopo-bench", 5),
-    ("geotopo", u32::MAX),
-];
-
-fn layer_of(name: &str) -> Option<u32> {
-    LAYERS.iter().find(|(n, _)| *n == name).map(|(_, l)| *l)
-}
 
 impl Rule for Layering {
     fn id(&self) -> &'static str {
@@ -129,6 +104,7 @@ mod tests {
             manifest: manifest.to_string(),
             manifest_path: PathBuf::from(format!("crates/{name}/Cargo.toml")),
             files: Vec::<SourceFile>::new(),
+            ref_files: Vec::new(),
         }
     }
 

@@ -97,6 +97,7 @@ pub fn ws_of(crate_name: &str, files: &[(&str, &str)]) -> WorkspaceSrc {
                 .iter()
                 .map(|(p, s)| SourceFile::from_str(p, s))
                 .collect(),
+            ref_files: Vec::new(),
         }],
     }
 }

@@ -1,10 +1,14 @@
 //! Workspace discovery: enumerates the crates under a repository root
 //! and loads their library sources into [`SourceFile`]s.
 //!
-//! Only `src/` trees are loaded — integration tests, benches and
-//! examples are out of scope for library lint rules. The `vendor/`
-//! stand-ins for external crates are deliberately not scanned: they
-//! mirror third-party APIs, not this project's code.
+//! Lint rules see only the `src/` trees ([`CrateSrc::files`]) —
+//! integration tests, benches and examples are out of scope for library
+//! lint rules. Those extra trees *are* loaded separately
+//! ([`CrateSrc::ref_files`]) so the analyzer's dead-`pub` rule
+//! (GT-AN-003) can count references from tests and benches before
+//! calling a public item unused. The `vendor/` stand-ins for external
+//! crates are deliberately not scanned: they mirror third-party APIs,
+//! not this project's code.
 
 use crate::source::SourceFile;
 use std::fs;
@@ -24,6 +28,9 @@ pub struct CrateSrc {
     pub manifest_path: PathBuf,
     /// Parsed `src/**/*.rs` files, paths relative to the workspace root.
     pub files: Vec<SourceFile>,
+    /// Parsed `tests/`, `benches/` and `examples/` files — reference
+    /// material for the analyzer, never linted.
+    pub ref_files: Vec<SourceFile>,
 }
 
 /// All crates discovered under a workspace root.
@@ -80,24 +87,32 @@ fn load_crate(root: &Path, rel: &Path) -> io::Result<Option<CrateSrc>> {
     }
     let manifest = fs::read_to_string(&manifest_path)?;
     let name = package_name(&manifest).unwrap_or_else(|| "<unnamed>".to_string());
-    let mut files = Vec::new();
-    let src = dir.join("src");
-    if src.exists() {
-        let mut paths = Vec::new();
-        collect_rs(&src, &mut paths)?;
-        paths.sort();
-        for p in paths {
-            let raw = fs::read_to_string(&p)?;
-            let rel_path = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
-            files.push(SourceFile::parse(rel_path, raw));
+    let load_tree = |sub: &str| -> io::Result<Vec<SourceFile>> {
+        let tree = dir.join(sub);
+        let mut files = Vec::new();
+        if tree.exists() {
+            let mut paths = Vec::new();
+            collect_rs(&tree, &mut paths)?;
+            paths.sort();
+            for p in paths {
+                let raw = fs::read_to_string(&p)?;
+                let rel_path = p.strip_prefix(root).unwrap_or(&p).to_path_buf();
+                files.push(SourceFile::parse(rel_path, raw));
+            }
         }
-    }
+        Ok(files)
+    };
+    let files = load_tree("src")?;
+    let mut ref_files = load_tree("tests")?;
+    ref_files.extend(load_tree("benches")?);
+    ref_files.extend(load_tree("examples")?);
     Ok(Some(CrateSrc {
         name,
         dir: rel.to_path_buf(),
         manifest,
         manifest_path: rel.join("Cargo.toml"),
         files,
+        ref_files,
     }))
 }
 

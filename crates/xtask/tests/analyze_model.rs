@@ -1,0 +1,85 @@
+//! Model-level invariants of the analyzer: every `impl Stage` in the
+//! real workspace — enumerated from the *item tree*, not the rule's own
+//! root list — must be a registered GT-AN-001 root, and the analyzer's
+//! findings must not depend on file-discovery order.
+
+use std::path::PathBuf;
+use xtask::analyze::{all_analyzers, panic_reach::supervised_roots};
+use xtask::graph::Model;
+use xtask::items::Item;
+use xtask::workspace::WorkspaceSrc;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn every_stage_impl_is_a_supervised_root() {
+    let ws = WorkspaceSrc::load(&repo_root()).expect("load workspace");
+    let model = Model::build(&ws);
+    let roots = supervised_roots(&model);
+
+    // Independent enumeration straight from the item trees: each bodied,
+    // non-test `fn run` inside an `impl Stage for ...`.
+    let mut stage_runs: Vec<(String, usize)> = Vec::new();
+    for c in &ws.crates {
+        for sf in &c.files {
+            sf.tree.walk(&mut |item: &Item| {
+                if item.name == "run"
+                    && item.trait_name.as_deref() == Some("Stage")
+                    && item.body.is_some()
+                    && !sf.is_test_line(item.line)
+                {
+                    stage_runs.push((sf.path.display().to_string(), item.line));
+                }
+            });
+        }
+    }
+    assert!(
+        stage_runs.len() >= 3,
+        "workspace should define several Stage impls, found {}",
+        stage_runs.len()
+    );
+
+    for (path, line) in &stage_runs {
+        let covered = roots.iter().any(|&r| {
+            let f = &model.fns[r as usize];
+            f.line == *line && {
+                let (ci, fi) = model.files[f.file];
+                ws.crates[ci].files[fi].path.display().to_string() == *path
+            }
+        });
+        assert!(
+            covered,
+            "Stage::run at {path}:{line} is not a registered GT-AN-001 root"
+        );
+    }
+}
+
+#[test]
+fn findings_are_independent_of_file_discovery_order() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyze");
+    let forward = WorkspaceSrc::load(&fixture).expect("load fixture");
+    let mut reversed = WorkspaceSrc::load(&fixture).expect("load fixture");
+    reversed.crates.reverse();
+    for c in &mut reversed.crates {
+        c.files.reverse();
+        c.ref_files.reverse();
+    }
+
+    let analyzers = all_analyzers();
+    let render = |ws: &WorkspaceSrc| -> Vec<String> {
+        xtask::analyze::run(&analyzers, ws)
+            .iter()
+            .map(|f| f.to_string())
+            .collect()
+    };
+    let first = render(&forward);
+    let second = render(&reversed);
+    assert!(!first.is_empty(), "fixture should produce findings");
+    assert_eq!(first, second, "findings depend on discovery order");
+}

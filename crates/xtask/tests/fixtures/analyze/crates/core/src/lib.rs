@@ -1,0 +1,4 @@
+//! Fixture dependency target: referenced from the geo crate so the
+//! upward import has a real workspace destination.
+
+pub struct Engine;

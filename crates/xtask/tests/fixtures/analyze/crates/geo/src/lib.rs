@@ -1,0 +1,10 @@
+//! Seeded GT-AN-003 violations: an upward source import and pub items
+//! nobody references.
+
+use geotopo_core::Engine;
+
+pub fn touch() -> Engine {
+    Engine
+}
+
+pub fn orphan_api() {}

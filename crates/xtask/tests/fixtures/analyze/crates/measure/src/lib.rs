@@ -1,0 +1,30 @@
+//! Seeded GT-AN-001 and GT-AN-002 violations: a supervised stage whose
+//! `run` panics transitively, and a hot-path root that allocates
+//! through a helper.
+
+struct DemoStage;
+
+struct StageCtx;
+
+impl Stage for DemoStage {
+    fn run(&self, _ctx: &StageCtx) -> usize {
+        risky_helper()
+    }
+}
+
+fn risky_helper() -> usize {
+    let v: Option<usize> = None;
+    v.unwrap()
+}
+
+// analyze: hot-path-root
+fn lookup(xs: &[u32]) -> u32 {
+    collect_hits(xs)
+}
+
+fn collect_hits(xs: &[u32]) -> u32 {
+    let all: Vec<u32> = xs.iter().copied().collect();
+    all.len() as u32
+}
+
+pub fn never_used() {}
