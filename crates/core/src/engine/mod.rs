@@ -171,6 +171,13 @@ pub trait Stage: Send + Sync {
         1
     }
 
+    /// Approximate artifact heap size in bytes, for the store's
+    /// resident-bytes gauge and spill decisions. `0` = unknown (the
+    /// artifact is never evicted on its size).
+    fn artifact_bytes(&self, _artifact: &Artifact) -> usize {
+        0
+    }
+
     /// Attempts to reload this stage's artifact from an on-disk cache
     /// directory. Stages without a persistent form return `None`.
     fn load_cached(&self, _dir: &Path, _fp: Fingerprint) -> Option<Artifact> {
@@ -179,8 +186,11 @@ pub trait Stage: Send + Sync {
 
     /// Persists the artifact to the on-disk cache directory
     /// (best-effort; failures are ignored, the artifact stays in
-    /// memory).
-    fn save_cached(&self, _artifact: &Artifact, _dir: &Path, _fp: Fingerprint) {}
+    /// memory). Returns whether a disk copy now exists — `true` makes
+    /// the in-memory entry safe to evict under a store memory budget.
+    fn save_cached(&self, _artifact: &Artifact, _dir: &Path, _fp: Fingerprint) -> bool {
+        false
+    }
 }
 
 impl std::fmt::Debug for dyn Stage {

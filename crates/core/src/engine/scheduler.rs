@@ -70,6 +70,11 @@ pub struct StageReport {
     /// One-line anomaly summary from the stage's artifact (`None` when
     /// clean), surfaced per stage by `--trace`.
     pub anomalies: Option<String>,
+    /// Process peak RSS (bytes) sampled right after the stage finished —
+    /// a monotone high-water mark, so the first stage where it jumps is
+    /// the stage that caused the growth. 0 where unsupported.
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
 }
 
 /// Interprets one `GEOTOPO_THREADS` value: `Ok(n)` for a positive
@@ -279,7 +284,18 @@ pub fn execute(
         return Err(e);
     }
     assert_eq!(st.done, n, "stage graph is cyclic or disconnected");
+    record_store_gauges(store, telemetry);
     Ok(collect(st.results, st.reports))
+}
+
+/// Records the store's end-of-run footprint gauges. Written once after
+/// every stage has completed, so the values depend only on what was
+/// stored (and evicted), never on worker interleaving.
+fn record_store_gauges(store: Option<&ArtifactStore>, telemetry: &Telemetry) {
+    if let Some(store) = store {
+        telemetry.gauge("engine.store.resident_bytes", store.resident_bytes() as f64);
+        telemetry.gauge("engine.store.spill_evictions", store.evictions() as f64);
+    }
 }
 
 /// The `threads <= 1` path: one stage at a time, lowest index first.
@@ -326,6 +342,7 @@ fn execute_sequential(
         }
     }
     assert_eq!(done, n, "stage graph is cyclic or disconnected");
+    record_store_gauges(store, telemetry);
     Ok(collect(results, reports))
 }
 
@@ -412,10 +429,12 @@ fn run_stage_once(
         attempts: 1,
         degraded: None,
         anomalies: None,
+        peak_rss_bytes: 0,
     };
     let finish = |artifact: Artifact, mut r: StageReport| {
         r.degraded = stage.health(&artifact);
         r.anomalies = stage.anomalies(&artifact);
+        r.peak_rss_bytes = crate::telemetry::peak_rss_bytes();
         (artifact, r)
     };
     let sw = Stopwatch::start();
@@ -429,7 +448,9 @@ fn run_stage_once(
         }
         if let Some(dir) = store.disk_dir() {
             if let Some(artifact) = stage.load_cached(dir, fp) {
-                store.put(fp, artifact.clone());
+                // Reloaded entries are disk-backed by definition, so
+                // they stay evictable under a memory budget.
+                store.put_sized(fp, artifact.clone(), stage.artifact_bytes(&artifact), true);
                 store.record(CacheStatus::HitDisk);
                 telemetry.count("engine.cache.hit_disk", 1);
                 let items = stage.artifact_items(&artifact);
@@ -460,10 +481,17 @@ fn run_stage_once(
     }
     if let Some(store) = store {
         store.record(CacheStatus::Miss);
-        store.put(fp, artifact.clone());
-        if let Some(dir) = store.disk_dir() {
-            stage.save_cached(&artifact, dir, fp);
-        }
+        // Spill before insert: an entry is evictable only once its disk
+        // copy is confirmed written.
+        let spillable = store
+            .disk_dir()
+            .is_some_and(|dir| stage.save_cached(&artifact, dir, fp));
+        store.put_sized(
+            fp,
+            artifact.clone(),
+            stage.artifact_bytes(&artifact),
+            spillable,
+        );
     }
     telemetry.count("engine.cache.miss", 1);
     telemetry.span_record(&format!("stage.{name}"), wall_ms);

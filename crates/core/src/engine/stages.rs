@@ -140,6 +140,11 @@ impl Stage for PopGridStage {
         a.downcast_ref::<PopulationGrid>()
             .map_or(0, |g| g.cells().len())
     }
+
+    fn artifact_bytes(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<PopulationGrid>()
+            .map_or(0, PopulationGrid::mem_bytes)
+    }
 }
 
 /// Generates the ground-truth world from the pre-built region grids.
@@ -178,6 +183,33 @@ impl Stage for GroundTruthStage {
     fn artifact_items(&self, a: &Artifact) -> usize {
         a.downcast_ref::<GroundTruth>()
             .map_or(0, |gt| gt.topology.num_routers())
+    }
+
+    fn artifact_bytes(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<GroundTruth>()
+            .map_or(0, GroundTruth::mem_bytes)
+    }
+
+    fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
+        let gt: GroundTruth =
+            io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
+        // Guard against fingerprint collisions or a tampered file: the
+        // embedded config must describe the same world size.
+        if gt.topology.num_routers() != gt.config.total_routers {
+            return None;
+        }
+        Some(artifact(gt))
+    }
+
+    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
+        // Best-effort: a read-only cache dir degrades to memory-only.
+        a.downcast_ref::<GroundTruth>().is_some_and(|gt| {
+            io::save_json(
+                gt,
+                &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
+            )
+            .is_ok()
+        })
     }
 }
 
@@ -235,12 +267,7 @@ impl Stage for OrgDbStage {
         let gt = ctx.dep::<GroundTruth>(0);
         let mut orgs = OrgDb::new();
         for rec in &gt.as_records {
-            let name = gt
-                .as_names
-                .get(&rec.asn)
-                .cloned()
-                .unwrap_or_else(|| format!("as{}", rec.asn.0));
-            orgs.insert(rec.asn, name, rec.home);
+            orgs.insert(rec.asn, gt.as_name(rec.asn), rec.home);
         }
         Ok(artifact(orgs))
     }
@@ -452,20 +479,26 @@ impl Stage for CollectSkitterStage {
             .map_or(0, |o| o.dataset.num_nodes())
     }
 
+    fn artifact_bytes(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<SkitterOutput>()
+            .map_or(0, |o| o.dataset.mem_bytes())
+    }
+
     fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
         let out: SkitterOutput =
             io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
         Some(artifact(out))
     }
 
-    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) {
-        if let Some(out) = a.downcast_ref::<SkitterOutput>() {
-            // Best-effort: a read-only cache dir degrades to memory-only.
-            let _ = io::save_json(
+    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
+        // Best-effort: a read-only cache dir degrades to memory-only.
+        a.downcast_ref::<SkitterOutput>().is_some_and(|out| {
+            io::save_json(
                 out,
                 &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
-            );
-        }
+            )
+            .is_ok()
+        })
     }
 }
 
@@ -531,20 +564,26 @@ impl Stage for CollectMercatorStage {
             .map_or(0, |o| o.dataset.num_nodes())
     }
 
+    fn artifact_bytes(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<MercatorOutput>()
+            .map_or(0, |o| o.dataset.mem_bytes())
+    }
+
     fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
         let out: MercatorOutput =
             io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
         Some(artifact(out))
     }
 
-    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) {
-        if let Some(out) = a.downcast_ref::<MercatorOutput>() {
-            // Best-effort: a read-only cache dir degrades to memory-only.
-            let _ = io::save_json(
+    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
+        // Best-effort: a read-only cache dir degrades to memory-only.
+        a.downcast_ref::<MercatorOutput>().is_some_and(|out| {
+            io::save_json(
                 out,
                 &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
-            );
-        }
+            )
+            .is_ok()
+        })
     }
 }
 
@@ -686,6 +725,11 @@ impl Stage for MapStage {
             .map_or(0, |d| d.dataset.num_nodes())
     }
 
+    fn artifact_bytes(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<ProcessedDataset>()
+            .map_or(0, |d| d.dataset.mem_bytes())
+    }
+
     fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
         let ds = io::load_dataset(&self.cache_file(dir, fp)).ok()?;
         // A fingerprint collision (or a tampered file) could hand back
@@ -696,11 +740,10 @@ impl Stage for MapStage {
         Some(artifact(ds))
     }
 
-    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) {
-        if let Some(ds) = a.downcast_ref::<ProcessedDataset>() {
-            // Best-effort: a read-only cache dir degrades to memory-only.
-            let _ = io::save_dataset(ds, &self.cache_file(dir, fp));
-        }
+    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
+        // Best-effort: a read-only cache dir degrades to memory-only.
+        a.downcast_ref::<ProcessedDataset>()
+            .is_some_and(|ds| io::save_dataset(ds, &self.cache_file(dir, fp)).is_ok())
     }
 }
 

@@ -5,8 +5,15 @@
 //! reuse stage outputs instead of regenerating the world — benches and
 //! the experiment registry share one generated world instead of
 //! fourteen. Artifacts live in memory as `Arc`s; stages that know how to
-//! persist themselves (the processed datasets, via `io.rs`) can
-//! additionally spill to a disk directory, surviving process restarts.
+//! persist themselves (ground truth, collector outputs, the processed
+//! datasets, via `io.rs`) can additionally spill to a disk directory,
+//! surviving process restarts.
+//!
+//! With a memory budget ([`ArtifactStore::with_memory_budget`]) the
+//! store also *evicts*: when resident artifact bytes exceed the budget,
+//! the largest disk-backed entries are dropped from memory (their files
+//! remain) and reload on demand through the scheduler's disk-hit path.
+//! Entries without a persistent form are never evicted.
 
 use super::fingerprint::Fingerprint;
 use super::scheduler::CacheStatus;
@@ -16,13 +23,28 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+/// One cached artifact plus the accounting the spill policy needs.
+struct Entry {
+    artifact: Artifact,
+    /// Approximate heap footprint ([`Stage::artifact_bytes`]
+    /// (super::Stage::artifact_bytes)); 0 = unknown.
+    bytes: usize,
+    /// Whether the artifact also exists on disk, making memory eviction
+    /// safe (a later lookup falls through to the disk restore path).
+    spillable: bool,
+}
+
 /// A thread-safe, fingerprint-keyed artifact cache.
 pub struct ArtifactStore {
-    mem: Mutex<HashMap<u64, Artifact>>,
+    mem: Mutex<HashMap<u64, Entry>>,
     disk: Option<PathBuf>,
+    /// Resident-bytes ceiling; `None` = unbounded (never evict).
+    budget: Option<usize>,
+    resident: AtomicUsize,
     hits: AtomicUsize,
     misses: AtomicUsize,
     disk_restores: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl ArtifactStore {
@@ -31,9 +53,12 @@ impl ArtifactStore {
         ArtifactStore {
             mem: Mutex::new(HashMap::new()),
             disk: None,
+            budget: None,
+            resident: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             disk_restores: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -44,6 +69,17 @@ impl ArtifactStore {
             disk: Some(dir.into()),
             ..Self::new()
         }
+    }
+
+    /// Caps resident artifact bytes: once known artifact sizes exceed
+    /// `bytes`, the largest disk-backed entries are evicted from memory
+    /// until the store fits (or nothing evictable remains). Meaningful
+    /// only together with a disk directory — without one no entry is
+    /// spillable.
+    #[must_use]
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
     }
 
     /// The on-disk spill directory, if configured.
@@ -58,15 +94,68 @@ impl ArtifactStore {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get(&fp.0)
-            .cloned()
+            .map(|e| e.artifact.clone())
     }
 
-    /// Inserts (or replaces) an artifact.
+    /// Inserts (or replaces) an artifact with unknown size and no disk
+    /// backing (never evicted).
     pub fn put(&self, fp: Fingerprint, artifact: Artifact) {
-        self.mem
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(fp.0, artifact);
+        self.put_sized(fp, artifact, 0, false);
+    }
+
+    /// Inserts (or replaces) an artifact with its approximate heap size
+    /// and whether a disk copy exists, then enforces the memory budget.
+    /// Returns the number of entries evicted to fit.
+    pub fn put_sized(
+        &self,
+        fp: Fingerprint,
+        artifact: Artifact,
+        bytes: usize,
+        spillable: bool,
+    ) -> usize {
+        let mut mem = self.mem.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(old) = mem.insert(
+            fp.0,
+            Entry {
+                artifact,
+                bytes,
+                spillable,
+            },
+        ) {
+            self.resident.fetch_sub(old.bytes, Ordering::Relaxed);
+        }
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        let Some(budget) = self.budget else {
+            return 0;
+        };
+        // Largest-first eviction of disk-backed entries until we fit.
+        let mut evicted = 0;
+        while self.resident.load(Ordering::Relaxed) > budget {
+            let victim = mem
+                .iter()
+                .filter(|(_, e)| e.spillable && e.bytes > 0)
+                .max_by_key(|(_, e)| e.bytes)
+                .map(|(&k, _)| k);
+            let Some(k) = victim else { break };
+            if let Some(e) = mem.remove(&k) {
+                self.resident.fetch_sub(e.bytes, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Approximate bytes of artifact data currently resident in memory
+    /// (the sum of known entry sizes; entries inserted via
+    /// [`ArtifactStore::put`] count 0).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted from memory to honour the budget so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Records one stage-level cache outcome in the hit/miss counters.
@@ -131,6 +220,8 @@ impl std::fmt::Debug for ArtifactStore {
         f.debug_struct("ArtifactStore")
             .field("artifacts", &self.len())
             .field("disk", &self.disk)
+            .field("resident_bytes", &self.resident_bytes())
+            .field("evictions", &self.evictions())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .finish()
@@ -166,10 +257,48 @@ mod tests {
     }
 
     #[test]
+    fn resident_bytes_track_inserts_and_replacements() {
+        let store = ArtifactStore::new();
+        store.put_sized(Fingerprint(1), Arc::new(1_u64), 100, false);
+        store.put_sized(Fingerprint(2), Arc::new(2_u64), 50, false);
+        assert_eq!(store.resident_bytes(), 150);
+        // Replacing an entry swaps its accounted size, not adds to it.
+        store.put_sized(Fingerprint(1), Arc::new(3_u64), 40, false);
+        assert_eq!(store.resident_bytes(), 90);
+        assert_eq!(store.evictions(), 0);
+    }
+
+    #[test]
+    fn budget_evicts_largest_spillable_first() {
+        let store = ArtifactStore::with_disk("/tmp/x").with_memory_budget(120);
+        store.put_sized(Fingerprint(1), Arc::new(1_u64), 100, true);
+        store.put_sized(Fingerprint(2), Arc::new(2_u64), 60, true);
+        // Over budget by 40: the 100-byte entry goes, the 60-byte stays.
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.resident_bytes(), 60);
+        assert!(store.get(Fingerprint(1)).is_none(), "largest evicted");
+        assert!(store.get(Fingerprint(2)).is_some());
+    }
+
+    #[test]
+    fn non_spillable_entries_survive_budget_pressure() {
+        let store = ArtifactStore::with_disk("/tmp/x").with_memory_budget(10);
+        store.put_sized(Fingerprint(1), Arc::new(1_u64), 100, false);
+        store.put_sized(Fingerprint(2), Arc::new(2_u64), 100, true);
+        // Only the disk-backed entry can be dropped; the other stays
+        // even though the store remains over budget.
+        assert_eq!(store.evictions(), 1);
+        assert!(store.get(Fingerprint(1)).is_some(), "no disk copy, kept");
+        assert!(store.get(Fingerprint(2)).is_none());
+        assert_eq!(store.resident_bytes(), 100);
+    }
+
+    #[test]
     fn debug_does_not_dump_artifacts() {
         let store = ArtifactStore::with_disk("/tmp/x");
         let s = format!("{store:?}");
         assert!(s.contains("ArtifactStore"));
         assert!(s.contains("hits"));
+        assert!(s.contains("resident_bytes"));
     }
 }

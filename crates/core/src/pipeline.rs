@@ -151,6 +151,13 @@ impl std::fmt::Display for GeoInvariant {
 impl std::error::Error for GeoInvariant {}
 
 impl GeoDataset {
+    /// Approximate heap footprint in bytes (nodes + links). Feeds the
+    /// engine's resident-artifact accounting.
+    pub fn mem_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<GeoNode>()
+            + self.links.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
     /// Checks structural and geographic invariants: every link joins two
     /// distinct in-range nodes, every coordinate is a finite, in-range
     /// lat/lon pair, and — when `regions` is non-empty — every node lies
@@ -291,6 +298,26 @@ impl PipelineConfig {
     pub fn default_scale(seed: u64) -> Self {
         PipelineConfig {
             world: GroundTruthConfig::default_scale(seed),
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// A large memory-stress scale (~100k routers): exercises the packed
+    /// topology layout and the store's spill path; gated into the bench
+    /// suite rather than the default test run.
+    pub fn large(seed: u64) -> Self {
+        PipelineConfig {
+            world: GroundTruthConfig::large(seed),
+            ..Self::tiny(seed)
+        }
+    }
+
+    /// The paper-scale world (~250k routers, the population the paper's
+    /// Skitter/Mercator datasets actually sampled from). Minutes-long;
+    /// for explicit one-off runs only.
+    pub fn paper(seed: u64) -> Self {
+        PipelineConfig {
+            world: GroundTruthConfig::paper(seed),
             ..Self::tiny(seed)
         }
     }

@@ -98,6 +98,7 @@ pub fn stage_trace(reports: &[StageReport]) -> TextTable {
             "Items",
             "Cache",
             "Try",
+            "Peak RSS",
             "Health",
             "Anomalies",
         ],
@@ -112,11 +113,31 @@ pub fn stage_trace(reports: &[StageReport]) -> TextTable {
             r.artifact_items.to_string(),
             r.cache.to_string(),
             r.attempts.to_string(),
+            fmt_bytes(r.peak_rss_bytes),
             r.degraded.clone().unwrap_or_else(|| "ok".into()),
             r.anomalies.clone().unwrap_or_else(|| "-".into()),
         ]);
     }
     t
+}
+
+/// Human-scaled byte count for trace tables: `-` for 0 (unsupported
+/// platform), otherwise the largest fitting of B / KiB / MiB / GiB with
+/// one decimal.
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes == 0 {
+        return "-".into();
+    }
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.1} MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1} KiB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
 }
 
 /// Renders a [`MetricsSnapshot`] as a table (the metrics half of the

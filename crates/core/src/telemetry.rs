@@ -284,6 +284,29 @@ impl Default for Telemetry {
     }
 }
 
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+/// A monotone high-water mark: sampling it after each stage attributes
+/// RSS growth to the stage that caused it. Observational only — like
+/// wall time, it feeds reports and gauges, never artifacts.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kib * 1024;
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

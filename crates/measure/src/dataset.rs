@@ -266,6 +266,23 @@ impl MeasuredDataset {
         self.links.len()
     }
 
+    /// Approximate heap footprint in bytes: nodes, their alias lists,
+    /// links, and the rebuildable lookup indexes. Feeds the engine's
+    /// resident-artifact accounting.
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let alias_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| n.aliases.len() * size_of::<Ipv4Addr>())
+            .sum();
+        self.nodes.len() * size_of::<MeasuredNode>()
+            + alias_bytes
+            + self.links.len() * size_of::<(u32, u32)>()
+            + self.node_index.len() * size_of::<(Ipv4Addr, u32)>()
+            + self.link_set.len() * size_of::<(u32, u32)>()
+    }
+
     /// Nodes slice.
     pub fn nodes(&self) -> &[MeasuredNode] {
         &self.nodes

@@ -23,7 +23,6 @@ use crate::faults::{FaultConfig, FaultPlan, FaultSession};
 use crate::probe::{TraceBuf, TracerouteSim};
 use crate::routing::{RoutingOracle, RoutingScratch};
 use geotopo_bgp::trie::PrefixTrie;
-use geotopo_bgp::AsId;
 use geotopo_topology::generate::GroundTruth;
 use geotopo_topology::RouterId;
 use rand::rngs::StdRng;
@@ -115,10 +114,6 @@ impl Mercator {
                 truth.insert(p, alloc.asn);
             }
         }
-        let mut routers_by_as: HashMap<AsId, Vec<RouterId>> = HashMap::new();
-        for (id, r) in t.routers() {
-            routers_by_as.entry(r.asn).or_default().push(id);
-        }
 
         // Primary source: a well-connected router (Mercator ran from a
         // single university host behind a big provider).
@@ -176,9 +171,12 @@ impl Mercator {
                 Some((asn, _)) => *asn,
                 None => return,
             };
-            let Some(members) = routers_by_as.get(&asn) else {
+            // Packed AS ranges replace the old per-run HashMap build;
+            // member order (ascending router id) is unchanged.
+            let members = t.routers_of_as(asn);
+            if members.is_empty() {
                 return;
-            };
+            }
             let attach = members[(u32::from(dst_ip) as usize) % members.len()];
             let Some(hops) = sim.trace_with_faults_into(oracle, attach, session, buf) else {
                 return;

@@ -19,7 +19,6 @@ use crate::faults::{FaultConfig, FaultPlan, FaultSession, FaultStats};
 use crate::probe::{TraceBuf, TracerouteSim};
 use crate::routing::{RoutingOracle, RoutingScratch, RoutingStats};
 use geotopo_bgp::trie::PrefixTrie;
-use geotopo_bgp::AsId;
 use geotopo_topology::generate::GroundTruth;
 use geotopo_topology::RouterId;
 use rand::rngs::StdRng;
@@ -160,10 +159,6 @@ impl Skitter {
                 truth.insert(p, alloc.asn);
             }
         }
-        let mut routers_by_as: HashMap<AsId, Vec<RouterId>> = HashMap::new();
-        for (id, r) in t.routers() {
-            routers_by_as.entry(r.asn).or_default().push(id);
-        }
 
         // Destination list: end-host addresses spread over the allocated
         // space ("the destination lists are created with the aim to cover
@@ -240,9 +235,13 @@ impl Skitter {
                     Some((asn, _)) => *asn,
                     None => continue,
                 };
-                let Some(members) = routers_by_as.get(&asn) else {
+                // Per-AS membership comes straight off the topology's
+                // packed AS ranges (ascending router ids, same order the
+                // old per-run HashMap build produced).
+                let members = t.routers_of_as(asn);
+                if members.is_empty() {
                     continue;
-                };
+                }
                 let attach = members[(u32::from(dst_ip) as usize) % members.len()];
                 let Some(hops) =
                     sim.trace_with_faults_into(&oracle, attach, &mut session, &mut buf)

@@ -90,6 +90,13 @@ impl PopulationGrid {
         &self.cells
     }
 
+    /// Approximate heap footprint in bytes (the raster cells; the patch
+    /// geometry is a few scalars). Feeds the engine's resident-artifact
+    /// accounting.
+    pub fn mem_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<f64>()
+    }
+
     /// Total population.
     pub fn total(&self) -> f64 {
         self.cells.iter().sum()
@@ -161,27 +168,35 @@ impl PopulationGrid {
     /// # Errors
     ///
     /// Fails with [`PopulationError::NoPopulation`] if all weights vanish.
-    pub fn point_sampler(&self, exponent: f64) -> Result<PointSampler<'_>, PopulationError> {
+    pub fn point_sampler(&self, exponent: f64) -> Result<PointSampler, PopulationError> {
         let weights: Vec<f64> = self.cells.iter().map(|&p| p.powf(exponent)).collect();
         let table = AliasTable::new(&weights).ok_or(PopulationError::NoPopulation)?;
-        Ok(PointSampler { pop: self, table })
+        Ok(PointSampler {
+            grid: self.grid.clone(),
+            table,
+        })
     }
 }
 
 /// Draws geographic points with probability proportional to (powered)
 /// cell population. Created by [`PopulationGrid::point_sampler`].
+///
+/// Owns the (small) grid geometry plus the alias table, **not** the
+/// population raster: callers that stream per-region generation can drop
+/// each `PopulationGrid` as soon as its sampler is built, bounding peak
+/// memory to one resident raster at a time.
 #[derive(Debug, Clone)]
 // analyze: allow(dead-pub): returned by PopulationGrid::point_sampler; driven without naming the type
-pub struct PointSampler<'a> {
-    pop: &'a PopulationGrid,
+pub struct PointSampler {
+    grid: PatchGrid,
     table: AliasTable,
 }
 
-impl PointSampler<'_> {
+impl PointSampler {
     /// Draws one location.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> GeoPoint {
         let flat = self.table.sample(rng);
-        let grid = self.pop.grid();
+        let grid = &self.grid;
         let cell = geotopo_geo::PatchCell {
             row: flat / grid.cols(),
             col: flat % grid.cols(),
@@ -192,7 +207,7 @@ impl PointSampler<'_> {
         let lon = center.lon() + rng.random_range(-half..half);
         // Edge cells may overhang the region boundary; clamp back inside
         // so every sampled point is attributable to the region.
-        self.pop.region().clamp(&GeoPoint::new_unchecked(lat, lon))
+        self.grid.region().clamp(&GeoPoint::new_unchecked(lat, lon))
     }
 }
 

@@ -24,6 +24,6 @@ pub mod grid;
 pub mod synth;
 pub mod world;
 
-pub use grid::PopulationGrid;
+pub use grid::{PointSampler, PopulationGrid};
 pub use synth::SyntheticPopulation;
 pub use world::{EconomicProfile, WorldModel};

@@ -42,7 +42,9 @@ pub fn barabasi_albert(cfg: &BarabasiAlbertConfig) -> Result<Topology, GenError>
         return Err(GenError::BadParameter("n"));
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut b = TopologyBuilder::new();
+    // Seed clique plus up to m links per joining node.
+    let est_links = cfg.m * (cfg.m + 1) / 2 + cfg.m * (cfg.n - cfg.m - 1);
+    let mut b = TopologyBuilder::with_capacity(cfg.n, est_links);
     let ids: Vec<RouterId> = (0..cfg.n)
         .map(|_| b.add_router(super::uniform_in_region(&mut rng, &cfg.region), AsId(1)))
         .collect();

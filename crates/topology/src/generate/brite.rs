@@ -81,7 +81,9 @@ pub fn brite(cfg: &BriteConfig) -> Result<Topology, GenError> {
         return Err(GenError::BadParameter("preferential_weight"));
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut b = TopologyBuilder::new();
+    // Seed clique plus m links per joining node.
+    let est_links = cfg.m * (cfg.m + 1) / 2 + cfg.m * (cfg.n - cfg.m - 1);
+    let mut b = TopologyBuilder::with_capacity(cfg.n, est_links);
 
     // Region scale L for the Waxman factor: the box diagonal.
     let sw = GeoPoint::new_unchecked(cfg.region.south, cfg.region.west);

@@ -40,7 +40,9 @@ pub fn erdos_renyi(cfg: &ErdosRenyiConfig) -> Result<Topology, GenError> {
         return Err(GenError::BadParameter("p"));
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut b = TopologyBuilder::new();
+    // Expected edges: p·n(n−1)/2.
+    let est_links = (cfg.p * (cfg.n * cfg.n.saturating_sub(1) / 2) as f64) as usize;
+    let mut b = TopologyBuilder::with_capacity(cfg.n, est_links);
     let ids: Vec<RouterId> = (0..cfg.n)
         .map(|_| b.add_router(super::uniform_in_region(&mut rng, &cfg.region), AsId(1)))
         .collect();

@@ -188,7 +188,9 @@ pub fn geogen(cfg: &GeoGenConfig) -> Result<GeoGenOutput, GenError> {
         }
     }
 
-    let mut b = TopologyBuilder::new();
+    // Backbone chain plus extras up to the degree target.
+    let est_links = (cfg.mean_degree * cfg.n as f64 / 2.0) as usize + cfg.n / 8;
+    let mut b = TopologyBuilder::with_capacity(cfg.n, est_links);
     let ids: Vec<RouterId> = locations
         .iter()
         .zip(&asn_of)

@@ -28,12 +28,12 @@ use crate::spatial::SpatialIndex;
 use geotopo_bgp::alloc::{AsAllocation, PrefixAllocator};
 use geotopo_bgp::AsId;
 use geotopo_geo::GeoPoint;
-use geotopo_population::{EconomicProfile, PopulationGrid, WorldModel};
+use geotopo_population::{EconomicProfile, PointSampler, PopulationGrid, WorldModel};
 use geotopo_stats::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Placement/link parameters for one economic region.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -164,6 +164,19 @@ impl GroundTruthConfig {
         Self::at_scale(25_000, seed)
     }
 
+    /// The large benchmark scale (~100k routers, ~340k interfaces):
+    /// big enough that data layout and peak RSS dominate, small enough
+    /// for a CI smoke run.
+    pub fn large(seed: u64) -> Self {
+        Self::at_scale(100_000, seed)
+    }
+
+    /// Full paper scale (~250k routers, ~850k interfaces — the order of
+    /// the paper's 704k Skitter + 268k Mercator interface datasets).
+    pub fn paper(seed: u64) -> Self {
+        Self::at_scale(250_000, seed)
+    }
+
     /// Synthesizes region `i`'s population raster. Grids seed their own
     /// RNGs (`seed + 1000 + i`), so they can be built independently —
     /// and concurrently — of world generation, then passed to
@@ -225,8 +238,9 @@ pub struct AsRecord {
 }
 
 /// The generated world: topology plus the side information the
-/// measurement and mapping substrates need.
-#[derive(Debug, Clone)]
+/// measurement and mapping substrates need. Serializable so the
+/// engine's artifact store can spill it to disk between stages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GroundTruth {
     /// The router-level topology.
     pub topology: Topology,
@@ -235,8 +249,6 @@ pub struct GroundTruth {
     pub allocations: Vec<AsAllocation>,
     /// Per-AS metadata.
     pub as_records: Vec<AsRecord>,
-    /// Organization names per AS (for hostname/whois synthesis).
-    pub as_names: HashMap<AsId, String>,
     /// Region index (into `config.regions`) for each router.
     pub router_region: Vec<u16>,
     /// The configuration that produced this world.
@@ -252,15 +264,21 @@ impl GroundTruth {
     /// address-space exhaustion.
     pub fn generate(config: GroundTruthConfig) -> Result<Self, GroundTruthError> {
         validate(&config)?;
-        // 1. Population grids per region (each grid seeds its own RNG,
-        // so pre-building them here is byte-identical to building them
-        // inline — and lets callers fan them out concurrently).
-        let mut grids: Vec<PopulationGrid> = Vec::with_capacity(config.regions.len());
+        // 1. Population grids per region, streamed: each raster is
+        // reduced to its (small) point sampler and dropped before the
+        // next region's raster is synthesized, so peak memory holds one
+        // raster at a time instead of all of them. Byte-identical to
+        // batch construction: each grid seeds its own RNG, and sampler
+        // construction consumes none of the world RNG stream.
+        let mut samplers: Vec<PointSampler> = Vec::with_capacity(config.regions.len());
         for i in 0..config.regions.len() {
-            grids.push(config.population_grid(i)?);
+            let grid = config.population_grid(i)?;
+            samplers.push(
+                grid.point_sampler(config.regions[i].alpha)
+                    .map_err(|e| GroundTruthError::Population(e.to_string()))?,
+            );
         }
-        let refs: Vec<&PopulationGrid> = grids.iter().collect();
-        Self::generate_with_grids(config, &refs)
+        Self::generate_with_samplers(config, samplers)
     }
 
     /// Generates the world from pre-built per-region population grids
@@ -280,6 +298,23 @@ impl GroundTruth {
         if grids.len() != config.regions.len() {
             return Err(GroundTruthError::BadConfig("population grid count"));
         }
+        let samplers: Vec<PointSampler> = grids
+            .iter()
+            .zip(&config.regions)
+            .map(|(g, rp)| {
+                g.point_sampler(rp.alpha)
+                    .map_err(|e| GroundTruthError::Population(e.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        Self::generate_with_samplers(config, samplers)
+    }
+
+    /// The generation core: everything downstream of the population
+    /// rasters, which enter only through their point samplers.
+    fn generate_with_samplers(
+        config: GroundTruthConfig,
+        samplers: Vec<PointSampler>,
+    ) -> Result<Self, GroundTruthError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         // 2. Router budgets ∝ online users.
@@ -315,22 +350,19 @@ impl GroundTruth {
         }
 
         // 4. Per-AS geography: home region, locations, router positions.
-        let samplers: Vec<_> = grids
-            .iter()
-            .zip(&config.regions)
-            .map(|(g, rp)| {
-                g.point_sampler(rp.alpha)
-                    .map_err(|e| GroundTruthError::Population(e.to_string()))
-            })
-            .collect::<Result<_, _>>()?;
         let region_alias = geotopo_stats::AliasTable::new(&budgets)
             .ok_or(GroundTruthError::BadConfig("regions"))?;
 
         let mut routers: Vec<(GeoPoint, AsId, u16)> = Vec::with_capacity(config.total_routers);
-        // Router indices per (AS, location).
-        let mut as_locations: Vec<Vec<Vec<u32>>> = Vec::with_capacity(n_as);
+        // Packed location table. Routers are pushed in AS → location →
+        // member order, so every (AS, location) member set is one
+        // contiguous run of router ids: `loc_ranges[l] = (start, len)`.
+        // Each AS owns the range `as_loc_off[a]..as_loc_off[a + 1]` of
+        // the location table — CSR over locations, no nested Vecs.
+        let mut loc_ranges: Vec<(u32, u32)> = Vec::with_capacity(n_as * 2);
+        let mut as_loc_off: Vec<u32> = Vec::with_capacity(n_as + 1);
+        as_loc_off.push(0);
         let mut as_records: Vec<AsRecord> = Vec::with_capacity(n_as);
-        let mut as_names: HashMap<AsId, String> = HashMap::new();
 
         for (idx, &size) in sizes.iter().enumerate() {
             let asn = AsId(idx as u32 + 1);
@@ -384,9 +416,8 @@ impl GroundTruth {
                 }
             }
 
-            let mut loc_routers: Vec<Vec<u32>> = Vec::with_capacity(n_loc);
             for (li, &(center, region)) in centers.iter().enumerate() {
-                let mut members = Vec::with_capacity(counts[li]);
+                let start = routers.len() as u32;
                 let region_box = &config.regions[region as usize].economic.region;
                 for _ in 0..counts[li] {
                     let p = super::jitter_in_region(
@@ -395,12 +426,11 @@ impl GroundTruth {
                         config.regions[region as usize].metro_jitter_deg,
                         region_box,
                     );
-                    members.push(routers.len() as u32);
                     routers.push((p, asn, region));
                 }
-                loc_routers.push(members);
+                loc_ranges.push((start, counts[li] as u32));
             }
-            as_locations.push(loc_routers);
+            as_loc_off.push(loc_ranges.len() as u32);
             as_records.push(AsRecord {
                 asn,
                 size,
@@ -408,12 +438,14 @@ impl GroundTruth {
                 home,
                 global,
             });
-            as_names.insert(asn, format!("isp{:04}", idx + 1));
         }
 
-        // 5. Links.
-        let mut links: Vec<(u32, u32)> = Vec::new();
-        let mut link_set: HashSet<(u32, u32)> = HashSet::new();
+        // 5. Links, reserved up front at the degree target (slack for
+        // the structural surplus small worlds can run over).
+        let target_links = (config.mean_degree * config.total_routers as f64 / 2.0) as usize;
+        let mut links: Vec<(u32, u32)> = Vec::with_capacity(target_links + target_links / 8);
+        let mut link_set: HashSet<(u32, u32)> =
+            HashSet::with_capacity(target_links + target_links / 8);
         let add_link =
             |links: &mut Vec<(u32, u32)>, set: &mut HashSet<(u32, u32)>, a: u32, b: u32| -> bool {
                 if a == b {
@@ -429,21 +461,17 @@ impl GroundTruth {
             };
 
         // 5a. Structural: per-AS location MST + per-location stars.
-        for loc_routers in &as_locations {
-            // Stars within each location.
-            for members in loc_routers {
-                let head = members[0];
-                for &m in &members[1..] {
-                    add_link(&mut links, &mut link_set, head, m);
+        for a_idx in 0..n_as {
+            let locs = &loc_ranges[as_loc_off[a_idx] as usize..as_loc_off[a_idx + 1] as usize];
+            // Stars within each location: the head is the range start,
+            // members are the consecutive ids after it.
+            for &(start, len) in locs {
+                for m in start + 1..start + len {
+                    add_link(&mut links, &mut link_set, start, m);
                 }
-                if members.len() >= 6 {
+                if len >= 6 {
                     // One redundancy chord inside big PoPs.
-                    add_link(
-                        &mut links,
-                        &mut link_set,
-                        members[1],
-                        members[members.len() - 1],
-                    );
+                    add_link(&mut links, &mut link_set, start + 1, start + len - 1);
                 }
             }
             // Backbone tree over location heads with *exponential
@@ -452,7 +480,7 @@ impl GroundTruth {
             // backbones are themselves distance-driven (that is the
             // paper's central finding); a pure MST would instead imprint
             // the city-spacing distribution on f(d) as a spurious bump.
-            let heads: Vec<u32> = loc_routers.iter().map(|m| m[0]).collect();
+            let heads: Vec<u32> = locs.iter().map(|&(start, _)| start).collect();
             if heads.len() > 1 {
                 let pos: Vec<GeoPoint> = heads.iter().map(|&h| routers[h as usize].0).collect();
                 for i in 1..heads.len() {
@@ -490,7 +518,6 @@ impl GroundTruth {
         }
 
         // 5b. Extra links.
-        let target_links = (config.mean_degree * config.total_routers as f64 / 2.0) as usize;
         let extra = target_links.saturating_sub(links.len());
         let n_ds = (extra as f64 * config.frac_distance_sensitive) as usize;
         let n_lh = (extra as f64 * config.frac_long_haul) as usize;
@@ -505,13 +532,23 @@ impl GroundTruth {
         // `intra_bias` the candidate pair is drawn inside one AS
         // (weighted by its pair count); otherwise uniformly at random —
         // exp-accepted either way, so the global f(d) keeps its shape.
-        let as_routers: Vec<Vec<u32>> = as_locations
-            .iter()
-            .map(|locs| locs.iter().flatten().copied().collect())
+        // Per-AS member sets are contiguous router-id ranges (step 4's
+        // push order), so an AS is just (start, len) — no copies.
+        let as_ranges: Vec<(u32, u32)> = (0..n_as)
+            .map(|a_idx| {
+                let lo = as_loc_off[a_idx] as usize;
+                let hi = as_loc_off[a_idx + 1] as usize;
+                let start = loc_ranges[lo].0;
+                let (ls, ll) = loc_ranges[hi - 1];
+                (start, ls + ll - start)
+            })
             .collect();
-        let as_pair_weights: Vec<f64> = as_routers
+        let as_pair_weights: Vec<f64> = as_ranges
             .iter()
-            .map(|m| (m.len() * m.len().saturating_sub(1)) as f64)
+            .map(|&(_, len)| {
+                let n = len as u64;
+                (n * n.saturating_sub(1)) as f64
+            })
             .collect();
         let as_pair_alias = geotopo_stats::AliasTable::new(&as_pair_weights);
         let mut added = 0usize;
@@ -521,9 +558,9 @@ impl GroundTruth {
             let (u, v) = if config.intra_bias > rng.random::<f64>() {
                 match &as_pair_alias {
                     Some(alias) => {
-                        let members = &as_routers[alias.sample(&mut rng)];
-                        let u = members[rng.random_range(0..members.len())];
-                        let v = members[rng.random_range(0..members.len())];
+                        let (start, len) = as_ranges[alias.sample(&mut rng)];
+                        let u = start + rng.random_range(0..len as usize) as u32;
+                        let v = start + rng.random_range(0..len as usize) as u32;
                         (u, v)
                     }
                     None => continue,
@@ -569,22 +606,25 @@ impl GroundTruth {
                 break;
             };
             let a_idx = backbone[alias.sample(&mut rng)];
-            let locs = &as_locations[a_idx];
+            let locs = &loc_ranges[as_loc_off[a_idx] as usize..as_loc_off[a_idx + 1] as usize];
             let li = rng.random_range(0..locs.len());
-            let u = locs[li][rng.random_range(0..locs[li].len())];
+            let (us, ul) = locs[li];
+            let u = us + rng.random_range(0..ul as usize) as u32;
             let v = if rng.random::<f64>() < config.long_haul_intra_prob && locs.len() > 1 {
                 // Intra-AS long haul: a different location of the same AS.
                 let mut lj = rng.random_range(0..locs.len());
                 if lj == li {
                     lj = (lj + 1) % locs.len();
                 }
-                locs[lj][rng.random_range(0..locs[lj].len())]
+                let (vs, vl) = locs[lj];
+                vs + rng.random_range(0..vl as usize) as u32
             } else {
                 // Interdomain long haul: a router of another backbone AS.
                 let b_idx = backbone[alias.sample(&mut rng)];
-                let blocs = &as_locations[b_idx];
+                let blocs = &loc_ranges[as_loc_off[b_idx] as usize..as_loc_off[b_idx + 1] as usize];
                 let bl = rng.random_range(0..blocs.len());
-                blocs[bl][rng.random_range(0..blocs[bl].len())]
+                let (vs, vl) = blocs[bl];
+                vs + rng.random_range(0..vl as usize) as u32
             };
             const LONG_HAUL_MIN_MILES: f64 = 500.0;
             if geotopo_geo::haversine_miles(&routers[u as usize].0, &routers[v as usize].0)
@@ -619,37 +659,37 @@ impl GroundTruth {
             }
         }
 
-        // 6. Address allocation and final build.
-        let mut degree_by_as: HashMap<AsId, u64> = HashMap::new();
+        // 6. Address allocation and final build. Generator AS numbers
+        // are dense (AsId i+1 ↔ slot i), so per-AS degree tallies and
+        // allocations index directly — no hash maps.
+        let mut degree_by_as: Vec<u64> = vec![0; n_as];
         for &(a, b) in &links {
-            *degree_by_as.entry(routers[a as usize].1).or_insert(0) += 1;
-            *degree_by_as.entry(routers[b as usize].1).or_insert(0) += 1;
+            degree_by_as[(routers[a as usize].1 .0 - 1) as usize] += 1;
+            degree_by_as[(routers[b as usize].1 .0 - 1) as usize] += 1;
         }
         let mut allocator = PrefixAllocator::new();
         let mut allocations: Vec<AsAllocation> = Vec::with_capacity(n_as);
-        let mut alloc_index: HashMap<AsId, usize> = HashMap::new();
-        for record in &as_records {
-            let needed = degree_by_as.get(&record.asn).copied().unwrap_or(0);
+        for (idx, record) in as_records.iter().enumerate() {
+            let needed = degree_by_as[idx];
             // Slack: end-host space for destination lists, plus the two
             // skipped addresses per block.
             let capacity = needed + needed / 2 + 64;
             let alloc = AsAllocation::for_as(&mut allocator, record.asn, capacity)
                 .map_err(|_| GroundTruthError::AddressSpace)?;
-            alloc_index.insert(record.asn, allocations.len());
             allocations.push(alloc);
         }
 
-        let mut builder = TopologyBuilder::new();
+        let mut builder = TopologyBuilder::with_capacity(routers.len(), links.len());
         for &(p, asn, _) in &routers {
             builder.add_router(p, asn);
         }
         for &(a, b) in &links {
             let as_a = routers[a as usize].1;
             let as_b = routers[b as usize].1;
-            let ip_a = allocations[alloc_index[&as_a]]
+            let ip_a = allocations[(as_a.0 - 1) as usize]
                 .next_ip()
                 .ok_or(GroundTruthError::AddressSpace)?;
-            let ip_b = allocations[alloc_index[&as_b]]
+            let ip_b = allocations[(as_b.0 - 1) as usize]
                 .next_ip()
                 .ok_or(GroundTruthError::AddressSpace)?;
             builder
@@ -661,7 +701,6 @@ impl GroundTruth {
             topology: builder.build(),
             allocations,
             as_records,
-            as_names,
             router_region: routers.iter().map(|r| r.2).collect(),
             config,
         })
@@ -670,6 +709,30 @@ impl GroundTruth {
     /// The region profile a router was placed in.
     pub fn region_of(&self, r: RouterId) -> &RegionProfile {
         &self.config.regions[self.router_region[r.0 as usize] as usize]
+    }
+
+    /// Organization name for an AS (for hostname/whois synthesis).
+    /// Derived rather than stored: generator AS numbers are dense, so
+    /// the name is a pure function of the AS number.
+    pub fn as_name(&self, asn: AsId) -> String {
+        format!("isp{:04}", asn.0)
+    }
+
+    /// Approximate heap footprint of the world in bytes: the topology's
+    /// packed arrays plus the per-AS and per-router side tables. Feeds
+    /// the engine's resident-artifact accounting and spill decisions.
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let prefix_bytes: usize = self
+            .allocations
+            .iter()
+            .map(|a| a.prefixes.len() * size_of::<geotopo_bgp::Ipv4Prefix>())
+            .sum();
+        self.topology.mem_bytes()
+            + self.allocations.len() * size_of::<AsAllocation>()
+            + prefix_bytes
+            + self.as_records.len() * size_of::<AsRecord>()
+            + self.router_region.len() * size_of::<u16>()
     }
 
     /// Regenerates the population raster used for region `i` during
@@ -714,6 +777,20 @@ fn validate(c: &GroundTruthConfig) -> Result<(), GroundTruthError> {
     if c.location_gamma <= 0.0 || c.location_gamma > 1.0 {
         return Err(GroundTruthError::BadConfig("location_gamma"));
     }
+    // Address-space pre-flight: the allocator carves 1.0.0.0 up to
+    // 224.0.0.0 minus reserved blocks (~3.7e9 usable addresses) into
+    // /24-granular per-AS blocks. Estimate the demand — two interfaces
+    // per link plus 50% slack, plus each AS's minimum /24 — and refuse
+    // clearly-oversized worlds before any memory-scale work happens.
+    if c.total_routers as u64 > u64::from(u32::MAX) {
+        return Err(GroundTruthError::AddressSpace);
+    }
+    let est_links = c.mean_degree * c.total_routers as f64 / 2.0;
+    let est_as = (c.total_routers as f64 / c.as_router_ratio).max(1.0);
+    let demand = 3.0 * est_links + 256.0 * est_as;
+    if !demand.is_finite() || demand > 3.5e9 {
+        return Err(GroundTruthError::AddressSpace);
+    }
     Ok(())
 }
 
@@ -725,6 +802,7 @@ mod tests {
     use super::*;
     use crate::graph::LinkId;
     use crate::metrics;
+    use std::collections::HashMap;
 
     fn world() -> GroundTruth {
         GroundTruth::generate(GroundTruthConfig::tiny(42)).expect("generation")
@@ -742,6 +820,38 @@ mod tests {
         c.frac_distance_sensitive = 0.9;
         c.frac_long_haul = 0.5;
         assert!(GroundTruth::generate(c).is_err());
+    }
+
+    #[test]
+    fn oversized_config_fails_cleanly_with_address_space() {
+        // Demands ~6e9 addresses against ~3.7e9 usable: the pre-flight
+        // must reject it as AddressSpace before any allocation happens.
+        let c = GroundTruthConfig::at_scale(2_000_000_000, 1);
+        assert!(matches!(
+            GroundTruth::generate(c),
+            Err(GroundTruthError::AddressSpace)
+        ));
+        // Past u32 router ids is equally un-buildable.
+        let c = GroundTruthConfig::at_scale(5_000_000_000, 1);
+        assert!(matches!(
+            GroundTruth::generate(c),
+            Err(GroundTruthError::AddressSpace)
+        ));
+    }
+
+    #[test]
+    fn streamed_and_batch_grid_paths_agree() {
+        // generate() streams each raster into its sampler; the engine
+        // path pre-builds all grids. Both must produce the same world.
+        let config = GroundTruthConfig::tiny(11);
+        let a = GroundTruth::generate(config.clone()).unwrap();
+        let grids: Vec<PopulationGrid> = (0..config.regions.len())
+            .map(|i| config.population_grid(i).unwrap())
+            .collect();
+        let refs: Vec<&PopulationGrid> = grids.iter().collect();
+        let b = GroundTruth::generate_with_grids(config, &refs).unwrap();
+        assert_eq!(format!("{:?}", a.topology), format!("{:?}", b.topology));
+        assert_eq!(a.router_region, b.router_region);
     }
 
     #[test]

@@ -66,7 +66,15 @@ pub fn transit_stub(cfg: &TransitStubConfig) -> Result<Topology, GenError> {
         return Err(GenError::BadParameter("stub_size"));
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut b = TopologyBuilder::new();
+    // Ring + chords per transit domain, domain ring, star + gateway per
+    // stub domain.
+    let n_transit = cfg.transit_domains * cfg.transit_size;
+    let n_stub_domains = n_transit * cfg.stubs_per_transit_router;
+    let est_routers = n_transit + n_stub_domains * cfg.stub_size;
+    let est_links = cfg.transit_domains * (cfg.transit_size + cfg.transit_size / 3)
+        + cfg.transit_domains
+        + n_stub_domains * cfg.stub_size;
+    let mut b = TopologyBuilder::with_capacity(est_routers, est_links);
     let mut next_as = 1u32;
 
     // Transit domains: each a ring with chords; domains connected in a

@@ -71,7 +71,10 @@ pub fn waxman(cfg: &WaxmanConfig) -> Result<Topology, GenError> {
         return Err(GenError::BadParameter("beta"));
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut b = TopologyBuilder::new();
+    // Acceptance is at most β per pair; the exponential factor thins it
+    // further, so β·pairs/4 is a serviceable reservation.
+    let est_links = (cfg.beta * (cfg.n * cfg.n.saturating_sub(1) / 2) as f64 / 4.0) as usize;
+    let mut b = TopologyBuilder::with_capacity(cfg.n, est_links);
     let ids: Vec<RouterId> = (0..cfg.n)
         .map(|_| b.add_router(super::uniform_in_region(&mut rng, &cfg.region), AsId(1)))
         .collect();

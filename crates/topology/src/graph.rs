@@ -5,11 +5,36 @@
 //! address on a router (one per incident link — this is why Skitter,
 //! which cannot resolve aliases, sees more nodes than Mercator); a
 //! **link** connects two interfaces on different routers.
+//!
+//! # Data layout
+//!
+//! The topology is stored struct-of-arrays throughout, sized for worlds
+//! of several hundred thousand routers (the paper's inputs were ~704k
+//! Skitter and ~268k Mercator interfaces):
+//!
+//! * routers are two parallel arrays (`locations`, `asns`) — 20 bytes
+//!   per router, no per-router allocation;
+//! * interfaces are two parallel arrays (`iface_ip` as raw `u32`,
+//!   `iface_router`) — 8 bytes per interface;
+//! * router→interface membership is CSR (`iface_off`/`iface_ids`),
+//!   replacing the former `Vec<Vec<InterfaceId>>` whose per-router heap
+//!   headers alone cost 24 bytes a router;
+//! * the IP index is a sorted `(u32, InterfaceId)` array probed by
+//!   binary search — 8 bytes per interface instead of the ~48 a
+//!   `HashMap<Ipv4Addr, InterfaceId>` entry occupies;
+//! * AS membership is CSR over a sorted distinct-AS table
+//!   (`as_ids`/`as_off`/`as_members`), giving collectors per-AS router
+//!   ranges without rebuilding a `HashMap<AsId, Vec<RouterId>>` per run;
+//! * adjacency stays the PR 5 CSR (`adj_off`/`adj` of packed
+//!   [`AdjEntry`]).
+//!
+//! Everything is built in `TopologyBuilder::build` by counting passes +
+//! prefix sums; `validate()` re-derives every invariant of the packed
+//! layout from scratch.
 
 use geotopo_bgp::AsId;
 use geotopo_geo::{haversine_miles, GeoPoint};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Index of a router.
@@ -25,6 +50,9 @@ pub struct InterfaceId(pub u32);
 pub struct LinkId(pub u32);
 
 /// A router: a located, AS-labelled node.
+///
+/// Materialized on demand from the parallel location/ASN arrays; the
+/// topology does not store `Router` values.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Router {
     /// Geographic location.
@@ -34,6 +62,8 @@ pub struct Router {
 }
 
 /// An interface: an IP address on a router.
+///
+/// Materialized on demand from the parallel IP/router arrays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Interface {
     /// The interface's IP address (unique network-wide).
@@ -80,12 +110,21 @@ impl std::fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// Incrementally builds a [`Topology`] with validation.
+///
+/// The builder is arena-style: routers and interfaces are appended to
+/// flat parallel arrays and referred to by index from the moment they
+/// are created. The only non-array state is the pair of hash sets that
+/// give O(1) duplicate-link/duplicate-IP rejection during construction;
+/// both are dropped at [`TopologyBuilder::build`] time, so the finished
+/// topology carries no hash tables at all.
 #[derive(Debug, Default)]
 pub struct TopologyBuilder {
-    routers: Vec<Router>,
-    interfaces: Vec<Interface>,
+    locations: Vec<GeoPoint>,
+    asns: Vec<AsId>,
+    iface_ip: Vec<u32>,
+    iface_router: Vec<RouterId>,
     links: Vec<Link>,
-    ip_index: HashMap<Ipv4Addr, InterfaceId>,
+    ip_set: std::collections::HashSet<u32>,
     link_set: std::collections::HashSet<(u32, u32)>,
     auto_ip: u32,
 }
@@ -101,16 +140,32 @@ impl TopologyBuilder {
         }
     }
 
+    /// Creates a builder with capacity reserved for `routers` routers and
+    /// `links` links (two interfaces per link), so generators that know
+    /// their target size up front build without reallocation churn.
+    pub fn with_capacity(routers: usize, links: usize) -> Self {
+        let mut b = TopologyBuilder::new();
+        b.locations.reserve(routers);
+        b.asns.reserve(routers);
+        b.iface_ip.reserve(2 * links);
+        b.iface_router.reserve(2 * links);
+        b.links.reserve(links);
+        b.ip_set.reserve(2 * links);
+        b.link_set.reserve(links);
+        b
+    }
+
     /// Adds a router; returns its id.
     pub fn add_router(&mut self, location: GeoPoint, asn: AsId) -> RouterId {
-        let id = RouterId(self.routers.len() as u32);
-        self.routers.push(Router { location, asn });
+        let id = RouterId(self.locations.len() as u32);
+        self.locations.push(location);
+        self.asns.push(asn);
         id
     }
 
     /// Number of routers added so far.
     pub fn num_routers(&self) -> usize {
-        self.routers.len()
+        self.locations.len()
     }
 
     /// Number of links added so far.
@@ -125,8 +180,12 @@ impl TopologyBuilder {
     }
 
     /// Router accessor (for generators that need positions mid-build).
-    pub fn router(&self, id: RouterId) -> Option<&Router> {
-        self.routers.get(id.0 as usize)
+    pub fn router(&self, id: RouterId) -> Option<Router> {
+        let i = id.0 as usize;
+        match (self.locations.get(i), self.asns.get(i)) {
+            (Some(&location), Some(&asn)) => Some(Router { location, asn }),
+            _ => None,
+        }
     }
 
     /// Adds a link between two routers, creating one interface on each
@@ -146,34 +205,31 @@ impl TopologyBuilder {
         if a == b {
             return Err(TopologyError::SelfLink(a));
         }
-        if a.0 as usize >= self.routers.len() {
+        if a.0 as usize >= self.locations.len() {
             return Err(TopologyError::UnknownRouter(a));
         }
-        if b.0 as usize >= self.routers.len() {
+        if b.0 as usize >= self.locations.len() {
             return Err(TopologyError::UnknownRouter(b));
         }
         let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
         if self.link_set.contains(&key) {
             return Err(TopologyError::DuplicateLink(a, b));
         }
-        if self.ip_index.contains_key(&ip_a) {
+        let (raw_a, raw_b) = (u32::from(ip_a), u32::from(ip_b));
+        if self.ip_set.contains(&raw_a) {
             return Err(TopologyError::DuplicateIp(ip_a));
         }
-        if ip_a == ip_b || self.ip_index.contains_key(&ip_b) {
+        if raw_a == raw_b || self.ip_set.contains(&raw_b) {
             return Err(TopologyError::DuplicateIp(ip_b));
         }
-        let if_a = InterfaceId(self.interfaces.len() as u32);
-        self.interfaces.push(Interface {
-            ip: ip_a,
-            router: a,
-        });
-        self.ip_index.insert(ip_a, if_a);
-        let if_b = InterfaceId(self.interfaces.len() as u32);
-        self.interfaces.push(Interface {
-            ip: ip_b,
-            router: b,
-        });
-        self.ip_index.insert(ip_b, if_b);
+        let if_a = InterfaceId(self.iface_ip.len() as u32);
+        self.iface_ip.push(raw_a);
+        self.iface_router.push(a);
+        self.ip_set.insert(raw_a);
+        let if_b = InterfaceId(self.iface_ip.len() as u32);
+        self.iface_ip.push(raw_b);
+        self.iface_router.push(b);
+        self.ip_set.insert(raw_b);
         let id = LinkId(self.links.len() as u32);
         self.links.push(Link { a: if_a, b: if_b });
         self.link_set.insert(key);
@@ -194,17 +250,23 @@ impl TopologyBuilder {
         self.add_link(a, b, ip_a, ip_b)
     }
 
-    /// Finalizes the topology, computing the CSR adjacency and per-router
-    /// interface lists.
+    /// Finalizes the topology, computing every packed index: CSR
+    /// adjacency, CSR per-router interface lists, the sorted IP index
+    /// and the AS-membership ranges.
     pub fn build(self) -> Topology {
-        let n = self.routers.len();
-        // CSR construction in three passes: count degrees, prefix-sum the
+        let n = self.locations.len();
+        // Duplicate detection is over; drop the hash sets before the
+        // index-building passes so peak memory is arrays only.
+        drop(self.ip_set);
+        drop(self.link_set);
+
+        // CSR adjacency in three passes: count degrees, prefix-sum the
         // offsets, then fill each router's slice in link-insertion order
         // (the same per-router neighbor order the old Vec<Vec<..>> gave).
         let mut adj_off: Vec<u32> = vec![0; n + 1];
         for link in &self.links {
-            let ra = self.interfaces[link.a.0 as usize].router;
-            let rb = self.interfaces[link.b.0 as usize].router;
+            let ra = self.iface_router[link.a.0 as usize];
+            let rb = self.iface_router[link.b.0 as usize];
             adj_off[ra.0 as usize + 1] += 1;
             adj_off[rb.0 as usize + 1] += 1;
         }
@@ -220,9 +282,9 @@ impl TopologyBuilder {
             2 * self.links.len()
         ];
         for (i, link) in self.links.iter().enumerate() {
-            let ra = self.interfaces[link.a.0 as usize].router;
-            let rb = self.interfaces[link.b.0 as usize].router;
-            let inter = self.routers[ra.0 as usize].asn != self.routers[rb.0 as usize].asn;
+            let ra = self.iface_router[link.a.0 as usize];
+            let rb = self.iface_router[link.b.0 as usize];
+            let inter = self.asns[ra.0 as usize] != self.asns[rb.0 as usize];
             let packed = i as u32 | if inter { INTERDOMAIN_BIT } else { 0 };
             adj[cursor[ra.0 as usize] as usize] = AdjEntry {
                 neighbor: rb,
@@ -235,18 +297,63 @@ impl TopologyBuilder {
             };
             cursor[rb.0 as usize] += 1;
         }
-        let mut router_ifaces: Vec<Vec<InterfaceId>> = vec![Vec::new(); n];
-        for (i, iface) in self.interfaces.iter().enumerate() {
-            router_ifaces[iface.router.0 as usize].push(InterfaceId(i as u32));
+
+        // Router→interface CSR, filled in interface-insertion order so
+        // each router's slice keeps its historical push order.
+        let mut iface_off: Vec<u32> = vec![0; n + 1];
+        for r in &self.iface_router {
+            iface_off[r.0 as usize + 1] += 1;
         }
+        for i in 1..=n {
+            iface_off[i] += iface_off[i - 1];
+        }
+        let mut cursor: Vec<u32> = iface_off[..n].to_vec();
+        let mut iface_ids: Vec<InterfaceId> = vec![InterfaceId(0); self.iface_router.len()];
+        for (i, r) in self.iface_router.iter().enumerate() {
+            iface_ids[cursor[r.0 as usize] as usize] = InterfaceId(i as u32);
+            cursor[r.0 as usize] += 1;
+        }
+
+        // Sorted IP index (IPs are unique, so an unstable sort is fine).
+        let mut ip_index: Vec<(u32, InterfaceId)> = self
+            .iface_ip
+            .iter()
+            .enumerate()
+            .map(|(i, &ip)| (ip, InterfaceId(i as u32)))
+            .collect();
+        ip_index.sort_unstable_by_key(|&(ip, _)| ip);
+
+        // AS-membership CSR: group routers by ASN (ascending), routers
+        // ascending within each group. The (asn, id) sort key makes the
+        // grouping deterministic regardless of insertion order.
+        let mut as_members: Vec<RouterId> = (0..n as u32).map(RouterId).collect();
+        as_members.sort_unstable_by_key(|r| (self.asns[r.0 as usize], r.0));
+        let mut as_ids: Vec<AsId> = Vec::new();
+        let mut as_off: Vec<u32> = vec![0];
+        for (i, r) in as_members.iter().enumerate() {
+            let asn = self.asns[r.0 as usize];
+            if as_ids.last() != Some(&asn) {
+                as_ids.push(asn);
+                as_off.push(i as u32);
+            }
+            let last = as_off.len() - 1;
+            as_off[last] = i as u32 + 1;
+        }
+
         Topology {
-            routers: self.routers,
-            interfaces: self.interfaces,
+            locations: self.locations,
+            asns: self.asns,
+            iface_ip: self.iface_ip,
+            iface_router: self.iface_router,
             links: self.links,
             adj_off,
             adj,
-            router_ifaces,
-            ip_index: self.ip_index,
+            iface_off,
+            iface_ids,
+            ip_index,
+            as_ids,
+            as_off,
+            as_members,
         }
     }
 }
@@ -286,18 +393,42 @@ impl AdjEntry {
     }
 }
 
-/// An immutable router-level topology.
+/// An immutable router-level topology in fully packed form.
+///
+/// See the module docs for the layout. All accessors that used to hand
+/// out `&Router`/`&Interface` now return the (`Copy`) values
+/// materialized from the parallel arrays.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Topology {
-    routers: Vec<Router>,
-    interfaces: Vec<Interface>,
+    /// Router locations, indexed by `RouterId`.
+    locations: Vec<GeoPoint>,
+    /// Router AS labels, parallel to `locations`.
+    asns: Vec<AsId>,
+    /// Interface IPs as raw big-endian `u32`, indexed by `InterfaceId`.
+    iface_ip: Vec<u32>,
+    /// Owning router of each interface, parallel to `iface_ip`.
+    iface_router: Vec<RouterId>,
     links: Vec<Link>,
     /// CSR offsets: router `r`'s edges live at `adj[adj_off[r]..adj_off[r+1]]`.
     adj_off: Vec<u32>,
     /// Flat CSR edge array, per-router runs in link-insertion order.
     adj: Vec<AdjEntry>,
-    router_ifaces: Vec<Vec<InterfaceId>>,
-    ip_index: HashMap<Ipv4Addr, InterfaceId>,
+    /// CSR offsets: router `r`'s interfaces live at
+    /// `iface_ids[iface_off[r]..iface_off[r+1]]`.
+    iface_off: Vec<u32>,
+    /// Flat interface-membership array, per-router runs in
+    /// interface-creation order.
+    iface_ids: Vec<InterfaceId>,
+    /// `(ip, interface)` pairs sorted strictly ascending by IP; lookups
+    /// binary-search this array.
+    ip_index: Vec<(u32, InterfaceId)>,
+    /// Distinct AS numbers, sorted strictly ascending.
+    as_ids: Vec<AsId>,
+    /// CSR offsets into `as_members`, parallel to `as_ids` (+1).
+    as_off: Vec<u32>,
+    /// Router ids grouped by AS, ascending within each group; the groups
+    /// partition the router set.
+    as_members: Vec<RouterId>,
 }
 
 /// A structural invariant broken in a [`Topology`].
@@ -307,11 +438,13 @@ pub struct Topology {
 /// [`Topology::validate`], which the pipeline runs between stages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyInvariant {
+    /// Two parallel arrays of the SoA layout disagree in length.
+    ParallelArrayMismatch(&'static str),
     /// An interface names a router that does not exist.
     InterfaceRouterOutOfRange(InterfaceId),
-    /// The per-router interface lists do not partition the interface set
-    /// (an interface is missing from, duplicated in, or listed under the
-    /// wrong router).
+    /// The per-router interface CSR does not partition the interface set
+    /// (bad offsets, or an interface missing, duplicated, or listed
+    /// under the wrong router).
     InterfacePartition(InterfaceId),
     /// A link endpoint names an interface that does not exist.
     DanglingLinkEndpoint(LinkId),
@@ -319,13 +452,21 @@ pub enum TopologyInvariant {
     SelfLoopLink(LinkId, RouterId),
     /// The adjacency structure disagrees with the link list.
     AdjacencyMismatch(RouterId),
+    /// The sorted IP index is out of order at this address.
+    IpIndexUnsorted(Ipv4Addr),
     /// The IP index does not bijectively map addresses to interfaces.
     IpIndexMismatch(Ipv4Addr),
+    /// The AS-membership ranges do not cover the router set, or disagree
+    /// with the per-router AS labels.
+    AsRangeMismatch(AsId),
 }
 
 impl std::fmt::Display for TopologyInvariant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            TopologyInvariant::ParallelArrayMismatch(what) => {
+                write!(f, "parallel array length mismatch in {what}")
+            }
             TopologyInvariant::InterfaceRouterOutOfRange(i) => {
                 write!(f, "interface {} references a nonexistent router", i.0)
             }
@@ -347,10 +488,20 @@ impl std::fmt::Display for TopologyInvariant {
                     r.0
                 )
             }
+            TopologyInvariant::IpIndexUnsorted(ip) => {
+                write!(f, "ip index is out of sorted order at {ip}")
+            }
             TopologyInvariant::IpIndexMismatch(ip) => {
                 write!(
                     f,
                     "ip index entry for {ip} disagrees with the interface table"
+                )
+            }
+            TopologyInvariant::AsRangeMismatch(asn) => {
+                write!(
+                    f,
+                    "AS-membership range for AS {} disagrees with the router table",
+                    asn.0
                 )
             }
         }
@@ -362,12 +513,12 @@ impl std::error::Error for TopologyInvariant {}
 impl Topology {
     /// Number of routers.
     pub fn num_routers(&self) -> usize {
-        self.routers.len()
+        self.locations.len()
     }
 
     /// Number of interfaces.
     pub fn num_interfaces(&self) -> usize {
-        self.interfaces.len()
+        self.iface_ip.len()
     }
 
     /// Number of links.
@@ -375,22 +526,75 @@ impl Topology {
         self.links.len()
     }
 
-    /// Router by id.
+    /// Number of distinct ASes present in the router table.
+    pub fn num_ases(&self) -> usize {
+        self.as_ids.len()
+    }
+
+    /// Approximate heap footprint of the packed arrays, in bytes. Exact
+    /// for the elements stored; allocator slack and `Vec` headers are
+    /// not counted. Feeds the engine's resident-artifact accounting.
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.locations.len() * size_of::<GeoPoint>()
+            + self.asns.len() * size_of::<AsId>()
+            + self.iface_ip.len() * size_of::<u32>()
+            + self.iface_router.len() * size_of::<RouterId>()
+            + self.links.len() * size_of::<Link>()
+            + self.adj_off.len() * size_of::<u32>()
+            + self.adj.len() * size_of::<AdjEntry>()
+            + self.iface_off.len() * size_of::<u32>()
+            + self.iface_ids.len() * size_of::<InterfaceId>()
+            + self.ip_index.len() * size_of::<(u32, InterfaceId)>()
+            + self.as_ids.len() * size_of::<AsId>()
+            + self.as_off.len() * size_of::<u32>()
+            + self.as_members.len() * size_of::<RouterId>()
+    }
+
+    /// Router by id, materialized from the parallel arrays.
     ///
     /// # Panics
     ///
     /// Panics on an id not produced by the owning builder.
-    pub fn router(&self, id: RouterId) -> &Router {
-        &self.routers[id.0 as usize]
+    #[inline]
+    pub fn router(&self, id: RouterId) -> Router {
+        Router {
+            location: self.locations[id.0 as usize],
+            asn: self.asns[id.0 as usize],
+        }
     }
 
-    /// Interface by id.
+    /// Location of a router (single-array access for spatial hot loops).
     ///
     /// # Panics
     ///
     /// Panics on a foreign id.
-    pub fn interface(&self, id: InterfaceId) -> &Interface {
-        &self.interfaces[id.0 as usize]
+    #[inline]
+    pub fn location(&self, id: RouterId) -> GeoPoint {
+        self.locations[id.0 as usize]
+    }
+
+    /// AS label of a router (single-array access).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    #[inline]
+    pub fn asn(&self, id: RouterId) -> AsId {
+        self.asns[id.0 as usize]
+    }
+
+    /// Interface by id, materialized from the parallel arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    #[inline]
+    pub fn interface(&self, id: InterfaceId) -> Interface {
+        Interface {
+            ip: Ipv4Addr::from(self.iface_ip[id.0 as usize]),
+            router: self.iface_router[id.0 as usize],
+        }
     }
 
     /// Link by id.
@@ -398,32 +602,43 @@ impl Topology {
     /// # Panics
     ///
     /// Panics on a foreign id.
-    pub fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.0 as usize]
+    #[inline]
+    pub fn link(&self, id: LinkId) -> Link {
+        self.links[id.0 as usize]
     }
 
     /// All routers with ids.
-    pub fn routers(&self) -> impl Iterator<Item = (RouterId, &Router)> {
-        self.routers
+    pub fn routers(&self) -> impl Iterator<Item = (RouterId, Router)> + '_ {
+        self.locations
             .iter()
+            .zip(&self.asns)
             .enumerate()
-            .map(|(i, r)| (RouterId(i as u32), r))
+            .map(|(i, (&location, &asn))| (RouterId(i as u32), Router { location, asn }))
     }
 
     /// All interfaces with ids.
-    pub fn interfaces(&self) -> impl Iterator<Item = (InterfaceId, &Interface)> {
-        self.interfaces
+    pub fn interfaces(&self) -> impl Iterator<Item = (InterfaceId, Interface)> + '_ {
+        self.iface_ip
             .iter()
+            .zip(&self.iface_router)
             .enumerate()
-            .map(|(i, f)| (InterfaceId(i as u32), f))
+            .map(|(i, (&ip, &router))| {
+                (
+                    InterfaceId(i as u32),
+                    Interface {
+                        ip: Ipv4Addr::from(ip),
+                        router,
+                    },
+                )
+            })
     }
 
     /// All links with ids.
-    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, Link)> + '_ {
         self.links
             .iter()
             .enumerate()
-            .map(|(i, l)| (LinkId(i as u32), l))
+            .map(|(i, &l)| (LinkId(i as u32), l))
     }
 
     /// Neighbours of a router with the connecting link: a contiguous
@@ -442,55 +657,89 @@ impl Topology {
         (self.adj_off[r.0 as usize + 1] - self.adj_off[r.0 as usize]) as usize
     }
 
-    /// Interfaces on a router.
+    /// Interfaces on a router: a contiguous CSR slice in
+    /// interface-creation order.
+    #[inline]
     pub fn interfaces_of(&self, r: RouterId) -> &[InterfaceId] {
-        &self.router_ifaces[r.0 as usize]
+        let lo = self.iface_off[r.0 as usize] as usize;
+        let hi = self.iface_off[r.0 as usize + 1] as usize;
+        &self.iface_ids[lo..hi]
     }
 
-    /// The interface holding `ip`, if any.
+    /// The routers of one AS: a contiguous CSR slice, router ids
+    /// ascending. Empty when the AS labels no router.
+    pub fn routers_of_as(&self, asn: AsId) -> &[RouterId] {
+        match self.as_ids.binary_search(&asn) {
+            Ok(g) => {
+                let lo = self.as_off[g] as usize;
+                let hi = self.as_off[g + 1] as usize;
+                &self.as_members[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// All ASes with their member-router slices, ascending by AS number.
+    pub fn as_groups(&self) -> impl Iterator<Item = (AsId, &[RouterId])> + '_ {
+        self.as_ids.iter().enumerate().map(|(g, &asn)| {
+            let lo = self.as_off[g] as usize;
+            let hi = self.as_off[g + 1] as usize;
+            (asn, &self.as_members[lo..hi])
+        })
+    }
+
+    /// The interface holding `ip`, if any: a binary search of the sorted
+    /// IP index.
+    #[inline]
     pub fn interface_by_ip(&self, ip: Ipv4Addr) -> Option<InterfaceId> {
-        self.ip_index.get(&ip).copied()
+        let raw = u32::from(ip);
+        self.ip_index
+            .binary_search_by_key(&raw, |&(k, _)| k)
+            .ok()
+            .map(|pos| self.ip_index[pos].1)
     }
 
     /// The router owning `ip`, if any.
     pub fn router_by_ip(&self, ip: Ipv4Addr) -> Option<RouterId> {
         self.interface_by_ip(ip)
-            .map(|i| self.interfaces[i.0 as usize].router)
+            .map(|i| self.iface_router[i.0 as usize])
     }
 
     /// Router endpoints of a link.
+    #[inline]
     pub fn link_routers(&self, id: LinkId) -> (RouterId, RouterId) {
         let l = &self.links[id.0 as usize];
         (
-            self.interfaces[l.a.0 as usize].router,
-            self.interfaces[l.b.0 as usize].router,
+            self.iface_router[l.a.0 as usize],
+            self.iface_router[l.b.0 as usize],
         )
     }
 
     /// Great-circle length of a link in statute miles.
     pub fn link_length_miles(&self, id: LinkId) -> f64 {
         let (a, b) = self.link_routers(id);
-        haversine_miles(
-            &self.routers[a.0 as usize].location,
-            &self.routers[b.0 as usize].location,
-        )
+        haversine_miles(&self.locations[a.0 as usize], &self.locations[b.0 as usize])
     }
 
     /// Whether a link crosses AS boundaries (the paper's
     /// interdomain/intradomain distinction, Section VI-C).
     pub fn is_interdomain(&self, id: LinkId) -> bool {
         let (a, b) = self.link_routers(id);
-        self.routers[a.0 as usize].asn != self.routers[b.0 as usize].asn
+        self.asns[a.0 as usize] != self.asns[b.0 as usize]
     }
 
-    /// Checks every structural invariant of the topology:
+    /// Checks every structural invariant of the packed layout:
     ///
-    /// 1. each interface belongs to an existing router, and the
-    ///    per-router interface lists exactly partition the interface set;
-    /// 2. no link endpoint dangles (both interfaces exist);
-    /// 3. no link connects two interfaces of the same router;
-    /// 4. the adjacency structure agrees with the link list;
-    /// 5. the IP index is a bijection onto the interface table.
+    /// 1. the parallel SoA arrays agree in length;
+    /// 2. each interface belongs to an existing router, and the
+    ///    router→interface CSR exactly partitions the interface set;
+    /// 3. no link endpoint dangles (both interfaces exist);
+    /// 4. no link connects two interfaces of the same router;
+    /// 5. the adjacency CSR agrees with the link list;
+    /// 6. the IP index is strictly sorted and a bijection onto the
+    ///    interface table;
+    /// 7. the AS-membership ranges partition the router set and agree
+    ///    with the per-router AS labels.
     ///
     /// The builder establishes all of these; `validate` re-checks them on
     /// data that crossed a serialization boundary or a new mutation path.
@@ -499,25 +748,43 @@ impl Topology {
     ///
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), TopologyInvariant> {
-        // 1. Interface/router partition.
-        for (i, iface) in self.interfaces.iter().enumerate() {
-            if iface.router.0 as usize >= self.routers.len() {
+        // 1. SoA arrays are parallel.
+        if self.asns.len() != self.locations.len() {
+            return Err(TopologyInvariant::ParallelArrayMismatch("router SoA"));
+        }
+        if self.iface_router.len() != self.iface_ip.len() {
+            return Err(TopologyInvariant::ParallelArrayMismatch("interface SoA"));
+        }
+        if self.as_off.len() != self.as_ids.len() + 1 {
+            return Err(TopologyInvariant::ParallelArrayMismatch("AS CSR"));
+        }
+
+        // 2. Interface/router partition via the CSR.
+        let n_routers = self.locations.len();
+        let n_ifaces = self.iface_ip.len();
+        for (i, r) in self.iface_router.iter().enumerate() {
+            if r.0 as usize >= n_routers {
                 return Err(TopologyInvariant::InterfaceRouterOutOfRange(InterfaceId(
                     i as u32,
                 )));
             }
         }
-        if self.router_ifaces.len() != self.routers.len() {
+        if self.iface_off.len() != n_routers + 1
+            || self.iface_off.first() != Some(&0)
+            || self.iface_off.last().copied() != Some(n_ifaces as u32)
+            || self.iface_ids.len() != n_ifaces
+        {
             return Err(TopologyInvariant::InterfacePartition(InterfaceId(0)));
         }
-        let mut seen = vec![false; self.interfaces.len()];
-        for (r, list) in self.router_ifaces.iter().enumerate() {
-            for &iid in list {
+        let mut seen = vec![false; n_ifaces];
+        for r in 0..n_routers {
+            let (lo, hi) = (self.iface_off[r], self.iface_off[r + 1]);
+            if lo > hi || hi as usize > n_ifaces {
+                return Err(TopologyInvariant::InterfacePartition(InterfaceId(lo)));
+            }
+            for &iid in &self.iface_ids[lo as usize..hi as usize] {
                 let idx = iid.0 as usize;
-                if idx >= self.interfaces.len()
-                    || seen[idx]
-                    || self.interfaces[idx].router.0 as usize != r
-                {
+                if idx >= n_ifaces || seen[idx] || self.iface_router[idx].0 as usize != r {
                     return Err(TopologyInvariant::InterfacePartition(iid));
                 }
                 seen[idx] = true;
@@ -529,35 +796,33 @@ impl Topology {
             )));
         }
 
-        // 2 + 3. Link endpoints exist and span two distinct routers.
+        // 3 + 4. Link endpoints exist and span two distinct routers.
         for (l, link) in self.links.iter().enumerate() {
             let lid = LinkId(l as u32);
-            if link.a.0 as usize >= self.interfaces.len()
-                || link.b.0 as usize >= self.interfaces.len()
-            {
+            if link.a.0 as usize >= n_ifaces || link.b.0 as usize >= n_ifaces {
                 return Err(TopologyInvariant::DanglingLinkEndpoint(lid));
             }
-            let ra = self.interfaces[link.a.0 as usize].router;
-            let rb = self.interfaces[link.b.0 as usize].router;
+            let ra = self.iface_router[link.a.0 as usize];
+            let rb = self.iface_router[link.b.0 as usize];
             if ra == rb {
                 return Err(TopologyInvariant::SelfLoopLink(lid, ra));
             }
         }
 
-        // 4. CSR adjacency agrees with the link list: the offset array is
+        // 5. CSR adjacency agrees with the link list: the offset array is
         // a well-formed prefix-sum over the edge array (n+1 entries,
         // starts at zero, monotone, covers exactly 2×links), every entry
         // names an existing link joining this router to the recorded
         // neighbor, and the precomputed interdomain bit matches the AS
         // labels re-derived from the router table.
-        if self.adj_off.len() != self.routers.len() + 1
+        if self.adj_off.len() != n_routers + 1
             || self.adj_off.first() != Some(&0)
             || self.adj_off.last().copied() != Some(self.adj.len() as u32)
             || self.adj.len() != 2 * self.links.len()
         {
             return Err(TopologyInvariant::AdjacencyMismatch(RouterId(0)));
         }
-        for r in 0..self.routers.len() {
+        for r in 0..n_routers {
             let (lo, hi) = (self.adj_off[r], self.adj_off[r + 1]);
             if lo > hi || hi as usize > self.adj.len() {
                 return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
@@ -574,27 +839,70 @@ impl Topology {
                 if !pair_ok {
                     return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
                 }
-                let inter = self.routers[ra.0 as usize].asn != self.routers[rb.0 as usize].asn;
+                let inter = self.asns[ra.0 as usize] != self.asns[rb.0 as usize];
                 if e.is_interdomain() != inter {
                     return Err(TopologyInvariant::AdjacencyMismatch(RouterId(r as u32)));
                 }
             }
         }
 
-        // 5. IP index bijection.
-        if self.ip_index.len() != self.interfaces.len() {
+        // 6. IP index: strictly sorted (which also rules out duplicate
+        // addresses) and a bijection onto the interface table.
+        if self.ip_index.len() != n_ifaces {
             let stray = self
                 .ip_index
-                .keys()
-                .next()
-                .copied()
+                .first()
+                .map(|&(ip, _)| Ipv4Addr::from(ip))
                 .unwrap_or(Ipv4Addr::UNSPECIFIED);
             return Err(TopologyInvariant::IpIndexMismatch(stray));
         }
-        for (&ip, &iid) in &self.ip_index {
-            if iid.0 as usize >= self.interfaces.len() || self.interfaces[iid.0 as usize].ip != ip {
-                return Err(TopologyInvariant::IpIndexMismatch(ip));
+        for w in self.ip_index.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(TopologyInvariant::IpIndexUnsorted(Ipv4Addr::from(w[1].0)));
             }
+        }
+        for &(ip, iid) in &self.ip_index {
+            if iid.0 as usize >= n_ifaces || self.iface_ip[iid.0 as usize] != ip {
+                return Err(TopologyInvariant::IpIndexMismatch(Ipv4Addr::from(ip)));
+            }
+        }
+
+        // 7. AS-membership ranges: distinct sorted AS table, well-formed
+        // offsets covering every router exactly once, members ascending
+        // within each group and labelled with the group's AS.
+        if self.as_off.first() != Some(&0)
+            || self.as_off.last().copied() != Some(self.as_members.len() as u32)
+            || self.as_members.len() != n_routers
+        {
+            let asn = self.as_ids.first().copied().unwrap_or(AsId(0));
+            return Err(TopologyInvariant::AsRangeMismatch(asn));
+        }
+        let mut covered = vec![false; n_routers];
+        for (g, &asn) in self.as_ids.iter().enumerate() {
+            if g > 0 && self.as_ids[g - 1] >= asn {
+                return Err(TopologyInvariant::AsRangeMismatch(asn));
+            }
+            let (lo, hi) = (self.as_off[g], self.as_off[g + 1]);
+            if lo >= hi || hi as usize > self.as_members.len() {
+                // Empty groups are never built; each distinct AS came
+                // from at least one router.
+                return Err(TopologyInvariant::AsRangeMismatch(asn));
+            }
+            let group = &self.as_members[lo as usize..hi as usize];
+            for (k, &r) in group.iter().enumerate() {
+                let idx = r.0 as usize;
+                if idx >= n_routers || covered[idx] || self.asns[idx] != asn {
+                    return Err(TopologyInvariant::AsRangeMismatch(asn));
+                }
+                if k > 0 && group[k - 1].0 >= r.0 {
+                    return Err(TopologyInvariant::AsRangeMismatch(asn));
+                }
+                covered[idx] = true;
+            }
+        }
+        if covered.iter().any(|c| !c) {
+            let asn = self.as_ids.first().copied().unwrap_or(AsId(0));
+            return Err(TopologyInvariant::AsRangeMismatch(asn));
         }
         Ok(())
     }
@@ -609,7 +917,7 @@ impl Topology {
             .link();
         let l = &self.links[lid.0 as usize];
         let ia = l.a;
-        if self.interfaces[ia.0 as usize].router == from {
+        if self.iface_router[ia.0 as usize] == from {
             Some(ia)
         } else {
             Some(l.b)
@@ -644,6 +952,19 @@ mod tests {
         assert_eq!(t.degree(r1), 2);
         assert_eq!(t.degree(r0), 1);
         assert_eq!(t.interfaces_of(r1).len(), 2);
+    }
+
+    #[test]
+    fn with_capacity_builds_identically() {
+        let build = |mut b: TopologyBuilder| {
+            let r0 = b.add_router(loc(0.0, 0.0), AsId(1));
+            let r1 = b.add_router(loc(1.0, 1.0), AsId(2));
+            b.add_link(r0, r1, ip("1.0.0.1"), ip("1.0.0.2")).unwrap();
+            b.build()
+        };
+        let plain = build(TopologyBuilder::new());
+        let reserved = build(TopologyBuilder::with_capacity(2, 1));
+        assert_eq!(format!("{plain:?}"), format!("{reserved:?}"));
     }
 
     #[test]
@@ -755,6 +1076,28 @@ mod tests {
         }
     }
 
+    #[test]
+    fn as_groups_partition_routers() {
+        let mut b = TopologyBuilder::new();
+        // Insert with interleaved AS labels: grouping must still come out
+        // sorted by AS with ascending members.
+        let r0 = b.add_router(loc(0.0, 0.0), AsId(7));
+        let r1 = b.add_router(loc(1.0, 1.0), AsId(3));
+        let r2 = b.add_router(loc(2.0, 2.0), AsId(7));
+        let r3 = b.add_router(loc(3.0, 3.0), AsId(3));
+        b.add_link_auto(r0, r1).unwrap();
+        let t = b.build();
+        assert_eq!(t.num_ases(), 2);
+        assert_eq!(t.routers_of_as(AsId(3)), &[r1, r3]);
+        assert_eq!(t.routers_of_as(AsId(7)), &[r0, r2]);
+        assert_eq!(t.routers_of_as(AsId(99)), &[] as &[RouterId]);
+        let groups: Vec<_> = t.as_groups().collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, AsId(3));
+        assert_eq!(groups[1].0, AsId(7));
+        assert_eq!(groups.iter().map(|(_, g)| g.len()).sum::<usize>(), 4);
+    }
+
     /// A valid 3-router topology for corruption tests.
     fn valid_topology() -> Topology {
         let mut b = TopologyBuilder::new();
@@ -774,9 +1117,25 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_parallel_array_mismatch() {
+        let mut t = valid_topology();
+        t.asns.pop();
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::ParallelArrayMismatch("router SoA"))
+        );
+        let mut t = valid_topology();
+        t.iface_router.push(RouterId(0));
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::ParallelArrayMismatch("interface SoA"))
+        );
+    }
+
+    #[test]
     fn validate_rejects_interface_with_unknown_router() {
         let mut t = valid_topology();
-        t.interfaces[2].router = RouterId(99);
+        t.iface_router[2] = RouterId(99);
         assert_eq!(
             t.validate(),
             Err(TopologyInvariant::InterfaceRouterOutOfRange(InterfaceId(2)))
@@ -785,21 +1144,36 @@ mod tests {
 
     #[test]
     fn validate_rejects_broken_interface_partition() {
-        // Listed under the wrong router.
+        // Corrupted CSR offset: router 0's slice grows into router 1's,
+        // so interface 1 shows up under router 0. The exact id is
+        // reported.
         let mut t = valid_topology();
-        let moved = t.router_ifaces[0].pop().unwrap();
-        t.router_ifaces[2].push(moved);
+        t.iface_off[1] += 1;
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::InterfacePartition(InterfaceId(1)))
+        );
+        // An interface listed under the wrong router.
+        let mut t = valid_topology();
+        t.iface_ids.swap(0, 3);
         assert!(matches!(
             t.validate(),
             Err(TopologyInvariant::InterfacePartition(_))
         ));
-        // Dropped from every list.
+        // A duplicated entry (another interface then goes missing).
         let mut t = valid_topology();
-        t.router_ifaces[0].clear();
+        t.iface_ids[1] = t.iface_ids[0];
         assert!(matches!(
             t.validate(),
             Err(TopologyInvariant::InterfacePartition(_))
         ));
+        // A malformed offset table (wrong length) is caught outright.
+        let mut t = valid_topology();
+        t.iface_off.pop();
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::InterfacePartition(InterfaceId(0)))
+        );
     }
 
     #[test]
@@ -816,15 +1190,17 @@ mod tests {
     fn validate_rejects_self_loop_link() {
         let mut t = valid_topology();
         // Interfaces 0 and 1 sit on routers 0 and 1; re-point the second
-        // endpoint at another interface of the same router as the first.
-        t.interfaces[1].router = t.interfaces[0].router;
-        // Keep the partition consistent so the self-loop check is what
-        // fires: rebuild router_ifaces from the mutated interface table.
-        let n = t.routers.len();
-        t.router_ifaces = vec![Vec::new(); n];
-        for (i, iface) in t.interfaces.iter().enumerate() {
-            t.router_ifaces[iface.router.0 as usize].push(InterfaceId(i as u32));
-        }
+        // interface at router 0 so link 0 becomes a self-loop. Keep the
+        // interface CSR consistent so the self-loop check is what fires:
+        // rebuild it from the mutated ownership array.
+        t.iface_router[1] = RouterId(0);
+        t.iface_off = vec![0, 2, 3, 4];
+        t.iface_ids = vec![
+            InterfaceId(0),
+            InterfaceId(1),
+            InterfaceId(2),
+            InterfaceId(3),
+        ];
         // Adjacency is now also stale, but the self-loop is detected
         // first.
         assert_eq!(
@@ -906,20 +1282,74 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_ip_index_corruption() {
+    fn validate_rejects_unsorted_ip_index() {
+        // Swapping two entries breaks the strict sort order; the address
+        // now found out of order is reported exactly.
         let mut t = valid_topology();
-        let (&some_ip, _) = t.ip_index.iter().next().unwrap();
-        t.ip_index.insert(some_ip, InterfaceId(77));
+        // After the swap the entry at index 1 is the one that used to
+        // lead the array; that is the address found out of order.
+        let lo = t.ip_index[0].0;
+        t.ip_index.swap(0, 1);
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::IpIndexUnsorted(Ipv4Addr::from(lo)))
+        );
+        // A duplicated key (non-strict order) is also unsorted.
+        let mut t = valid_topology();
+        t.ip_index[1].0 = t.ip_index[0].0;
+        let dup = Ipv4Addr::from(t.ip_index[0].0);
+        assert_eq!(t.validate(), Err(TopologyInvariant::IpIndexUnsorted(dup)));
+    }
+
+    #[test]
+    fn validate_rejects_ip_index_corruption() {
+        // An entry pointing at the wrong interface.
+        let mut t = valid_topology();
+        t.ip_index[0].1 = InterfaceId(77);
         assert!(matches!(
             t.validate(),
             Err(TopologyInvariant::IpIndexMismatch(_))
         ));
-        // A stale extra entry is also caught (size mismatch).
+        // A stale extra entry is caught by the size check.
         let mut t = valid_topology();
-        t.ip_index.insert(ip("200.0.0.1"), InterfaceId(0));
+        t.ip_index
+            .push((u32::from(ip("200.0.0.1")), InterfaceId(0)));
         assert!(matches!(
             t.validate(),
             Err(TopologyInvariant::IpIndexMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_as_range_corruption() {
+        // valid_topology: routers 0,1 in AS 1; router 2 in AS 2.
+        // A member listed under the wrong AS.
+        let mut t = valid_topology();
+        t.as_members.swap(1, 2);
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::AsRangeMismatch(AsId(1)))
+        );
+        // A corrupted group offset shifts coverage.
+        let mut t = valid_topology();
+        t.as_off[1] = 1;
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::AsRangeMismatch(AsId(2)))
+        );
+        // A duplicated member leaves another router uncovered.
+        let mut t = valid_topology();
+        t.as_members[1] = t.as_members[0];
+        assert_eq!(
+            t.validate(),
+            Err(TopologyInvariant::AsRangeMismatch(AsId(1)))
+        );
+        // An unsorted AS table is rejected.
+        let mut t = valid_topology();
+        t.as_ids.swap(0, 1);
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyInvariant::AsRangeMismatch(_))
         ));
     }
 

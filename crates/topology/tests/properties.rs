@@ -6,8 +6,10 @@
 
 use geotopo_bgp::AsId;
 use geotopo_geo::GeoPoint;
-use geotopo_topology::{metrics, RouterId, TopologyBuilder};
+use geotopo_topology::{metrics, InterfaceId, RouterId, TopologyBuilder};
 use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
 
 fn arb_edges(n_routers: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec(
@@ -100,6 +102,59 @@ proptest! {
         let t = build(25, &edges);
         for d in metrics::link_lengths_miles(&t) {
             prop_assert!(d.is_finite() && d >= 0.0);
+        }
+    }
+
+    // The packed sorted-array IP index (`interface_by_ip` binary-searches
+    // `ip_index`) must behave exactly like a reference `HashMap` model fed
+    // the same operations: same accept/reject decision per `add_link`
+    // (including duplicate-IP rejection), same answer on every hit, and
+    // `None` on every miss. IPs are drawn from a tiny range so collisions
+    // are common rather than vanishing.
+    #[test]
+    fn ip_lookup_matches_hash_map_model(
+        ops in prop::collection::vec((0u32..12, 0u32..12, 1u32..400, 1u32..400), 0..80),
+        probes in prop::collection::vec(0u32..500, 0..60),
+    ) {
+        let mut b = TopologyBuilder::new();
+        for i in 0..12 {
+            b.add_router(GeoPoint::new(0.0, f64::from(i)).unwrap(), AsId(1));
+        }
+        // Reference model: ip -> interface id, plus the builder's other
+        // acceptance rules (self links, duplicate pairs) replayed.
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+        let mut next_iface = 0u32;
+        for &(a, bb, ip_a, ip_b) in &ops {
+            let res = b.add_link(
+                RouterId(a),
+                RouterId(bb),
+                Ipv4Addr::from(ip_a),
+                Ipv4Addr::from(ip_b),
+            );
+            let key = if a <= bb { (a, bb) } else { (bb, a) };
+            let accept = a != bb
+                && !pairs.contains(&key)
+                && !model.contains_key(&ip_a)
+                && ip_a != ip_b
+                && !model.contains_key(&ip_b);
+            prop_assert_eq!(res.is_ok(), accept, "builder and model disagree on accept");
+            if accept {
+                pairs.insert(key);
+                model.insert(ip_a, next_iface);
+                model.insert(ip_b, next_iface + 1);
+                next_iface += 2;
+            }
+        }
+        let t = b.build();
+        // Every accepted IP resolves to the interface the model predicts
+        // (hits), every other probe address resolves to nothing (misses).
+        for probe in probes.iter().copied().chain(model.keys().copied()) {
+            let got = t.interface_by_ip(Ipv4Addr::from(probe));
+            match model.get(&probe) {
+                Some(&idx) => prop_assert_eq!(got, Some(InterfaceId(idx))),
+                None => prop_assert_eq!(got, None),
+            }
         }
     }
 }

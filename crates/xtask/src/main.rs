@@ -3,7 +3,7 @@
 //! ```text
 //! cargo xtask check [--root PATH] [--rule GT-LINT-00x] [--list] [--all]
 //! cargo xtask analyze [--root PATH] [--rule GT-AN-00x] [--list] [--explain ID]
-//! cargo xtask bench [--check] [--update] [--threads LIST] [--json PATH]
+//! cargo xtask bench [--check] [--update] [--scale NAME] [--threads LIST] [--json PATH]
 //! ```
 //!
 //! `check` runs the line-level lint catalog; `analyze` runs the
@@ -43,7 +43,9 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!("usage: cargo xtask check [--root PATH] [--rule ID] [--list] [--all]");
     eprintln!("       cargo xtask analyze [--root PATH] [--rule ID] [--list] [--explain ID]");
-    eprintln!("       cargo xtask bench [--check] [--update] [--threads LIST] [--json PATH]");
+    eprintln!(
+        "       cargo xtask bench [--check] [--update] [--scale NAME] [--threads LIST] [--json PATH]"
+    );
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  check    run the geotopo lint pass over the workspace sources");
@@ -64,7 +66,8 @@ fn print_usage() {
     eprintln!();
     eprintln!("bench options:");
     eprintln!("  --check         gate against the committed BENCH_measure.json baseline");
-    eprintln!("  --update        rewrite BENCH_measure.json from this run");
+    eprintln!("  --update        merge this run's entry into BENCH_measure.json");
+    eprintln!("  --scale NAME    world size: tiny|small|default|large|paper (default small)");
     eprintln!("  --threads LIST  worker counts to measure (default 1,4)");
     eprintln!("  --json PATH     also write results to PATH (default target/pipeline_stages.json)");
 }
@@ -80,6 +83,7 @@ const BENCH_BASELINE: &str = "BENCH_measure.json";
 fn bench(args: &[String]) -> ExitCode {
     let mut do_check = false;
     let mut do_update = false;
+    let mut scale = String::from("small");
     let mut threads = String::from("1,4");
     let mut json: Option<String> = None;
     let mut it = args.iter();
@@ -87,6 +91,13 @@ fn bench(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--check" => do_check = true,
             "--update" => do_update = true,
+            "--scale" => match it.next() {
+                Some(s) => scale = s.clone(),
+                None => {
+                    eprintln!("error: --scale needs a name (tiny|small|default|large|paper)");
+                    return ExitCode::from(2);
+                }
+            },
             "--threads" => match it.next() {
                 Some(list) => threads = list.clone(),
                 None => {
@@ -130,7 +141,7 @@ fn bench(args: &[String]) -> ExitCode {
     let mut cmd = std::process::Command::new(env!("CARGO"));
     cmd.current_dir(&root)
         .args(["bench", "-p", "geotopo-bench", "--bench", "pipeline_stages"])
-        .args(["--", "--threads", &threads])
+        .args(["--", "--scale", &scale, "--threads", &threads])
         .arg("--json")
         .arg(&json);
     if do_check {

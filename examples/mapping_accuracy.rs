@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pipeline builds them.
     let mut orgs = OrgDb::new();
     for rec in &gt.as_records {
-        orgs.insert(rec.asn, gt.as_names[&rec.asn].clone(), rec.home);
+        orgs.insert(rec.asn, gt.as_name(rec.asn), rec.home);
     }
     // Threshold scales with cell area: this example runs the raster at
     // 30 arcmin (4x the default cell area), so 4x the per-cell cutoff.

@@ -6,7 +6,10 @@
 //!     [--metrics-out PATH] [scale] [seed] [out_dir]
 //! ```
 //!
-//! `scale` ∈ {tiny, small, default, paper}; default `small`.
+//! `scale` ∈ {tiny, small, default, large, paper}; default `small`.
+//! `large` (~100k routers) is the memory-stress scale the bench gate
+//! runs; `paper` (~250k) matches the population the paper's datasets
+//! sampled from and takes minutes.
 //! When `out_dir` is given, each experiment's raw data is written as
 //! JSON (one file per table/figure) alongside a combined `results.md`.
 //! `--validate` runs the cross-layer invariant validators between
@@ -77,13 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "tiny" => PipelineConfig::tiny(seed),
         "small" => PipelineConfig::small(seed),
         "default" => PipelineConfig::default_scale(seed),
-        "paper" => {
-            // Paper-magnitude run: ~90k routers. Expect minutes.
-            let mut c = PipelineConfig::default_scale(seed);
-            c.world = geotopo::topology::generate::GroundTruthConfig::at_scale(90_000, seed);
-            c
+        "large" => PipelineConfig::large(seed),
+        "paper" => PipelineConfig::paper(seed),
+        other => {
+            return Err(format!("unknown scale {other:?} (tiny|small|default|large|paper)").into())
         }
-        other => return Err(format!("unknown scale {other:?} (tiny|small|default|paper)").into()),
     };
     config.faults = FaultConfig::profile(&fault_profile, seed ^ 0xFA).ok_or_else(|| {
         format!("unknown fault profile {fault_profile:?} (none|light|moderate|heavy)")

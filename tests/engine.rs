@@ -145,8 +145,8 @@ fn disk_cache_survives_store_loss() {
         .filter(|r| r.cache == CacheStatus::HitDisk)
         .count();
     assert_eq!(
-        disk_hits, 6,
-        "both collectors and all four map stages should reload from disk"
+        disk_hits, 7,
+        "ground truth, both collectors, and all four map stages should reload from disk"
     );
     for (a, b) in first.datasets.iter().zip(&second.datasets) {
         assert_eq!(
