@@ -12,7 +12,7 @@
 
 use crate::pipeline::PipelineConfig;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// A stable 64-bit identity for a config (or a stage of a config).
@@ -28,8 +28,10 @@ impl std::fmt::Display for Fingerprint {
     }
 }
 
-/// FNV-1a over `bytes`, continuing from `state`.
-fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+/// FNV-1a over `bytes`, continuing from `state`. Shared with the cache
+/// envelope (`io.rs` content checksums) and the chaos injector's per-op
+/// draws so the whole crate agrees on one stable hash.
+pub(crate) fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
     let mut h = state;
     for &b in bytes {
         h ^= u64::from(b);

@@ -28,6 +28,14 @@
 //!   degraded-but-acceptable outcomes (monitor quorum runs) instead of
 //!   aborting, and — with a disk-backed store — a killed run resumes
 //!   from the last fingerprint-valid artifacts.
+//! - **Durability.** Disk cache entries are checksummed, versioned
+//!   envelopes published atomically through the [`crate::vfs::Vfs`]
+//!   seam; damaged entries are quarantined and regenerated
+//!   ([`CacheLoad::Corrupt`]), failed spills degrade the store to
+//!   in-memory residency ([`SaveOutcome::Failed`]), and the chaos suite
+//!   (`tests/chaos.rs`) sweeps injected disk faults across every
+//!   filesystem op to hold the contract: byte-identical completion or a
+//!   typed error, never silent divergence.
 
 mod fingerprint;
 mod scheduler;
@@ -48,16 +56,91 @@ pub use stages::{
 pub use store::ArtifactStore;
 pub use supervise::{RetryPolicy, StageError};
 
+pub(crate) use fingerprint::{fnv1a, FNV_OFFSET};
 pub(crate) use stages::TABLE_I_ORDER;
 
 use crate::pipeline::PipelineConfig;
 use crate::telemetry::Telemetry;
+use crate::vfs::Vfs;
 use std::any::Any;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A type-erased, cheaply shareable stage output.
 pub type Artifact = Arc<dyn Any + Send + Sync>;
+
+/// A handle to the store's on-disk cache directory, carrying the
+/// [`Vfs`] seam every read, write and rename must go through — stages
+/// never touch `std::fs` directly (GT-LINT-012), so the chaos suite can
+/// interpose deterministic disk faults on every cache operation.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskCache<'a> {
+    /// The cache directory (entries, `.tmp` staging files, and the
+    /// `quarantine/` subdirectory all live here).
+    pub dir: &'a Path,
+    /// The filesystem implementation: [`crate::vfs::RealVfs`] in
+    /// production, a [`crate::vfs::ChaosVfs`] under fault injection.
+    pub vfs: &'a dyn Vfs,
+}
+
+impl DiskCache<'_> {
+    /// The canonical entry path for one (fingerprint, stage) pair.
+    pub fn entry_path(&self, fp: Fingerprint, stage: &str) -> PathBuf {
+        crate::io::dataset_cache_path(self.dir, &fp.to_string(), stage)
+    }
+}
+
+/// Outcome of a disk-cache probe — three-valued so the scheduler can
+/// tell a cold cache from a damaged one: `Corrupt` entries are
+/// quarantined and counted before the stage recomputes, `Miss` just
+/// recomputes.
+#[derive(Debug)]
+pub enum CacheLoad {
+    /// The entry decoded, passed every integrity check, and is usable.
+    Hit(Artifact),
+    /// No entry on disk (or the stage has no persistent form).
+    Miss,
+    /// The entry at `path` exists but is unusable — torn, bit-flipped,
+    /// misaddressed, schema-drifted, or unreadable.
+    Corrupt {
+        /// The damaged file, for quarantining.
+        path: PathBuf,
+        /// Human-readable first failed integrity layer.
+        reason: String,
+    },
+}
+
+/// Outcome of persisting an artifact to the disk cache.
+#[derive(Debug)]
+pub enum SaveOutcome {
+    /// A durable disk copy now exists (the entry is safe to evict from
+    /// memory under a budget).
+    Saved,
+    /// The stage has no persistent form; nothing was attempted.
+    Unsupported,
+    /// The write failed; the scheduler disables spill for the rest of
+    /// the run and keeps the artifact resident in memory.
+    Failed {
+        /// Degradation key (`enospc` | `io` | `serde`), used in the
+        /// `engine.store.spill_disabled.<reason>` counter.
+        reason: &'static str,
+        /// The underlying error, for the stage report.
+        detail: String,
+    },
+}
+
+impl SaveOutcome {
+    /// Classifies an envelope-save result.
+    pub fn from_save(res: Result<(), crate::io::IoError>) -> Self {
+        match res {
+            Ok(()) => SaveOutcome::Saved,
+            Err(e) => SaveOutcome::Failed {
+                reason: crate::io::degrade_reason(&e),
+                detail: e.to_string(),
+            },
+        }
+    }
+}
 
 /// Wraps a concrete stage output as an [`Artifact`].
 pub fn artifact<T: Any + Send + Sync>(value: T) -> Artifact {
@@ -178,18 +261,27 @@ pub trait Stage: Send + Sync {
         0
     }
 
-    /// Attempts to reload this stage's artifact from an on-disk cache
-    /// directory. Stages without a persistent form return `None`.
-    fn load_cached(&self, _dir: &Path, _fp: Fingerprint) -> Option<Artifact> {
-        None
+    /// Attempts to reload this stage's artifact from the on-disk cache.
+    /// Stages without a persistent form return [`CacheLoad::Miss`]; an
+    /// entry that exists but fails any integrity check must be reported
+    /// as [`CacheLoad::Corrupt`] (never folded into a miss) so the
+    /// scheduler quarantines and counts it before regenerating.
+    fn load_cached(&self, _cache: &DiskCache<'_>, _fp: Fingerprint) -> CacheLoad {
+        CacheLoad::Miss
     }
 
-    /// Persists the artifact to the on-disk cache directory
-    /// (best-effort; failures are ignored, the artifact stays in
-    /// memory). Returns whether a disk copy now exists — `true` makes
-    /// the in-memory entry safe to evict under a store memory budget.
-    fn save_cached(&self, _artifact: &Artifact, _dir: &Path, _fp: Fingerprint) -> bool {
-        false
+    /// Persists the artifact to the on-disk cache through the envelope
+    /// writer. [`SaveOutcome::Saved`] makes the in-memory entry safe to
+    /// evict under a store memory budget; [`SaveOutcome::Failed`] makes
+    /// the scheduler disable spill for the rest of the run (graceful
+    /// degradation to in-memory residency).
+    fn save_cached(
+        &self,
+        _artifact: &Artifact,
+        _cache: &DiskCache<'_>,
+        _fp: Fingerprint,
+    ) -> SaveOutcome {
+        SaveOutcome::Unsupported
     }
 }
 

@@ -11,7 +11,7 @@
 use super::fingerprint::{config_fingerprint, stage_fingerprint, Fingerprint};
 use super::store::ArtifactStore;
 use super::supervise::{self, StageError};
-use super::{Artifact, Stage, StageCtx};
+use super::{Artifact, CacheLoad, DiskCache, SaveOutcome, Stage, StageCtx};
 use crate::pipeline::{PipelineConfig, PipelineError};
 use crate::telemetry::{Stopwatch, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -72,9 +72,17 @@ pub struct StageReport {
     pub anomalies: Option<String>,
     /// Process peak RSS (bytes) sampled right after the stage finished —
     /// a monotone high-water mark, so the first stage where it jumps is
-    /// the stage that caused the growth. 0 where unsupported.
+    /// the stage that caused the growth. 0 where unsupported (the
+    /// `engine.rss.unavailable` counter records that the 0 is a
+    /// degradation, not a measurement).
     #[serde(default)]
     pub peak_rss_bytes: u64,
+    /// Durability incident survived on the way to this artifact: a
+    /// corrupt cache entry that was quarantined and regenerated, or a
+    /// failed spill that latched the store to in-memory residency.
+    /// `None` on a clean cache cascade.
+    #[serde(default)]
+    pub cache_note: Option<String>,
 }
 
 /// Interprets one `GEOTOPO_THREADS` value: `Ok(n)` for a positive
@@ -288,13 +296,26 @@ pub fn execute(
     Ok(collect(st.results, st.reports))
 }
 
-/// Records the store's end-of-run footprint gauges. Written once after
-/// every stage has completed, so the values depend only on what was
-/// stored (and evicted), never on worker interleaving.
+/// Records the store's end-of-run footprint and durability gauges.
+/// Written once after every stage has completed, so the values depend
+/// only on what was stored (and evicted, quarantined, degraded), never
+/// on worker interleaving.
 fn record_store_gauges(store: Option<&ArtifactStore>, telemetry: &Telemetry) {
     if let Some(store) = store {
         telemetry.gauge("engine.store.resident_bytes", store.resident_bytes() as f64);
         telemetry.gauge("engine.store.spill_evictions", store.evictions() as f64);
+        telemetry.gauge("engine.store.tmp_swept", store.tmp_swept() as f64);
+        // 1.0 = the store latched off spilling mid-run (the per-reason
+        // transition counter `engine.store.spill_disabled.<reason>`
+        // names why).
+        telemetry.gauge(
+            "engine.store.spill_disabled",
+            if store.spill_disabled_reason().is_some() {
+                1.0
+            } else {
+                0.0
+            },
+        );
     }
 }
 
@@ -430,13 +451,25 @@ fn run_stage_once(
         degraded: None,
         anomalies: None,
         peak_rss_bytes: 0,
+        cache_note: None,
     };
     let finish = |artifact: Artifact, mut r: StageReport| {
         r.degraded = stage.health(&artifact);
         r.anomalies = stage.anomalies(&artifact);
-        r.peak_rss_bytes = crate::telemetry::peak_rss_bytes();
+        r.peak_rss_bytes = match crate::telemetry::peak_rss_bytes() {
+            Some(bytes) => bytes,
+            None => {
+                // Degrade loudly: a 0 in the report plus a counter, not
+                // a silently wrong measurement.
+                telemetry.count("engine.rss.unavailable", 1);
+                0
+            }
+        };
         (artifact, r)
     };
+    // A durability incident survived on this attempt (quarantined entry,
+    // disabled spill) — attached to the recompute report.
+    let mut cache_note: Option<String> = None;
     let sw = Stopwatch::start();
     if let Some(store) = store {
         if let Some(artifact) = store.get(fp) {
@@ -447,15 +480,41 @@ fn run_stage_once(
             return Ok(finish(artifact, r));
         }
         if let Some(dir) = store.disk_dir() {
-            if let Some(artifact) = stage.load_cached(dir, fp) {
-                // Reloaded entries are disk-backed by definition, so
-                // they stay evictable under a memory budget.
-                store.put_sized(fp, artifact.clone(), stage.artifact_bytes(&artifact), true);
-                store.record(CacheStatus::HitDisk);
-                telemetry.count("engine.cache.hit_disk", 1);
-                let items = stage.artifact_items(&artifact);
-                let r = report(sw.elapsed_ms(), 0.0, items, CacheStatus::HitDisk);
-                return Ok(finish(artifact, r));
+            let cache = DiskCache {
+                dir,
+                vfs: store.vfs(),
+            };
+            match stage.load_cached(&cache, fp) {
+                CacheLoad::Hit(artifact) => {
+                    // Reloaded entries are disk-backed by definition, so
+                    // they stay evictable under a memory budget.
+                    store.put_sized(fp, artifact.clone(), stage.artifact_bytes(&artifact), true);
+                    store.record(CacheStatus::HitDisk);
+                    telemetry.count("engine.cache.hit_disk", 1);
+                    let items = stage.artifact_items(&artifact);
+                    let r = report(sw.elapsed_ms(), 0.0, items, CacheStatus::HitDisk);
+                    return Ok(finish(artifact, r));
+                }
+                CacheLoad::Miss => {}
+                CacheLoad::Corrupt { path, reason } => {
+                    // Never resume from garbage: quarantine the damaged
+                    // entry, count it, and fall through to a clean
+                    // recompute (which re-publishes a fresh entry).
+                    store.note_corrupt();
+                    telemetry.count("engine.store.corrupt_detected", 1);
+                    let moved = store.quarantine(&path);
+                    if moved.is_some() {
+                        telemetry.count("engine.store.quarantined", 1);
+                    }
+                    cache_note = Some(format!(
+                        "corrupt cache entry {}: {reason}",
+                        if moved.is_some() {
+                            "quarantined and regenerated"
+                        } else {
+                            "regenerated in place"
+                        }
+                    ));
+                }
             }
         }
     }
@@ -482,10 +541,30 @@ fn run_stage_once(
     if let Some(store) = store {
         store.record(CacheStatus::Miss);
         // Spill before insert: an entry is evictable only once its disk
-        // copy is confirmed written.
-        let spillable = store
-            .disk_dir()
-            .is_some_and(|dir| stage.save_cached(&artifact, dir, fp));
+        // copy is confirmed durably published (atomic envelope write).
+        let mut spillable = false;
+        if let Some(dir) = store.spill_target() {
+            let cache = DiskCache {
+                dir,
+                vfs: store.vfs(),
+            };
+            match stage.save_cached(&artifact, &cache, fp) {
+                SaveOutcome::Saved => spillable = true,
+                SaveOutcome::Unsupported => {}
+                SaveOutcome::Failed { reason, detail } => {
+                    // Graceful degradation: latch spill off for the rest
+                    // of the run and keep everything resident — the
+                    // pipeline completes byte-identically, just without
+                    // a disk cache.
+                    if store.disable_spill(reason) {
+                        telemetry.count(&format!("engine.store.spill_disabled.{reason}"), 1);
+                    }
+                    cache_note = Some(format!(
+                        "spill disabled ({reason}), artifacts stay in memory: {detail}"
+                    ));
+                }
+            }
+        }
         store.put_sized(
             fp,
             artifact.clone(),
@@ -496,7 +575,8 @@ fn run_stage_once(
     telemetry.count("engine.cache.miss", 1);
     telemetry.span_record(&format!("stage.{name}"), wall_ms);
     let items = stage.artifact_items(&artifact);
-    let r = report(wall_ms, validate_ms, items, CacheStatus::Miss);
+    let mut r = report(wall_ms, validate_ms, items, CacheStatus::Miss);
+    r.cache_note = cache_note;
     Ok(finish(artifact, r))
 }
 

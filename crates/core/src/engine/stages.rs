@@ -17,8 +17,8 @@
 
 use super::scheduler::{parallel_map, resolve_threads};
 use super::supervise::{check_stage, StageError};
-use super::{artifact, Artifact, Fingerprint, Stage, StageCtx};
-use crate::io;
+use super::{artifact, Artifact, CacheLoad, DiskCache, Fingerprint, SaveOutcome, Stage, StageCtx};
+use crate::io::{self, CacheRead};
 use crate::pipeline::{
     generation_regions, process_with_telemetry, Collector, MapperKind, PipelineConfig,
     PipelineStage, ProcessTelemetry, ProcessedDataset,
@@ -33,7 +33,6 @@ use geotopo_measure::{
 };
 use geotopo_population::PopulationGrid;
 use geotopo_topology::generate::GroundTruth;
-use std::path::Path;
 
 /// Name of the world-generation stage (artifact: [`GroundTruth`]).
 pub const GROUND_TRUTH: &str = "ground-truth";
@@ -84,6 +83,47 @@ fn downcast<'a, T: std::any::Any>(
         stage,
         detail: format!("{what} artifact has an unexpected type"),
     })
+}
+
+/// Probes one stage's enveloped cache entry, mapping the io-layer
+/// outcome onto the engine's three-valued [`CacheLoad`]. `check` runs
+/// stage-specific guards on a decoded value (fingerprint-collision and
+/// tamper defenses); a failed guard is a *corrupt* entry — quarantined
+/// and regenerated — never a silent cold miss.
+fn probe_cached<T, F>(cache: &DiskCache<'_>, name: &str, fp: Fingerprint, check: F) -> CacheLoad
+where
+    T: serde::Deserialize + std::any::Any + Send + Sync,
+    F: FnOnce(&T) -> Result<(), String>,
+{
+    let path = cache.entry_path(fp, name);
+    match io::load_json::<T>(cache.vfs, &path, name, fp) {
+        CacheRead::Hit(value) => match check(&value) {
+            Ok(()) => CacheLoad::Hit(artifact(value)),
+            Err(reason) => CacheLoad::Corrupt { path, reason },
+        },
+        CacheRead::Miss => CacheLoad::Miss,
+        CacheRead::Corrupt(reason) => CacheLoad::Corrupt { path, reason },
+    }
+}
+
+/// Persists one stage's artifact as an enveloped cache entry,
+/// classifying the outcome for the scheduler's degradation policy.
+fn persist_cached<T: serde::Serialize + 'static>(
+    a: &Artifact,
+    cache: &DiskCache<'_>,
+    name: &str,
+    fp: Fingerprint,
+) -> SaveOutcome {
+    match a.downcast_ref::<T>() {
+        Some(value) => SaveOutcome::from_save(io::save_json(
+            cache.vfs,
+            value,
+            &cache.entry_path(fp, name),
+            name,
+            fp,
+        )),
+        None => SaveOutcome::Unsupported,
+    }
 }
 
 /// The four (tool, collector) pairs in Table I order.
@@ -190,26 +230,24 @@ impl Stage for GroundTruthStage {
             .map_or(0, GroundTruth::mem_bytes)
     }
 
-    fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
-        let gt: GroundTruth =
-            io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
+    fn load_cached(&self, cache: &DiskCache<'_>, fp: Fingerprint) -> CacheLoad {
         // Guard against fingerprint collisions or a tampered file: the
         // embedded config must describe the same world size.
-        if gt.topology.num_routers() != gt.config.total_routers {
-            return None;
-        }
-        Some(artifact(gt))
+        probe_cached(cache, &self.name(), fp, |gt: &GroundTruth| {
+            if gt.topology.num_routers() == gt.config.total_routers {
+                Ok(())
+            } else {
+                Err(format!(
+                    "embedded config expects {} routers, topology holds {}",
+                    gt.config.total_routers,
+                    gt.topology.num_routers()
+                ))
+            }
+        })
     }
 
-    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
-        // Best-effort: a read-only cache dir degrades to memory-only.
-        a.downcast_ref::<GroundTruth>().is_some_and(|gt| {
-            io::save_json(
-                gt,
-                &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
-            )
-            .is_ok()
-        })
+    fn save_cached(&self, a: &Artifact, cache: &DiskCache<'_>, fp: Fingerprint) -> SaveOutcome {
+        persist_cached::<GroundTruth>(a, cache, &self.name(), fp)
     }
 }
 
@@ -484,21 +522,12 @@ impl Stage for CollectSkitterStage {
             .map_or(0, |o| o.dataset.mem_bytes())
     }
 
-    fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
-        let out: SkitterOutput =
-            io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
-        Some(artifact(out))
+    fn load_cached(&self, cache: &DiskCache<'_>, fp: Fingerprint) -> CacheLoad {
+        probe_cached(cache, &self.name(), fp, |_: &SkitterOutput| Ok(()))
     }
 
-    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
-        // Best-effort: a read-only cache dir degrades to memory-only.
-        a.downcast_ref::<SkitterOutput>().is_some_and(|out| {
-            io::save_json(
-                out,
-                &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
-            )
-            .is_ok()
-        })
+    fn save_cached(&self, a: &Artifact, cache: &DiskCache<'_>, fp: Fingerprint) -> SaveOutcome {
+        persist_cached::<SkitterOutput>(a, cache, &self.name(), fp)
     }
 }
 
@@ -569,21 +598,12 @@ impl Stage for CollectMercatorStage {
             .map_or(0, |o| o.dataset.mem_bytes())
     }
 
-    fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
-        let out: MercatorOutput =
-            io::load_json(&io::dataset_cache_path(dir, &fp.to_string(), &self.name())).ok()?;
-        Some(artifact(out))
+    fn load_cached(&self, cache: &DiskCache<'_>, fp: Fingerprint) -> CacheLoad {
+        probe_cached(cache, &self.name(), fp, |_: &MercatorOutput| Ok(()))
     }
 
-    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
-        // Best-effort: a read-only cache dir degrades to memory-only.
-        a.downcast_ref::<MercatorOutput>().is_some_and(|out| {
-            io::save_json(
-                out,
-                &io::dataset_cache_path(dir, &fp.to_string(), &self.name()),
-            )
-            .is_ok()
-        })
+    fn save_cached(&self, a: &Artifact, cache: &DiskCache<'_>, fp: Fingerprint) -> SaveOutcome {
+        persist_cached::<MercatorOutput>(a, cache, &self.name(), fp)
     }
 }
 
@@ -652,10 +672,6 @@ impl MapStage {
             Collector::Skitter => COLLECT_SKITTER,
             Collector::Mercator => COLLECT_MERCATOR,
         }
-    }
-
-    fn cache_file(&self, dir: &Path, fp: Fingerprint) -> std::path::PathBuf {
-        io::dataset_cache_path(dir, &fp.to_string(), &self.name())
     }
 }
 
@@ -730,20 +746,41 @@ impl Stage for MapStage {
             .map_or(0, |d| d.dataset.mem_bytes())
     }
 
-    fn load_cached(&self, dir: &Path, fp: Fingerprint) -> Option<Artifact> {
-        let ds = io::load_dataset(&self.cache_file(dir, fp)).ok()?;
-        // A fingerprint collision (or a tampered file) could hand back
-        // the wrong view; the provenance labels are cheap to check.
-        if ds.mapper != self.mapper || ds.collector != self.collector {
-            return None;
+    fn load_cached(&self, cache: &DiskCache<'_>, fp: Fingerprint) -> CacheLoad {
+        let name = self.name();
+        let path = cache.entry_path(fp, &name);
+        // load_dataset also re-checks the dataset's structural
+        // invariants; a violation surfaces as Corrupt, not a miss.
+        match io::load_dataset(cache.vfs, &path, &name, fp) {
+            CacheRead::Hit(ds) => {
+                // A fingerprint collision (or a tampered file) could
+                // hand back the wrong view; the provenance labels are
+                // cheap to check.
+                if ds.mapper != self.mapper || ds.collector != self.collector {
+                    return CacheLoad::Corrupt {
+                        path,
+                        reason: "provenance labels disagree with the requesting stage".into(),
+                    };
+                }
+                CacheLoad::Hit(artifact(ds))
+            }
+            CacheRead::Miss => CacheLoad::Miss,
+            CacheRead::Corrupt(reason) => CacheLoad::Corrupt { path, reason },
         }
-        Some(artifact(ds))
     }
 
-    fn save_cached(&self, a: &Artifact, dir: &Path, fp: Fingerprint) -> bool {
-        // Best-effort: a read-only cache dir degrades to memory-only.
-        a.downcast_ref::<ProcessedDataset>()
-            .is_some_and(|ds| io::save_dataset(ds, &self.cache_file(dir, fp)).is_ok())
+    fn save_cached(&self, a: &Artifact, cache: &DiskCache<'_>, fp: Fingerprint) -> SaveOutcome {
+        let name = self.name();
+        match a.downcast_ref::<ProcessedDataset>() {
+            Some(ds) => SaveOutcome::from_save(io::save_dataset(
+                cache.vfs,
+                ds,
+                &cache.entry_path(fp, &name),
+                &name,
+                fp,
+            )),
+            None => SaveOutcome::Unsupported,
+        }
     }
 }
 

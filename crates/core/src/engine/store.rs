@@ -18,10 +18,11 @@
 use super::fingerprint::Fingerprint;
 use super::scheduler::CacheStatus;
 use super::Artifact;
+use crate::vfs::{RealVfs, Vfs};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One cached artifact plus the accounting the spill policy needs.
 struct Entry {
@@ -38,13 +39,22 @@ struct Entry {
 pub struct ArtifactStore {
     mem: Mutex<HashMap<u64, Entry>>,
     disk: Option<PathBuf>,
+    /// The filesystem seam every disk touch goes through (real in
+    /// production, chaos-injected under test).
+    vfs: Arc<dyn Vfs>,
     /// Resident-bytes ceiling; `None` = unbounded (never evict).
     budget: Option<usize>,
+    /// Once a spill write fails (`ENOSPC`, `EIO`), the reason key; the
+    /// store stops offering a spill target and artifacts stay resident.
+    spill_disabled: Mutex<Option<String>>,
     resident: AtomicUsize,
     hits: AtomicUsize,
     misses: AtomicUsize,
     disk_restores: AtomicUsize,
     evictions: AtomicUsize,
+    corrupt_detected: AtomicUsize,
+    quarantined: AtomicUsize,
+    tmp_swept: AtomicUsize,
 }
 
 impl ArtifactStore {
@@ -53,22 +63,146 @@ impl ArtifactStore {
         ArtifactStore {
             mem: Mutex::new(HashMap::new()),
             disk: None,
+            vfs: Arc::new(RealVfs),
             budget: None,
+            spill_disabled: Mutex::new(None),
             resident: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             disk_restores: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
+            corrupt_detected: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            tmp_swept: AtomicUsize::new(0),
         }
     }
 
     /// An in-memory store that also persists persistable artifacts under
-    /// `dir` (created on demand).
+    /// `dir` (created on demand), on the real filesystem.
     pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
-        ArtifactStore {
+        Self::with_disk_vfs(dir, Arc::new(RealVfs))
+    }
+
+    /// A disk-backed store routing every filesystem call through `vfs`
+    /// — the constructor the chaos suite uses to interpose deterministic
+    /// disk faults. Startup sweeps staging files (`*.tmp`) orphaned by a
+    /// kill between temp-write and rename: they were never published, so
+    /// deleting them is always safe and keeps the cache directory free
+    /// of unreferenced partial writes.
+    // analyze: allow(dead-pub): the chaos suite (tests/chaos.rs) and the
+    // reproduce_paper --chaos flag construct fault-injected stores; tests
+    // and examples are outside the analyzer's source use-graph
+    pub fn with_disk_vfs(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Self {
+        let store = ArtifactStore {
             disk: Some(dir.into()),
+            vfs,
             ..Self::new()
+        };
+        store.sweep_orphan_temps();
+        store
+    }
+
+    /// Removes orphaned `*.tmp` staging files from the cache directory
+    /// (best-effort: an unreadable directory just means nothing to
+    /// sweep). Returns how many were removed.
+    fn sweep_orphan_temps(&self) -> usize {
+        let Some(dir) = self.disk.as_deref() else {
+            return 0;
+        };
+        let Ok(entries) = self.vfs.list_dir(dir) else {
+            return 0;
+        };
+        let mut swept = 0;
+        for path in entries {
+            let is_temp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(crate::io::TEMP_SUFFIX));
+            if is_temp && self.vfs.remove_file(&path).is_ok() {
+                swept += 1;
+            }
         }
+        self.tmp_swept.fetch_add(swept, Ordering::Relaxed);
+        swept
+    }
+
+    /// The filesystem seam disk operations must go through.
+    pub fn vfs(&self) -> &dyn Vfs {
+        self.vfs.as_ref()
+    }
+
+    /// The spill directory if spilling is still healthy: `None` when no
+    /// disk is configured *or* a previous spill write failed (the
+    /// degradation latch). Reads are unaffected — existing entries can
+    /// still be probed.
+    pub fn spill_target(&self) -> Option<&Path> {
+        if self
+            .spill_disabled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+        {
+            return None;
+        }
+        self.disk.as_deref()
+    }
+
+    /// Latches spill off for the rest of the run (`reason` is a short
+    /// key: `enospc` | `io` | `serde`). Returns whether this call newly
+    /// disabled it, so the scheduler counts the transition exactly once.
+    pub fn disable_spill(&self, reason: &str) -> bool {
+        let mut guard = self
+            .spill_disabled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.is_some() {
+            return false;
+        }
+        *guard = Some(reason.to_string());
+        true
+    }
+
+    /// The reason spill was disabled this run, if it was.
+    pub fn spill_disabled_reason(&self) -> Option<String> {
+        self.spill_disabled
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Counts one detected-corrupt cache entry.
+    pub fn note_corrupt(&self) {
+        self.corrupt_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Moves a damaged cache entry into `<dir>/quarantine/` (keeping its
+    /// file name) so it can be inspected post-mortem instead of being
+    /// re-read or silently overwritten. Returns the quarantine path on
+    /// success; `None` if the store has no disk or the move failed (the
+    /// recompute-and-overwrite path still heals the entry).
+    pub fn quarantine(&self, path: &Path) -> Option<PathBuf> {
+        let dir = self.disk.as_deref()?;
+        let qdir = dir.join("quarantine");
+        self.vfs.create_dir_all(&qdir).ok()?;
+        let dest = qdir.join(path.file_name()?);
+        self.vfs.rename(path, &dest).ok()?;
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        Some(dest)
+    }
+
+    /// Corrupt cache entries detected so far.
+    pub fn corrupt_detected(&self) -> usize {
+        self.corrupt_detected.load(Ordering::Relaxed)
+    }
+
+    /// Damaged entries successfully moved to `quarantine/` so far.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Orphaned staging files removed by the startup sweep.
+    pub fn tmp_swept(&self) -> usize {
+        self.tmp_swept.load(Ordering::Relaxed)
     }
 
     /// Caps resident artifact bytes: once known artifact sizes exceed
@@ -220,10 +354,13 @@ impl std::fmt::Debug for ArtifactStore {
         f.debug_struct("ArtifactStore")
             .field("artifacts", &self.len())
             .field("disk", &self.disk)
+            .field("spill_disabled", &self.spill_disabled_reason())
             .field("resident_bytes", &self.resident_bytes())
             .field("evictions", &self.evictions())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("corrupt_detected", &self.corrupt_detected())
+            .field("quarantined", &self.quarantined())
             .finish()
     }
 }
@@ -291,6 +428,57 @@ mod tests {
         assert!(store.get(Fingerprint(1)).is_some(), "no disk copy, kept");
         assert!(store.get(Fingerprint(2)).is_none());
         assert_eq!(store.resident_bytes(), 100);
+    }
+
+    #[test]
+    fn disable_spill_latches_once_and_hides_the_target() {
+        let store = ArtifactStore::with_disk("/tmp/geotopo_store_latch");
+        assert!(store.spill_target().is_some());
+        assert!(store.disable_spill("enospc"), "first disable is new");
+        assert!(!store.disable_spill("io"), "latch keeps the first reason");
+        assert_eq!(store.spill_disabled_reason().as_deref(), Some("enospc"));
+        assert!(store.spill_target().is_none(), "no spill while disabled");
+        let _ = std::fs::remove_dir_all("/tmp/geotopo_store_latch");
+    }
+
+    #[test]
+    fn startup_sweeps_orphan_temp_files_only() {
+        let dir = std::env::temp_dir().join("geotopo_store_sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        RealVfs.write(&dir.join("entry.json"), b"keep").unwrap();
+        RealVfs
+            .write(&dir.join("entry.json.tmp"), b"orphan")
+            .unwrap();
+        RealVfs
+            .write(&dir.join("other.json.tmp"), b"orphan2")
+            .unwrap();
+        let store = ArtifactStore::with_disk(&dir);
+        assert_eq!(store.tmp_swept(), 2);
+        assert!(dir.join("entry.json").exists(), "published entries stay");
+        assert!(!dir.join("entry.json.tmp").exists());
+        assert!(!dir.join("other.json.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_the_damaged_file() {
+        let dir = std::env::temp_dir().join("geotopo_store_quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("broken.json");
+        RealVfs.write(&bad, b"garbage").unwrap();
+        let store = ArtifactStore::with_disk(&dir);
+        store.note_corrupt();
+        let dest = store.quarantine(&bad).expect("quarantine succeeds");
+        assert!(!bad.exists(), "original gone");
+        assert!(dest.exists(), "moved under quarantine/");
+        assert!(dest.parent().unwrap().ends_with("quarantine"));
+        assert_eq!(store.corrupt_detected(), 1);
+        assert_eq!(store.quarantined(), 1);
+        // A second quarantine of a now-missing file fails cleanly.
+        assert!(store.quarantine(&bad).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

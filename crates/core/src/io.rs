@@ -1,11 +1,38 @@
-//! Dataset persistence.
+//! Durable artifact persistence: the versioned cache envelope.
 //!
 //! Processed datasets (the geolocated, AS-labelled graphs of Table I)
-//! serialize to JSON, so an expensive pipeline run can be archived and
-//! re-analysed without regenerating the world — the synthetic analogue
-//! of keeping the paper's "snapshots".
+//! and the other persistable stage artifacts serialize to JSON inside a
+//! checksummed envelope, so an expensive pipeline run can be archived
+//! and resumed without regenerating the world — the synthetic analogue
+//! of keeping the paper's "snapshots" — **and** so a kill or a failing
+//! disk can never poison a resume: a torn, bit-flipped or misaddressed
+//! entry is *detected*, reported as [`CacheRead::Corrupt`], quarantined
+//! by the store, and transparently regenerated.
+//!
+//! ## On-disk format (schema 1)
+//!
+//! ```text
+//! GTENV1\n
+//! {"schema":1,"stage":"...","fingerprint":"<16 hex>",
+//!  "payload_len":N,"checksum":"<16 hex>"}\n
+//! <N payload bytes (pretty JSON of the artifact)>
+//! ```
+//!
+//! The checksum is FNV-1a over the payload (the same hash the config
+//! fingerprints use). Entries are published atomically: the envelope is
+//! written to `<final>.tmp`, fsync'd ([`Vfs::write`] flushes), then
+//! renamed over the final path — a crash at any instant leaves either
+//! the complete old entry, the complete new entry, or an orphaned
+//! `.tmp` the store sweeps on startup. Pre-envelope caches (raw JSON)
+//! fail the magic check and heal the same way: quarantine + regenerate.
+//!
+//! Every filesystem touch goes through the [`Vfs`] seam, so the chaos
+//! suite can exercise each failure mode deterministically.
 
+use crate::engine::Fingerprint;
 use crate::pipeline::ProcessedDataset;
+use crate::vfs::Vfs;
+use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Errors from dataset persistence.
@@ -44,46 +71,240 @@ impl From<serde_json::Error> for IoError {
     }
 }
 
-/// The on-disk location of a stage's cached dataset artifact: one file
-/// per (config fingerprint, stage) pair, so distinct configurations
-/// never collide.
+/// Classifies a save failure into the degradation reason key the
+/// scheduler records when it disables spill for the rest of the run
+/// (counter `engine.store.spill_disabled.<reason>`).
+pub fn degrade_reason(e: &IoError) -> &'static str {
+    match e {
+        IoError::Fs(e) if e.kind() == std::io::ErrorKind::StorageFull => "enospc",
+        IoError::Fs(_) => "io",
+        IoError::Serde(_) | IoError::Invalid(_) => "serde",
+    }
+}
+
+/// The outcome of probing an on-disk cache entry — three-valued so a
+/// corrupt entry is never mistaken for a cold miss: the engine
+/// quarantines `Corrupt` entries and counts them before regenerating,
+/// while a `Miss` regenerates silently.
+#[derive(Debug)]
+pub enum CacheRead<T> {
+    /// The entry exists, passed every integrity check, and parsed.
+    Hit(T),
+    /// No entry on disk (cold cache).
+    Miss,
+    /// The entry exists but is unusable — torn, bit-flipped, written by
+    /// an older schema, addressed to a different stage/fingerprint, or
+    /// unreadable (`EIO`). The reason is human-readable.
+    Corrupt(String),
+}
+
+/// The envelope's schema version. Bumping it invalidates (quarantines +
+/// regenerates) every existing cache entry exactly once.
+// analyze: allow(dead-pub): durability-contract version, read by the chaos suite (outside the source use-graph)
+pub const ENVELOPE_SCHEMA: u32 = 1;
+
+const MAGIC_LINE: &[u8] = b"GTENV1\n";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct EnvelopeHeader {
+    schema: u32,
+    stage: String,
+    fingerprint: String,
+    payload_len: u64,
+    checksum: String,
+}
+
+/// FNV-1a over the payload, rendered the same 16-hex way fingerprints
+/// are.
+fn content_checksum(payload: &[u8]) -> String {
+    format!(
+        "{:016x}",
+        crate::engine::fnv1a(crate::engine::FNV_OFFSET, payload)
+    )
+}
+
+/// The on-disk location of a stage's cached artifact: one file per
+/// (config fingerprint, stage) pair, so distinct configurations never
+/// collide.
 pub fn dataset_cache_path(dir: &Path, fingerprint: &str, stage: &str) -> PathBuf {
     dir.join(format!("{fingerprint}-{stage}.json"))
 }
 
-/// Saves any serializable artifact as pretty JSON (used by the engine to
-/// spill collector outputs next to the processed datasets).
+/// The temp-file path an entry is staged to before the atomic rename.
+/// Deterministic (no PID/timestamp) so an orphan left by a kill is
+/// found and swept by name on the next startup.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(TEMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Suffix marking an unpublished staging file ([`temp_path`]); the
+/// store's startup sweep removes files carrying it.
+pub const TEMP_SUFFIX: &str = ".tmp";
+
+/// Atomically publishes `payload` as an envelope at `path`: write the
+/// complete envelope to [`temp_path`], flush it to stable storage, then
+/// rename over the final path. A failed write cleans up its temp file.
 ///
 /// # Errors
 ///
-/// Propagates filesystem and serialization failures.
-pub fn save_json<T: serde::Serialize>(value: &T, path: &Path) -> Result<(), IoError> {
+/// Propagates filesystem and header-serialization failures; on error no
+/// partial entry is visible at `path` (the old entry, if any, is
+/// untouched).
+pub fn save_envelope(
+    vfs: &dyn Vfs,
+    path: &Path,
+    stage: &str,
+    fp: Fingerprint,
+    payload: &[u8],
+) -> Result<(), IoError> {
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+        vfs.create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(value)?;
-    std::fs::write(path, json)?;
+    let header = EnvelopeHeader {
+        schema: ENVELOPE_SCHEMA,
+        stage: stage.to_string(),
+        fingerprint: fp.to_string(),
+        payload_len: payload.len() as u64,
+        checksum: content_checksum(payload),
+    };
+    let header_json = serde_json::to_string(&header)?;
+    let mut bytes = Vec::with_capacity(MAGIC_LINE.len() + header_json.len() + 1 + payload.len());
+    bytes.extend_from_slice(MAGIC_LINE);
+    bytes.extend_from_slice(header_json.as_bytes());
+    bytes.push(b'\n');
+    bytes.extend_from_slice(payload);
+    let tmp = temp_path(path);
+    if let Err(e) = vfs.write(&tmp, &bytes) {
+        // Best-effort cleanup; an ENOSPC write may still have left a
+        // partial temp file, and the startup sweep catches what this
+        // misses.
+        let _ = vfs.remove_file(&tmp);
+        return Err(IoError::Fs(e));
+    }
+    vfs.rename(&tmp, path)?;
     Ok(())
 }
 
-/// Loads a JSON artifact saved by [`save_json`]. No validation beyond
-/// deserialization — callers with invariants check them after loading.
-///
-/// # Errors
-///
-/// Propagates filesystem and deserialization failures.
-pub fn load_json<T: serde::Deserialize>(path: &Path) -> Result<T, IoError> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&text)?)
+/// Reads and verifies an envelope: magic, header, schema, address
+/// (stage + fingerprint), payload length, checksum — in that order, so
+/// the reason in [`CacheRead::Corrupt`] names the first failed layer.
+/// Only `NotFound` maps to [`CacheRead::Miss`]; a read error (`EIO`) is
+/// a corrupt entry, not a cold cache.
+pub fn load_envelope(
+    vfs: &dyn Vfs,
+    path: &Path,
+    stage: &str,
+    fp: Fingerprint,
+) -> CacheRead<Vec<u8>> {
+    let bytes = match vfs.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheRead::Miss,
+        Err(e) => return CacheRead::Corrupt(format!("read failed: {e}")),
+    };
+    let Some(rest) = bytes.strip_prefix(MAGIC_LINE) else {
+        return CacheRead::Corrupt(
+            "missing GTENV1 magic (torn write or pre-envelope cache)".into(),
+        );
+    };
+    let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+        return CacheRead::Corrupt("truncated before end of envelope header".into());
+    };
+    let Ok(header_text) = std::str::from_utf8(&rest[..nl]) else {
+        return CacheRead::Corrupt("envelope header is not UTF-8".into());
+    };
+    let header: EnvelopeHeader = match serde_json::from_str(header_text) {
+        Ok(h) => h,
+        Err(e) => return CacheRead::Corrupt(format!("unparseable envelope header: {e}")),
+    };
+    if header.schema != ENVELOPE_SCHEMA {
+        return CacheRead::Corrupt(format!(
+            "envelope schema {} (this build reads schema {ENVELOPE_SCHEMA})",
+            header.schema
+        ));
+    }
+    if header.stage != stage || header.fingerprint != fp.to_string() {
+        return CacheRead::Corrupt(format!(
+            "envelope addressed to {}/{}, wanted {stage}/{fp}",
+            header.stage, header.fingerprint
+        ));
+    }
+    let payload = &rest[nl + 1..];
+    if payload.len() as u64 != header.payload_len {
+        return CacheRead::Corrupt(format!(
+            "payload is {} bytes, header declares {} (torn write)",
+            payload.len(),
+            header.payload_len
+        ));
+    }
+    if content_checksum(payload) != header.checksum {
+        return CacheRead::Corrupt("payload checksum mismatch (corrupted content)".into());
+    }
+    CacheRead::Hit(payload.to_vec())
 }
 
-/// Saves a processed dataset as pretty JSON.
+/// Saves any serializable artifact as pretty JSON inside an atomic
+/// envelope (used by the engine to spill stage outputs).
 ///
 /// # Errors
 ///
 /// Propagates filesystem and serialization failures.
-pub fn save_dataset(ds: &ProcessedDataset, path: &Path) -> Result<(), IoError> {
-    save_json(ds, path)
+pub fn save_json<T: Serialize>(
+    vfs: &dyn Vfs,
+    value: &T,
+    path: &Path,
+    stage: &str,
+    fp: Fingerprint,
+) -> Result<(), IoError> {
+    let json = serde_json::to_string_pretty(value)?;
+    save_envelope(vfs, path, stage, fp, json.as_bytes())
+}
+
+/// Loads a JSON artifact saved by [`save_json`], classifying the
+/// outcome. A payload that passed the checksum but fails to deserialize
+/// still reports `Corrupt` (a schema drift, not a cold cache). No
+/// validation beyond deserialization — callers with invariants check
+/// them after loading.
+pub fn load_json<T: serde::Deserialize>(
+    vfs: &dyn Vfs,
+    path: &Path,
+    stage: &str,
+    fp: Fingerprint,
+) -> CacheRead<T> {
+    match load_envelope(vfs, path, stage, fp) {
+        CacheRead::Hit(payload) => {
+            let Ok(text) = std::str::from_utf8(&payload) else {
+                return CacheRead::Corrupt("payload is not UTF-8".into());
+            };
+            match serde_json::from_str(text) {
+                Ok(v) => CacheRead::Hit(v),
+                Err(e) => {
+                    CacheRead::Corrupt(format!("checksummed payload fails to deserialize: {e}"))
+                }
+            }
+        }
+        CacheRead::Miss => CacheRead::Miss,
+        CacheRead::Corrupt(reason) => CacheRead::Corrupt(reason),
+    }
+}
+
+/// Saves a processed dataset as an enveloped pretty-JSON entry.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_dataset(
+    vfs: &dyn Vfs,
+    ds: &ProcessedDataset,
+    path: &Path,
+    stage: &str,
+    fp: Fingerprint,
+) -> Result<(), IoError> {
+    save_json(vfs, ds, path, stage, fp)
 }
 
 /// Loads and validates a processed dataset.
@@ -92,28 +313,35 @@ pub fn save_dataset(ds: &ProcessedDataset, path: &Path) -> Result<(), IoError> {
 /// [`GeoDataset::validate`](crate::pipeline::GeoDataset::validate) (link sanity and
 /// coordinate ranges — deserialization bypasses `GeoPoint::new`, so bad
 /// coordinates are reachable here); the generating regions are not
-/// recorded in the file, so the region check is skipped.
-///
-/// # Errors
-///
-/// Fails on filesystem/serde errors or if the dataset violates an
-/// invariant.
-pub fn load_dataset(path: &Path) -> Result<ProcessedDataset, IoError> {
-    let text = std::fs::read_to_string(path)?;
-    let ds: ProcessedDataset = serde_json::from_str(&text)?;
-    ds.dataset
-        .validate(&[])
-        .map_err(|e| IoError::Invalid(e.to_string()))?;
-    Ok(ds)
+/// recorded in the file, so the region check is skipped. A dataset that
+/// deserializes but violates an invariant reports `Corrupt`.
+pub fn load_dataset(
+    vfs: &dyn Vfs,
+    path: &Path,
+    stage: &str,
+    fp: Fingerprint,
+) -> CacheRead<ProcessedDataset> {
+    match load_json::<ProcessedDataset>(vfs, path, stage, fp) {
+        CacheRead::Hit(ds) => match ds.dataset.validate(&[]) {
+            Ok(()) => CacheRead::Hit(ds),
+            Err(e) => CacheRead::Corrupt(format!("dataset invariant violated: {e}")),
+        },
+        CacheRead::Miss => CacheRead::Miss,
+        CacheRead::Corrupt(reason) => CacheRead::Corrupt(reason),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::{Collector, GeoDataset, GeoNode, MapperKind};
+    use crate::vfs::RealVfs;
     use geotopo_bgp::AsId;
     use geotopo_geo::GeoPoint;
     use geotopo_measure::NodeKind;
+
+    const FP: Fingerprint = Fingerprint(0xBEEF);
+    const STAGE: &str = "map-ixmapper-skitter";
 
     fn sample() -> ProcessedDataset {
         ProcessedDataset {
@@ -139,13 +367,21 @@ mod tests {
         }
     }
 
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn roundtrip() {
-        let dir = std::env::temp_dir().join("geotopo_io_test");
-        let path = dir.join("ds.json");
+        let dir = fresh_dir("geotopo_io_test");
+        let path = dataset_cache_path(&dir, &FP.to_string(), STAGE);
         let ds = sample();
-        save_dataset(&ds, &path).unwrap();
-        let loaded = load_dataset(&path).unwrap();
+        save_dataset(&RealVfs, &ds, &path, STAGE, FP).unwrap();
+        let CacheRead::Hit(loaded) = load_dataset(&RealVfs, &path, STAGE, FP) else {
+            panic!("expected a hit");
+        };
         assert_eq!(loaded.collector, Collector::Skitter);
         assert_eq!(loaded.mapper, MapperKind::IxMapper);
         assert_eq!(loaded.dataset.num_nodes(), 2);
@@ -155,35 +391,144 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_errors() {
-        let err = load_dataset(Path::new("/nonexistent/geotopo.json")).unwrap_err();
-        assert!(matches!(err, IoError::Fs(_)));
+    fn no_temp_file_survives_a_successful_save() {
+        let dir = fresh_dir("geotopo_io_tmp");
+        let path = dir.join("entry.json");
+        save_envelope(&RealVfs, &path, STAGE, FP, b"payload").unwrap();
+        assert!(path.exists());
+        assert!(
+            !temp_path(&path).exists(),
+            "temp staged file must be renamed away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_json_errors() {
-        let dir = std::env::temp_dir().join("geotopo_io_test2");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bad.json");
-        std::fs::write(&path, "{ not json").unwrap();
+    fn missing_file_is_a_cold_miss() {
         assert!(matches!(
-            load_dataset(&path).unwrap_err(),
-            IoError::Serde(_)
+            load_dataset(&RealVfs, Path::new("/nonexistent/geotopo.json"), STAGE, FP),
+            CacheRead::Miss
+        ));
+    }
+
+    #[test]
+    fn pre_envelope_raw_json_is_corrupt_not_miss() {
+        let dir = fresh_dir("geotopo_io_legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        // A PR-7-era cache entry: bare pretty JSON, no envelope.
+        std::fs::write(&path, serde_json::to_string_pretty(&sample()).unwrap()).unwrap();
+        let CacheRead::Corrupt(reason) = load_dataset(&RealVfs, &path, STAGE, FP) else {
+            panic!("raw JSON must be classified corrupt");
+        };
+        assert!(reason.contains("magic"), "{reason}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let dir = fresh_dir("geotopo_io_trunc");
+        let path = dir.join("entry.json");
+        save_envelope(&RealVfs, &path, STAGE, FP, b"0123456789abcdef").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let CacheRead::Corrupt(reason) = load_envelope(&RealVfs, &path, STAGE, FP) else {
+            panic!("truncated entry must be corrupt");
+        };
+        assert!(reason.contains("torn write"), "{reason}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_in_payload_fails_the_checksum() {
+        let dir = fresh_dir("geotopo_io_flip");
+        let path = dir.join("entry.json");
+        save_envelope(&RealVfs, &path, STAGE, FP, b"sensitive artifact bytes").unwrap();
+        let mut full = std::fs::read(&path).unwrap();
+        let last = full.len() - 3;
+        full[last] ^= 0x01;
+        std::fs::write(&path, &full).unwrap();
+        let CacheRead::Corrupt(reason) = load_envelope(&RealVfs, &path, STAGE, FP) else {
+            panic!("bit-flipped entry must be corrupt");
+        };
+        assert!(reason.contains("checksum"), "{reason}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_address_is_corrupt() {
+        let dir = fresh_dir("geotopo_io_addr");
+        let path = dir.join("entry.json");
+        save_envelope(&RealVfs, &path, STAGE, FP, b"x").unwrap();
+        assert!(matches!(
+            load_envelope(&RealVfs, &path, "collect-skitter", FP),
+            CacheRead::Corrupt(_)
+        ));
+        assert!(matches!(
+            load_envelope(&RealVfs, &path, STAGE, Fingerprint(1)),
+            CacheRead::Corrupt(_)
         ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn out_of_range_link_rejected() {
-        let dir = std::env::temp_dir().join("geotopo_io_test3");
+    fn future_schema_is_corrupt() {
+        let dir = fresh_dir("geotopo_io_schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.json");
+        let payload = b"p";
+        let header = format!(
+            "{{\"schema\":99,\"stage\":\"{STAGE}\",\"fingerprint\":\"{FP}\",\"payload_len\":1,\"checksum\":\"{}\"}}",
+            content_checksum(payload)
+        );
+        std::fs::write(&path, format!("GTENV1\n{header}\np")).unwrap();
+        let CacheRead::Corrupt(reason) = load_envelope(&RealVfs, &path, STAGE, FP) else {
+            panic!("future schema must be corrupt");
+        };
+        assert!(reason.contains("schema 99"), "{reason}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksummed_but_undeserializable_payload_is_corrupt() {
+        let dir = fresh_dir("geotopo_io_drift");
+        let path = dir.join("entry.json");
+        // A valid envelope whose payload is not a ProcessedDataset.
+        save_envelope(&RealVfs, &path, STAGE, FP, b"{\"not\": \"a dataset\"}").unwrap();
+        assert!(matches!(
+            load_dataset(&RealVfs, &path, STAGE, FP),
+            CacheRead::Corrupt(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_range_link_rejected_as_corrupt() {
+        let dir = fresh_dir("geotopo_io_invalid");
         let path = dir.join("ds.json");
         let mut ds = sample();
         ds.dataset.links.push((0, 99));
-        save_dataset(&ds, &path).unwrap();
-        assert!(matches!(
-            load_dataset(&path).unwrap_err(),
-            IoError::Invalid(_)
-        ));
+        save_dataset(&RealVfs, &ds, &path, STAGE, FP).unwrap();
+        let CacheRead::Corrupt(reason) = load_dataset(&RealVfs, &path, STAGE, FP) else {
+            panic!("invalid dataset must be corrupt");
+        };
+        assert!(reason.contains("invariant"), "{reason}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degrade_reasons_classify() {
+        let enospc = IoError::Fs(std::io::Error::from(std::io::ErrorKind::StorageFull));
+        assert_eq!(degrade_reason(&enospc), "enospc");
+        let eio = IoError::Fs(std::io::Error::other("disk on fire"));
+        assert_eq!(degrade_reason(&eio), "io");
+        let inv = IoError::Invalid("bad".into());
+        assert_eq!(degrade_reason(&inv), "serde");
+    }
+
+    #[test]
+    fn temp_path_appends_suffix() {
+        let p = temp_path(Path::new("/cache/abc-stage.json"));
+        assert_eq!(p, Path::new("/cache/abc-stage.json.tmp"));
     }
 }

@@ -23,6 +23,9 @@
 //!   figure, runnable individually or as the full paper.
 //! - [`telemetry`]: the deterministic metrics registry threaded through
 //!   the engine and stages (`PipelineOutput::metrics`, `--metrics-out`).
+//! - [`vfs`]: the filesystem seam every disk touch goes through —
+//!   [`vfs::RealVfs`] in production, the seeded [`vfs::ChaosVfs`] fault
+//!   injector in the crash-consistency suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod section4;
 pub mod section5;
 pub mod section6;
 pub mod telemetry;
+pub mod vfs;
 
 pub use pipeline::{
     Collector, GeoDataset, GeoInvariant, GeoNode, MapperKind, Pipeline, PipelineConfig,

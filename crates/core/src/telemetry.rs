@@ -285,31 +285,111 @@ impl Default for Telemetry {
 }
 
 /// The process's peak resident set size in bytes (`VmHWM` from
-/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
-/// A monotone high-water mark: sampling it after each stage attributes
-/// RSS growth to the stage that caused it. Observational only — like
-/// wall time, it feeds reports and gauges, never artifacts.
-pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kib: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kib * 1024;
-        }
-    }
-    0
+/// `/proc/self/status`), or `None` where the proc filesystem is
+/// unavailable or the line is malformed — a missing measurement, never
+/// a silently wrong 0. A monotone high-water mark: sampling it after
+/// each stage attributes RSS growth to the stage that caused it.
+/// Observational only — like wall time, it feeds reports and gauges,
+/// never artifacts (the scheduler records `engine.rss.unavailable` when
+/// this degrades).
+pub fn peak_rss_bytes() -> Option<u64> {
+    peak_rss_bytes_via(&crate::vfs::RealVfs)
+}
+
+/// [`peak_rss_bytes`] with the read path injected through the [`Vfs`]
+/// (crate::vfs::Vfs) seam, so the degradation paths (unreadable file,
+/// non-UTF-8 content, malformed `VmHWM` line) are unit-testable without
+/// unmounting `/proc`.
+pub fn peak_rss_bytes_via(vfs: &dyn crate::vfs::Vfs) -> Option<u64> {
+    let raw = vfs.read(std::path::Path::new("/proc/self/status")).ok()?;
+    let status = std::str::from_utf8(&raw).ok()?;
+    parse_vmhwm(status)
+}
+
+/// Strictly parses the `VmHWM:` line out of a `/proc/self/status` body:
+/// the kernel format is `VmHWM:   <n> kB`, and anything else — missing
+/// line, missing `kB` unit, a non-numeric count — is `None` rather than
+/// a fabricated value (the old parser reported malformed lines as 0).
+fn parse_vmhwm(status: &str) -> Option<u64> {
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kib: u64 = rest.trim().strip_suffix("kB")?.trim().parse().ok()?;
+    Some(kib * 1024)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A stub filesystem whose `/proc/self/status` read yields a canned
+    /// body (or fails) — the Vfs seam lets the RSS degradation paths
+    /// run without touching the real proc filesystem.
+    #[derive(Debug)]
+    struct StubProc(Result<&'static [u8], std::io::ErrorKind>);
+
+    impl crate::vfs::Vfs for StubProc {
+        fn read(&self, _path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+            match self.0 {
+                Ok(body) => Ok(body.to_vec()),
+                Err(kind) => Err(std::io::Error::from(kind)),
+            }
+        }
+        fn write(&self, _path: &std::path::Path, _bytes: &[u8]) -> std::io::Result<()> {
+            unreachable!("RSS sampling never writes")
+        }
+        fn rename(&self, _from: &std::path::Path, _to: &std::path::Path) -> std::io::Result<()> {
+            unreachable!("RSS sampling never renames")
+        }
+        fn remove_file(&self, _path: &std::path::Path) -> std::io::Result<()> {
+            unreachable!("RSS sampling never removes")
+        }
+        fn create_dir_all(&self, _path: &std::path::Path) -> std::io::Result<()> {
+            unreachable!("RSS sampling never creates directories")
+        }
+        fn list_dir(&self, _path: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+            unreachable!("RSS sampling never lists")
+        }
+    }
+
+    #[test]
+    fn peak_rss_reads_vmhwm_through_the_seam() {
+        let stub = StubProc(Ok(b"VmPeak:\t  999 kB\nVmHWM:\t  2048 kB\nVmRSS:\t 1 kB\n"));
+        assert_eq!(peak_rss_bytes_via(&stub), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn peak_rss_degrades_to_none_when_proc_unreadable() {
+        let stub = StubProc(Err(std::io::ErrorKind::PermissionDenied));
+        assert_eq!(peak_rss_bytes_via(&stub), None, "no /proc -> no value");
+        let missing = StubProc(Err(std::io::ErrorKind::NotFound));
+        assert_eq!(peak_rss_bytes_via(&missing), None);
+    }
+
+    #[test]
+    fn peak_rss_rejects_malformed_lines_instead_of_fabricating_zero() {
+        // The old parser turned each of these into a silent 0 (or a
+        // bogus number); strict parsing reports the measurement as
+        // missing.
+        for bad in [
+            "VmHWM:\tgarbage kB\n",
+            "VmHWM:\t123\n",    // missing unit
+            "VmHWM:\t123 MB\n", // wrong unit
+            "VmRSS:\t123 kB\n", // line absent entirely
+            "",
+        ] {
+            assert_eq!(parse_vmhwm(bad), None, "{bad:?}");
+        }
+        assert_eq!(parse_vmhwm("VmHWM:     7 kB"), Some(7 * 1024));
+    }
+
+    #[test]
+    fn peak_rss_on_this_linux_host_is_positive() {
+        // On the platforms CI runs, /proc exists and the value is real.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
+    }
 
     #[test]
     fn counters_accumulate_and_sort() {

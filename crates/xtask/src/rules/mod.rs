@@ -13,6 +13,7 @@ pub mod layering;
 pub mod missing_debug;
 pub mod nondeterminism;
 pub mod panic_markers;
+pub mod raw_fs;
 pub mod supervised_paths;
 pub mod thread_spawn;
 pub mod unwrap;
@@ -72,6 +73,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(supervised_paths::SupervisedPaths),
         Box::new(instant_timing::InstantTiming),
         Box::new(binary_heap::BinaryHeapUse),
+        Box::new(raw_fs::RawFs),
     ]
 }
 

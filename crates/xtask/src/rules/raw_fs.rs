@@ -1,0 +1,156 @@
+//! GT-LINT-012: raw filesystem mutation only inside the Vfs seam.
+//!
+//! Crash consistency is a property of *one* code path: `io.rs` writes
+//! every cache entry through the versioned envelope (temp file → fsync →
+//! rename) and `vfs.rs` is the only module allowed to touch `std::fs`
+//! mutation primitives, so the chaos harness can interpose deterministic
+//! disk faults on every write the pipeline performs. A raw
+//! `std::fs::write`, `File::create`, or `fs::rename` anywhere else is a
+//! hole in that seam — a write the fault injector never sees and the
+//! recovery sweep never cleans up. This rule keeps the seam closed:
+//! mutations outside `io.rs`/`vfs.rs` need `// lint: allow(raw_fs)` with
+//! the reason the site can bypass the durable path (e.g. gnuplot's
+//! terminal, regenerable figure exports).
+
+use super::{Finding, Rule};
+use crate::workspace::WorkspaceSrc;
+
+/// See module docs.
+#[derive(Debug)]
+pub struct RawFs;
+
+/// Mutation primitives that must stay behind the [`Vfs`] seam. Reads are
+/// deliberately not listed: a stray read can't tear pipeline state, and
+/// the chaos harness injects read faults at the seam the cache actually
+/// uses.
+const NEEDLES: &[&str] = &["std::fs::write(", "File::create(", "fs::rename("];
+
+/// Harness crates own their output files and never write pipeline state.
+const EXEMPT_CRATES: &[&str] = &["geotopo-bench", "xtask"];
+
+/// The two sanctioned homes: the envelope writer and the seam itself.
+const EXEMPT_PATHS: &[&str] = &["crates/core/src/io.rs", "crates/core/src/vfs.rs"];
+
+impl Rule for RawFs {
+    fn id(&self) -> &'static str {
+        "GT-LINT-012"
+    }
+
+    fn describe(&self) -> &'static str {
+        "filesystem mutation only through the Vfs seam (io.rs / vfs.rs)"
+    }
+
+    fn check(&self, ws: &WorkspaceSrc) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for krate in &ws.crates {
+            if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+                continue;
+            }
+            for file in &krate.files {
+                if EXEMPT_PATHS
+                    .iter()
+                    .any(|p| file.path == std::path::Path::new(p))
+                {
+                    continue;
+                }
+                for (line, text) in file.code_lines() {
+                    let hit = NEEDLES.iter().find(|n| text.contains(*n));
+                    if let Some(needle) = hit {
+                        if !file.is_allowed(line, "raw_fs") {
+                            out.push(Finding {
+                                file: file.path.clone(),
+                                line,
+                                rule: self.id(),
+                                message: format!(
+                                    "raw `{}` bypasses the Vfs seam; route the write \
+                                     through `vfs.rs`/`io.rs` so chaos injection and \
+                                     crash recovery cover it (or `// lint: allow(raw_fs)` \
+                                     with the reason)",
+                                    needle.trim_end_matches('(')
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ws_of;
+
+    #[test]
+    fn flags_raw_write_create_rename() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/engine/store.rs",
+                "fn a() { std::fs::write(p, b).unwrap(); }\n\
+                 fn b() { let f = std::fs::File::create(p); }\n\
+                 fn c() { std::fs::rename(a, b).unwrap(); }\n",
+            )],
+        );
+        let f = RawFs.check(&ws);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.rule == "GT-LINT-012"));
+    }
+
+    #[test]
+    fn io_and_vfs_are_the_sanctioned_homes() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[
+                (
+                    "crates/core/src/io.rs",
+                    "fn w() { std::fs::rename(a, b).unwrap(); }\n",
+                ),
+                (
+                    "crates/core/src/vfs.rs",
+                    "fn w() { let f = std::fs::File::create(p); }\n",
+                ),
+            ],
+        );
+        assert!(RawFs.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_waives_site() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/gnuplot.rs",
+                "// lint: allow(raw_fs): terminal figure export\n\
+                 fn w() { let f = std::fs::File::create(p); }\n",
+            )],
+        );
+        assert!(RawFs.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn harness_crates_are_exempt() {
+        let ws = ws_of(
+            "xtask",
+            &[(
+                "crates/x/src/lib.rs",
+                "fn w() { std::fs::write(p, b).unwrap(); }\n",
+            )],
+        );
+        assert!(RawFs.check(&ws).is_empty());
+    }
+
+    #[test]
+    fn reads_stay_legal() {
+        let ws = ws_of(
+            "geotopo-core",
+            &[(
+                "crates/core/src/report.rs",
+                "fn r() { let s = std::fs::read_to_string(p); }\n",
+            )],
+        );
+        assert!(RawFs.check(&ws).is_empty());
+    }
+}

@@ -18,6 +18,7 @@ const ALL_RULES: &[&str] = &[
     "GT-LINT-009",
     "GT-LINT-010",
     "GT-LINT-011",
+    "GT-LINT-012",
 ];
 
 fn fixture_root() -> PathBuf {

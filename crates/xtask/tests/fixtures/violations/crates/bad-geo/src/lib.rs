@@ -35,3 +35,7 @@ pub fn sidecar_worker() {
 pub fn heapy() -> std::collections::BinaryHeap<u32> {
     std::collections::BinaryHeap::new()
 }
+
+pub fn tears(p: &std::path::Path) {
+    std::fs::write(p, b"raw, unfenced, invisible to chaos injection").unwrap();
+}

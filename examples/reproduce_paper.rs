@@ -26,6 +26,13 @@
 //! `--resume` spills stage artifacts to `.geotopo-cache/` and, on a
 //! re-run, resumes from the last fingerprint-valid artifacts instead of
 //! recomputing them (a killed run picks up where it left off).
+//! `--chaos PROFILE` (none|torn|corrupt|enospc|eio|mixed) routes the
+//! artifact cache through a deterministic *disk*-fault injector (implies
+//! `--resume`'s disk store): torn writes, dropped renames, read `EIO`,
+//! `ENOSPC`, bit rot. The run still completes byte-identical — damaged
+//! entries are quarantined under `.geotopo-cache/quarantine/` and
+//! regenerated, failed spills degrade the store to in-memory — and the
+//! injector's tally is printed at exit.
 //! `--metrics-out PATH` writes the run's metrics snapshot as pretty JSON
 //! (stable schema; see `geotopo_core::telemetry`). Counters, gauges and
 //! histograms are deterministic per (config, seed); only the span
@@ -35,6 +42,7 @@ use geotopo::core::engine::ArtifactStore;
 use geotopo::core::experiments;
 use geotopo::core::pipeline::{Pipeline, PipelineConfig, ValidationMode};
 use geotopo::core::report;
+use geotopo::core::vfs::{ChaosConfig, ChaosVfs, Vfs};
 use geotopo::measure::FaultConfig;
 use std::io::Write;
 use std::sync::Arc;
@@ -72,6 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .clone();
         args.drain(pos..=pos + 1);
     }
+    let mut chaos_profile = String::from("none");
+    if let Some(pos) = args.iter().position(|a| a == "--chaos") {
+        chaos_profile = args
+            .get(pos + 1)
+            .ok_or("--chaos requires a profile (none|torn|corrupt|enospc|eio|mixed)")?
+            .clone();
+        args.drain(pos..=pos + 1);
+    }
     let scale = args.get(1).map(String::as_str).unwrap_or("small");
     let seed: u64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2002);
     let out_dir = args.get(3).cloned();
@@ -102,10 +118,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipeline = Pipeline::new(config)
         .with_validation(mode)
         .with_threads(threads);
-    if resume {
-        pipeline = pipeline.with_store(Arc::new(ArtifactStore::with_disk(".geotopo-cache")));
+    let chaos_config = ChaosConfig::profile(&chaos_profile, seed ^ 0xC4A0).ok_or_else(|| {
+        format!("unknown chaos profile {chaos_profile:?} (none|torn|corrupt|enospc|eio|mixed)")
+    })?;
+    let mut chaos_vfs: Option<Arc<ChaosVfs>> = None;
+    let mut store: Option<Arc<ArtifactStore>> = None;
+    if chaos_profile != "none" {
+        // Chaos implies the disk store: the faults target the cache path.
+        let vfs = Arc::new(ChaosVfs::new(chaos_config));
+        chaos_vfs = Some(Arc::clone(&vfs));
+        store = Some(Arc::new(ArtifactStore::with_disk_vfs(
+            ".geotopo-cache",
+            vfs as Arc<dyn Vfs>,
+        )));
+    } else if resume {
+        store = Some(Arc::new(ArtifactStore::with_disk(".geotopo-cache")));
+    }
+    if let Some(store) = &store {
+        pipeline = pipeline.with_store(Arc::clone(store));
     }
     let out = pipeline.run()?;
+    if let Some(vfs) = &chaos_vfs {
+        let stats = vfs.stats();
+        eprintln!(
+            "[geotopo] chaos ({chaos_profile}): {} ops, {} faults injected \
+             (eio {}, enospc {}, short {}, flips {}, torn {})",
+            stats.ops,
+            stats.injected(),
+            stats.read_errors,
+            stats.no_space,
+            stats.short_writes,
+            stats.bit_flips,
+            stats.torn_renames,
+        );
+        if let Some(store) = &store {
+            if store.corrupt_detected() > 0 || store.spill_disabled_reason().is_some() {
+                eprintln!(
+                    "[geotopo] chaos survived: {} corrupt entries quarantined ({} moved), \
+                     spill disabled: {}",
+                    store.corrupt_detected(),
+                    store.quarantined(),
+                    store.spill_disabled_reason().as_deref().unwrap_or("no"),
+                );
+            }
+        }
+    }
     eprintln!(
         "[geotopo] pipeline done in {:.1}s; ground truth: {} routers, {} interfaces, {} links",
         t0.elapsed().as_secs_f64(),

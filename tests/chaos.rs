@@ -1,0 +1,381 @@
+//! Disk-chaos suite: deterministic fault injection on the store's
+//! filesystem seam.
+//!
+//! The crash-consistency contract under test: whatever a failing disk
+//! does to the cache — torn writes, dropped renames, `EIO`, `ENOSPC`,
+//! bit rot — the pipeline either completes **byte-identical** to a clean
+//! run or fails with a **typed** [`PipelineError`]. Never a panic, never
+//! silently-wrong output. Damaged entries are quarantined and
+//! regenerated; failed spill writes latch the store into in-memory mode;
+//! a follow-up run on the same cache directory always heals back to the
+//! clean baseline.
+//!
+//! Cache directories live under `target/chaos/` so CI can upload the
+//! quarantine contents as artifacts when a test fails.
+
+use geotopo::core::engine::{ArtifactStore, CacheStatus};
+use geotopo::core::io::TEMP_SUFFIX;
+use geotopo::core::pipeline::{Pipeline, PipelineConfig, PipelineError, PipelineOutput};
+use geotopo::core::vfs::{ChaosConfig, ChaosFault, ChaosVfs, RealVfs, Vfs};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SEED: u64 = 47;
+
+/// A fresh cache directory under `target/chaos/` (uploaded by CI on
+/// failure, so damaged/quarantined entries are inspectable post-mortem).
+fn chaos_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target/chaos")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create chaos dir");
+    dir
+}
+
+/// Canonical serialization of everything the pipeline produces — the
+/// "byte-identical" in the contract is equality of this digest.
+fn digest(out: &PipelineOutput) -> String {
+    let mut parts = vec![
+        serde_json::to_string(&*out.skitter).expect("skitter json"),
+        serde_json::to_string(&*out.mercator).expect("mercator json"),
+    ];
+    for ds in &out.datasets {
+        parts.push(serde_json::to_string(&**ds).expect("dataset json"));
+    }
+    parts.join("\n")
+}
+
+/// The clean, storeless reference output for [`SEED`].
+fn baseline() -> String {
+    digest(
+        &Pipeline::new(PipelineConfig::tiny(SEED))
+            .run()
+            .expect("clean baseline run"),
+    )
+}
+
+/// Runs the tiny pipeline against a chaos-wrapped disk store, returning
+/// the run result plus the injector (for its stats).
+fn run_chaos(
+    dir: &PathBuf,
+    config: ChaosConfig,
+    threads: usize,
+) -> (Result<PipelineOutput, PipelineError>, Arc<ChaosVfs>) {
+    let vfs = Arc::new(ChaosVfs::new(config));
+    let store = Arc::new(ArtifactStore::with_disk_vfs(
+        dir,
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+    ));
+    let out = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_threads(threads)
+        .with_store(store)
+        .run();
+    (out, vfs)
+}
+
+/// Runs the pipeline on the real filesystem over `dir` and asserts it
+/// matches `clean` — the heal check every chaos scenario ends with.
+fn assert_heals(dir: &PathBuf, clean: &str, context: &str) {
+    let healed = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(Arc::new(ArtifactStore::with_disk(dir)))
+        .run()
+        .unwrap_or_else(|e| panic!("heal run after {context} failed: {e}"));
+    assert_eq!(
+        digest(&healed),
+        clean,
+        "heal run after {context} diverged from the clean baseline"
+    );
+}
+
+/// How many virtual filesystem ops one cold single-threaded run makes —
+/// the sweep domain. Discovered, not hard-coded, so the sweep stays
+/// exhaustive as the pipeline grows stages.
+fn cold_op_count() -> u64 {
+    let dir = chaos_dir("op-count");
+    let (out, vfs) = run_chaos(&dir, ChaosConfig::none(0), 1);
+    out.expect("fault-free chaos run");
+    let ops = vfs.stats().ops;
+    assert!(ops > 0, "instrumented run observed no filesystem ops");
+    ops
+}
+
+/// The tentpole sweep, cold half: inject `Auto` (the op-appropriate
+/// fault) at every virtual op index of a cold populate run. Each faulted
+/// run must complete byte-identical or fail typed; the same directory
+/// must then heal to the baseline on a clean follow-up run.
+#[test]
+fn cold_sweep_every_op_completes_identical_or_fails_typed() {
+    let clean = baseline();
+    let n = cold_op_count();
+    let dir = chaos_dir("cold-sweep");
+    for op in 0..n {
+        let _ = std::fs::remove_dir_all(&dir);
+        let (result, vfs) = run_chaos(&dir, ChaosConfig::at_op(op, ChaosFault::Auto), 1);
+        match result {
+            Ok(out) => assert_eq!(
+                digest(&out),
+                clean,
+                "silent divergence at cold op {op} ({} faults injected)",
+                vfs.stats().injected()
+            ),
+            Err(e) => {
+                // Typed supervision error, with enough context to act on.
+                assert!(!e.to_string().is_empty(), "empty error message at op {op}");
+            }
+        }
+        assert_heals(&dir, &clean, &format!("auto fault at cold op {op}"));
+    }
+}
+
+/// The tentpole sweep, warm half: populate the cache cleanly once, then
+/// inject `Auto` at every op index of a warm (probe-heavy) run — read
+/// `EIO` and rot surface here. Same contract, same heal check.
+#[test]
+fn warm_sweep_every_op_completes_identical_or_fails_typed() {
+    let clean = baseline();
+    let dir = chaos_dir("warm-sweep");
+    let (out, _) = run_chaos(&dir, ChaosConfig::none(0), 1);
+    out.expect("clean populate run");
+    // Discover the warm-run op domain (fewer ops: probes, no publishes).
+    let (out, vfs) = run_chaos(&dir, ChaosConfig::none(0), 1);
+    out.expect("clean warm run");
+    let n = vfs.stats().ops;
+    for op in 0..n {
+        let (result, _) = run_chaos(&dir, ChaosConfig::at_op(op, ChaosFault::Auto), 1);
+        match result {
+            Ok(out) => assert_eq!(
+                digest(&out),
+                clean,
+                "silent divergence with auto fault at warm op {op}"
+            ),
+            Err(e) => assert!(!e.to_string().is_empty(), "empty error at warm op {op}"),
+        }
+        assert_heals(&dir, &clean, &format!("auto fault at warm op {op}"));
+    }
+}
+
+/// Satellite regression: a truncated cache entry is a *corrupt-entry
+/// miss*, not a cold miss — detected, quarantined, counted, and
+/// regenerated in place so the next run gets a healthy disk hit.
+#[test]
+fn truncated_entry_is_quarantined_and_regenerated() {
+    let dir = chaos_dir("truncate");
+    let populate = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(Arc::new(ArtifactStore::with_disk(&dir)))
+        .run()
+        .expect("populate run");
+    let clean = digest(&populate);
+
+    // Tear the first published entry in half, as a kill mid-write would.
+    let entry = RealVfs
+        .list_dir(&dir)
+        .expect("list cache dir")
+        .into_iter()
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("at least one published entry");
+    let full = RealVfs.read(&entry).expect("read entry");
+    RealVfs
+        .write(&entry, &full[..full.len() / 2])
+        .expect("truncate entry");
+    let stage = entry
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_suffix(".json"))
+        .and_then(|n| n.split_once('-'))
+        .map(|(_, stage)| stage.to_string())
+        .expect("entry name carries the stage");
+
+    let store = Arc::new(ArtifactStore::with_disk(&dir));
+    let out = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(Arc::clone(&store))
+        .run()
+        .expect("run over damaged cache");
+    assert_eq!(digest(&out), clean, "damaged cache changed the output");
+    assert_eq!(store.corrupt_detected(), 1, "truncation not detected");
+    assert_eq!(store.quarantined(), 1, "damaged entry not quarantined");
+    assert!(
+        dir.join("quarantine")
+            .join(entry.file_name().unwrap())
+            .exists(),
+        "quarantined file missing from quarantine/"
+    );
+    let report = out
+        .reports
+        .iter()
+        .find(|r| r.stage == stage)
+        .expect("report for the damaged stage");
+    assert_eq!(
+        report.cache,
+        CacheStatus::Miss,
+        "corrupt entry must recompute, not hit"
+    );
+    let note = report.cache_note.as_deref().expect("durability note");
+    assert!(
+        note.contains("corrupt cache entry quarantined and regenerated"),
+        "note does not say what happened: {note}"
+    );
+    // Distinct from a cold miss: other recomputing stages carry no note.
+    assert!(
+        out.reports
+            .iter()
+            .filter(|r| r.stage != stage && r.cache == CacheStatus::Miss)
+            .all(|r| r.cache_note.is_none()),
+        "cold misses must not carry corruption notes"
+    );
+
+    // The overwrite healed the entry: same stage is a disk hit now.
+    let third = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(Arc::new(ArtifactStore::with_disk(&dir)))
+        .run()
+        .expect("post-heal run");
+    let healed = third.reports.iter().find(|r| r.stage == stage).unwrap();
+    assert_eq!(healed.cache, CacheStatus::HitDisk, "entry was not healed");
+    assert_eq!(digest(&third), clean);
+}
+
+/// Graceful degradation: a disk with no space left cannot fail the run.
+/// The first `ENOSPC` latches spill off, everything stays resident, the
+/// output is byte-identical, and the incident is visible on the report
+/// and the store.
+#[test]
+fn full_disk_degrades_to_in_memory_and_completes_identical() {
+    let clean = baseline();
+    let dir = chaos_dir("enospc");
+    let vfs = Arc::new(ChaosVfs::new(ChaosConfig {
+        no_space_per_mille: 1000, // every write fails
+        ..ChaosConfig::none(SEED)
+    }));
+    let store = Arc::new(ArtifactStore::with_disk_vfs(
+        &dir,
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+    ));
+    let out = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(Arc::clone(&store))
+        .run()
+        .expect("full disk must not fail the run");
+    assert_eq!(digest(&out), clean, "degraded run diverged");
+    assert_eq!(
+        store.spill_disabled_reason().as_deref(),
+        Some("enospc"),
+        "latch did not record the reason"
+    );
+    assert_eq!(
+        vfs.stats().no_space,
+        1,
+        "after the latch no further spill write may be attempted"
+    );
+    let noted = out
+        .reports
+        .iter()
+        .filter_map(|r| r.cache_note.as_deref())
+        .find(|n| n.contains("spill disabled (enospc)"))
+        .is_some();
+    assert!(noted, "no report records the spill-disabled incident");
+}
+
+/// A store whose reads all fail with `EIO` still completes: probes come
+/// back corrupt, every stage recomputes, and the output matches.
+#[test]
+fn read_eio_everywhere_still_completes_identical() {
+    let clean = baseline();
+    let dir = chaos_dir("eio");
+    let (out, _) = run_chaos(&dir, ChaosConfig::none(0), 1);
+    out.expect("clean populate run");
+    let vfs = Arc::new(ChaosVfs::new(ChaosConfig {
+        read_error_per_mille: 1000,
+        ..ChaosConfig::none(SEED)
+    }));
+    let store = Arc::new(ArtifactStore::with_disk_vfs(
+        &dir,
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+    ));
+    let out = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(Arc::clone(&store))
+        .run()
+        .expect("unreadable cache must not fail the run");
+    assert_eq!(digest(&out), clean, "EIO run diverged");
+    assert!(vfs.stats().read_errors > 0, "no read fault ever fired");
+    assert!(
+        store.corrupt_detected() > 0,
+        "unreadable entries must count as corrupt, not cold"
+    );
+    assert_heals(&dir, &clean, "blanket read EIO");
+}
+
+/// The CI matrix: the `mixed` profile (every fault class at low rate)
+/// across three seeds and two thread counts. Every combination must
+/// complete byte-identical or fail typed, and always heal.
+#[test]
+fn mixed_profile_matrix_seeds_by_threads() {
+    let clean = baseline();
+    for chaos_seed in [1_u64, 2, 3] {
+        for threads in [1_usize, 4] {
+            let dir = chaos_dir(&format!("mixed-s{chaos_seed}-t{threads}"));
+            let config = ChaosConfig::profile("mixed", chaos_seed).expect("mixed profile");
+            let (result, vfs) = run_chaos(&dir, config, threads);
+            match result {
+                Ok(out) => assert_eq!(
+                    digest(&out),
+                    clean,
+                    "seed {chaos_seed} x {threads} threads diverged silently \
+                     ({} faults injected)",
+                    vfs.stats().injected()
+                ),
+                Err(e) => assert!(
+                    !e.to_string().is_empty(),
+                    "seed {chaos_seed} x {threads}: empty error"
+                ),
+            }
+            assert_heals(
+                &dir,
+                &clean,
+                &format!("mixed profile seed {chaos_seed}, {threads} threads"),
+            );
+        }
+    }
+}
+
+/// A rename dropped between temp-write and publish leaves an orphaned
+/// staging file and no entry; the next store startup sweeps the orphan
+/// and the stage recomputes cleanly.
+#[test]
+fn torn_publish_leaves_orphan_swept_on_next_startup() {
+    let clean = baseline();
+    let dir = chaos_dir("torn-publish");
+    // Fault every rename: every publish is torn, every temp orphaned.
+    let vfs = Arc::new(ChaosVfs::new(ChaosConfig {
+        torn_rename_per_mille: 1000,
+        ..ChaosConfig::none(SEED)
+    }));
+    let store = Arc::new(ArtifactStore::with_disk_vfs(
+        &dir,
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+    ));
+    let out = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(store)
+        .run()
+        .expect("torn publishes must not fail the run");
+    assert_eq!(digest(&out), clean, "torn-publish run diverged");
+    assert!(vfs.stats().torn_renames > 0, "no rename was torn");
+    let orphans = RealVfs
+        .list_dir(&dir)
+        .expect("list cache dir")
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(TEMP_SUFFIX))
+        })
+        .count();
+    assert!(orphans > 0, "torn renames left no orphaned staging files");
+
+    // Next startup sweeps them all; the run recomputes and publishes.
+    let store = Arc::new(ArtifactStore::with_disk(&dir));
+    assert_eq!(store.tmp_swept(), orphans, "sweep missed orphans");
+    let out = Pipeline::new(PipelineConfig::tiny(SEED))
+        .with_store(store)
+        .run()
+        .expect("post-sweep run");
+    assert_eq!(digest(&out), clean);
+}

@@ -155,6 +155,92 @@ fn killed_run_resumes_from_disk_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A kill *mid-spill* — after the staging write, before the atomic
+/// rename — leaves an orphaned `*.tmp` file and no published entry. The
+/// next run must sweep the orphan at store startup, recompute the stage,
+/// and finish byte-identical to an uninterrupted run.
+#[test]
+fn kill_mid_spill_resumes_byte_identical_and_sweeps_the_orphan() {
+    use geotopo::core::io;
+    use geotopo::core::vfs::{RealVfs, Vfs};
+
+    let dir = std::env::temp_dir().join("geotopo_faults_mid_spill_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let baseline = Pipeline::new(PipelineConfig::tiny(45)).run().unwrap();
+
+    let populate = Pipeline::new(PipelineConfig::tiny(45))
+        .with_store(Arc::new(ArtifactStore::with_disk(&dir)))
+        .run()
+        .unwrap();
+
+    // Rewind one published entry to the instant before its rename: the
+    // complete envelope sits at the deterministic temp path, the final
+    // path does not exist. (The envelope writer stages to
+    // `io::temp_path` precisely so this state is recognizable later.)
+    let entry = RealVfs
+        .list_dir(&dir)
+        .unwrap()
+        .into_iter()
+        .find(|p| p.extension().is_some_and(|e| e == "json"))
+        .expect("populate run published at least one entry");
+    RealVfs.rename(&entry, &io::temp_path(&entry)).unwrap();
+    let stage = entry
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_suffix(".json"))
+        .and_then(|n| n.split_once('-'))
+        .map(|(_, stage)| stage.to_string())
+        .unwrap();
+
+    // Resume: startup sweeps the orphan, the stage recomputes (a miss,
+    // not a corrupt hit — the unpublished entry never existed), and the
+    // output matches the uninterrupted baseline byte for byte.
+    let store = Arc::new(ArtifactStore::with_disk(&dir));
+    assert_eq!(store.tmp_swept(), 1, "orphaned staging file not swept");
+    assert!(
+        !io::temp_path(&entry).exists(),
+        "temp file must be gone after the sweep"
+    );
+    let resumed = Pipeline::new(PipelineConfig::tiny(45))
+        .with_store(Arc::clone(&store))
+        .run()
+        .unwrap();
+    let report = resumed
+        .reports
+        .iter()
+        .find(|r| r.stage == stage)
+        .expect("report for the interrupted stage");
+    assert_eq!(
+        report.cache,
+        CacheStatus::Miss,
+        "an unpublished entry is a cold miss, not a hit"
+    );
+    assert_eq!(
+        store.corrupt_detected(),
+        0,
+        "no published entry was damaged"
+    );
+    for (a, b) in baseline.datasets.iter().zip(&resumed.datasets) {
+        assert_eq!(
+            serde_json::to_string(&**a).unwrap(),
+            serde_json::to_string(&**b).unwrap(),
+            "resume after mid-spill kill diverged"
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&*populate.datasets[0]).unwrap(),
+        serde_json::to_string(&*resumed.datasets[0]).unwrap(),
+    );
+    // The recompute republished the entry — it is a disk hit again.
+    let third = Pipeline::new(PipelineConfig::tiny(45))
+        .with_store(Arc::new(ArtifactStore::with_disk(&dir)))
+        .run()
+        .unwrap();
+    let healed = third.reports.iter().find(|r| r.stage == stage).unwrap();
+    assert_eq!(healed.cache, CacheStatus::HitDisk, "entry not republished");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A mid-campaign monitor outage that stays above quorum does not fail
 /// the collection: the run completes degraded, and the degradation is
 /// recorded on the collect stage's report.
