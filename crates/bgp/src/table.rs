@@ -143,6 +143,35 @@ impl RouteTable {
             self.entries.iter().map(|e| (e.prefix, e.origin)).collect();
         self.trie.validate_against(&reference)
     }
+
+    /// Cheap structural screen for a table reloaded from a disk cache:
+    /// the trie's arena invariants hold (tree shape, child bounds, depth,
+    /// cached length) and every advertised prefix is reachable in the
+    /// trie. Near-linear in the table size, so it is safe to run on
+    /// every cache load — unlike [`RouteTable::validate`], whose
+    /// duplicate-canonicalization is quadratic in the entry count. It
+    /// does not compare origin values entry-by-entry (shadowed duplicate
+    /// prefixes make "which origin should win" a canonicalization
+    /// question); validating pipeline runs still apply the full check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate_structure(&self) -> Result<(), TrieInvariant> {
+        self.trie.validate()?;
+        for e in &self.entries {
+            if self.trie.get(&e.prefix).is_none() {
+                return Err(TrieInvariant::ContentMismatch { prefix: e.prefix });
+            }
+        }
+        if self.trie.len() > self.entries.len() {
+            return Err(TrieInvariant::LenMismatch {
+                stored: self.trie.len(),
+                counted: self.entries.len(),
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +321,45 @@ mod tests {
         }]);
         table.trie.insert("20.0.0.0/8".parse().unwrap(), AsId(99));
         assert!(table.validate().is_err());
+    }
+
+    #[test]
+    fn validate_structure_accepts_tables_and_serde_roundtrips() {
+        let allocs = make_allocs(30, 400);
+        let table = RouteTable::synthesize(&allocs, &RouteTableConfig::default());
+        assert_eq!(table.validate_structure(), Ok(()));
+        // The disk-cache shape: a table frozen through serde must still
+        // pass the structural screen.
+        let json = serde_json::to_string(&table).unwrap();
+        let thawed: RouteTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(thawed.validate_structure(), Ok(()));
+        assert_eq!(RouteTable::from_routes([]).validate_structure(), Ok(()));
+    }
+
+    #[test]
+    fn validate_structure_rejects_missing_and_corrupt_tries() {
+        // An entry whose prefix the trie never saw: reachable only
+        // through deserialization of a tampered cache file.
+        let mut table = RouteTable::from_routes([RouteEntry {
+            prefix: "20.0.0.0/8".parse().unwrap(),
+            origin: AsId(10),
+        }]);
+        table.entries.push(RouteEntry {
+            prefix: "30.0.0.0/8".parse().unwrap(),
+            origin: AsId(30),
+        });
+        assert!(matches!(
+            table.validate_structure(),
+            Err(TrieInvariant::ContentMismatch { .. })
+        ));
+
+        // A trie holding more values than the entry list records.
+        let mut table = RouteTable::from_routes([RouteEntry {
+            prefix: "20.0.0.0/8".parse().unwrap(),
+            origin: AsId(10),
+        }]);
+        table.trie.insert("30.0.0.0/8".parse().unwrap(), AsId(99));
+        assert!(table.validate_structure().is_err());
     }
 
     #[test]

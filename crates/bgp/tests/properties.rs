@@ -41,6 +41,43 @@ proptest! {
     }
 
     #[test]
+    fn frozen_trie_lookup_matches_linear_scan(
+        prefixes in prop::collection::vec(arb_prefix(), 1..60),
+        dup_from in prop::collection::vec(any::<usize>(), 0..8),
+        probes in prop::collection::vec(any::<u32>(), 1..40)
+    ) {
+        // The query snapshot serves a trie thawed from the disk cache.
+        // A serde round trip (the freeze/thaw path) must preserve
+        // longest-prefix matching exactly: same answers as a brute-force
+        // scan over the insertion record, duplicates last-wins, /0 and
+        // /32 included (arb_prefix draws the full 0..=32 length range).
+        let mut record: Vec<Ipv4Prefix> = prefixes.clone();
+        for idx in &dup_from {
+            record.push(prefixes[idx % prefixes.len()]); // explicit duplicate inserts
+        }
+        let mut trie = PrefixTrie::new();
+        for (i, p) in record.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        let json = serde_json::to_string(&trie).expect("serialize");
+        let frozen: PrefixTrie<usize> = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(frozen.validate(), Ok(()));
+        for probe in probes {
+            let ip = Ipv4Addr::from(probe);
+            let mut best: Option<(usize, u8)> = None;
+            for (i, p) in record.iter().enumerate() {
+                if p.contains(ip) {
+                    match best {
+                        Some((_, l)) if l > p.len() => {}
+                        _ => best = Some((i, p.len())),
+                    }
+                }
+            }
+            prop_assert_eq!(frozen.lookup(ip).map(|(v, l)| (*v, l)), best, "ip {}", ip);
+        }
+    }
+
+    #[test]
     fn trie_validates_and_matches_reference(
         prefixes in prop::collection::vec(arb_prefix(), 0..60)
     ) {

@@ -51,7 +51,7 @@ pub use scheduler::{
 pub use stages::{map_stage_name, pipeline_stages, pop_grid_name};
 pub use stages::{
     COLLECT_MERCATOR, COLLECT_SKITTER, GAZETTEER, GROUND_TRUTH, MAPPER_EDGESCAPE, MAPPER_IXMAPPER,
-    ORG_DB, ROUTE_TABLE,
+    ORG_DB, QUERY_SNAPSHOT, ROUTE_TABLE,
 };
 pub use store::ArtifactStore;
 pub use supervise::{RetryPolicy, StageError};

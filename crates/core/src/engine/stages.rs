@@ -9,6 +9,8 @@
 //!                 └─> gazetteer ─────┤            ├─> mapper-* ─┴─> map-{tool}-{collector} ×4
 //!                                    ├─> collect-skitter ──────┘
 //!                                    └─> collect-mercator
+//!
+//! ground-truth + route-table + gazetteer + mapper-ixmapper ─> query-snapshot
 //! ```
 //!
 //! Stage bodies are verbatim extractions of the old `Pipeline::run`
@@ -25,13 +27,14 @@ use crate::pipeline::{
 };
 use crate::telemetry::{Stopwatch, Telemetry};
 use geotopo_bgp::RouteTable;
-use geotopo_geomap::{EdgeScape, Gazetteer, GeoMapper, IxMapper, OrgDb};
+use geotopo_geomap::{EdgeScape, Gazetteer, GeoMapper, IxMapper, MapContext, OrgDb};
 use geotopo_measure::{FaultStats, MonitorCampaign, RoutingStats};
 use geotopo_measure::{
     MeasuredDataset, Mercator, MercatorConfig, MercatorOutput, Skitter, SkitterConfig,
     SkitterOutput,
 };
 use geotopo_population::PopulationGrid;
+use geotopo_query::QuerySnapshot;
 use geotopo_topology::generate::GroundTruth;
 
 /// Name of the world-generation stage (artifact: [`GroundTruth`]).
@@ -50,6 +53,8 @@ pub const COLLECT_MERCATOR: &str = "collect-mercator";
 pub const MAPPER_IXMAPPER: &str = "mapper-ixmapper";
 /// Name of the EdgeScape construction stage (artifact: [`EdgeScape`]).
 pub const MAPPER_EDGESCAPE: &str = "mapper-edgescape";
+/// Name of the query-snapshot freeze stage (artifact: [`QuerySnapshot`]).
+pub const QUERY_SNAPSHOT: &str = "query-snapshot";
 
 /// Name of the population-grid stage for region `i` (artifact:
 /// [`PopulationGrid`]).
@@ -138,7 +143,7 @@ pub(crate) const TABLE_I_ORDER: [(MapperKind, Collector); 4] = [
 /// ordered (every stage appears after its dependencies).
 pub fn pipeline_stages(config: &PipelineConfig) -> Vec<Box<dyn Stage>> {
     let n_regions = config.world.regions.len();
-    let mut stages: Vec<Box<dyn Stage>> = Vec::with_capacity(n_regions + 12);
+    let mut stages: Vec<Box<dyn Stage>> = Vec::with_capacity(n_regions + 13);
     for region in 0..n_regions {
         stages.push(Box::new(PopGridStage { region }));
     }
@@ -153,6 +158,7 @@ pub fn pipeline_stages(config: &PipelineConfig) -> Vec<Box<dyn Stage>> {
     for (mapper, collector) in TABLE_I_ORDER {
         stages.push(Box::new(MapStage { mapper, collector }));
     }
+    stages.push(Box::new(QuerySnapshotStage));
     stages
 }
 
@@ -282,6 +288,22 @@ impl Stage for RouteTableStage {
 
     fn artifact_items(&self, a: &Artifact) -> usize {
         a.downcast_ref::<RouteTable>().map_or(0, |t| t.len())
+    }
+
+    fn load_cached(&self, cache: &DiskCache<'_>, fp: Fingerprint) -> CacheLoad {
+        // A thawed table is served to longest-prefix lookups without a
+        // resynthesis pass, so its trie arena must be proven sound
+        // first. `validate_structure` is the near-linear check (bounds,
+        // acyclicity, entry reachability) — cheap enough to run on
+        // every load, unlike the quadratic canonical `validate`.
+        probe_cached(cache, &self.name(), fp, |t: &RouteTable| {
+            t.validate_structure()
+                .map_err(|e| format!("deserialized route table failed structural validation: {e}"))
+        })
+    }
+
+    fn save_cached(&self, a: &Artifact, cache: &DiskCache<'_>, fp: Fingerprint) -> SaveOutcome {
+        persist_cached::<RouteTable>(a, cache, &self.name(), fp)
     }
 }
 
@@ -784,6 +806,66 @@ impl Stage for MapStage {
     }
 }
 
+/// Freezes the read-side [`QuerySnapshot`]: every interface mapped
+/// through IxMapper once, plus `Arc` handles on the route table and
+/// gazetteer, ready for allocation-free per-address serving.
+struct QuerySnapshotStage;
+
+impl Stage for QuerySnapshotStage {
+    fn name(&self) -> String {
+        QUERY_SNAPSHOT.into()
+    }
+
+    fn deps(&self) -> Vec<String> {
+        vec![
+            GROUND_TRUTH.into(),
+            ROUTE_TABLE.into(),
+            GAZETTEER.into(),
+            MAPPER_IXMAPPER.into(),
+        ]
+    }
+
+    fn seed(&self, config: &PipelineConfig) -> u64 {
+        config.mapper_seed
+    }
+
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
+        let gt = ctx.dep::<GroundTruth>(0);
+        let table = ctx.dep::<RouteTable>(1);
+        let gazetteer = ctx.dep::<Gazetteer>(2);
+        let mapper = ctx.dep::<IxMapper>(3);
+        let topo = &gt.topology;
+        let addresses = topo.interfaces().map(|(_, iface)| {
+            let r = topo.router(iface.router);
+            (
+                iface.ip,
+                MapContext {
+                    true_location: r.location,
+                    asn: r.asn,
+                },
+            )
+        });
+        let snapshot =
+            QuerySnapshot::freeze(addresses, &*mapper as &dyn GeoMapper, table, gazetteer);
+        let stats = snapshot.stats();
+        let t = ctx.telemetry();
+        t.count("query.snapshot.addresses", stats.addresses as u64);
+        t.count("query.snapshot.resolved", stats.resolved as u64);
+        t.count("query.snapshot.fallbacks", stats.fallbacks as u64);
+        Ok(artifact(snapshot))
+    }
+
+    fn artifact_items(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<QuerySnapshot>()
+            .map_or(0, QuerySnapshot::len)
+    }
+
+    fn artifact_bytes(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<QuerySnapshot>()
+            .map_or(0, QuerySnapshot::mem_bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,7 +899,7 @@ mod tests {
         let cfg = PipelineConfig::tiny(1);
         let n = cfg.world.regions.len();
         // R grids + gt + rt + orgdb + gazetteer + 2 collectors +
-        // 2 mappers + 4 map jobs.
-        assert_eq!(pipeline_stages(&cfg).len(), n + 12);
+        // 2 mappers + 4 map jobs + query snapshot.
+        assert_eq!(pipeline_stages(&cfg).len(), n + 13);
     }
 }

@@ -18,6 +18,9 @@
 //! - [`fractal`]: box-counting dimension of the mapped node set
 //!   (Section II's ~1.5 confirmation).
 //! - [`ascii_map`]: Figure 1's dot maps, rendered as ASCII density.
+//! - [`query`]: bulk hitlist serving over the pipeline's frozen
+//!   [`geotopo_query::QuerySnapshot`] (`PipelineOutput::query`),
+//!   threaded through the engine's deterministic pool.
 //! - [`report`]: text tables, figure data series, JSON export.
 //! - [`experiments`]: the experiment registry — one entry per table and
 //!   figure, runnable individually or as the full paper.
@@ -37,6 +40,7 @@ pub mod fractal;
 pub mod gnuplot;
 pub mod io;
 pub mod pipeline;
+pub mod query;
 pub mod report;
 pub mod section4;
 pub mod section5;

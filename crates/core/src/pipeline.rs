@@ -21,6 +21,7 @@ use geotopo_measure::{
     FaultConfig, MeasuredDataset, MercatorConfig, MercatorOutput, NodeKind, SkitterConfig,
     SkitterOutput,
 };
+use geotopo_query::QuerySnapshot;
 use geotopo_topology::generate::{GroundTruth, GroundTruthConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -441,6 +442,9 @@ pub struct PipelineOutput {
     pub skitter: Arc<SkitterOutput>,
     /// The raw Mercator collection (pre-mapping), for anomaly reporting.
     pub mercator: Arc<MercatorOutput>,
+    /// The frozen read-side query snapshot (per-address location, city,
+    /// origin, and provenance lookups; see [`crate::query`]).
+    pub query: Arc<QuerySnapshot>,
     /// Per-stage execution reports (timing, artifact sizes, cache
     /// outcomes), in stage-graph order.
     pub reports: Vec<StageReport>,
@@ -572,6 +576,7 @@ impl Pipeline {
         let route_table = take_artifact::<RouteTable>(&mut by_name, engine::ROUTE_TABLE);
         let skitter = take_artifact::<SkitterOutput>(&mut by_name, engine::COLLECT_SKITTER);
         let mercator = take_artifact::<MercatorOutput>(&mut by_name, engine::COLLECT_MERCATOR);
+        let query = take_artifact::<QuerySnapshot>(&mut by_name, engine::QUERY_SNAPSHOT);
         let datasets = engine::TABLE_I_ORDER
             .iter()
             .map(|&(mapper, collector)| {
@@ -588,6 +593,7 @@ impl Pipeline {
             datasets,
             skitter,
             mercator,
+            query,
             reports,
             metrics: telemetry.snapshot(),
         })

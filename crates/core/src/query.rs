@@ -1,0 +1,64 @@
+//! Bulk query serving over a frozen [`QuerySnapshot`].
+//!
+//! The snapshot itself (crate `geotopo-query`) is engine-agnostic: its
+//! [`QuerySnapshot::lookup_hitlist_with`] takes any chunk executor.
+//! This module supplies the engine's executor —
+//! [`engine::parallel_map`]'s order-preserving scoped-thread pool — and
+//! records serving telemetry, so callers get multi-threaded hitlist
+//! resolution whose output is byte-identical at any thread count.
+
+use crate::engine;
+use crate::telemetry::{Stopwatch, Telemetry};
+use geotopo_query::{QueryAnswer, QuerySnapshot};
+use std::net::Ipv4Addr;
+
+/// Resolves a hitlist against a snapshot on `threads` workers
+/// (`<= 1` runs on the calling thread), merging chunk results back in
+/// input order. Records `query.bulk.*` counters on `telemetry`.
+pub fn bulk_lookup(
+    snapshot: &QuerySnapshot,
+    addrs: &[Ipv4Addr],
+    threads: usize,
+    telemetry: &Telemetry,
+) -> Vec<QueryAnswer> {
+    let sw = Stopwatch::start();
+    let answers =
+        snapshot.lookup_hitlist_with(addrs, |n, job| engine::parallel_map(threads, n, job));
+    telemetry.count("query.bulk.addresses", addrs.len() as u64);
+    telemetry.count(
+        "query.bulk.resolved",
+        answers.iter().filter(|a| a.location.is_some()).count() as u64,
+    );
+    telemetry.count(
+        "query.bulk.unmapped",
+        answers.iter().filter(|a| a.matched_len.is_none()).count() as u64,
+    );
+    telemetry.span_record("query.bulk", sw.elapsed_ms());
+    answers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+
+    #[test]
+    fn bulk_lookup_matches_sequential_and_counts() {
+        let out = Pipeline::new(PipelineConfig::tiny(21)).run().expect("run");
+        let hitlist: Vec<Ipv4Addr> = out
+            .ground_truth
+            .topology
+            .interfaces()
+            .map(|(_, iface)| iface.ip)
+            .collect();
+        let telemetry = Telemetry::new();
+        let bulk = bulk_lookup(&out.query, &hitlist, 4, &telemetry);
+        let sequential: Vec<_> = hitlist.iter().map(|&ip| out.query.lookup(ip)).collect();
+        assert_eq!(bulk, sequential);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counters.get("query.bulk.addresses").copied(),
+            Some(hitlist.len() as u64)
+        );
+    }
+}

@@ -123,20 +123,30 @@ pub fn stage_trace(reports: &[StageReport]) -> TextTable {
 
 /// Human-scaled byte count for trace tables: `-` for 0 (unsupported
 /// platform), otherwise the largest fitting of B / KiB / MiB / GiB with
-/// one decimal.
+/// one decimal. The unit is picked *after* rounding to that decimal:
+/// 1 073 700 000 B is 1023.97 MiB, which a threshold-then-format order
+/// would render as the nonsensical "1024.0 MiB" instead of "1.0 GiB".
 fn fmt_bytes(bytes: u64) -> String {
     if bytes == 0 {
         return "-".into();
     }
-    let b = bytes as f64;
-    if b >= 1024.0 * 1024.0 * 1024.0 {
-        format!("{:.1} GiB", b / (1024.0 * 1024.0 * 1024.0))
-    } else if b >= 1024.0 * 1024.0 {
-        format!("{:.1} MiB", b / (1024.0 * 1024.0))
-    } else if b >= 1024.0 {
-        format!("{:.1} KiB", b / 1024.0)
-    } else {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0usize;
+    while unit + 1 < UNITS.len() && value >= 1024.0 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    // Rounding to one decimal can land exactly on 1024.0; roll over so
+    // the rendered value always stays below the next unit's threshold.
+    if unit + 1 < UNITS.len() && (value * 10.0).round() >= 10240.0 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
         format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
     }
 }
 
@@ -351,5 +361,30 @@ mod tests {
             }],
         };
         assert!(fig.render().contains("no points"));
+    }
+
+    #[test]
+    fn fmt_bytes_picks_largest_fitting_unit() {
+        assert_eq!(fmt_bytes(0), "-");
+        assert_eq!(fmt_bytes(1), "1 B");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1023), "1023 B");
+        assert_eq!(fmt_bytes(1024), "1.0 KiB");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(10 * 1024 * 1024), "10.0 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+
+    #[test]
+    fn fmt_bytes_rolls_over_at_rounding_seams() {
+        // 1 073 700 000 B = 1023.97 MiB: must round into the next unit,
+        // never print "1024.0 MiB".
+        assert_eq!(fmt_bytes(1_073_700_000), "1.0 GiB");
+        // 1 MiB - 1 B = 1023.999 KiB rounds into MiB.
+        assert_eq!(fmt_bytes(1024 * 1024 - 1), "1.0 MiB");
+        // Just below the seam still renders in the smaller unit.
+        assert_eq!(fmt_bytes(1_018_000_000), "970.8 MiB");
+        // GiB is the top unit: values only grow there, no rollover.
+        assert_eq!(fmt_bytes(u64::MAX / 4), "4294967296.0 GiB");
     }
 }

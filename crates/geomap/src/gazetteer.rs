@@ -292,10 +292,57 @@ impl Gazetteer {
 
     /// The gazetteer city nearest to `p` with its distance in miles.
     pub fn nearest(&self, p: &GeoPoint) -> Option<(&City, f64)> {
-        self.nearest_k(p, 1)
-            .into_iter()
-            .next()
+        self.nearest_idx(p)
             .map(|(i, d)| (&self.cities[i as usize], d))
+    }
+
+    /// Index (into [`Gazetteer::cities`]) and distance in miles of the
+    /// single nearest city — the allocation-free core of
+    /// [`Gazetteer::nearest`], shaped for the query snapshot's hot
+    /// lookup path: one best candidate is tracked through the expanding
+    /// ring scan, no candidate vector is built. Ties break toward the
+    /// lower index.
+    // analyze: hot-path-root
+    pub fn nearest_idx(&self, p: &GeoPoint) -> Option<(u32, f64)> {
+        if self.cities.is_empty() {
+            return None;
+        }
+        let (pr, pc) = bucket_of(p);
+        let mut best: Option<(u32, f64)> = None;
+        for ring in 0i16..=181 {
+            for dr in -ring..=ring {
+                for dc in -ring..=ring {
+                    if dr.abs() != ring && dc.abs() != ring {
+                        continue; // boundary only; interior already done
+                    }
+                    let Some(bucket) = self.buckets.get(&(pr + dr, wrap_col(pc + dc))) else {
+                        continue;
+                    };
+                    for &i in bucket {
+                        let d = haversine_miles(p, &self.cities[i as usize].location);
+                        let better = match best {
+                            None => true,
+                            Some((bi, bd)) => match d.total_cmp(&bd) {
+                                std::cmp::Ordering::Less => true,
+                                std::cmp::Ordering::Equal => i < bi,
+                                std::cmp::Ordering::Greater => false,
+                            },
+                        };
+                        if better {
+                            best = Some((i, d));
+                        }
+                    }
+                }
+            }
+            if let Some((_, bd)) = best {
+                // Same termination bound as nearest_k: a city in an
+                // unscanned bucket is more than `ring` degrees away.
+                if bd <= ring_bound_miles(ring) {
+                    return best;
+                }
+            }
+        }
+        best
     }
 
     /// The `k`-th nearest city (0 = nearest).
@@ -321,13 +368,7 @@ impl Gazetteer {
                     if dr.abs() != ring && dc.abs() != ring {
                         continue; // boundary only; interior already done
                     }
-                    let mut col = pc + dc;
-                    if col < -180 {
-                        col += 360;
-                    } else if col >= 180 {
-                        col -= 360;
-                    }
-                    if let Some(bucket) = self.buckets.get(&(pr + dr, col)) {
+                    if let Some(bucket) = self.buckets.get(&(pr + dr, wrap_col(pc + dc))) {
                         for &i in bucket {
                             let d = haversine_miles(p, &self.cities[i as usize].location);
                             best.push((i, d));
@@ -336,19 +377,16 @@ impl Gazetteer {
                 }
             }
             if best.len() >= k {
-                best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")); // lint: allow(unwrap): haversine of valid coordinates is finite
-                                                                             // A city in an unscanned bucket differs by more than
-                                                                             // `ring` bucket indices, i.e. > ring degrees of latitude
-                                                                             // or longitude. The tightest mile bound is the longitude
-                                                                             // one at high latitude; 0.25 covers |lat| ≤ 75.5°.
-                let bound = 69.0 * ring as f64 * 0.25;
-                if best[k - 1].1 <= bound {
-                    return best.into_iter().take(k).collect();
+                sort_dedup_candidates(&mut best);
+                if best.len() >= k && best[k - 1].1 <= ring_bound_miles(ring) {
+                    best.truncate(k);
+                    return best;
                 }
             }
         }
-        best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")); // lint: allow(unwrap): haversine of valid coordinates is finite
-        best.into_iter().take(k).collect()
+        sort_dedup_candidates(&mut best);
+        best.truncate(k);
+        best
     }
 
     /// Looks up a city by its code (case-insensitive).
@@ -359,9 +397,45 @@ impl Gazetteer {
     }
 }
 
-/// 1°×1° bucket key.
+/// 1°×1° bucket key. Column 180 (a point at exactly +180° longitude)
+/// wraps to -180: probe columns are normalized into [-180, 179] by
+/// [`wrap_col`], so a city stored under column 180 would be invisible
+/// to every query — the antimeridian bug this normalization fixes.
 fn bucket_of(p: &GeoPoint) -> (i16, i16) {
-    (p.lat().floor() as i16, p.lon().floor() as i16)
+    (p.lat().floor() as i16, wrap_col(p.lon().floor() as i16))
+}
+
+/// Normalizes a (possibly ring-offset) bucket column into [-180, 179],
+/// wrapping across the date line.
+fn wrap_col(mut col: i16) -> i16 {
+    if col < -180 {
+        col += 360;
+    } else if col >= 180 {
+        col -= 360;
+    }
+    col
+}
+
+/// The expanding-ring termination bound: a city in a bucket the ring
+/// has not scanned differs by more than `ring` bucket indices, i.e. by
+/// more than `ring` degrees of latitude or longitude. The tightest mile
+/// bound is the longitude one at high latitude; 0.25 covers |lat| ≤ 75.5°.
+fn ring_bound_miles(ring: i16) -> f64 {
+    69.0 * f64::from(ring) * 0.25
+}
+
+/// Sorts candidates by (distance, index) and drops duplicate indices:
+/// once the ring radius exceeds 180 columns the date-line wrap makes
+/// two `dc` offsets land on the same bucket, so a boundary scan can
+/// visit one bucket twice — without the dedup, `nearest_k` could hand
+/// back the same city in two result slots.
+fn sort_dedup_candidates(best: &mut Vec<(u32, f64)>) {
+    best.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite") // lint: allow(unwrap): haversine of valid coordinates is finite
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    best.dedup_by_key(|e| e.0);
 }
 
 #[cfg(test)]
@@ -430,6 +504,70 @@ mod tests {
     fn city_coordinates_are_valid() {
         for c in Gazetteer::builtin().cities() {
             assert!((-90.0..=90.0).contains(&c.location.lat()));
+        }
+    }
+
+    #[test]
+    fn antimeridian_query_finds_city_across_date_line() {
+        let g = Gazetteer::from_cities(vec![
+            city!("West of line", "WST", 0.0, 179.5),
+            city!("Far away", "FAR", 50.0, 0.0),
+        ]);
+        // Just east of the date line: the nearest city sits ~50 miles
+        // away on the *other* side of ±180°, not a third of the globe
+        // away at Greenwich.
+        let p = GeoPoint::new(0.0, -179.8).unwrap();
+        let (c, d) = g.nearest(&p).unwrap();
+        assert_eq!(c.code, "WST");
+        assert!(d < 100.0, "{d} miles");
+    }
+
+    #[test]
+    fn city_at_exactly_180_longitude_is_reachable() {
+        // Pre-fix, bucket_of stored this city under column 180, which
+        // the probe normalization can never address: the city existed
+        // but no query could find it.
+        let g = Gazetteer::from_cities(vec![city!("Date line", "DTL", 10.0, 180.0)]);
+        for lon in [179.0, -179.0, 180.0] {
+            let p = GeoPoint::new(10.0, lon).unwrap();
+            let (c, _) = g
+                .nearest(&p)
+                .unwrap_or_else(|| panic!("no city from lon {lon}"));
+            assert_eq!(c.code, "DTL");
+        }
+    }
+
+    #[test]
+    fn worldwide_ring_wrap_returns_no_duplicates() {
+        // Query on the far side of the globe from a two-city gazetteer:
+        // the expanding ring wraps all 360 columns, where the same
+        // bucket used to be scanned twice per ring and nearest_k(p, 2)
+        // returned one city in both slots.
+        let g = Gazetteer::from_cities(vec![
+            city!("A", "AAA", 0.0, 10.0),
+            city!("B", "BBB", 0.3, 10.2),
+        ]);
+        let p = GeoPoint::new(0.0, -170.0).unwrap();
+        let pair = g.nearest_k(&p, 2);
+        assert_eq!(pair.len(), 2, "second city lost");
+        assert_ne!(pair[0].0, pair[1].0, "duplicate city in nearest_k");
+    }
+
+    #[test]
+    fn nearest_idx_agrees_with_nearest_k() {
+        let g = Gazetteer::builtin();
+        for (lat, lon) in [
+            (42.37, -71.11),
+            (0.0, -170.0),
+            (-33.0, 151.0),
+            (10.0, 180.0),
+            (48.80, 2.13),
+        ] {
+            let p = GeoPoint::new(lat, lon).unwrap();
+            let (i, d) = g.nearest_idx(&p).unwrap();
+            let k = g.nearest_k(&p, 1)[0];
+            assert_eq!(i, k.0, "index diverged at ({lat}, {lon})");
+            assert!((d - k.1).abs() < 1e-9);
         }
     }
 }

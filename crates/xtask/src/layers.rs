@@ -10,7 +10,7 @@
 //! | 0     | `geotopo-geo`, `geotopo-stats`, `geotopo-bgp` |
 //! | 1     | `geotopo-population` |
 //! | 2     | `geotopo-topology`, `geotopo-geomap` |
-//! | 3     | `geotopo-measure` |
+//! | 3     | `geotopo-measure`, `geotopo-query` |
 //! | 4     | `geotopo-core` |
 //! | 5     | `geotopo-bench` |
 //! | top   | `geotopo` (root package) |
@@ -29,6 +29,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("geotopo-topology", 2),
     ("geotopo-geomap", 2),
     ("geotopo-measure", 3),
+    ("geotopo-query", 3),
     ("geotopo-core", 4),
     ("geotopo-bench", 5),
     ("geotopo", u32::MAX),

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo xtask check [--root PATH] [--rule GT-LINT-00x] [--list] [--all]
 //! cargo xtask analyze [--root PATH] [--rule GT-AN-00x] [--list] [--explain ID]
-//! cargo xtask bench [--check] [--update] [--scale NAME] [--threads LIST] [--json PATH]
+//! cargo xtask bench [--bench NAME] [--check] [--update] [--scale NAME] [--threads LIST] [--json PATH]
 //! ```
 //!
 //! `check` runs the line-level lint catalog; `analyze` runs the
@@ -44,13 +44,14 @@ fn print_usage() {
     eprintln!("usage: cargo xtask check [--root PATH] [--rule ID] [--list] [--all]");
     eprintln!("       cargo xtask analyze [--root PATH] [--rule ID] [--list] [--explain ID]");
     eprintln!(
-        "       cargo xtask bench [--check] [--update] [--scale NAME] [--threads LIST] [--json PATH]"
+        "       cargo xtask bench [--bench NAME] [--check] [--update] [--scale NAME] \
+         [--threads LIST] [--json PATH]"
     );
     eprintln!();
     eprintln!("tasks:");
     eprintln!("  check    run the geotopo lint pass over the workspace sources");
     eprintln!("  analyze  run the call-graph analyzer (GT-AN rules) over the workspace");
-    eprintln!("  bench    run the pipeline_stages measurement-stage bench");
+    eprintln!("  bench    run a plain-harness bench (pipeline_stages or query)");
     eprintln!();
     eprintln!("check options:");
     eprintln!("  --root PATH   workspace root to scan (default: cwd, else the repo root)");
@@ -65,24 +66,32 @@ fn print_usage() {
     eprintln!("  --explain ID  print the long-form documentation for one rule");
     eprintln!();
     eprintln!("bench options:");
-    eprintln!("  --check         gate against the committed BENCH_measure.json baseline");
-    eprintln!("  --update        merge this run's entry into BENCH_measure.json");
+    eprintln!("  --bench NAME    which bench: pipeline_stages (default) or query");
+    eprintln!("  --check         gate against the bench's committed baseline");
+    eprintln!("                  (BENCH_measure.json / BENCH_query.json)");
+    eprintln!("  --update        merge this run's entry into the committed baseline");
     eprintln!("  --scale NAME    world size: tiny|small|default|large|paper (default small)");
     eprintln!("  --threads LIST  worker counts to measure (default 1,4)");
-    eprintln!("  --json PATH     also write results to PATH (default target/pipeline_stages.json)");
+    eprintln!("  --json PATH     also write results to PATH (default target/<bench>.json)");
 }
 
-/// Baseline file committed at the repo root; `bench --check` gates the
-/// fresh run against it and `bench --update` rewrites it.
+/// Baseline file committed at the repo root for the `pipeline_stages`
+/// bench; `bench --check` gates the fresh run against it and
+/// `bench --update` rewrites it.
 const BENCH_BASELINE: &str = "BENCH_measure.json";
 
-/// `cargo xtask bench` — thin orchestrator around the `pipeline_stages`
-/// bench binary, which owns the JSON handling (this crate is
-/// deliberately dependency-free, see Cargo.toml). Exit status is the
-/// bench's own, so CI gates on it directly.
+/// Committed baseline for the `query` serving bench.
+const BENCH_QUERY_BASELINE: &str = "BENCH_query.json";
+
+/// `cargo xtask bench` — thin orchestrator around the plain-harness
+/// bench binaries (`pipeline_stages` by default, `query` via `--bench`),
+/// which own the JSON handling (this crate is deliberately
+/// dependency-free, see Cargo.toml). Exit status is the bench's own, so
+/// CI gates on it directly.
 fn bench(args: &[String]) -> ExitCode {
     let mut do_check = false;
     let mut do_update = false;
+    let mut which = String::from("pipeline_stages");
     let mut scale = String::from("small");
     let mut threads = String::from("1,4");
     let mut json: Option<String> = None;
@@ -91,6 +100,13 @@ fn bench(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--check" => do_check = true,
             "--update" => do_update = true,
+            "--bench" => match it.next() {
+                Some(name) => which = name.clone(),
+                None => {
+                    eprintln!("error: --bench needs a name (pipeline_stages|query)");
+                    return ExitCode::from(2);
+                }
+            },
             "--scale" => match it.next() {
                 Some(s) => scale = s.clone(),
                 None => {
@@ -119,6 +135,14 @@ fn bench(args: &[String]) -> ExitCode {
         }
     }
 
+    let (baseline_name, default_json) = match which.as_str() {
+        "pipeline_stages" => (BENCH_BASELINE, "target/pipeline_stages.json"),
+        "query" => (BENCH_QUERY_BASELINE, "target/query.json"),
+        other => {
+            eprintln!("error: unknown bench `{other}` (pipeline_stages|query)");
+            return ExitCode::from(2);
+        }
+    };
     let root = default_root();
     // Cargo runs bench binaries with the *package* directory as cwd,
     // so every path handed over must be absolute against the root.
@@ -130,17 +154,17 @@ fn bench(args: &[String]) -> ExitCode {
             root.join(p)
         }
     };
-    let baseline = abs(BENCH_BASELINE);
+    let baseline = abs(baseline_name);
     // The bench writes its JSON wherever it is told: pointing it at
     // the baseline makes the run the new reference.
     let json = if do_update {
         baseline.clone()
     } else {
-        abs(&json.unwrap_or_else(|| "target/pipeline_stages.json".into()))
+        abs(&json.unwrap_or_else(|| default_json.into()))
     };
     let mut cmd = std::process::Command::new(env!("CARGO"));
     cmd.current_dir(&root)
-        .args(["bench", "-p", "geotopo-bench", "--bench", "pipeline_stages"])
+        .args(["bench", "-p", "geotopo-bench", "--bench", &which])
         .args(["--", "--scale", &scale, "--threads", &threads])
         .arg("--json")
         .arg(&json);

@@ -3,7 +3,7 @@
 //! ```sh
 //! cargo run --release --example reproduce_paper \
 //!     [--validate] [--trace] [--threads N] [--faults PROFILE] [--resume] \
-//!     [--metrics-out PATH] [scale] [seed] [out_dir]
+//!     [--metrics-out PATH] [--query-hitlist N] [scale] [seed] [out_dir]
 //! ```
 //!
 //! `scale` ∈ {tiny, small, default, large, paper}; default `small`.
@@ -37,6 +37,10 @@
 //! (stable schema; see `geotopo_core::telemetry`). Counters, gauges and
 //! histograms are deterministic per (config, seed); only the span
 //! timers carry wall-clock.
+//! `--query-hitlist N` resolves an N-address hitlist (Skitter's observed
+//! nodes, cycled) against the run's frozen query snapshot on the
+//! scheduler's workers and prints a serving summary — the interactive
+//! read path, exercised end to end.
 
 use geotopo::core::engine::ArtifactStore;
 use geotopo::core::experiments;
@@ -70,6 +74,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .ok_or("--metrics-out requires a file path")?
                 .clone(),
         );
+        args.drain(pos..=pos + 1);
+    }
+    let mut query_hitlist = 0usize;
+    if let Some(pos) = args.iter().position(|a| a == "--query-hitlist") {
+        let val = args
+            .get(pos + 1)
+            .ok_or("--query-hitlist requires an address count")?;
+        query_hitlist = val.parse()?;
         args.drain(pos..=pos + 1);
     }
     let mut fault_profile = String::from("none");
@@ -180,6 +192,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = metrics_out {
         std::fs::write(&path, serde_json::to_string_pretty(&out.metrics)?)?;
         eprintln!("[geotopo] wrote metrics snapshot to {path}");
+    }
+
+    if query_hitlist > 0 {
+        // Serve a hitlist against the frozen snapshot: Skitter's observed
+        // nodes, cycled up to the requested size (a stable, deterministic
+        // address source that exists at every scale).
+        let hitlist: Vec<std::net::Ipv4Addr> = out
+            .skitter
+            .dataset
+            .nodes()
+            .iter()
+            .map(|n| n.ip)
+            .cycle()
+            .take(query_hitlist)
+            .collect();
+        let workers = geotopo::core::engine::resolve_threads(threads);
+        let telemetry = geotopo::core::telemetry::Telemetry::new();
+        let tq = std::time::Instant::now();
+        let answers = geotopo::core::query::bulk_lookup(&out.query, &hitlist, workers, &telemetry);
+        let secs = tq.elapsed().as_secs_f64();
+        let resolved = answers.iter().filter(|a| a.location.is_some()).count();
+        let unmapped = answers.iter().filter(|a| a.matched_len.is_none()).count();
+        eprintln!(
+            "[geotopo] query hitlist: {} addresses in {:.3}s ({:.0}/s, {} workers): \
+             {} resolved, {} origin-unmapped, snapshot of {} addresses via {}",
+            answers.len(),
+            secs,
+            answers.len() as f64 / secs.max(1e-9),
+            workers,
+            resolved,
+            unmapped,
+            out.query.len(),
+            out.query.mapper(),
+        );
     }
 
     let results = experiments::run_all(&out);

@@ -17,6 +17,8 @@
 //!   RouteViews tables.
 //! - [`geomap`] — simulated IxMapper and EdgeScape geolocation services.
 //! - [`measure`] — simulated Skitter and Mercator topology collectors.
+//! - [`query`] — the read-side query layer: frozen snapshots answering
+//!   per-address location/origin lookups and bulk hitlists.
 //! - [`core`] — the paper's analysis pipeline and every table/figure.
 //!
 //! ## Quickstart
@@ -39,5 +41,6 @@ pub use geotopo_geo as geo;
 pub use geotopo_geomap as geomap;
 pub use geotopo_measure as measure;
 pub use geotopo_population as population;
+pub use geotopo_query as query;
 pub use geotopo_stats as stats;
 pub use geotopo_topology as topology;

@@ -53,7 +53,7 @@ fn reports_cover_every_stage() {
     let cfg = PipelineConfig::tiny(3);
     let n_regions = cfg.world.regions.len();
     let out = Pipeline::new(cfg).run().unwrap();
-    assert_eq!(out.reports.len(), n_regions + 12);
+    assert_eq!(out.reports.len(), n_regions + 13);
     let mut names: Vec<&str> = out.reports.iter().map(|r| r.stage.as_str()).collect();
     names.sort_unstable();
     names.dedup();
@@ -145,8 +145,8 @@ fn disk_cache_survives_store_loss() {
         .filter(|r| r.cache == CacheStatus::HitDisk)
         .count();
     assert_eq!(
-        disk_hits, 7,
-        "ground truth, both collectors, and all four map stages should reload from disk"
+        disk_hits, 8,
+        "ground truth, route table, both collectors, and all four map stages should reload from disk"
     );
     for (a, b) in first.datasets.iter().zip(&second.datasets) {
         assert_eq!(

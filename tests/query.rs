@@ -1,0 +1,125 @@
+//! Query-snapshot guarantees: bulk hitlist serving must be
+//! byte-identical at any thread count and must agree exactly with
+//! sequential single lookups.
+
+use geotopo::core::pipeline::{Pipeline, PipelineConfig};
+use geotopo::core::query::bulk_lookup;
+use geotopo::core::telemetry::Telemetry;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// One pipeline run's snapshot plus a hitlist long enough to span
+/// several bulk chunks, with addresses both inside and outside the
+/// frozen world.
+fn snapshot_and_hitlist() -> (geotopo::core::pipeline::PipelineOutput, Vec<Ipv4Addr>) {
+    let out = Pipeline::new(PipelineConfig::tiny(9)).run().expect("run");
+    let mut hitlist: Vec<Ipv4Addr> = out
+        .ground_truth
+        .topology
+        .interfaces()
+        .map(|(_, iface)| iface.ip)
+        .collect();
+    let n = hitlist.len();
+    // Cycle past one chunk and sprinkle in strangers so the unknown
+    // path is exercised under threading too.
+    for i in 0..n {
+        hitlist.push(hitlist[i % n]);
+    }
+    for i in 0..64u32 {
+        hitlist.push(Ipv4Addr::from(0xCB00_7100 + i * 37));
+    }
+    (out, hitlist)
+}
+
+/// The tentpole promise: the merged bulk output is byte-identical at
+/// 1 and 4 worker threads, and identical to sequential lookups.
+#[test]
+fn hitlist_bytes_identical_across_thread_counts() {
+    let (out, hitlist) = snapshot_and_hitlist();
+    let telemetry = Telemetry::new();
+    let one = bulk_lookup(&out.query, &hitlist, 1, &telemetry);
+    let four = bulk_lookup(&out.query, &hitlist, 4, &telemetry);
+    assert_eq!(
+        serde_json::to_string(&one).expect("serialize"),
+        serde_json::to_string(&four).expect("serialize"),
+        "bulk hitlist output diverged between thread counts"
+    );
+    let sequential: Vec<_> = hitlist.iter().map(|&ip| out.query.lookup(ip)).collect();
+    assert_eq!(one, sequential, "bulk output diverged from single lookups");
+}
+
+/// Answers carry the cross-artifact invariants: origin agrees with the
+/// route table, known addresses come from the frozen interface set, and
+/// provenance labels come from the tool's real chain.
+#[test]
+fn answers_agree_with_route_table_and_world() {
+    let (out, hitlist) = snapshot_and_hitlist();
+    let n_ifaces = out.ground_truth.topology.num_interfaces();
+    assert_eq!(out.query.len(), n_ifaces);
+    let telemetry = Telemetry::new();
+    let answers = bulk_lookup(&out.query, &hitlist, 4, &telemetry);
+    let mut known = 0usize;
+    for (ip, ans) in hitlist.iter().zip(&answers) {
+        assert_eq!(ans.ip, u32::from(*ip));
+        assert_eq!(ans.origin, out.route_table.origin(*ip));
+        assert_eq!(
+            ans.matched_len,
+            out.route_table.origin_with_len(*ip).map(|(_, l)| l)
+        );
+        if ans.known {
+            known += 1;
+            if ans.location.is_some() {
+                assert_ne!(ans.source, "none");
+                assert!(out.query.city(ans).is_some(), "estimate without a city");
+            }
+        } else {
+            assert_eq!(ans.source, "none");
+            assert_eq!(ans.location, None);
+        }
+    }
+    assert!(known > 0, "hitlist should include frozen addresses");
+    // The pipeline counted the freeze in its own metrics.
+    assert_eq!(
+        out.metrics
+            .counters
+            .get("query.snapshot.addresses")
+            .copied(),
+        Some(n_ifaces as u64)
+    );
+}
+
+proptest! {
+    /// Any sub-hitlist — random picks from the world plus arbitrary
+    /// strangers, in any order — resolves identically at 1 and 4
+    /// threads and matches per-address lookups.
+    #[test]
+    fn random_hitlists_are_thread_count_invariant(
+        picks in prop::collection::vec(any::<usize>(), 0..300),
+        strangers in prop::collection::vec(any::<u32>(), 0..40)
+    ) {
+        // One shared pipeline run: the property varies the hitlist, not
+        // the world.
+        static WORLD: std::sync::OnceLock<(geotopo::core::pipeline::PipelineOutput, Vec<Ipv4Addr>)> =
+            std::sync::OnceLock::new();
+        let (out, world) = WORLD.get_or_init(|| {
+            let out = Pipeline::new(PipelineConfig::tiny(9)).run().expect("run");
+            let world: Vec<Ipv4Addr> = out
+                .ground_truth
+                .topology
+                .interfaces()
+                .map(|(_, iface)| iface.ip)
+                .collect();
+            (out, world)
+        });
+        let mut hitlist: Vec<Ipv4Addr> =
+            picks.iter().map(|&p| world[p % world.len()]).collect();
+        hitlist.extend(strangers.iter().map(|&s| Ipv4Addr::from(s)));
+        let telemetry = Telemetry::new();
+        let one = bulk_lookup(&out.query, &hitlist, 1, &telemetry);
+        let four = bulk_lookup(&out.query, &hitlist, 4, &telemetry);
+        prop_assert_eq!(&one, &four);
+        for (ip, ans) in hitlist.iter().zip(&one) {
+            prop_assert_eq!(*ans, out.query.lookup(*ip));
+        }
+    }
+}
