@@ -37,10 +37,13 @@
 //!    4-core scaling curve against a 1-core recording gates noise, not
 //!    regressions).
 //! 2. **No single-thread regression** — the fresh one-thread
-//!    measurement time must not exceed the baseline's by more than
-//!    `--tolerance` (default 0.5, i.e. +50%; generous because absolute
-//!    milliseconds move across machines — the committed baseline mainly
-//!    pins the *shape* of the run).
+//!    measurement time *and* end-to-end wall time must not exceed the
+//!    baseline's by more than `--tolerance` (default 0.5, i.e. +50%;
+//!    generous because absolute milliseconds move across machines — the
+//!    committed baseline mainly pins the *shape* of the run). The
+//!    end-to-end gate pins the interior-parallel stage rebuild: a
+//!    serial regression anywhere in the graph fails it even if the
+//!    probe collectors stay fast.
 //! 3. **No peak-RSS regression** — when both the baseline entry and the
 //!    fresh run carry a nonzero peak RSS, the fresh peak must not
 //!    exceed the baseline's by more than the same tolerance. This is
@@ -299,19 +302,8 @@ fn check(
     if let (Some(seq), Some(par)) = (seq, par) {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let base_cores = entry["host_cores"].as_u64();
-        if cores < par.threads {
-            println!(
-                "bench check: host has {cores} core(s) < {} threads; \
-                 scaling gate skipped (enforced on multi-core CI)",
-                par.threads
-            );
-        } else if base_cores.is_some_and(|b| b != cores as u64) {
-            println!(
-                "bench check: baseline recorded on {} core(s), host has {cores}; \
-                 scaling gate skipped (re-record with `cargo xtask bench --update` \
-                 on this host to enforce it)",
-                base_cores.unwrap_or(0)
-            );
+        if let Some(skip) = geotopo_bench::scaling_gate_skip(cores, par.threads, base_cores) {
+            println!("bench check: {skip}");
         } else {
             let speedup = seq.measure_ms() / par.measure_ms();
             if speedup < min_speedup {
@@ -332,7 +324,10 @@ fn check(
     }
 
     // Gate 2: no single-thread regression against the committed
-    // baseline.
+    // baseline — both the measurement stages and the end-to-end wall
+    // time. The total gate is the tighter one now that every hot stage
+    // interior is chunked: a serial regression anywhere in the graph
+    // shows up in total_s even if the probe collectors stay fast.
     if let Some(seq) = seq {
         let limit = base_measure_1 * (1.0 + tolerance);
         if seq.measure_ms() > limit {
@@ -350,6 +345,29 @@ fn check(
                 seq.measure_ms(),
                 tolerance * 100.0
             );
+        }
+        let base_total_1 = entry["runs"]
+            .as_array()
+            .and_then(|rs| rs.iter().find(|r| r["threads"] == 1))
+            .and_then(|r| r["total_s"].as_f64());
+        if let Some(base_total_1) = base_total_1 {
+            let limit = base_total_1 * (1.0 + tolerance);
+            if seq.total_s > limit {
+                eprintln!(
+                    "bench check: FAIL 1-thread end-to-end {:.3} s exceeds baseline \
+                     {base_total_1:.3} s by more than {:.0}%",
+                    seq.total_s,
+                    tolerance * 100.0
+                );
+                failed = true;
+            } else {
+                println!(
+                    "bench check: 1-thread end-to-end {:.3} s within {:.0}% of \
+                     baseline {base_total_1:.3} s",
+                    seq.total_s,
+                    tolerance * 100.0
+                );
+            }
         }
     }
 

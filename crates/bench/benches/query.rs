@@ -274,19 +274,8 @@ fn check(
     if let (Some(seq), Some(par)) = (seq, par) {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let base_cores = entry["host_cores"].as_u64();
-        if cores < par.threads {
-            println!(
-                "bench check: host has {cores} core(s) < {} threads; \
-                 scaling gate skipped (enforced on multi-core CI)",
-                par.threads
-            );
-        } else if base_cores.is_some_and(|b| b != cores as u64) {
-            println!(
-                "bench check: baseline recorded on {} core(s), host has {cores}; \
-                 scaling gate skipped (re-record with `cargo xtask bench --bench query \
-                 --update` on this host to enforce it)",
-                base_cores.unwrap_or(0)
-            );
+        if let Some(skip) = geotopo_bench::scaling_gate_skip(cores, par.threads, base_cores) {
+            println!("bench check: {skip}");
         } else {
             let speedup = par.lookups_per_s / seq.lookups_per_s;
             if speedup < min_speedup {

@@ -130,10 +130,7 @@ fn bench_population_and_mapping(c: &mut Criterion) {
     let mut orgs = OrgDb::new();
     orgs.insert(AsId(1), "isp0001", GeoPoint::new(40.7, -74.0).unwrap());
     let ix = IxMapper::with_gazetteer(9, std::sync::Arc::new(orgs), std::sync::Arc::new(gaz));
-    let ctx = MapContext {
-        true_location: GeoPoint::new(40.0, -100.0).unwrap(),
-        asn: AsId(1),
-    };
+    let ctx = MapContext::new(GeoPoint::new(40.0, -100.0).unwrap(), AsId(1));
     c.bench_function("geomap/ixmapper_map_1k", |b| {
         b.iter(|| {
             let mut located = 0;

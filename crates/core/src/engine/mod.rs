@@ -46,12 +46,12 @@ mod supervise;
 pub use fingerprint::{config_fingerprint, stage_fingerprint, Fingerprint};
 pub use scheduler::{
     execute, parallel_map, parse_threads_env, resolve_threads, threads_env_warning, CacheStatus,
-    StageReport,
+    EngineExec, StageReport,
 };
 pub use stages::{map_stage_name, pipeline_stages, pop_grid_name};
 pub use stages::{
     COLLECT_MERCATOR, COLLECT_SKITTER, GAZETTEER, GROUND_TRUTH, MAPPER_EDGESCAPE, MAPPER_IXMAPPER,
-    ORG_DB, QUERY_SNAPSHOT, ROUTE_TABLE,
+    NEAREST_HINTS, ORG_DB, QUERY_SNAPSHOT, ROUTE_TABLE,
 };
 pub use store::ArtifactStore;
 pub use supervise::{RetryPolicy, StageError};

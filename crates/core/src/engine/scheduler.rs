@@ -14,6 +14,7 @@ use super::supervise::{self, StageError};
 use super::{Artifact, CacheLoad, DiskCache, SaveOutcome, Stage, StageCtx};
 use crate::pipeline::{PipelineConfig, PipelineError};
 use crate::telemetry::{Stopwatch, Telemetry};
+use geotopo_stats::ChunkExec;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -618,6 +619,69 @@ where
                 .expect("every job index was claimed and completed")
         })
         .collect()
+}
+
+/// The engine's [`ChunkExec`]: [`parallel_map`] plus the
+/// `engine.parallel_map.*` telemetry every interior-parallel path
+/// carries.
+///
+/// Chunk counts are decided by the *caller* from fixed constants, so
+/// every counter here (calls, jobs, per-stage chunks) and the optional
+/// per-chunk span count are identical at any thread count — which is
+/// what lets the thread-matrix telemetry tests compare snapshots
+/// byte-for-byte.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineExec<'a> {
+    threads: usize,
+    telemetry: &'a Telemetry,
+    /// Stage label for the per-stage chunk counter
+    /// (`engine.parallel_map.<stage>.chunks`).
+    stage: &'a str,
+    /// Optional span key recorded once per chunk with the chunk's wall
+    /// time (masked snapshots keep only the count, which is
+    /// thread-invariant).
+    span: Option<&'a str>,
+}
+
+impl<'a> EngineExec<'a> {
+    /// Builds an executor for `stage` running on up to `threads`
+    /// workers.
+    pub fn new(threads: usize, telemetry: &'a Telemetry, stage: &'a str) -> Self {
+        Self {
+            threads,
+            telemetry,
+            stage,
+            span: None,
+        }
+    }
+
+    /// Records `span` once per chunk with the chunk's wall time.
+    #[must_use]
+    pub fn with_span(mut self, span: &'a str) -> Self {
+        self.span = Some(span);
+        self
+    }
+}
+
+impl ChunkExec for EngineExec<'_> {
+    fn dispatch<T: Send>(&self, n: usize, job: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+        let out = parallel_map(self.threads, n, |i| match self.span {
+            Some(key) => {
+                let sw = Stopwatch::start();
+                let value = job(i);
+                self.telemetry.span_record(key, sw.elapsed_ms());
+                value
+            }
+            None => job(i),
+        });
+        self.telemetry.count("engine.parallel_map.calls", 1);
+        self.telemetry.count("engine.parallel_map.jobs", n as u64);
+        self.telemetry.count(
+            &format!("engine.parallel_map.{}.chunks", self.stage),
+            n as u64,
+        );
+        out
+    }
 }
 
 #[cfg(test)]

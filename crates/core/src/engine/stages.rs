@@ -7,28 +7,30 @@
 //! pop-grid-0..R ──┬─> ground-truth ──┬─> route-table ──────────┐
 //!                 │                  ├─> org-db ──┐            │
 //!                 └─> gazetteer ─────┤            ├─> mapper-* ─┴─> map-{tool}-{collector} ×4
+//!                                    ├─> nearest-hints ────────┘
 //!                                    ├─> collect-skitter ──────┘
 //!                                    └─> collect-mercator
 //!
-//! ground-truth + route-table + gazetteer + mapper-ixmapper ─> query-snapshot
+//! ground-truth + route-table + gazetteer + mapper-ixmapper + nearest-hints
+//!   ─> query-snapshot
 //! ```
 //!
 //! Stage bodies are verbatim extractions of the old `Pipeline::run`
 //! monolith — same seed derivations, same iteration orders — so the
 //! artifacts are byte-identical to the pre-engine pipeline.
 
-use super::scheduler::{parallel_map, resolve_threads};
+use super::scheduler::{resolve_threads, EngineExec};
 use super::supervise::{check_stage, StageError};
 use super::{artifact, Artifact, CacheLoad, DiskCache, Fingerprint, SaveOutcome, Stage, StageCtx};
 use crate::io::{self, CacheRead};
 use crate::pipeline::{
-    generation_regions, process_with_telemetry, Collector, MapperKind, PipelineConfig,
+    generation_regions, process_chunked, Collector, MapperKind, NearestHints, PipelineConfig,
     PipelineStage, ProcessTelemetry, ProcessedDataset,
 };
-use crate::telemetry::{Stopwatch, Telemetry};
+use crate::telemetry::Telemetry;
 use geotopo_bgp::RouteTable;
 use geotopo_geomap::{EdgeScape, Gazetteer, GeoMapper, IxMapper, MapContext, OrgDb};
-use geotopo_measure::{FaultStats, MonitorCampaign, RoutingStats};
+use geotopo_measure::{FaultStats, RoutingStats};
 use geotopo_measure::{
     MeasuredDataset, Mercator, MercatorConfig, MercatorOutput, Skitter, SkitterConfig,
     SkitterOutput,
@@ -45,6 +47,9 @@ pub const ROUTE_TABLE: &str = "route-table";
 pub const ORG_DB: &str = "org-db";
 /// Name of the densified-gazetteer stage (artifact: [`Gazetteer`]).
 pub const GAZETTEER: &str = "gazetteer";
+/// Name of the per-router nearest-city memo stage (artifact:
+/// [`NearestHints`]).
+pub const NEAREST_HINTS: &str = "nearest-hints";
 /// Name of the Skitter collection stage (artifact: `SkitterOutput`).
 pub const COLLECT_SKITTER: &str = "collect-skitter";
 /// Name of the Mercator collection stage (artifact: `MercatorOutput`).
@@ -143,7 +148,7 @@ pub(crate) const TABLE_I_ORDER: [(MapperKind, Collector); 4] = [
 /// ordered (every stage appears after its dependencies).
 pub fn pipeline_stages(config: &PipelineConfig) -> Vec<Box<dyn Stage>> {
     let n_regions = config.world.regions.len();
-    let mut stages: Vec<Box<dyn Stage>> = Vec::with_capacity(n_regions + 13);
+    let mut stages: Vec<Box<dyn Stage>> = Vec::with_capacity(n_regions + 14);
     for region in 0..n_regions {
         stages.push(Box::new(PopGridStage { region }));
     }
@@ -151,6 +156,7 @@ pub fn pipeline_stages(config: &PipelineConfig) -> Vec<Box<dyn Stage>> {
     stages.push(Box::new(RouteTableStage));
     stages.push(Box::new(OrgDbStage));
     stages.push(Box::new(GazetteerStage { n_regions }));
+    stages.push(Box::new(NearestHintsStage));
     stages.push(Box::new(CollectSkitterStage));
     stages.push(Box::new(CollectMercatorStage));
     stages.push(Box::new(MapperIxStage));
@@ -215,9 +221,10 @@ impl Stage for GroundTruthStage {
         let grids: Vec<std::sync::Arc<PopulationGrid>> =
             (0..self.n_regions).map(|i| ctx.dep(i)).collect();
         let refs: Vec<&PopulationGrid> = grids.iter().map(|g| g.as_ref()).collect();
-        let gt = GroundTruth::generate_with_grids(ctx.config.world.clone(), &refs)?;
-        ctx.telemetry()
-            .count("ground-truth.routers", gt.topology.num_routers() as u64);
+        let t = ctx.telemetry();
+        let exec = EngineExec::new(resolve_threads(ctx.config.threads), t, GROUND_TRUTH);
+        let gt = GroundTruth::generate_with_grids_exec(ctx.config.world.clone(), &refs, &exec)?;
+        t.count("ground-truth.routers", gt.topology.num_routers() as u64);
         Ok(artifact(gt))
     }
 
@@ -371,6 +378,50 @@ impl Stage for GazetteerStage {
     }
 }
 
+/// Precomputes the per-router gazetteer nearest-city memo shared by the
+/// four map stages and the query snapshot. Router locations repeat
+/// heavily across interfaces (every interface of a router shares its
+/// location), so one `nearest_idx` per *router* replaces one per
+/// *address* in the downstream hot loops. Chunks fan out over the
+/// engine pool and merge in router-index order — byte-identical at any
+/// thread count.
+struct NearestHintsStage;
+
+impl Stage for NearestHintsStage {
+    fn name(&self) -> String {
+        NEAREST_HINTS.into()
+    }
+
+    fn deps(&self) -> Vec<String> {
+        vec![GROUND_TRUTH.into(), GAZETTEER.into()]
+    }
+
+    fn seed(&self, config: &PipelineConfig) -> u64 {
+        // No randomness: derived purely from the world and gazetteer.
+        config.world.seed
+    }
+
+    fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
+        let gt = ctx.dep::<GroundTruth>(0);
+        let gazetteer = ctx.dep::<Gazetteer>(1);
+        let t = ctx.telemetry();
+        let exec = EngineExec::new(resolve_threads(ctx.config.threads), t, NEAREST_HINTS);
+        let hints = NearestHints::compute(&gt, &gazetteer, &exec);
+        t.count("nearest-hints.routers", hints.len() as u64);
+        Ok(artifact(hints))
+    }
+
+    fn artifact_items(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<NearestHints>()
+            .map_or(0, NearestHints::len)
+    }
+
+    fn artifact_bytes(&self, a: &Artifact) -> usize {
+        a.downcast_ref::<NearestHints>()
+            .map_or(0, NearestHints::mem_bytes)
+    }
+}
+
 /// Absorbs a collection campaign's counters into the metrics registry
 /// under a collector prefix (`collect-skitter` / `collect-mercator`).
 /// One batch of registry writes per stage: the hot probe loops only
@@ -458,24 +509,14 @@ impl Stage for CollectSkitterStage {
             .clone()
             .unwrap_or_else(|| SkitterConfig::scaled(&gt, ctx.config.world.seed ^ 0x51));
         let t = ctx.telemetry();
-        // Per-monitor campaigns fan out over the engine's deterministic
-        // scoped-thread pool; all RNG is drawn in Skitter's serial
-        // prologue and results merge in monitor-index order, so the
-        // bytes are identical at any thread count.
-        let threads = resolve_threads(ctx.config.threads);
-        let out = Skitter::collect_with_faults_exec(
-            &gt,
-            &cfg,
-            &ctx.config.faults,
-            |n, job: &(dyn Fn(usize) -> MonitorCampaign + Sync)| {
-                parallel_map(threads, n, |m| {
-                    let sw = Stopwatch::start();
-                    let campaign = job(m);
-                    t.span_record("stage.measure.skitter", sw.elapsed_ms());
-                    campaign
-                })
-            },
-        );
+        // Oracle solves and per-(monitor, destination-chunk) trace jobs
+        // fan out over the engine's deterministic scoped-thread pool;
+        // all RNG is drawn in Skitter's serial prologue and results
+        // merge in job-index order, so the bytes are identical at any
+        // thread count.
+        let exec = EngineExec::new(resolve_threads(ctx.config.threads), t, COLLECT_SKITTER)
+            .with_span("stage.measure.skitter");
+        let out = Skitter::collect_with_faults_exec(&gt, &cfg, &ctx.config.faults, &exec);
         let planned = out.monitors.len();
         let need = ctx.config.faults.quorum_monitors(planned);
         let active = out.active_monitors();
@@ -708,6 +749,7 @@ impl Stage for MapStage {
             ROUTE_TABLE.into(),
             self.mapper_dep().into(),
             self.collect_dep().into(),
+            NEAREST_HINTS.into(),
         ]
     }
 
@@ -721,14 +763,34 @@ impl Stage for MapStage {
     fn run(&self, ctx: &StageCtx<'_>) -> Result<Artifact, StageError> {
         let gt = ctx.dep::<GroundTruth>(0);
         let table = ctx.dep::<RouteTable>(1);
+        let hints = ctx.dep::<NearestHints>(4);
+        let name = self.name();
+        // Address chunks fan out over the engine pool; chunk results
+        // merge in index order, so the bytes are identical at any
+        // thread count.
+        let exec = EngineExec::new(resolve_threads(ctx.config.threads), ctx.telemetry(), &name);
         let run_process = |measured: &MeasuredDataset| match self.mapper {
             MapperKind::IxMapper => {
                 let mapper = ctx.dep::<IxMapper>(2);
-                process_with_telemetry(measured, &*mapper as &dyn GeoMapper, &table, &gt)
+                process_chunked(
+                    measured,
+                    &*mapper as &(dyn GeoMapper + Sync),
+                    &table,
+                    &gt,
+                    Some(&hints),
+                    &exec,
+                )
             }
             MapperKind::EdgeScape => {
                 let mapper = ctx.dep::<EdgeScape>(2);
-                process_with_telemetry(measured, &*mapper as &dyn GeoMapper, &table, &gt)
+                process_chunked(
+                    measured,
+                    &*mapper as &(dyn GeoMapper + Sync),
+                    &table,
+                    &gt,
+                    Some(&hints),
+                    &exec,
+                )
             }
         };
         let (dataset, tally) = match self.collector {
@@ -822,6 +884,7 @@ impl Stage for QuerySnapshotStage {
             ROUTE_TABLE.into(),
             GAZETTEER.into(),
             MAPPER_IXMAPPER.into(),
+            NEAREST_HINTS.into(),
         ]
     }
 
@@ -834,15 +897,14 @@ impl Stage for QuerySnapshotStage {
         let table = ctx.dep::<RouteTable>(1);
         let gazetteer = ctx.dep::<Gazetteer>(2);
         let mapper = ctx.dep::<IxMapper>(3);
+        let hints = ctx.dep::<NearestHints>(4);
         let topo = &gt.topology;
         let addresses = topo.interfaces().map(|(_, iface)| {
             let r = topo.router(iface.router);
             (
                 iface.ip,
-                MapContext {
-                    true_location: r.location,
-                    asn: r.asn,
-                },
+                MapContext::new(r.location, r.asn)
+                    .with_nearest_hint(hints.for_router(iface.router)),
             )
         });
         let snapshot =
@@ -898,8 +960,8 @@ mod tests {
     fn stage_count_matches_graph_shape() {
         let cfg = PipelineConfig::tiny(1);
         let n = cfg.world.regions.len();
-        // R grids + gt + rt + orgdb + gazetteer + 2 collectors +
-        // 2 mappers + 4 map jobs + query snapshot.
-        assert_eq!(pipeline_stages(&cfg).len(), n + 13);
+        // R grids + gt + rt + orgdb + gazetteer + nearest-hints +
+        // 2 collectors + 2 mappers + 4 map jobs + query snapshot.
+        assert_eq!(pipeline_stages(&cfg).len(), n + 14);
     }
 }

@@ -49,6 +49,6 @@ pub mod telemetry;
 pub mod vfs;
 
 pub use pipeline::{
-    Collector, GeoDataset, GeoInvariant, GeoNode, MapperKind, Pipeline, PipelineConfig,
-    PipelineOutput, PipelineStage, ProcessedDataset, ValidationMode,
+    Collector, GeoDataset, GeoInvariant, GeoNode, MapperKind, NearestHints, Pipeline,
+    PipelineConfig, PipelineOutput, PipelineStage, ProcessedDataset, ValidationMode,
 };

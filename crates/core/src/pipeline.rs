@@ -22,7 +22,9 @@ use geotopo_measure::{
     SkitterOutput,
 };
 use geotopo_query::QuerySnapshot;
+use geotopo_stats::{ChunkExec, SerialExec};
 use geotopo_topology::generate::{GroundTruth, GroundTruthConfig};
+use geotopo_topology::RouterId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -628,10 +630,104 @@ pub struct ProcessTelemetry {
     pub lpm_matched_len: Histogram,
 }
 
+/// Fixed node-chunk size for the map-stage interior
+/// ([`process_chunked`]). A constant — never derived from the thread
+/// count — so chunk boundaries, per-chunk tallies, and the merged
+/// output are byte-identical no matter how many workers run the chunks.
+// analyze: allow(dead-pub): part of the documented interior-parallelism contract (DESIGN.md); root-package tests exercise chunk boundaries through it
+pub const NODE_CHUNK: usize = 2048;
+
+/// Fixed router-chunk size for [`NearestHints::compute`]. Same
+/// contract as [`NODE_CHUNK`]: thread-count-independent boundaries.
+// analyze: allow(dead-pub): part of the documented interior-parallelism contract (DESIGN.md)
+pub const ROUTER_HINT_CHUNK: usize = 4096;
+
+/// Frozen per-router nearest-city results: the gazetteer memo the map
+/// stages and the query-snapshot freeze share.
+///
+/// The nearest-city search is the dominant per-address mapping cost at
+/// scale, and every interface of a router shares its router's
+/// location, so the pipeline computes `nearest_idx` once per router —
+/// in fixed chunks over the engine executor — and hands the results to
+/// every mapping consumer as [`MapContext::nearest_hint`]. Hints are
+/// the exact `nearest_idx` output (index and distance bits), so hinted
+/// and unhinted mapping are bit-identical.
+#[derive(Debug, Clone)]
+pub struct NearestHints {
+    per_router: Vec<Option<(u32, f64)>>,
+}
+
+impl NearestHints {
+    /// Computes the per-router memo against `gazetteer` — the same
+    /// artifact the pipeline's mappers hold, which is what makes the
+    /// hints valid for them.
+    pub fn compute(
+        gt: &GroundTruth,
+        gazetteer: &geotopo_geomap::Gazetteer,
+        exec: &impl ChunkExec,
+    ) -> Self {
+        let n = gt.topology.num_routers();
+        let n_chunks = n.div_ceil(ROUTER_HINT_CHUNK);
+        let chunks = exec.dispatch(n_chunks, &|c| {
+            let lo = c * ROUTER_HINT_CHUNK;
+            let hi = usize::min(lo + ROUTER_HINT_CHUNK, n);
+            (lo..hi)
+                .map(|r| {
+                    let router = gt.topology.router(RouterId(r as u32));
+                    gazetteer.nearest_idx(&router.location)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut per_router = Vec::with_capacity(n);
+        for chunk in chunks {
+            per_router.extend(chunk);
+        }
+        NearestHints { per_router }
+    }
+
+    /// The memoized `nearest_idx` result for one router.
+    pub fn for_router(&self, r: RouterId) -> Option<(u32, f64)> {
+        self.per_router.get(r.0 as usize).copied().flatten()
+    }
+
+    /// Number of routers covered.
+    pub fn len(&self) -> usize {
+        self.per_router.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_router.is_empty()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        self.per_router.len() * std::mem::size_of::<Option<(u32, f64)>>()
+    }
+}
+
+impl ProcessTelemetry {
+    /// Folds another tally into this one (chunk-merge). Every field is
+    /// an order-independent sum or merge, so folding per-chunk tallies
+    /// in chunk order equals tallying serially.
+    pub fn absorb(&mut self, other: &ProcessTelemetry) {
+        self.addresses += other.addresses;
+        self.resolved += other.resolved;
+        self.unresolved += other.unresolved;
+        self.fallback += other.fallback;
+        for (source, n) in &other.sources {
+            *self.sources.entry(source).or_insert(0) += n;
+        }
+        self.lpm_lookups += other.lpm_lookups;
+        self.lpm_unmapped += other.lpm_unmapped;
+        self.lpm_matched_len.merge(&other.lpm_matched_len);
+    }
+}
+
 /// Applies geographic mapping and AS origination to a measured dataset.
 pub fn process(
     measured: &MeasuredDataset,
-    mapper: &dyn GeoMapper,
+    mapper: &(dyn GeoMapper + Sync),
     route_table: &RouteTable,
     gt: &GroundTruth,
 ) -> GeoDataset {
@@ -642,89 +738,58 @@ pub fn process(
 /// tallies the map stages feed into the metrics registry. Identical
 /// mapping decisions: the traced mapper entry point
 /// (`GeoMapper::map_resolved`) is draw-for-draw the same as `map`.
+///
+/// Serial reference path: [`process_chunked`] with the serial executor
+/// and no hint memo.
+// analyze: allow(dead-pub): the serial reference implementation root-package byte-identity tests compare process_chunked against
 pub fn process_with_telemetry(
     measured: &MeasuredDataset,
-    mapper: &dyn GeoMapper,
+    mapper: &(dyn GeoMapper + Sync),
     route_table: &RouteTable,
     gt: &GroundTruth,
 ) -> (GeoDataset, ProcessTelemetry) {
+    process_chunked(measured, mapper, route_table, gt, None, &SerialExec)
+}
+
+/// One node chunk's partial result: per-node outcomes plus the chunk's
+/// local tallies, merged in chunk order by [`process_chunked`].
+struct NodeChunk {
+    nodes: Vec<Option<GeoNode>>,
+    tally: ProcessTelemetry,
+    stats: ProcessingStats,
+}
+
+/// The map-stage interior: shards `measured.nodes()` into fixed
+/// [`NODE_CHUNK`]-node chunks, maps each chunk independently (per-chunk
+/// scratch, no shared mutable state), and merges nodes and tallies in
+/// chunk index order, then compacts serially. Byte-identical to the
+/// serial fold at any thread count; `hints` (the per-router gazetteer
+/// memo) changes the cost of each item, never its outcome.
+pub fn process_chunked(
+    measured: &MeasuredDataset,
+    mapper: &(dyn GeoMapper + Sync),
+    route_table: &RouteTable,
+    gt: &GroundTruth,
+    hints: Option<&NearestHints>,
+    exec: &impl ChunkExec,
+) -> (GeoDataset, ProcessTelemetry) {
+    let nodes_in = measured.nodes();
+    let n_chunks = nodes_in.len().div_ceil(NODE_CHUNK);
+    let chunks = exec.dispatch(n_chunks, &|c| {
+        let lo = c * NODE_CHUNK;
+        let hi = usize::min(lo + NODE_CHUNK, nodes_in.len());
+        process_node_chunk(&nodes_in[lo..hi], mapper, route_table, gt, hints)
+    });
+
     let mut stats = ProcessingStats::default();
     let mut tally = ProcessTelemetry::default();
-    let mut nodes: Vec<Option<GeoNode>> = Vec::with_capacity(measured.num_nodes());
-
-    for node in measured.nodes() {
-        let addrs: &[Ipv4Addr] = if node.aliases.is_empty() {
-            std::slice::from_ref(&node.ip)
-        } else {
-            &node.aliases
-        };
-
-        // Geographic mapping: per-interface, then majority for routers.
-        let mut votes: HashMap<(u64, u64), (GeoPoint, usize)> = HashMap::new();
-        for &ip in addrs {
-            let Some(truth) = interface_truth(gt, ip) else {
-                continue;
-            };
-            let outcome = mapper.map_resolved(ip, &truth);
-            tally.addresses += 1;
-            *tally.sources.entry(outcome.source).or_insert(0) += 1;
-            if let Some(loc) = outcome.location {
-                tally.resolved += 1;
-                if outcome.fallback {
-                    tally.fallback += 1;
-                }
-                votes
-                    .entry(location_key(&loc))
-                    .and_modify(|e| e.1 += 1)
-                    .or_insert((loc, 1));
-            } else {
-                tally.unresolved += 1;
-            }
-        }
-        let location = match majority(&votes) {
-            MajorityResult::Winner(loc) => Some(loc),
-            MajorityResult::Tie => {
-                stats.location_ties += 1;
-                None
-            }
-            MajorityResult::Empty => {
-                stats.unmapped_location += 1;
-                None
-            }
-        };
-
-        // AS origination: longest-prefix match, majority across aliases.
-        let mut as_votes: HashMap<AsId, usize> = HashMap::new();
-        for &ip in addrs {
-            tally.lpm_lookups += 1;
-            let asn = match route_table.origin_with_len(ip) {
-                Some((asn, len)) => {
-                    tally.lpm_matched_len.record(u64::from(len));
-                    asn
-                }
-                None => {
-                    tally.lpm_unmapped += 1;
-                    AsId::UNMAPPED
-                }
-            };
-            if !asn.is_unmapped() {
-                *as_votes.entry(asn).or_insert(0) += 1;
-            }
-        }
-        let asn = as_votes
-            .iter()
-            .max_by_key(|(asid, &c)| (c, std::cmp::Reverse(asid.0)))
-            .map(|(&a, _)| a)
-            .unwrap_or(AsId::UNMAPPED);
-        if asn.is_unmapped() {
-            stats.unmapped_as += 1;
-        }
-
-        nodes.push(location.map(|location| GeoNode {
-            ip: node.ip,
-            location,
-            asn,
-        }));
+    let mut nodes: Vec<Option<GeoNode>> = Vec::with_capacity(nodes_in.len());
+    for chunk in chunks {
+        nodes.extend(chunk.nodes);
+        tally.absorb(&chunk.tally);
+        stats.unmapped_location += chunk.stats.unmapped_location;
+        stats.location_ties += chunk.stats.location_ties;
+        stats.unmapped_as += chunk.stats.unmapped_as;
     }
 
     // Compact: drop unlocated nodes and their links.
@@ -777,14 +842,118 @@ pub(crate) fn generation_regions(gt: &GroundTruth) -> Vec<Region> {
         .collect()
 }
 
-/// The ground-truth context a mapper needs for one address.
-fn interface_truth(gt: &GroundTruth, ip: Ipv4Addr) -> Option<MapContext> {
+/// Maps one chunk of measured nodes. Scratch (the vote maps) is owned
+/// by the chunk and reused across its nodes — allocation stops growing
+/// with the node count — and every tally is chunk-local, so chunks
+/// share nothing mutable.
+fn process_node_chunk(
+    chunk: &[geotopo_measure::dataset::MeasuredNode],
+    mapper: &(dyn GeoMapper + Sync),
+    route_table: &RouteTable,
+    gt: &GroundTruth,
+    hints: Option<&NearestHints>,
+) -> NodeChunk {
+    let mut stats = ProcessingStats::default();
+    let mut tally = ProcessTelemetry::default();
+    let mut nodes: Vec<Option<GeoNode>> = Vec::with_capacity(chunk.len());
+    let mut votes: HashMap<(u64, u64), (GeoPoint, usize)> = HashMap::new();
+    let mut as_votes: HashMap<AsId, usize> = HashMap::new();
+
+    for node in chunk {
+        let addrs: &[Ipv4Addr] = if node.aliases.is_empty() {
+            std::slice::from_ref(&node.ip)
+        } else {
+            &node.aliases
+        };
+
+        // Geographic mapping: per-interface, then majority for routers.
+        votes.clear();
+        for &ip in addrs {
+            let Some(truth) = interface_truth(gt, ip, hints) else {
+                continue;
+            };
+            let outcome = mapper.map_resolved(ip, &truth);
+            tally.addresses += 1;
+            *tally.sources.entry(outcome.source).or_insert(0) += 1;
+            if let Some(loc) = outcome.location {
+                tally.resolved += 1;
+                if outcome.fallback {
+                    tally.fallback += 1;
+                }
+                votes
+                    .entry(location_key(&loc))
+                    .and_modify(|e| e.1 += 1)
+                    .or_insert((loc, 1));
+            } else {
+                tally.unresolved += 1;
+            }
+        }
+        let location = match majority(&votes) {
+            MajorityResult::Winner(loc) => Some(loc),
+            MajorityResult::Tie => {
+                stats.location_ties += 1;
+                None
+            }
+            MajorityResult::Empty => {
+                stats.unmapped_location += 1;
+                None
+            }
+        };
+
+        // AS origination: longest-prefix match, majority across aliases.
+        as_votes.clear();
+        for &ip in addrs {
+            tally.lpm_lookups += 1;
+            let asn = match route_table.origin_with_len(ip) {
+                Some((asn, len)) => {
+                    tally.lpm_matched_len.record(u64::from(len));
+                    asn
+                }
+                None => {
+                    tally.lpm_unmapped += 1;
+                    AsId::UNMAPPED
+                }
+            };
+            if !asn.is_unmapped() {
+                *as_votes.entry(asn).or_insert(0) += 1;
+            }
+        }
+        let asn = as_votes
+            .iter()
+            .max_by_key(|(asid, &c)| (c, std::cmp::Reverse(asid.0)))
+            .map(|(&a, _)| a)
+            .unwrap_or(AsId::UNMAPPED);
+        if asn.is_unmapped() {
+            stats.unmapped_as += 1;
+        }
+
+        nodes.push(location.map(|location| GeoNode {
+            ip: node.ip,
+            location,
+            asn,
+        }));
+    }
+
+    NodeChunk {
+        nodes,
+        tally,
+        stats,
+    }
+}
+
+/// The ground-truth context a mapper needs for one address, carrying
+/// the router's memoized nearest-city hint when the caller has one.
+fn interface_truth(
+    gt: &GroundTruth,
+    ip: Ipv4Addr,
+    hints: Option<&NearestHints>,
+) -> Option<MapContext> {
     let router = gt.topology.router_by_ip(ip)?;
     let r = gt.topology.router(router);
-    Some(MapContext {
-        true_location: r.location,
-        asn: r.asn,
-    })
+    Some(
+        MapContext::new(r.location, r.asn)
+            .with_nearest_hint(hints.and_then(|h| h.for_router(router))),
+    )
 }
 
 enum MajorityResult {

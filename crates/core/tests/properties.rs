@@ -1,0 +1,60 @@
+//! Property-based tests for the engine's interior-parallelism contract:
+//! `parallel_map` (and the `ChunkExec` seam built on it) must merge
+//! chunk results in index order, byte-identical to a serial fold, for
+//! any chunk count and thread count — the deterministic-merge guarantee
+//! the ground-truth, mapping, and Skitter stage interiors rely on.
+
+use geotopo_core::engine::parallel_map;
+use geotopo_stats::{ChunkExec, SerialExec};
+use proptest::prelude::*;
+
+/// A non-commutative accumulator: string concatenation. If chunk
+/// results merged in any order other than ascending index, the
+/// concatenation would differ.
+fn render_chunk(items: &[u8], chunk_len: usize, c: usize) -> String {
+    let lo = c * chunk_len;
+    let hi = (lo + chunk_len).min(items.len());
+    items[lo..hi].iter().map(|b| format!("{b:02x};")).collect()
+}
+
+proptest! {
+    #[test]
+    fn parallel_map_merge_matches_serial_fold(
+        items in prop::collection::vec(any::<u8>(), 0..300),
+        chunk_len in 1usize..24,
+        threads in 1usize..9,
+    ) {
+        // Serial fold: the reference accumulation in item order.
+        let serial: String = items.iter().map(|b| format!("{b:02x};")).collect();
+        let n_chunks = items.len().div_ceil(chunk_len);
+        let chunks = parallel_map(threads, n_chunks, |c| render_chunk(&items, chunk_len, c));
+        prop_assert_eq!(chunks.concat(), serial, "threads={}", threads);
+    }
+
+    #[test]
+    fn parallel_map_is_thread_count_invariant(
+        items in prop::collection::vec(any::<u8>(), 0..300),
+        chunk_len in 1usize..24,
+    ) {
+        let n_chunks = items.len().div_ceil(chunk_len);
+        let reference = parallel_map(1, n_chunks, |c| render_chunk(&items, chunk_len, c));
+        for threads in [2, 3, 8] {
+            let got = parallel_map(threads, n_chunks, |c| render_chunk(&items, chunk_len, c));
+            prop_assert_eq!(&got, &reference, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn serial_exec_dispatch_matches_serial_fold(
+        items in prop::collection::vec(any::<u8>(), 0..300),
+        chunk_len in 1usize..24,
+    ) {
+        // The ChunkExec seam's reference executor must agree with the
+        // plain fold too — stages swap between SerialExec and the
+        // engine-backed executor expecting identical bytes.
+        let serial: String = items.iter().map(|b| format!("{b:02x};")).collect();
+        let n_chunks = items.len().div_ceil(chunk_len);
+        let chunks = SerialExec.dispatch(n_chunks, &|c| render_chunk(&items, chunk_len, c));
+        prop_assert_eq!(chunks.concat(), serial);
+    }
+}

@@ -47,10 +47,7 @@ mod tests {
     use geotopo_bgp::AsId;
 
     fn ctx() -> MapContext {
-        MapContext {
-            true_location: GeoPoint::new(48.86, 2.35).unwrap(),
-            asn: AsId(1),
-        }
+        MapContext::new(GeoPoint::new(48.86, 2.35).unwrap(), AsId(1))
     }
 
     #[test]

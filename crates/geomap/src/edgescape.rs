@@ -77,7 +77,7 @@ impl GeoMapper for EdgeScape {
                     };
                 }
             }
-            if let Some((city, _)) = gaz.nearest(&ctx.true_location) {
+            if let Some((city, _)) = gaz.nearest_hinted(&ctx.true_location, ctx.nearest_hint) {
                 return MapOutcome {
                     location: Some(city.location),
                     source: "isp-feed",
@@ -121,10 +121,8 @@ mod tests {
     }
 
     fn ctx() -> MapContext {
-        MapContext {
-            true_location: GeoPoint::new(35.7, 139.8).unwrap(), // near Tokyo
-            asn: AsId(42),
-        }
+        // near Tokyo
+        MapContext::new(GeoPoint::new(35.7, 139.8).unwrap(), AsId(42))
     }
 
     #[test]

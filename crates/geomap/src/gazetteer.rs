@@ -296,6 +296,19 @@ impl Gazetteer {
             .map(|(i, d)| (&self.cities[i as usize], d))
     }
 
+    /// [`Gazetteer::nearest`] with an optional memoized answer: a
+    /// `Some` hint (a prior [`Gazetteer::nearest_idx`] result for `p`
+    /// against *this* gazetteer) is served without searching, `None`
+    /// falls back to the full expanding-ring scan. The mapping hot
+    /// paths call this with per-router hints so co-located interfaces
+    /// pay for one search, not one each.
+    pub fn nearest_hinted(&self, p: &GeoPoint, hint: Option<(u32, f64)>) -> Option<(&City, f64)> {
+        match hint {
+            Some((i, d)) => Some((&self.cities[i as usize], d)),
+            None => self.nearest(p),
+        }
+    }
+
     /// Index (into [`Gazetteer::cities`]) and distance in miles of the
     /// single nearest city — the allocation-free core of
     /// [`Gazetteer::nearest`], shaped for the query snapshot's hot
@@ -551,6 +564,52 @@ mod tests {
         let pair = g.nearest_k(&p, 2);
         assert_eq!(pair.len(), 2, "second city lost");
         assert_ne!(pair[0].0, pair[1].0, "duplicate city in nearest_k");
+    }
+
+    #[test]
+    fn nearest_idx_memo_is_bit_identical_across_antimeridian_and_poles() {
+        // The mapping stages and the query snapshot's freeze memo serve
+        // `nearest_hinted` with a cached `nearest_idx` answer instead of
+        // re-searching. That cache is only sound if the memoized (city,
+        // distance) pair is *bit*-identical to what the unmemoized scan
+        // returns — including at the antimeridian and pole geometries
+        // whose bucket addressing was fixed in an earlier revision.
+        let g = Gazetteer::from_cities(vec![
+            city!("West of line", "WST", 0.0, 179.5),
+            city!("Date line", "DTL", 10.0, 180.0),
+            city!("Near north pole", "NPL", 89.6, -45.0),
+            city!("Near south pole", "SPL", -89.4, 120.0),
+            city!("Far away", "FAR", 50.0, 0.0),
+        ]);
+        let probes = [
+            (0.0, -179.8),  // just east of the date line, city to the west
+            (10.0, 179.0),  // city stored at exactly 180° longitude
+            (10.0, -179.0), // same city, approached from the east
+            (10.0, 180.0),  // probe itself at 180°
+            (90.0, 0.0),    // north pole: all longitudes coincide
+            (89.9, 135.0),  // near-pole probe far from the city's lon
+            (-90.0, 0.0),   // south pole
+            (-89.8, -60.0), // near south pole, opposite longitude
+        ];
+        for (lat, lon) in probes {
+            let p = GeoPoint::new(lat, lon).unwrap();
+            let (city, d) = g.nearest(&p).unwrap();
+            let memo = g.nearest_idx(&p);
+            let (hinted, hd) = g.nearest_hinted(&p, memo).unwrap();
+            assert_eq!(
+                city.code, hinted.code,
+                "memoized city diverged at ({lat}, {lon})"
+            );
+            assert_eq!(
+                d.to_bits(),
+                hd.to_bits(),
+                "memoized distance not bit-identical at ({lat}, {lon}): {d} vs {hd}"
+            );
+            // A `None` hint must fall back to the exact same search.
+            let (fallback, fd) = g.nearest_hinted(&p, None).unwrap();
+            assert_eq!(city.code, fallback.code);
+            assert_eq!(d.to_bits(), fd.to_bits());
+        }
     }
 
     #[test]

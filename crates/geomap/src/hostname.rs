@@ -71,7 +71,9 @@ impl HostnameOracle {
         let port: u8 = rng.random_range(0..4);
         let unit: u8 = rng.random_range(1..5);
         if rng.random::<f64>() < self.geo_naming_prob {
-            let (city, _) = self.gazetteer.nearest(&ctx.true_location)?;
+            let (city, _) = self
+                .gazetteer
+                .nearest_hinted(&ctx.true_location, ctx.nearest_hint)?;
             let pop: u8 = rng.random_range(1..10);
             Some(format!(
                 "so-{slot}-{port}-0.cr{unit}.{}{pop}.{org}.net",
@@ -107,10 +109,7 @@ mod tests {
     use geotopo_bgp::AsId;
 
     fn ctx(lat: f64, lon: f64) -> MapContext {
-        MapContext {
-            true_location: GeoPoint::new(lat, lon).unwrap(),
-            asn: AsId(42),
-        }
+        MapContext::new(GeoPoint::new(lat, lon).unwrap(), AsId(42))
     }
 
     fn orgs() -> OrgDb {
@@ -171,10 +170,7 @@ mod tests {
     fn unknown_as_gets_fallback_name() {
         let oracle = HostnameOracle::new(3);
         let db = OrgDb::new();
-        let c = MapContext {
-            true_location: GeoPoint::new(40.7, -74.0).unwrap(),
-            asn: AsId(777),
-        };
+        let c = MapContext::new(GeoPoint::new(40.7, -74.0).unwrap(), AsId(777));
         let h = oracle
             .hostname("8.8.8.8".parse().unwrap(), &c, &db)
             .unwrap();

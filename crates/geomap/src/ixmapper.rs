@@ -121,10 +121,8 @@ mod tests {
     }
 
     fn ctx() -> MapContext {
-        MapContext {
-            true_location: GeoPoint::new(42.3, -71.1).unwrap(), // near Boston
-            asn: AsId(42),
-        }
+        // near Boston
+        MapContext::new(GeoPoint::new(42.3, -71.1).unwrap(), AsId(42))
     }
 
     #[test]

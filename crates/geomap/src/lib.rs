@@ -55,6 +55,34 @@ pub struct MapContext {
     pub true_location: GeoPoint,
     /// The interface's true origin AS.
     pub asn: AsId,
+    /// Precomputed [`Gazetteer::nearest_idx`] result for
+    /// `true_location`, against the *same* gazetteer the consuming
+    /// mapper holds. The nearest-city search is the dominant per-item
+    /// mapping cost at scale and co-located interfaces share its
+    /// answer, so callers that map many interfaces per router memoize
+    /// it once per router. `None` means "search"; a `Some` hint must be
+    /// bit-identical to what the search would return, or mapping
+    /// outcomes change.
+    pub nearest_hint: Option<(u32, f64)>,
+}
+
+impl MapContext {
+    /// Context without a precomputed nearest-city hint (the mapper
+    /// searches the gazetteer itself).
+    pub fn new(true_location: GeoPoint, asn: AsId) -> Self {
+        MapContext {
+            true_location,
+            asn,
+            nearest_hint: None,
+        }
+    }
+
+    /// Attaches a precomputed [`Gazetteer::nearest_idx`] result.
+    #[must_use]
+    pub fn with_nearest_hint(mut self, hint: Option<(u32, f64)>) -> Self {
+        self.nearest_hint = hint;
+        self
+    }
 }
 
 /// One mapping outcome with its provenance: the estimated location (if

@@ -65,10 +65,7 @@ mod tests {
         let svc = service();
         let hq = GeoPoint::new(40.71, -74.01).unwrap();
         for (lat, lon) in [(40.7, -74.0), (34.0, -118.0), (35.68, 139.69)] {
-            let ctx = MapContext {
-                true_location: GeoPoint::new(lat, lon).unwrap(),
-                asn: AsId(42),
-            };
+            let ctx = MapContext::new(GeoPoint::new(lat, lon).unwrap(), AsId(42));
             let mut mapped_any = false;
             for i in 0..50u32 {
                 if let Some(p) = svc.map(Ipv4Addr::from(0x21000000 + i), &ctx) {
@@ -83,20 +80,14 @@ mod tests {
     #[test]
     fn unknown_as_is_unmapped() {
         let svc = service();
-        let ctx = MapContext {
-            true_location: GeoPoint::new(0.0, 0.0).unwrap(),
-            asn: AsId(999),
-        };
+        let ctx = MapContext::new(GeoPoint::new(0.0, 0.0).unwrap(), AsId(999));
         assert_eq!(svc.map("1.2.3.4".parse().unwrap(), &ctx), None);
     }
 
     #[test]
     fn lookup_failure_rate() {
         let svc = service();
-        let ctx = MapContext {
-            true_location: GeoPoint::new(40.7, -74.0).unwrap(),
-            asn: AsId(42),
-        };
+        let ctx = MapContext::new(GeoPoint::new(40.7, -74.0).unwrap(), AsId(42));
         let n = 20_000u32;
         let unmapped = (0..n)
             .filter(|&i| svc.map(Ipv4Addr::from(0x22000000 + i), &ctx).is_none())
@@ -110,10 +101,7 @@ mod tests {
         // The defining failure mode: a router in Tokyo owned by a
         // New-York-registered org maps ~6,700 miles off.
         let svc = service();
-        let ctx = MapContext {
-            true_location: GeoPoint::new(35.68, 139.69).unwrap(),
-            asn: AsId(42),
-        };
+        let ctx = MapContext::new(GeoPoint::new(35.68, 139.69).unwrap(), AsId(42));
         let p = (0..100u32)
             .find_map(|i| svc.map(Ipv4Addr::from(0x23000000 + i), &ctx))
             .expect("some lookup succeeds");

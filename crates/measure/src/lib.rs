@@ -53,4 +53,4 @@ pub(crate) fn alias_rng(seed: u64, router: u32) -> rand::rngs::StdRng {
 pub use mercator::{Mercator, MercatorConfig, MercatorOutput};
 pub use probe::{TraceBuf, TracerouteSim};
 pub use routing::{RoutingOracle, RoutingScratch, RoutingStats, WalkUp};
-pub use skitter::{MonitorCampaign, Skitter, SkitterConfig, SkitterOutput};
+pub use skitter::{Skitter, SkitterConfig, SkitterOutput, DEST_CHUNK};

@@ -19,13 +19,28 @@ use crate::faults::{FaultConfig, FaultPlan, FaultSession, FaultStats};
 use crate::probe::{TraceBuf, TracerouteSim};
 use crate::routing::{RoutingOracle, RoutingScratch, RoutingStats};
 use geotopo_bgp::trie::PrefixTrie;
+use geotopo_stats::{ChunkExec, SerialExec};
 use geotopo_topology::generate::GroundTruth;
-use geotopo_topology::RouterId;
+use geotopo_topology::{InterfaceId, RouterId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+
+/// Destinations per trace chunk: the unit of interior parallelism
+/// within one monitor's campaign. Fixed (never derived from the thread
+/// count) so the job list — and every merged byte — is identical at any
+/// parallelism.
+pub const DEST_CHUNK: usize = 2048;
+
+/// Trace-chunk jobs dispatched per wave. Each wave's replay logs are
+/// merged into the dataset before the next wave runs, bounding how much
+/// raw event log is ever resident while still keeping far more jobs in
+/// flight than any scheduler has workers. Fixed (never derived from the
+/// thread count) so wave boundaries — and the merge order — are
+/// identical at any parallelism.
+const TRACE_WAVE_JOBS: usize = 64;
 
 /// Skitter collection parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,21 +106,33 @@ impl SkitterOutput {
     }
 }
 
-/// One monitor's campaign, produced by a (possibly parallel) monitor
-/// job: the dataset events to replay, the monitor record, and every
-/// per-monitor counter. Merged serially in monitor-index order, which is
-/// what keeps the final dataset byte-identical at any thread count.
+/// One dataset event recorded by a trace chunk, replayed serially in
+/// (monitor, chunk) order. Interfaces are named by id — the epilogue
+/// resolves them through a vec-indexed intern cache instead of a by-IP
+/// hash probe per event.
+#[derive(Debug, Clone, Copy)]
+enum ReplayEvent {
+    /// A responding hop: intern the interface and link it to the
+    /// previous node in the chain.
+    Iface(InterfaceId),
+    /// The destination end host answering last.
+    Host(Ipv4Addr),
+    /// Chain break (silent router or end of a trace).
+    Break,
+}
+
+/// One (monitor, destination-chunk) job's output: the dataset events to
+/// replay plus every per-chunk counter. Merged serially in job-index
+/// order — monitor-major, chunk-minor — which is what keeps the final
+/// dataset byte-identical at any thread count.
 #[derive(Debug)]
-pub struct MonitorCampaign {
-    /// Dataset events in observation order: `Some(ip)` interns the IP
-    /// and links it to the previous node in the chain, `None` breaks
-    /// the chain (silent router or end of a trace).
-    replay: Vec<Option<Ipv4Addr>>,
-    record: MonitorRecord,
-    fstats: FaultStats,
+struct TraceChunk {
+    replay: Vec<ReplayEvent>,
+    probes: u64,
+    skipped: u64,
     probes_sent: u64,
     ticks_elapsed: u64,
-    routing: RoutingStats,
+    fstats: FaultStats,
 }
 
 /// The Skitter collector.
@@ -118,37 +145,34 @@ impl Skitter {
         Self::collect_with_faults(gt, cfg, &FaultConfig::none())
     }
 
-    /// Runs a collection under an injected fault plan, executing the
-    /// per-monitor campaigns serially. With an inert plan this is
-    /// byte-identical to [`collect`](Self::collect): fault decisions are
-    /// hash-derived in virtual probe-tick time and never touch the
-    /// collection RNG stream.
+    /// Runs a collection under an injected fault plan, executing every
+    /// trace chunk serially. With an inert plan this is byte-identical
+    /// to [`collect`](Self::collect): fault decisions are hash-derived
+    /// in virtual probe-tick time and never touch the collection RNG
+    /// stream.
     pub fn collect_with_faults(
         gt: &GroundTruth,
         cfg: &SkitterConfig,
         faults: &FaultConfig,
     ) -> SkitterOutput {
-        Self::collect_with_faults_exec(gt, cfg, faults, |n, job| (0..n).map(job).collect())
+        Self::collect_with_faults_exec(gt, cfg, faults, &SerialExec)
     }
 
-    /// Runs a collection with the per-monitor campaigns dispatched
-    /// through `exec`: it receives the monitor count and a job closure,
-    /// and must return `job(0)..job(n-1)`'s results **in monitor-index
-    /// order** (running them on any threads it likes — every job is
-    /// independent and `Sync`). The engine passes its deterministic
-    /// scoped-thread scheduler here; the output is byte-identical for
-    /// any conforming executor because all RNG draws happen up front in
-    /// the serial prologue, each monitor owns a disjoint slice of the
-    /// virtual fault clock, and results are merged in monitor order.
-    pub fn collect_with_faults_exec<E>(
+    /// Runs a collection with its interior jobs dispatched through
+    /// `exec` — the engine passes its deterministic scoped-thread
+    /// scheduler here. Parallelism is two-layered: one routing oracle
+    /// per monitor, then one trace job per (monitor, [`DEST_CHUNK`]
+    /// destinations) pair, so a 19-monitor campaign exposes far more
+    /// than 19 units of work. The output is byte-identical for any
+    /// conforming [`ChunkExec`] because all RNG draws happen up front
+    /// in the serial prologue, each trace chunk owns a fixed slice of
+    /// the virtual fault clock, and results merge in job-index order.
+    pub fn collect_with_faults_exec(
         gt: &GroundTruth,
         cfg: &SkitterConfig,
         faults: &FaultConfig,
-        exec: E,
-    ) -> SkitterOutput
-    where
-        E: FnOnce(usize, &(dyn Fn(usize) -> MonitorCampaign + Sync)) -> Vec<MonitorCampaign>,
-    {
+        exec: &impl ChunkExec,
+    ) -> SkitterOutput {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let t = &gt.topology;
 
@@ -204,47 +228,79 @@ impl Skitter {
         // its hash-derived fate stream depends only on its own probes.
         let slice_len = (expected_probes / monitors.len().max(1) as u64).max(1);
 
-        let job = |m_idx: usize| -> MonitorCampaign {
-            let monitor = monitors[m_idx];
+        // Attachment routers resolved once per destination (the old
+        // per-monitor loop re-resolved each destination from the trie
+        // for every monitor covering it): a deterministic member of the
+        // destination's AS (the access router serving it). Per-AS
+        // membership comes straight off the topology's packed AS ranges
+        // (ascending router ids). Pure function of the world, so the
+        // chunked fan-out is trivially byte-identical.
+        let n_dest_chunks = destinations.len().div_ceil(DEST_CHUNK).max(1);
+        let attach: Vec<Option<RouterId>> = exec
+            .dispatch(n_dest_chunks, &|c| {
+                let lo = c * DEST_CHUNK;
+                let hi = ((c + 1) * DEST_CHUNK).min(destinations.len());
+                destinations[lo..hi]
+                    .iter()
+                    .map(|&dst_ip| {
+                        let (asn, _) = truth.lookup(dst_ip)?;
+                        let members = t.routers_of_as(*asn);
+                        if members.is_empty() {
+                            return None;
+                        }
+                        Some(members[(u32::from(dst_ip) as usize) % members.len()])
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .concat();
+
+        // Phase 1: one policy-aware shortest-path oracle per monitor.
+        // Oracles are immutable after the solve and shared by reference
+        // into every trace chunk of their monitor.
+        let mut solved = exec.dispatch(monitors.len(), &|m| {
             let mut scratch = RoutingScratch::new();
-            let oracle = RoutingOracle::new_in(t, monitor, &mut scratch);
-            let base = m_idx as u64 * slice_len;
+            let oracle = RoutingOracle::new_in(t, monitors[m], &mut scratch);
+            (oracle, scratch.stats)
+        });
+        let mut routing = RoutingStats::default();
+        let mut oracles = Vec::with_capacity(solved.len());
+        for (oracle, stats) in solved.drain(..) {
+            routing.absorb(&stats);
+            oracles.push(oracle);
+        }
+
+        // Phase 2: trace jobs, one per (monitor, destination chunk),
+        // monitor-major so the merge below reads in the same nested
+        // order the serial loop produced. Each chunk opens its own
+        // fault session at a fixed tick — monitor slice base plus a
+        // per-chunk stride — so its hash-derived fate stream depends
+        // only on its own coordinates, never on scheduling.
+        let chunk_ticks = (slice_len / n_dest_chunks as u64).max(1);
+        let n_jobs = monitors.len() * n_dest_chunks;
+        let trace_job = |j: usize| -> TraceChunk {
+            let m_idx = j / n_dest_chunks;
+            let c = j % n_dest_chunks;
+            let lo = c * DEST_CHUNK;
+            let hi = ((c + 1) * DEST_CHUNK).min(destinations.len());
+            let oracle = &oracles[m_idx];
+            let base = m_idx as u64 * slice_len + c as u64 * chunk_ticks;
             let mut session = FaultSession::at_tick(&plan, base);
             let mut buf = TraceBuf::new();
-            let mut replay: Vec<Option<Ipv4Addr>> = Vec::new();
-            let mut record = MonitorRecord {
-                router: monitor.0,
-                node: None,
-                probes: 0,
-                skipped: 0,
-            };
+            let mut replay: Vec<ReplayEvent> = Vec::new();
+            let (mut probes, mut skipped) = (0u64, 0u64);
             let cover = &coverage[m_idx * destinations.len()..(m_idx + 1) * destinations.len()];
-            for (d_idx, &dst_ip) in destinations.iter().enumerate() {
+            for d_idx in lo..hi {
                 if !cover[d_idx] {
                     continue;
                 }
                 if session.monitor_down(m_idx) {
-                    record.skipped += 1;
+                    skipped += 1;
                     session.stats.outage_skips += 1;
                     continue;
                 }
-                record.probes += 1;
-                // Attachment router: a deterministic member of the
-                // destination's AS (the access router serving it).
-                let asn = match truth.lookup(dst_ip) {
-                    Some((asn, _)) => *asn,
-                    None => continue,
-                };
-                // Per-AS membership comes straight off the topology's
-                // packed AS ranges (ascending router ids, same order the
-                // old per-run HashMap build produced).
-                let members = t.routers_of_as(asn);
-                if members.is_empty() {
-                    continue;
-                }
-                let attach = members[(u32::from(dst_ip) as usize) % members.len()];
-                let Some(hops) =
-                    sim.trace_with_faults_into(&oracle, attach, &mut session, &mut buf)
+                probes += 1;
+                let Some(dst) = attach[d_idx] else { continue };
+                let Some(hops) = sim.trace_with_faults_into(oracle, dst, &mut session, &mut buf)
                 else {
                     continue;
                 };
@@ -255,59 +311,99 @@ impl Skitter {
                 for hop in hops {
                     match hop.interface {
                         Some(iface) => {
-                            replay.push(Some(t.interface(iface).ip));
+                            replay.push(ReplayEvent::Iface(iface));
                             chained = true;
                         }
                         None => {
-                            replay.push(None);
+                            replay.push(ReplayEvent::Break);
                             chained = false;
                         }
                     }
                 }
                 // The destination end host responds last.
                 if chained {
-                    replay.push(Some(dst_ip));
+                    replay.push(ReplayEvent::Host(destinations[d_idx]));
                 }
-                replay.push(None);
+                replay.push(ReplayEvent::Break);
             }
-            MonitorCampaign {
+            TraceChunk {
                 replay,
-                record,
+                probes,
+                skipped,
                 probes_sent: session.probes_sent(),
                 ticks_elapsed: session.tick() - base,
                 fstats: session.stats,
-                routing: scratch.stats,
             }
         };
-        let campaigns = exec(monitors.len(), &job);
 
-        // Serial epilogue: replay every campaign in monitor-index order
-        // so node interning — and with it every downstream byte — is
-        // schedule-independent.
+        // Serial epilogue, interleaved in waves: trace jobs are
+        // dispatched [`TRACE_WAVE_JOBS`] at a time and each wave's
+        // replay logs are folded into the dataset (in job-index order)
+        // before the next wave runs, so at most one wave of raw event
+        // logs is resident — a large campaign records tens of millions
+        // of events, and materializing them all at once costs ~10x the
+        // final dataset in peak RSS. Wave boundaries are fixed (never
+        // derived from the thread count), so node interning — and with
+        // it every downstream byte — is schedule-independent.
+        // Interfaces intern through a vec-indexed cache; only first
+        // sightings and end hosts touch the dataset's by-IP hash map.
         let mut dataset = MeasuredDataset::new(NodeKind::Interface);
-        let mut records: Vec<MonitorRecord> = Vec::with_capacity(monitors.len());
+        let mut records: Vec<MonitorRecord> = monitors
+            .iter()
+            .map(|m| MonitorRecord {
+                router: m.0,
+                node: None,
+                probes: 0,
+                skipped: 0,
+            })
+            .collect();
         let mut fault_stats = FaultStats::default();
-        let mut routing = RoutingStats::default();
         let (mut probes_sent, mut virtual_ticks) = (0u64, 0u64);
-        for campaign in campaigns {
-            let mut prev: Option<u32> = None;
-            for ev in &campaign.replay {
-                match ev {
-                    Some(ip) => {
-                        let node = dataset.intern(*ip);
-                        if let Some(p) = prev {
-                            dataset.observe_link(p, node);
+        let mut iface_node: Vec<u32> = vec![u32::MAX; t.num_interfaces()];
+        let mut wave_base = 0usize;
+        while wave_base < n_jobs {
+            let wave_len = TRACE_WAVE_JOBS.min(n_jobs - wave_base);
+            let chunks = exec.dispatch(wave_len, &|w| trace_job(wave_base + w));
+            // Chunks are consumed by value so each replay log is freed
+            // as soon as it has been replayed: the allocator reuses
+            // those pages for the growing dataset.
+            for (w, chunk) in chunks.into_iter().enumerate() {
+                let j = wave_base + w;
+                let mut prev: Option<u32> = None;
+                for ev in &chunk.replay {
+                    match ev {
+                        ReplayEvent::Iface(id) => {
+                            let slot = &mut iface_node[id.0 as usize];
+                            let node = if *slot != u32::MAX {
+                                *slot
+                            } else {
+                                let node = dataset.intern(t.interface(*id).ip);
+                                *slot = node;
+                                node
+                            };
+                            if let Some(p) = prev {
+                                dataset.observe_link(p, node);
+                            }
+                            prev = Some(node);
                         }
-                        prev = Some(node);
+                        ReplayEvent::Host(ip) => {
+                            let node = dataset.intern(*ip);
+                            if let Some(p) = prev {
+                                dataset.observe_link(p, node);
+                            }
+                            prev = Some(node);
+                        }
+                        ReplayEvent::Break => prev = None,
                     }
-                    None => prev = None,
                 }
+                let record = &mut records[j / n_dest_chunks];
+                record.probes += chunk.probes;
+                record.skipped += chunk.skipped;
+                fault_stats.absorb(&chunk.fstats);
+                probes_sent += chunk.probes_sent;
+                virtual_ticks += chunk.ticks_elapsed;
             }
-            records.push(campaign.record);
-            fault_stats.absorb(&campaign.fstats);
-            routing.absorb(&campaign.routing);
-            probes_sent += campaign.probes_sent;
-            virtual_ticks += campaign.ticks_elapsed;
+            wave_base += wave_len;
         }
 
         // Anchor each monitor record at the lowest-indexed interface of
@@ -546,16 +642,19 @@ mod tests {
             response_prob: 0.95,
             seed: 12,
         };
-        let reversed = |n: usize, job: &(dyn Fn(usize) -> MonitorCampaign + Sync)| {
-            let mut out: Vec<Option<MonitorCampaign>> = (0..n).map(|_| None).collect();
-            for m in (0..n).rev() {
-                out[m] = Some(job(m));
+        struct ReversedExec;
+        impl ChunkExec for ReversedExec {
+            fn dispatch<T: Send>(&self, n: usize, job: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+                let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+                for i in (0..n).rev() {
+                    out[i] = Some(job(i));
+                }
+                out.into_iter().flatten().collect()
             }
-            out.into_iter().flatten().collect()
-        };
+        }
         for faults in [FaultConfig::none(), FaultConfig::at_severity(0.6, 9)] {
             let serial = Skitter::collect_with_faults(&gt, &cfg, &faults);
-            let shuffled = Skitter::collect_with_faults_exec(&gt, &cfg, &faults, reversed);
+            let shuffled = Skitter::collect_with_faults_exec(&gt, &cfg, &faults, &ReversedExec);
             assert_eq!(
                 serde_json::to_string(&serial).unwrap(),
                 serde_json::to_string(&shuffled).unwrap()

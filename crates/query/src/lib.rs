@@ -128,14 +128,23 @@ impl QuerySnapshot {
         table: Arc<RouteTable>,
         gazetteer: Arc<Gazetteer>,
     ) -> Self {
+        // Freeze-time memo for the nearest-city search: estimates are
+        // overwhelmingly city centres (hostname and feed answers), so
+        // keying on the estimate's exact coordinate bits collapses the
+        // dominant per-address cost to one search per distinct estimate
+        // — bit-identical to searching every time, because only exact
+        // key matches are served from the memo.
+        let mut near_memo: std::collections::HashMap<(u64, u64), Option<(u32, f64)>> =
+            std::collections::HashMap::new();
         let mut records: Vec<AddressRecord> = addresses
             .into_iter()
             .map(|(ip, ctx)| {
                 let outcome = mapper.map_resolved(ip, &ctx);
-                let near = outcome
-                    .location
-                    .as_ref()
-                    .and_then(|loc| gazetteer.nearest_idx(loc));
+                let near = outcome.location.as_ref().and_then(|loc| {
+                    *near_memo
+                        .entry((loc.lat().to_bits(), loc.lon().to_bits()))
+                        .or_insert_with(|| gazetteer.nearest_idx(loc))
+                });
                 AddressRecord {
                     ip: u32::from(ip),
                     location: outcome.location,
@@ -319,15 +328,7 @@ mod tests {
                 al.prefixes
                     .iter()
                     .filter_map(move |p| p.nth(1))
-                    .map(move |ip| {
-                        (
-                            ip,
-                            MapContext {
-                                true_location: home,
-                                asn,
-                            },
-                        )
-                    })
+                    .map(move |ip| (ip, MapContext::new(home, asn)))
             })
             .collect();
         (addrs, Arc::new(table), gazetteer)

@@ -1,0 +1,58 @@
+//! Interior-parallelism seam: a minimal chunk-execution trait.
+//!
+//! Stage interiors that want data parallelism express their work as
+//! `n` independent index jobs and hand them to a [`ChunkExec`]. The
+//! contract mirrors `engine::parallel_map` (which implements it in
+//! `geotopo-core`): results come back **in index order**, so a caller
+//! that merges them with a left fold gets bytes identical to running
+//! the jobs serially — regardless of how many worker threads the
+//! executor actually used. Chunk *boundaries* are the caller's
+//! responsibility and must be derived from fixed constants (never from
+//! the thread count), which is what keeps outputs and telemetry
+//! byte-identical across `{1, N}` threads.
+//!
+//! The trait lives in `geotopo-stats` — the lowest crate both
+//! `geotopo-topology` and `geotopo-measure` already depend on — so
+//! generator and collector interiors can take `&impl ChunkExec`
+//! without a dependency on the engine.
+
+/// Executes `n` independent index jobs and returns their results in
+/// index order.
+///
+/// Implementations may run jobs concurrently and in any schedule, but
+/// the returned `Vec` must satisfy `out[i] == job(i)`; callers rely on
+/// that ordering for deterministic merges.
+pub trait ChunkExec: Sync {
+    /// Run `job(0..n)` and collect the results in index order.
+    fn dispatch<T: Send>(&self, n: usize, job: &(dyn Fn(usize) -> T + Sync)) -> Vec<T>;
+}
+
+/// The trivial executor: runs every job on the calling thread, in
+/// order. This is both the fallback for single-threaded configurations
+/// and the reference implementation parallel executors must match
+/// byte-for-byte.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExec;
+
+impl ChunkExec for SerialExec {
+    fn dispatch<T: Send>(&self, n: usize, job: &(dyn Fn(usize) -> T + Sync)) -> Vec<T> {
+        (0..n).map(job).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_exec_runs_in_index_order() {
+        let out = SerialExec.dispatch(5, &|i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn serial_exec_handles_zero_jobs() {
+        let out: Vec<u8> = SerialExec.dispatch(0, &|_| 0);
+        assert!(out.is_empty());
+    }
+}

@@ -14,6 +14,9 @@
 //!   for weighted discrete sampling (population-proportional placement).
 //! - [`binned`]: the binned ratio estimator behind the empirical distance
 //!   preference function `f(d)` of Section V, and its cumulation `F(d)`.
+//! - [`exec`]: the [`ChunkExec`] interior-parallelism seam stage hot
+//!   loops shard their work through (the engine supplies the parallel
+//!   implementation; [`SerialExec`] is the reference).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod binned;
 pub mod bootstrap;
 pub mod corr;
 pub mod dist;
+pub mod exec;
 pub mod ks;
 pub mod regression;
 pub mod sampling;
@@ -31,6 +35,7 @@ pub use binned::{BinnedRatio, CumulatedSeries};
 pub use bootstrap::{bootstrap_slope_ci, SlopeCi};
 pub use corr::{pearson, spearman};
 pub use dist::{ccdf_points, Ecdf, Histogram};
+pub use exec::{ChunkExec, SerialExec};
 pub use ks::{ks_two_sample, KsResult};
 pub use regression::{fit_line, fit_loglog, fit_semilog, LinearFit};
 pub use sampling::{AliasTable, Exponential, Pareto, Poisson, Zipf};

@@ -29,7 +29,7 @@ use geotopo_bgp::alloc::{AsAllocation, PrefixAllocator};
 use geotopo_bgp::AsId;
 use geotopo_geo::GeoPoint;
 use geotopo_population::{EconomicProfile, PointSampler, PopulationGrid, WorldModel};
-use geotopo_stats::Zipf;
+use geotopo_stats::{ChunkExec, SerialExec, Zipf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -263,22 +263,42 @@ impl GroundTruth {
     /// Fails on out-of-range configuration or (at absurd scales)
     /// address-space exhaustion.
     pub fn generate(config: GroundTruthConfig) -> Result<Self, GroundTruthError> {
+        Self::generate_exec(config, &SerialExec)
+    }
+
+    /// [`GroundTruth::generate`] with an explicit chunk executor for the
+    /// interior fan-out. Byte-identical to the serial path at any
+    /// parallelism: each region's raster seeds its own RNG and consumes
+    /// none of the world RNG stream, and chunk results merge in index
+    /// order.
+    ///
+    /// Each region job reduces its raster to the (small) point sampler
+    /// and drops it before returning, so peak memory holds at most one
+    /// raster per in-flight chunk — the serial streaming path's
+    /// bounded-RSS property, relaxed only by the executor's width.
+    ///
+    /// # Errors
+    ///
+    /// As [`GroundTruth::generate`].
+    // analyze: allow(dead-pub): exec-seam twin of `generate` for callers
+    // without pre-built grids; the engine path enters via
+    // `generate_with_grids_exec` instead
+    pub fn generate_exec(
+        config: GroundTruthConfig,
+        exec: &impl ChunkExec,
+    ) -> Result<Self, GroundTruthError> {
         validate(&config)?;
-        // 1. Population grids per region, streamed: each raster is
-        // reduced to its (small) point sampler and dropped before the
-        // next region's raster is synthesized, so peak memory holds one
-        // raster at a time instead of all of them. Byte-identical to
-        // batch construction: each grid seeds its own RNG, and sampler
-        // construction consumes none of the world RNG stream.
-        let mut samplers: Vec<PointSampler> = Vec::with_capacity(config.regions.len());
-        for i in 0..config.regions.len() {
-            let grid = config.population_grid(i)?;
-            samplers.push(
+        // 1. Population grids per region, one independent chunk job per
+        // region, merged in region-index order.
+        let samplers: Vec<PointSampler> = exec
+            .dispatch(config.regions.len(), &|i| {
+                let grid = config.population_grid(i)?;
                 grid.point_sampler(config.regions[i].alpha)
-                    .map_err(|e| GroundTruthError::Population(e.to_string()))?,
-            );
-        }
-        Self::generate_with_samplers(config, samplers)
+                    .map_err(|e| GroundTruthError::Population(e.to_string()))
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        Self::generate_with_samplers(config, samplers, exec)
     }
 
     /// Generates the world from pre-built per-region population grids
@@ -294,26 +314,45 @@ impl GroundTruth {
         config: GroundTruthConfig,
         grids: &[&PopulationGrid],
     ) -> Result<Self, GroundTruthError> {
+        Self::generate_with_grids_exec(config, grids, &SerialExec)
+    }
+
+    /// [`GroundTruth::generate_with_grids`] with an explicit chunk
+    /// executor: per-region sampler construction becomes independent
+    /// chunk jobs merged in region-index order. Byte-identical to the
+    /// serial path at any parallelism.
+    ///
+    /// # Errors
+    ///
+    /// As [`GroundTruth::generate_with_grids`].
+    pub fn generate_with_grids_exec(
+        config: GroundTruthConfig,
+        grids: &[&PopulationGrid],
+        exec: &impl ChunkExec,
+    ) -> Result<Self, GroundTruthError> {
         validate(&config)?;
         if grids.len() != config.regions.len() {
             return Err(GroundTruthError::BadConfig("population grid count"));
         }
-        let samplers: Vec<PointSampler> = grids
-            .iter()
-            .zip(&config.regions)
-            .map(|(g, rp)| {
-                g.point_sampler(rp.alpha)
+        let samplers: Vec<PointSampler> = exec
+            .dispatch(grids.len(), &|i| {
+                grids[i]
+                    .point_sampler(config.regions[i].alpha)
                     .map_err(|e| GroundTruthError::Population(e.to_string()))
             })
+            .into_iter()
             .collect::<Result<_, _>>()?;
-        Self::generate_with_samplers(config, samplers)
+        Self::generate_with_samplers(config, samplers, exec)
     }
 
     /// The generation core: everything downstream of the population
-    /// rasters, which enter only through their point samplers.
+    /// rasters, which enter only through their point samplers. The
+    /// executor fans out the chunkable interiors (RNG-free tallies);
+    /// everything threaded through the single world RNG stays serial.
     fn generate_with_samplers(
         config: GroundTruthConfig,
         samplers: Vec<PointSampler>,
+        exec: &impl ChunkExec,
     ) -> Result<Self, GroundTruthError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -640,12 +679,13 @@ impl GroundTruth {
         // Metro peering: short interdomain links between co-located ASes.
         let mut added = 0usize;
         let mut attempts = 0usize;
+        let mut cand: Vec<u32> = Vec::new();
         while added < n_peer && attempts < n_peer * 20 + 100 {
             attempts += 1;
             let u = rng.random_range(0..routers.len()) as u32;
             let (u_loc, u_as, _) = routers[u as usize];
-            let mut cand: Vec<u32> = Vec::new();
-            spatial.for_each_within(&u_loc, 40.0, |i, _| {
+            cand.clear();
+            spatial.for_each_in_radius(&u_loc, 40.0, |i| {
                 if i != u && routers[i as usize].1 != u_as {
                     cand.push(i);
                 }
@@ -661,11 +701,27 @@ impl GroundTruth {
 
         // 6. Address allocation and final build. Generator AS numbers
         // are dense (AsId i+1 ↔ slot i), so per-AS degree tallies and
-        // allocations index directly — no hash maps.
+        // allocations index directly — no hash maps. The tally is pure,
+        // so it fans out over fixed link chunks; per-chunk tallies merge
+        // in chunk order with exact u64 sums — byte-identical at any
+        // parallelism.
+        const LINK_CHUNK: usize = 1 << 16;
+        let n_link_chunks = links.len().div_ceil(LINK_CHUNK).max(1);
+        let chunk_tallies = exec.dispatch(n_link_chunks, &|c| {
+            let lo = c * LINK_CHUNK;
+            let hi = (lo + LINK_CHUNK).min(links.len());
+            let mut tally: Vec<u64> = vec![0; n_as];
+            for &(a, b) in &links[lo..hi] {
+                tally[(routers[a as usize].1 .0 - 1) as usize] += 1;
+                tally[(routers[b as usize].1 .0 - 1) as usize] += 1;
+            }
+            tally
+        });
         let mut degree_by_as: Vec<u64> = vec![0; n_as];
-        for &(a, b) in &links {
-            degree_by_as[(routers[a as usize].1 .0 - 1) as usize] += 1;
-            degree_by_as[(routers[b as usize].1 .0 - 1) as usize] += 1;
+        for tally in chunk_tallies {
+            for (total, part) in degree_by_as.iter_mut().zip(tally) {
+                *total += part;
+            }
         }
         let mut allocator = PrefixAllocator::new();
         let mut allocations: Vec<AsAllocation> = Vec::with_capacity(n_as);

@@ -4,15 +4,41 @@
 //! millions of times; a simple equal-angle grid bucket index answers them
 //! in time proportional to the local density.
 
-use geotopo_geo::{haversine_miles, GeoPoint};
+use geotopo_geo::{haversine_miles, GeoPoint, EARTH_RADIUS_MILES};
 use std::collections::HashMap;
 
 /// Grid-bucket spatial index over indexed points.
+///
+/// Buckets are stored as slices of packed parallel arrays (point index,
+/// latitude/longitude in radians, cos-latitude), so a bucket scan is a
+/// sequential sweep over dense f64 lanes instead of a gather through the
+/// point table — the dominant cost when metro buckets hold thousands of
+/// routers. The precomputed values are exactly the ones the haversine
+/// formula derives per point (`lat_rad()`, `lon_rad()`, and their `cos`),
+/// so distances assembled from them are bit-identical to
+/// [`haversine_miles`].
 #[derive(Debug, Clone)]
 pub struct SpatialIndex {
     cell_deg: f64,
-    buckets: HashMap<(i32, i32), Vec<u32>>,
+    /// Bucket key → `(start, len)` slice of the packed arrays below.
+    buckets: HashMap<(i32, i32), (u32, u32)>,
     points: Vec<GeoPoint>,
+    /// Point index per packed slot (bucket-grouped; within a bucket,
+    /// ascending point index — the original insertion order).
+    slot_idx: Vec<u32>,
+    /// Latitude in radians per packed slot (`GeoPoint::lat_rad`).
+    slot_lat_rad: Vec<f64>,
+    /// Longitude in radians per packed slot (`GeoPoint::lon_rad`).
+    slot_lon_rad: Vec<f64>,
+    /// cos(latitude in radians) per packed slot.
+    slot_cos_lat: Vec<f64>,
+}
+
+/// The haversine term `hav(d/R) = sin²(Δφ/2) + cosφ₁·cosφ₂·sin²(Δλ/2)`
+/// of an angle given in degrees — used for conservative radius bounds.
+fn hav_deg(deg: f64) -> f64 {
+    let s = (deg.to_radians() * 0.5).sin();
+    s * s
 }
 
 impl SpatialIndex {
@@ -24,17 +50,36 @@ impl SpatialIndex {
     /// Panics if `cell_deg` is not positive/finite (programming error).
     pub fn new(points: Vec<GeoPoint>, cell_deg: f64) -> Self {
         assert!(cell_deg.is_finite() && cell_deg > 0.0, "bad cell size");
-        let mut buckets: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
+        let mut grouped: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
         for (i, p) in points.iter().enumerate() {
-            buckets
+            grouped
                 .entry(Self::key(p, cell_deg))
                 .or_default()
                 .push(i as u32);
+        }
+        let mut buckets = HashMap::with_capacity(grouped.len());
+        let mut slot_idx = Vec::with_capacity(points.len());
+        let mut slot_lat_rad = Vec::with_capacity(points.len());
+        let mut slot_lon_rad = Vec::with_capacity(points.len());
+        let mut slot_cos_lat = Vec::with_capacity(points.len());
+        for (key, members) in grouped {
+            buckets.insert(key, (slot_idx.len() as u32, members.len() as u32));
+            for i in members {
+                let p = &points[i as usize];
+                slot_idx.push(i);
+                slot_lat_rad.push(p.lat_rad());
+                slot_lon_rad.push(p.lon_rad());
+                slot_cos_lat.push(p.lat_rad().cos());
+            }
         }
         SpatialIndex {
             cell_deg,
             buckets,
             points,
+            slot_idx,
+            slot_lat_rad,
+            slot_lon_rad,
+            slot_cos_lat,
         }
     }
 
@@ -64,7 +109,7 @@ impl SpatialIndex {
     /// (inclusive), excluding `exclude` if given.
     pub fn within(&self, center: &GeoPoint, radius_miles: f64, exclude: Option<u32>) -> Vec<u32> {
         let mut out = Vec::new();
-        self.for_each_within(center, radius_miles, |i, _| {
+        self.for_each_in_radius(center, radius_miles, |i| {
             if Some(i) != exclude {
                 out.push(i);
             }
@@ -72,12 +117,29 @@ impl SpatialIndex {
         out
     }
 
-    /// Calls `f(index, distance_miles)` for each point within the radius.
-    pub fn for_each_within<F: FnMut(u32, f64)>(
+    /// Calls `visit(slot, h)` for every packed slot whose haversine term
+    /// `h = sin²(Δφ/2) + cosφ_c·cosφ_q·sin²(Δλ/2)` (bit-identical to the
+    /// one inside [`haversine_miles`]) passes a conservative radius
+    /// bound. Whole buckets and individual candidates are rejected only
+    /// when provably outside the radius, so the visited superset — in
+    /// bucket-scan order — always contains every in-radius point:
+    ///
+    /// - bucket bound: for any point `q` in a bucket, `h` is at least
+    ///   `hav(Δφ_min) + cosφ_c·cosφ_min·hav(Δλ_min)` taken over the
+    ///   bucket's lat/lon rectangle (`cos` attains its minimum over a
+    ///   latitude interval at an endpoint);
+    /// - latitude band per point: the central angle is at least `|Δφ|`,
+    ///   so `d ≥ R·|Δφ|`;
+    /// - `h` itself against `hav(r)`. `sin²(Δλ/2)` is 2π-periodic, so
+    ///   unwrapped longitude differences are safe.
+    ///
+    /// All radius comparisons use the radius inflated by a relative
+    /// margin far above f64 roundoff.
+    fn scan_candidates<F: FnMut(usize, f64)>(
         &self,
         center: &GeoPoint,
         radius_miles: f64,
-        mut f: F,
+        mut visit: F,
     ) {
         // Bucket reach: radius in degrees of latitude, padded; longitude
         // reach grows with latitude (cos shrinkage), capped to the globe.
@@ -87,7 +149,34 @@ impl SpatialIndex {
         let lon_cells = (360.0 / self.cell_deg).ceil() as i32;
         let lon_reach = lon_reach.min(lon_cells / 2);
         let (kr, kc) = Self::key(center, self.cell_deg);
+        let center_lat = center.lat();
+        let center_lon = center.lon();
+        let center_lat_rad = center.lat_rad();
+        let center_lon_rad = center.lon_rad();
+        let center_cos = center_lat_rad.cos();
+        let radius_padded = radius_miles * 1.000_001;
+        let max_dlat_rad = radius_padded / EARTH_RADIUS_MILES;
+        let hav_radius_padded = {
+            let s = (radius_padded / (2.0 * EARTH_RADIUS_MILES)).sin();
+            s * s
+        };
         for dr in -lat_reach..=lat_reach {
+            // Row-level bound: min |Δφ| from the centre to the row's
+            // latitude interval, and the row's max cos(lat).
+            let row_lat_lo = f64::from(kr + dr) * self.cell_deg;
+            let row_lat_hi = row_lat_lo + self.cell_deg;
+            let dphi_min_deg = (row_lat_lo - center_lat)
+                .max(center_lat - row_lat_hi)
+                .max(0.0);
+            let hav_phi_min = hav_deg(dphi_min_deg);
+            if hav_phi_min > hav_radius_padded {
+                continue;
+            }
+            let cos_row_min = row_lat_lo
+                .to_radians()
+                .cos()
+                .min(row_lat_hi.to_radians().cos())
+                .max(0.0);
             for dc in -lon_reach..=lon_reach {
                 // Wrap longitude buckets around the globe.
                 let mut col = kc + dc;
@@ -97,16 +186,91 @@ impl SpatialIndex {
                 } else if col >= half {
                     col -= lon_cells;
                 }
-                if let Some(bucket) = self.buckets.get(&(kr + dr, col)) {
-                    for &i in bucket {
-                        let d = haversine_miles(center, &self.points[i as usize]);
-                        if d <= radius_miles {
-                            f(i, d);
-                        }
+                let Some(&(start, len)) = self.buckets.get(&(kr + dr, col)) else {
+                    continue;
+                };
+                // Column-level bound: min wrapped |Δλ| from the centre
+                // to the bucket's longitude interval.
+                let col_lon_lo = f64::from(col) * self.cell_deg;
+                let col_lon_hi = col_lon_lo + self.cell_deg;
+                let dlam_min_deg = if center_lon >= col_lon_lo && center_lon <= col_lon_hi {
+                    0.0
+                } else {
+                    let to_edge = |edge: f64| {
+                        let d = (center_lon - edge).abs() % 360.0;
+                        d.min(360.0 - d)
+                    };
+                    to_edge(col_lon_lo).min(to_edge(col_lon_hi))
+                };
+                if hav_phi_min + center_cos * cos_row_min * hav_deg(dlam_min_deg)
+                    > hav_radius_padded
+                {
+                    continue;
+                }
+                let (start, end) = (start as usize, (start + len) as usize);
+                for k in start..end {
+                    let dlat = self.slot_lat_rad[k] - center_lat_rad;
+                    if dlat.abs() > max_dlat_rad {
+                        continue;
                     }
+                    let dlon = self.slot_lon_rad[k] - center_lon_rad;
+                    let s_lat = (dlat / 2.0).sin();
+                    let s_lon = (dlon / 2.0).sin();
+                    let h = s_lat * s_lat + center_cos * self.slot_cos_lat[k] * (s_lon * s_lon);
+                    if h > hav_radius_padded {
+                        continue;
+                    }
+                    visit(k, h);
                 }
             }
         }
+    }
+
+    /// Finishes the haversine from its precomputed term: bit-identical
+    /// to [`haversine_miles`] because `h` is assembled from the same
+    /// per-point radian values with the same operation order.
+    fn finish_distance(h: f64) -> f64 {
+        EARTH_RADIUS_MILES * (2.0 * h.sqrt().clamp(0.0, 1.0).asin())
+    }
+
+    /// Calls `f(index, distance_miles)` for each point within the radius
+    /// (inclusive), in bucket-scan order, with the exact
+    /// [`haversine_miles`] distance.
+    pub fn for_each_within<F: FnMut(u32, f64)>(
+        &self,
+        center: &GeoPoint,
+        radius_miles: f64,
+        mut f: F,
+    ) {
+        self.scan_candidates(center, radius_miles, |k, h| {
+            let d = Self::finish_distance(h);
+            if d <= radius_miles {
+                f(self.slot_idx[k], d);
+            }
+        });
+    }
+
+    /// Calls `f(index)` for each point within the radius (inclusive), in
+    /// the same order as [`SpatialIndex::for_each_within`], without
+    /// reporting distances. Skips the `asin`/`sqrt` finish for points
+    /// conservatively inside the radius (`h < hav(r·(1−ε))` implies
+    /// `d < r`), falling back to the exact distance in the boundary
+    /// sliver — the accepted set is identical to `for_each_within`'s.
+    pub fn for_each_in_radius<F: FnMut(u32)>(
+        &self,
+        center: &GeoPoint,
+        radius_miles: f64,
+        mut f: F,
+    ) {
+        let hav_radius_shrunk = {
+            let s = ((radius_miles * 0.999_999) / (2.0 * EARTH_RADIUS_MILES)).sin();
+            s * s
+        };
+        self.scan_candidates(center, radius_miles, |k, h| {
+            if h < hav_radius_shrunk || Self::finish_distance(h) <= radius_miles {
+                f(self.slot_idx[k]);
+            }
+        });
     }
 
     /// The nearest point to `center` (linear in the local neighbourhood;
@@ -207,5 +371,83 @@ mod tests {
         let idx = SpatialIndex::new(pts, 1.0);
         let got = idx.within(&p(0.0, 179.95), 50.0, None);
         assert_eq!(got.len(), 2, "date-line wrap missed: {got:?}");
+    }
+
+    /// A deterministic pseudo-random point cloud clustered like metros,
+    /// including date-line and high-latitude clusters.
+    fn dense_cloud(n: usize) -> Vec<GeoPoint> {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let centers = [
+            (40.7, -74.0),
+            (35.7, 139.7),
+            (51.5, -0.1),
+            (0.0, 179.9),
+            (68.0, 20.0),
+            (-33.9, 151.2),
+        ];
+        (0..n)
+            .map(|i| {
+                let (clat, clon) = centers[i % centers.len()];
+                let lat = (clat + (next() - 0.5) * 2.5).clamp(-89.9, 89.9);
+                let mut lon = clon + (next() - 0.5) * 2.5;
+                if lon > 180.0 {
+                    lon -= 360.0;
+                }
+                if lon <= -180.0 {
+                    lon += 360.0;
+                }
+                p(lat, lon)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn filtered_scan_matches_brute_force_exactly() {
+        // The pruned/packed scan must report exactly the brute-force
+        // match set with bit-identical haversine distances.
+        let pts = dense_cloud(4000);
+        let idx = SpatialIndex::new(pts.clone(), 1.0);
+        for &(clat, clon) in &[(40.9, -73.8), (0.05, -179.95), (68.4, 20.5), (35.7, 139.7)] {
+            let center = p(clat, clon);
+            for radius in [12.0, 40.0, 150.0] {
+                let mut got: Vec<(u32, f64)> = Vec::new();
+                idx.for_each_within(&center, radius, |i, d| got.push((i, d)));
+                let want: Vec<(u32, f64)> = pts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, q)| {
+                        let d = haversine_miles(&center, q);
+                        (d <= radius).then_some((i as u32, d))
+                    })
+                    .collect();
+                let mut got_sorted = got.clone();
+                got_sorted.sort_by_key(|&(i, _)| i);
+                assert_eq!(got_sorted, want, "center {clat},{clon} radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_radius_matches_for_each_within_order() {
+        // The distance-free fast path must accept the same points in the
+        // same (bucket-scan) order as the distance-reporting scan.
+        let pts = dense_cloud(4000);
+        let idx = SpatialIndex::new(pts, 1.0);
+        for &(clat, clon) in &[(40.9, -73.8), (0.05, -179.95), (68.4, 20.5)] {
+            let center = p(clat, clon);
+            for radius in [12.0, 40.0, 150.0] {
+                let mut with_d: Vec<u32> = Vec::new();
+                idx.for_each_within(&center, radius, |i, _| with_d.push(i));
+                let mut without_d: Vec<u32> = Vec::new();
+                idx.for_each_in_radius(&center, radius, |i| without_d.push(i));
+                assert_eq!(with_d, without_d, "center {clat},{clon} radius {radius}");
+            }
+        }
     }
 }

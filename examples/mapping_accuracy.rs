@@ -56,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut unmapped = 0usize;
         for (_, iface) in gt.topology.interfaces() {
             let router = gt.topology.router(iface.router);
-            let ctx = MapContext {
-                true_location: router.location,
-                asn: router.asn,
-            };
+            let ctx = MapContext::new(router.location, router.asn);
             match mapper.map(iface.ip, &ctx) {
                 Some(est) => errors.push(geotopo::geo::haversine_miles(&est, &router.location)),
                 None => unmapped += 1,

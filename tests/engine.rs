@@ -53,7 +53,7 @@ fn reports_cover_every_stage() {
     let cfg = PipelineConfig::tiny(3);
     let n_regions = cfg.world.regions.len();
     let out = Pipeline::new(cfg).run().unwrap();
-    assert_eq!(out.reports.len(), n_regions + 13);
+    assert_eq!(out.reports.len(), n_regions + 14);
     let mut names: Vec<&str> = out.reports.iter().map(|r| r.stage.as_str()).collect();
     names.sort_unstable();
     names.dedup();
